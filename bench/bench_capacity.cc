@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Experiment T1 — architecture capacity & simulator footprint
+ * (Akopyan'15 Table I shape).
+ *
+ * For a sweep of chip sizes, reports the architectural capacity
+ * (cores, neurons, synapses, axons, scheduler depth, packet bits)
+ * plus the simulator-side cost: model bytes per core and chip build
+ * time.  Crossbars are populated at 50% to measure realistic model
+ * footprints.
+ */
+
+#include <chrono>
+#include <iostream>
+
+#include "chip/chip.hh"
+#include "noc/packet.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+
+using namespace nscs;
+
+namespace {
+
+std::vector<CoreConfig>
+populatedCores(uint32_t n, uint64_t seed)
+{
+    Xoshiro256 rng(seed);
+    CoreGeometry geom;
+    std::vector<CoreConfig> cores;
+    cores.reserve(n);
+    for (uint32_t c = 0; c < n; ++c) {
+        CoreConfig cfg = CoreConfig::make(geom);
+        for (uint32_t a = 0; a < geom.numAxons; ++a)
+            for (uint32_t j = 0; j < geom.numNeurons; ++j)
+                if (rng.chance(0.5))
+                    cfg.connect(a, j);
+        cores.push_back(std::move(cfg));
+    }
+    return cores;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout <<
+        "== T1: architecture capacity and simulator footprint ==\n"
+        "(shape target: Akopyan'15 Table I; columns scale linearly\n"
+        " in core count, packet stays 30 bits)\n\n";
+
+    CoreGeometry geom;
+    std::cout << "core geometry: " << geom.numAxons << " axons x "
+              << geom.numNeurons << " neurons x " << geom.delaySlots
+              << " delay slots; spike packet = "
+              << packetWireBits() << " wire bits\n\n";
+
+    TextTable t({"grid", "cores", "neurons", "synapses(50%)",
+                 "axons", "bytes/core", "chip RAM", "build ms"});
+    for (uint32_t side : {1u, 8u, 16u, 32u, 64u}) {
+        uint32_t n = side * side;
+        auto t0 = std::chrono::steady_clock::now();
+        auto cores = populatedCores(n, 42);
+        ChipParams cp;
+        cp.width = side;
+        cp.height = side;
+        Chip chip(cp, std::move(cores));
+        auto t1 = std::chrono::steady_clock::now();
+
+        uint64_t synapses = 0;
+        for (uint32_t c = 0; c < chip.numCores(); ++c)
+            synapses += chip.core(c).crossbar().synapseCount();
+        size_t footprint = chip.footprintBytes();
+        double ms = std::chrono::duration<double, std::milli>(
+            t1 - t0).count();
+
+        t.addRow({std::to_string(side) + "x" + std::to_string(side),
+                  fmtInt(n),
+                  fmtInt(static_cast<uint64_t>(n) * geom.numNeurons),
+                  fmtInt(synapses),
+                  fmtInt(static_cast<uint64_t>(n) * geom.numAxons),
+                  fmtBytes(footprint / n),
+                  fmtBytes(footprint),
+                  fmtF(ms, 1)});
+    }
+    std::cout << t.str() << "\n";
+
+    std::cout << "reference point: the published chip is 64x64 cores"
+                 " = 4,096 cores, 1,048,576 neurons,\n268,435,456"
+                 " synapse sites; the simulator reproduces the same"
+                 " capacity in RAM.\n";
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Experiment F2 — the neuron behaviour gallery (Cassidy'13 Figs.
+ * 5-8 shape): one parameterised digital neuron reproduces a
+ * catalogue of biologically relevant behaviours.  Prints a raster
+ * per behaviour plus ISI statistics.
+ */
+
+#include <iostream>
+
+#include "neuron/behaviors.hh"
+#include "runtime/trace.hh"
+#include "util/table.hh"
+
+using namespace nscs;
+
+int
+main()
+{
+    std::cout <<
+        "== F2: neuron behaviour gallery ==\n"
+        "(shape target: Cassidy'13 behaviour catalogue; one neuron\n"
+        " model, parameter presets only)\n\n";
+
+    const uint32_t ticks = 2000;
+    const uint32_t raster_window = 96;
+
+    TextTable stats({"behavior", "spikes", "mean ISI", "ISI CV",
+                     "description"});
+
+    for (Behavior b : allBehaviors()) {
+        BehaviorPreset preset = behaviorPreset(b);
+        BehaviorTrace trace = runBehavior(preset, ticks);
+
+        std::cout << behaviorName(b) << ":\n";
+        std::cout << "  in  "
+                  << renderSpikeRow(trace.inputTicks, 0,
+                                    raster_window) << "\n";
+        std::cout << "  out "
+                  << renderSpikeRow(trace.spikes, 0, raster_window)
+                  << "\n";
+
+        stats.addRow({behaviorName(b),
+                      fmtInt(trace.spikes.size()),
+                      fmtF(meanIsi(trace.spikes), 2),
+                      fmtF(isiCv(trace.spikes), 3),
+                      behaviorDescription(b)});
+    }
+
+    std::cout << "\n" << stats.str();
+    std::cout << "\nall " << allBehaviors().size()
+              << " behaviours produced by one neuron model with "
+                 "parameter presets only.\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Experiment F5 — interconnect characterisation.
+ *
+ * Part 1: mean/P99 packet latency and delivered throughput vs
+ * offered load under uniform-random traffic on a 16x16 mesh — the
+ * classic latency/throughput curve with a saturation knee.
+ *
+ * Part 2: unloaded latency vs hop distance — linear, one cycle per
+ * hop plus local ejection.
+ */
+
+#include <iostream>
+
+#include "noc/mesh.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace nscs;
+
+int
+main()
+{
+    std::cout <<
+        "== F5: NoC latency/throughput characterisation ==\n"
+        "(shape target: flat latency at low load, knee near\n"
+        " saturation; latency linear in hop distance)\n\n";
+
+    const uint32_t side = 16;
+    const uint64_t cycles = 4000;
+    const uint64_t warmup = 500;
+
+    std::cout << "part 1: uniform random traffic, " << side << "x"
+              << side << " mesh, " << cycles << " cycles\n\n";
+
+    TextTable t({"offered(flits/node/cyc)", "delivered", "mean lat",
+                 "p99 lat", "stalls"});
+
+    for (double load : {0.005, 0.01, 0.02, 0.05, 0.10, 0.20, 0.35}) {
+        Mesh mesh({side, side, 4});
+        Xoshiro256 rng(1234);
+        Histogram lat(0, 400, 200);
+        uint64_t delivered = 0;
+
+        for (uint64_t cyc = 0; cyc < cycles; ++cyc) {
+            for (uint32_t y = 0; y < side; ++y) {
+                for (uint32_t x = 0; x < side; ++x) {
+                    if (!rng.chance(load))
+                        continue;
+                    SpikePacket p;
+                    auto tx = static_cast<uint32_t>(rng.below(side));
+                    auto ty = static_cast<uint32_t>(rng.below(side));
+                    p.dx = static_cast<int16_t>(
+                        static_cast<int32_t>(tx) -
+                        static_cast<int32_t>(x));
+                    p.dy = static_cast<int16_t>(
+                        static_cast<int32_t>(ty) -
+                        static_cast<int32_t>(y));
+                    mesh.inject(x, y, p);  // drop on stall
+                }
+            }
+            mesh.stepCycle();
+            for (const MeshDelivery &d : mesh.deliveries()) {
+                ++delivered;
+                if (cyc >= warmup)
+                    lat.add(static_cast<double>(
+                        d.cycle - d.packet.injectCycle + 1));
+            }
+            mesh.clearDeliveries();
+        }
+
+        double per_node_cyc = static_cast<double>(delivered) /
+            static_cast<double>(cycles) / (side * side);
+        t.addRow({fmtF(load, 3),
+                  fmtF(per_node_cyc, 3),
+                  fmtF(lat.mean(), 1),
+                  fmtF(lat.quantile(0.99), 1),
+                  fmtInt(mesh.stats().injectStalls)});
+    }
+    std::cout << t.str() << "\n";
+
+    std::cout << "part 2: unloaded latency vs hop distance (8x8)\n\n";
+    TextTable t2({"hops", "latency(cycles)"});
+    for (uint32_t d = 0; d <= 7; ++d) {
+        Mesh mesh({8, 8, 4});
+        SpikePacket p;
+        p.dx = static_cast<int16_t>(d);
+        mesh.inject(0, 0, p);
+        uint64_t cyc = 0;
+        while (mesh.deliveries().empty()) {
+            mesh.stepCycle();
+            ++cyc;
+        }
+        t2.addRow({std::to_string(d), fmtInt(cyc)});
+    }
+    std::cout << t2.str();
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Experiment F6 — real-time headroom (SC'14 real-time claim shape).
+ *
+ * At the architectural tick of 1 ms, a simulator is "real-time"
+ * when it executes 1000 ticks per wall-clock second.  Sweeps the
+ * input rate on a 16x16-core chip and reports wall-clock per tick
+ * and the real-time factor for the event-driven engine, locating
+ * the activity level where real-time is lost.
+ */
+
+#include <iostream>
+
+#include "bench/workload.hh"
+#include "util/table.hh"
+
+using namespace nscs;
+using namespace nscs::bench;
+
+int
+main()
+{
+    std::cout <<
+        "== F6: real-time headroom vs activity ==\n"
+        "(shape target: real-time at low activity, graceful\n"
+        " degradation as spike traffic grows)\n\n";
+
+    const uint64_t ticks = 200;
+
+    TextTable t({"rate(Hz)", "spikes/tick", "us/tick", "RT factor",
+                 "real-time?"});
+
+    for (double rate : {0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2}) {
+        CorticalParams wp;
+        wp.gridW = wp.gridH = 16;
+        wp.density = 128;
+        wp.ratePerTick = rate;
+        wp.seed = 21;
+        CorticalWorkload w = makeCortical(wp);
+        auto sim = makeCorticalSim(w, EngineKind::Event);
+        RunPerf perf = sim->run(ticks);
+
+        EnergyEvents e = sim->chip().energyEvents();
+        double spikes_per_tick = static_cast<double>(e.spikes) /
+            static_cast<double>(ticks);
+        double us_per_tick = perf.seconds / ticks * 1e6;
+        double rtf = perf.realTimeFactor(1e-3);
+        t.addRow({fmtF(rate * 1000, 1),
+                  fmtF(spikes_per_tick, 1),
+                  fmtF(us_per_tick, 1),
+                  fmtF(rtf, 2) + "x",
+                  rtf >= 1.0 ? "yes" : "no"});
+    }
+    std::cout << t.str() << "\n";
+    std::cout << "(64k neurons, 8.4M synapse sites on the simulated"
+                 " 16x16 chip; 1 ms architectural ticks)\n";
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Shared synthetic workloads for the benchmark suite.
+ *
+ * The "cortical" power/throughput workload parameterises the two
+ * quantities the published power model depends on: the mean firing
+ * rate and the synaptic density (crossbar fan-out per spike).  Each
+ * core drives half its axons from an external Bernoulli source; each
+ * driven axon fans out to `density` neurons acting as integrators,
+ * and each neuron forwards its (rare) output spike to a sink axon on
+ * a random core, exercising the interconnect without creating
+ * runaway recurrence.
+ */
+
+#ifndef NSCS_BENCH_WORKLOAD_HH
+#define NSCS_BENCH_WORKLOAD_HH
+
+#include <memory>
+#include <vector>
+
+#include "chip/chip.hh"
+#include "runtime/simulator.hh"
+#include "util/rng.hh"
+
+namespace nscs {
+namespace bench {
+
+/** Workload construction knobs. */
+struct CorticalParams
+{
+    uint32_t gridW = 16;       //!< cores in x
+    uint32_t gridH = 16;       //!< cores in y
+    uint32_t density = 128;    //!< synapses per driven axon
+    double ratePerTick = 0.02; //!< Bernoulli rate per driven axon
+    uint64_t seed = 1;
+};
+
+/** A built workload: chip configs plus the matching input source. */
+struct CorticalWorkload
+{
+    std::vector<CoreConfig> cores;
+    std::vector<InputSpike> drivenAxons;  //!< all Poisson targets
+    CorticalParams params;
+};
+
+/** Build the synthetic cortical workload. */
+inline CorticalWorkload
+makeCortical(const CorticalParams &wp)
+{
+    CorticalWorkload w;
+    w.params = wp;
+    Xoshiro256 rng(wp.seed);
+    CoreGeometry geom;  // default 256 x 256 x 16
+
+    const uint32_t driven = geom.numAxons / 2;
+    const uint32_t cores = wp.gridW * wp.gridH;
+    for (uint32_t c = 0; c < cores; ++c) {
+        CoreConfig cfg = CoreConfig::make(geom);
+        cfg.rngSeed = static_cast<uint16_t>(rng.below(65536) | 1);
+        // Driven axons 0..127 fan out to `density` neurons each.
+        for (uint32_t a = 0; a < driven; ++a) {
+            for (uint32_t k = 0; k < wp.density; ++k)
+                cfg.connect(a, (a * wp.density + k) % geom.numNeurons);
+        }
+        // Neurons integrate to a threshold that keeps the output
+        // rate near the input rate, and forward to sink axons
+        // (empty rows) on random cores so spikes traverse the mesh.
+        uint32_t fanin = driven * wp.density / geom.numNeurons;
+        for (uint32_t n = 0; n < geom.numNeurons; ++n) {
+            cfg.neurons[n].threshold =
+                std::max<int32_t>(1, static_cast<int32_t>(fanin));
+            NeuronDest &d = cfg.dests[n];
+            d.kind = NeuronDest::Kind::Core;
+            uint32_t cx = c % wp.gridW, cy = c / wp.gridW;
+            auto tx = static_cast<uint32_t>(rng.below(wp.gridW));
+            auto ty = static_cast<uint32_t>(rng.below(wp.gridH));
+            d.dx = static_cast<int16_t>(static_cast<int32_t>(tx) -
+                                        static_cast<int32_t>(cx));
+            d.dy = static_cast<int16_t>(static_cast<int32_t>(ty) -
+                                        static_cast<int32_t>(cy));
+            d.axon = static_cast<uint16_t>(
+                driven + rng.below(geom.numAxons - driven));
+            d.delay = static_cast<uint8_t>(1 + rng.below(15));
+        }
+        for (uint32_t a = 0; a < driven; ++a)
+            w.drivenAxons.push_back({c, a});
+        w.cores.push_back(std::move(cfg));
+    }
+    return w;
+}
+
+/** Simulator wired with the workload's Poisson source. */
+inline std::unique_ptr<Simulator>
+makeCorticalSim(const CorticalWorkload &w, EngineKind engine,
+                NocModel noc = NocModel::Functional)
+{
+    ChipParams cp;
+    cp.width = w.params.gridW;
+    cp.height = w.params.gridH;
+    cp.coreGeom = CoreGeometry{};
+    cp.engine = engine;
+    cp.noc = noc;
+    auto sim = std::make_unique<Simulator>(cp, w.cores);
+    if (w.params.ratePerTick > 0.0) {
+        sim->addSource(std::make_unique<PoissonSource>(
+            w.drivenAxons, w.params.ratePerTick,
+            w.params.seed ^ 0xD1CEull));
+    }
+    return sim;
+}
+
+} // namespace bench
+} // namespace nscs
+
+#endif // NSCS_BENCH_WORKLOAD_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Scale demonstration: a 32x32-core chip (262,144 neurons, ~8.4M
+ * populated synapses) running the synthetic cortical workload at
+ * 20 Hz, with throughput, activity and energy reporting.
+ *
+ *   build/examples/scale_demo [gridSide] [ticks]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bench/workload.hh"
+#include "util/table.hh"
+
+using namespace nscs;
+using namespace nscs::bench;
+
+int
+main(int argc, char **argv)
+{
+    uint32_t side = 32;
+    uint64_t ticks = 100;
+    if (argc > 1)
+        side = static_cast<uint32_t>(std::atoi(argv[1]));
+    if (argc > 2)
+        ticks = static_cast<uint64_t>(std::atoll(argv[2]));
+
+    CorticalParams wp;
+    wp.gridW = wp.gridH = side;
+    wp.density = 128;
+    wp.ratePerTick = 0.02;
+    wp.seed = 2025;
+
+    std::cout << "building " << side << "x" << side << " chip ("
+              << side * side * 256 << " neurons)...\n";
+    CorticalWorkload w = makeCortical(wp);
+    auto sim = makeCorticalSim(w, EngineKind::Event);
+    std::cout << "model footprint: "
+              << fmtBytes(sim->chip().footprintBytes()) << "\n";
+
+    std::cout << "running " << ticks << " ticks...\n\n";
+    RunPerf perf = sim->run(ticks);
+
+    EnergyEvents e = sim->chip().energyEvents();
+    EnergyBreakdown b = sim->chip().energy();
+
+    TextTable t({"metric", "value"});
+    t.addRow({"cores", fmtInt(e.cores)});
+    t.addRow({"neurons", fmtInt(e.neurons)});
+    t.addRow({"ticks simulated", fmtInt(ticks)});
+    t.addRow({"wall-clock", fmtF(perf.seconds, 3) + " s"});
+    t.addRow({"throughput", fmtF(perf.ticksPerSecond(), 1)
+              + " ticks/s"});
+    t.addRow({"real-time factor (1 ms ticks)",
+              fmtF(perf.realTimeFactor(), 2) + "x"});
+    t.addRow({"synaptic events", fmtInt(e.sops)});
+    t.addRow({"SOP throughput",
+              fmtSi(static_cast<double>(e.sops) / perf.seconds,
+                    "SOPs/s")});
+    t.addRow({"spikes", fmtInt(e.spikes)});
+    t.addRow({"modelled chip power",
+              fmtF(averagePowerW(b, e,
+                                 sim->chip().params().energy) * 1e3,
+                   2) + " mW"});
+    t.addRow({"modelled energy/SOP",
+              fmtF(energyPerSopJ(b, e) * 1e12, 1) + " pJ"});
+    std::cout << t.str();
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Sound-source localisation with a Jeffress delay-line model — the
+ * classic neuromorphic coincidence-detection application, built
+ * entirely from corelets.
+ *
+ * Two "ears" each feed a chain of relays; coincidence neurons tap
+ * the two chains at complementary depths, so the interaural delay
+ * of a sound selects which coincidence neuron fires.  The winning
+ * output line therefore encodes the azimuth.
+ *
+ *   build/examples/sound_localizer
+ */
+
+#include <iostream>
+
+#include "prog/compiler.hh"
+#include "prog/corelet.hh"
+#include "prog/network.hh"
+#include "runtime/simulator.hh"
+#include "util/table.hh"
+
+using namespace nscs;
+
+int
+main()
+{
+    // Delay axis: interaural delays of -4 .. +4 ticks in steps of 2.
+    const uint32_t taps = 5;       // coincidence positions
+    const uint32_t depth = taps;   // relay chain length per ear
+
+    Network net;
+
+    auto left = corelets::delayLine(net, "left_ear", depth);
+    auto right = corelets::delayLine(net, "right_ear", depth);
+
+    // Coincidence detectors: tap i listens to position i of the
+    // left chain and position taps-1-i of the right chain.  Only a
+    // matching interaural delay makes both taps fire the same tick.
+    std::vector<corelets::Ports> detectors;
+    for (uint32_t i = 0; i < taps; ++i) {
+        auto det = corelets::majority(
+            net, "coinc" + std::to_string(i), 2);
+        net.connect({left.pop, i}, det.in[0], 0, 1);
+        net.connect({right.pop, taps - 1 - i}, det.in[0], 0, 1);
+        net.markOutput(det.out[0]);
+        detectors.push_back(det);
+    }
+
+    uint32_t in_l = net.addInput("left");
+    uint32_t in_r = net.addInput("right");
+    net.bindInput(in_l, left.in[0], 0);
+    net.bindInput(in_r, right.in[0], 0);
+
+    CompiledModel model = compile(net, CompileOptions{});
+    ChipParams cp;
+    cp.width = model.gridWidth;
+    cp.height = model.gridHeight;
+    cp.coreGeom = model.geom;
+
+    std::cout << "Jeffress localiser: " << taps
+              << " azimuth channels, compiled onto "
+              << model.gridWidth << "x" << model.gridHeight
+              << " core(s)\n\n";
+
+    TextTable t({"interaural delay", "winning channel",
+                 "interpretation"});
+    const char *names[] = {"far left", "left", "centre", "right",
+                           "far right"};
+
+    for (int delay = -4; delay <= 4; delay += 2) {
+        Chip chip(cp, model.cores);
+        // A click train: 6 clicks, 12 ticks apart; the right ear
+        // leads for positive delay (source on the left).
+        for (int click = 0; click < 6; ++click) {
+            uint64_t base = 4 + static_cast<uint64_t>(click) * 12;
+            uint64_t t_left = base + (delay > 0 ? delay : 0);
+            uint64_t t_right = base + (delay < 0 ? -delay : 0);
+            uint64_t until = std::max(t_left, t_right) + 1;
+            while (chip.now() < until) {
+                uint64_t t = chip.now();
+                if (t == t_left)
+                    for (const InputSpike &s :
+                             model.inputTargets("left"))
+                        chip.injectInput(s.core, s.axon, t);
+                if (t == t_right)
+                    for (const InputSpike &s :
+                             model.inputTargets("right"))
+                        chip.injectInput(s.core, s.axon, t);
+                chip.tick();
+            }
+        }
+        chip.run(2 * taps + 4);  // drain the chains
+
+        // Count spikes per channel.
+        std::vector<uint64_t> counts(taps, 0);
+        for (const OutputSpike &s : chip.outputs())
+            ++counts[s.line];
+        uint32_t best = 0;
+        for (uint32_t i = 1; i < taps; ++i)
+            if (counts[i] > counts[best])
+                best = i;
+
+        t.addRow({std::to_string(delay) + " ticks",
+                  "channel " + std::to_string(best),
+                  names[best]});
+    }
+    std::cout << t.str();
+    std::cout << "\n(the winning channel moves monotonically with "
+                 "the interaural delay)\n";
+    return 0;
+}

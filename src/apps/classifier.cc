@@ -1,0 +1,155 @@
+#include "apps/classifier.hh"
+
+#include <algorithm>
+
+#include "apps/encoder.hh"
+#include "util/logging.hh"
+
+namespace nscs {
+
+int32_t
+autoClassifierThreshold(const QuantizedModel &model)
+{
+    return std::max<int32_t>(2, static_cast<int32_t>(model.dim) / 16);
+}
+
+Network
+buildClassifierNetwork(const QuantizedModel &model, int32_t threshold)
+{
+    NSCS_ASSERT(model.classes > 0 && model.dim > 0,
+                "empty quantized model");
+    Network net;
+
+    NeuronParams cls;
+    cls.synWeight = {1, -1, 2, -2};
+    cls.threshold = threshold;
+    cls.leak = -1;
+    cls.negThreshold = 0;
+    cls.negSaturate = true;
+    cls.resetMode = ResetMode::Store;
+    cls.resetPotential = 0;
+
+    PopId classes = net.addPopulation("classes", model.classes, cls);
+
+    for (uint32_t f = 0; f < model.dim; ++f) {
+        uint32_t input = net.addInput("f" + std::to_string(f));
+        for (uint32_t c = 0; c < model.classes; ++c) {
+            int8_t q = model.weight(c, f);
+            if (q == 0)
+                continue;
+            uint8_t type = (q == 1) ? 0 : (q == -1) ? 1
+                         : (q == 2) ? 2 : 3;
+            net.bindInput(input, {classes, c}, type);
+        }
+    }
+    for (uint32_t c = 0; c < model.classes; ++c)
+        net.markOutput({classes, c});
+    return net;
+}
+
+SpikingClassifier::SpikingClassifier(const QuantizedModel &model,
+                                     const ClassifierOptions &opt)
+    : qm_(model), opt_(opt)
+{
+    threshold_ = opt_.threshold > 0 ? opt_.threshold
+                                    : autoClassifierThreshold(qm_);
+    net_ = buildClassifierNetwork(qm_, threshold_);
+    compiled_ = compile(net_, opt_.compile);
+
+    gap_ = opt_.gap > 0 ? opt_.gap
+         : std::max<uint32_t>(compiled_.geom.delaySlots,
+                              static_cast<uint32_t>(threshold_) + 8);
+
+    ChipParams cp;
+    cp.width = compiled_.gridWidth;
+    cp.height = compiled_.gridHeight;
+    cp.coreGeom = compiled_.geom;
+    cp.engine = opt_.engine;
+    cp.noc = opt_.noc;
+    sim_ = std::make_unique<Simulator>(cp, compiled_.cores);
+
+    auto sched = std::make_unique<ScheduleSource>();
+    schedule_ = sched.get();
+    sim_->addSource(std::move(sched));
+
+    featureTargets_.resize(qm_.dim);
+    for (uint32_t f = 0; f < qm_.dim; ++f) {
+        std::string name = "f" + std::to_string(f);
+        auto it = compiled_.inputs.find(name);
+        if (it != compiled_.inputs.end())
+            featureTargets_[f] = it->second;
+    }
+}
+
+uint32_t
+SpikingClassifier::classify(const Sample &sample)
+{
+    NSCS_ASSERT(sample.features.size() == qm_.dim,
+                "sample dim %zu != model dim %u",
+                sample.features.size(), qm_.dim);
+
+    Chip &chip = sim_->chip();
+    uint64_t t0 = chip.now();
+    double energy0 = chip.energy().totalJ();
+
+    uint64_t injected = 0;
+    for (uint32_t f = 0; f < qm_.dim; ++f) {
+        if (featureTargets_[f].empty())
+            continue;
+        for (uint32_t off : encodeRate(sample.features[f],
+                                       opt_.window)) {
+            for (const InputSpike &target : featureTargets_[f]) {
+                schedule_->add(t0 + off, target);
+                ++injected;
+            }
+        }
+    }
+
+    uint64_t ticks = opt_.window + gap_;
+    sim_->run(ticks);
+
+    uint64_t t1 = chip.now();
+    const SpikeRecorder &rec = sim_->recorder();
+    uint32_t pred = rec.argmaxLineInWindow(0, qm_.classes, t0, t1);
+
+    lastStats_ = InferenceStats{};
+    lastStats_.inputSpikes = injected;
+    for (uint32_t c = 0; c < qm_.classes; ++c)
+        lastStats_.outputSpikes += rec.countInWindow(c, t0, t1);
+    lastStats_.ticks = ticks;
+    lastStats_.energyJ = chip.energy().totalJ() - energy0;
+    return pred;
+}
+
+EvalResult
+SpikingClassifier::evaluate(const Dataset &data, uint32_t max_samples)
+{
+    EvalResult res;
+    uint32_t n = static_cast<uint32_t>(data.samples.size());
+    if (max_samples > 0 && max_samples < n)
+        n = max_samples;
+    if (n == 0)
+        return res;
+
+    uint32_t correct = 0;
+    InferenceStats total;
+    for (uint32_t i = 0; i < n; ++i) {
+        const Sample &s = data.samples[i];
+        if (classify(s) == s.label)
+            ++correct;
+        total.inputSpikes += lastStats_.inputSpikes;
+        total.outputSpikes += lastStats_.outputSpikes;
+        total.ticks += lastStats_.ticks;
+        total.energyJ += lastStats_.energyJ;
+    }
+    res.accuracy = static_cast<double>(correct) /
+        static_cast<double>(n);
+    res.samples = n;
+    res.meanPerInference.inputSpikes = total.inputSpikes / n;
+    res.meanPerInference.outputSpikes = total.outputSpikes / n;
+    res.meanPerInference.ticks = total.ticks / n;
+    res.meanPerInference.energyJ = total.energyJ / n;
+    return res;
+}
+
+} // namespace nscs

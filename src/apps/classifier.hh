@@ -1,0 +1,111 @@
+/**
+ * @file
+ * End-to-end spiking classifier (experiment T3).
+ *
+ * Deploys a quantised linear model onto the chip: one input line per
+ * feature, one output neuron per class with the weight table
+ * (+1, -1, +2, -2), synapses present where the quantised weight is
+ * non-zero.  Features are rate-coded over a window; the decision is
+ * the class whose output neuron spiked most.  Class neurons carry a
+ * gentle -1 leak with a zero floor so residual potential drains in
+ * the inter-sample gap.
+ */
+
+#ifndef NSCS_APPS_CLASSIFIER_HH
+#define NSCS_APPS_CLASSIFIER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/dataset.hh"
+#include "apps/trainer.hh"
+#include "prog/compiler.hh"
+#include "runtime/simulator.hh"
+
+namespace nscs {
+
+/** Classifier deployment options. */
+struct ClassifierOptions
+{
+    uint32_t window = 64;     //!< rate-code window in ticks
+    uint32_t gap = 0;         //!< settle ticks between samples (0=auto)
+    int32_t threshold = 0;    //!< class-neuron threshold (0 = auto)
+    CompileOptions compile;   //!< tool-flow options
+    EngineKind engine = EngineKind::Event;
+    NocModel noc = NocModel::Functional;
+};
+
+/** Per-inference measurements. */
+struct InferenceStats
+{
+    uint64_t inputSpikes = 0;   //!< encoded spikes injected
+    uint64_t outputSpikes = 0;  //!< class spikes observed
+    uint64_t ticks = 0;         //!< window + gap
+    double energyJ = 0.0;       //!< chip energy for the inference
+};
+
+/** Aggregate evaluation result. */
+struct EvalResult
+{
+    double accuracy = 0.0;
+    uint32_t samples = 0;
+    InferenceStats meanPerInference;  //!< averaged over samples
+};
+
+/** A deployed classifier. */
+class SpikingClassifier
+{
+  public:
+    SpikingClassifier(const QuantizedModel &model,
+                      const ClassifierOptions &opt);
+
+    /** Classify one sample; returns the predicted label. */
+    uint32_t classify(const Sample &sample);
+
+    /** Stats of the most recent classify() call. */
+    const InferenceStats &lastStats() const { return lastStats_; }
+
+    /** Evaluate on a dataset (all samples when max_samples == 0). */
+    EvalResult evaluate(const Dataset &data, uint32_t max_samples = 0);
+
+    /** The compiled model (inspection). */
+    const CompiledModel &compiled() const { return compiled_; }
+
+    /** The underlying simulator (inspection). */
+    Simulator &simulator() { return *sim_; }
+
+    /** Effective class-neuron threshold. */
+    int32_t threshold() const { return threshold_; }
+
+    /** Effective inter-sample gap. */
+    uint32_t gap() const { return gap_; }
+
+  private:
+    QuantizedModel qm_;
+    ClassifierOptions opt_;
+    int32_t threshold_ = 1;
+    uint32_t gap_ = 16;
+    Network net_;
+    CompiledModel compiled_;
+    std::unique_ptr<Simulator> sim_;
+    ScheduleSource *schedule_ = nullptr;  //!< owned by sim_
+    /** Injection targets per feature (cached from compiled_). */
+    std::vector<std::vector<InputSpike>> featureTargets_;
+    InferenceStats lastStats_;
+};
+
+/**
+ * Build just the logical classifier network (used by benches that
+ * want to compile it with different options).  Appends one input per
+ * feature named "f<i>" and marks one output line per class.
+ */
+Network buildClassifierNetwork(const QuantizedModel &model,
+                               int32_t threshold);
+
+/** The auto threshold heuristic: max(2, dim / 16). */
+int32_t autoClassifierThreshold(const QuantizedModel &model);
+
+} // namespace nscs
+
+#endif // NSCS_APPS_CLASSIFIER_HH

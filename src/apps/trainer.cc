@@ -1,0 +1,137 @@
+#include "apps/trainer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace nscs {
+
+namespace {
+
+uint32_t
+argmaxScore(const std::vector<double> &scores)
+{
+    uint32_t best = 0;
+    for (uint32_t c = 1; c < scores.size(); ++c)
+        if (scores[c] > scores[best])
+            best = c;
+    return best;
+}
+
+} // anonymous namespace
+
+LinearModel
+trainPerceptron(const Dataset &train, uint32_t epochs, uint64_t seed)
+{
+    NSCS_ASSERT(!train.samples.empty(), "training on empty dataset");
+    LinearModel model;
+    model.classes = train.numClasses;
+    model.dim = train.featureDim;
+    model.w.assign(static_cast<size_t>(model.classes) * model.dim,
+                   0.0);
+    std::vector<double> acc(model.w.size(), 0.0);
+
+    Xoshiro256 rng(seed);
+    std::vector<uint32_t> order(train.samples.size());
+    for (uint32_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+
+    uint64_t steps = 0;
+    for (uint32_t e = 0; e < epochs; ++e) {
+        // Fisher-Yates shuffle per epoch.
+        for (size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[rng.below(i)]);
+
+        for (uint32_t idx : order) {
+            const Sample &s = train.samples[idx];
+            std::vector<double> scores(model.classes, 0.0);
+            for (uint32_t c = 0; c < model.classes; ++c) {
+                double dot = 0.0;
+                const double *row =
+                    &model.w[static_cast<size_t>(c) * model.dim];
+                for (uint32_t f = 0; f < model.dim; ++f)
+                    dot += row[f] * s.features[f];
+                scores[c] = dot;
+            }
+            uint32_t pred = argmaxScore(scores);
+            if (pred != s.label) {
+                double *up =
+                    &model.w[static_cast<size_t>(s.label) * model.dim];
+                double *down =
+                    &model.w[static_cast<size_t>(pred) * model.dim];
+                for (uint32_t f = 0; f < model.dim; ++f) {
+                    up[f] += s.features[f];
+                    down[f] -= s.features[f];
+                }
+            }
+            ++steps;
+            for (size_t i = 0; i < model.w.size(); ++i)
+                acc[i] += model.w[i];
+        }
+    }
+
+    // Averaged perceptron: the mean trajectory generalises better.
+    if (steps > 0)
+        for (size_t i = 0; i < model.w.size(); ++i)
+            model.w[i] = acc[i] / static_cast<double>(steps);
+    return model;
+}
+
+double
+modelAccuracy(const LinearModel &model, const Dataset &data)
+{
+    if (data.samples.empty())
+        return 0.0;
+    uint32_t correct = 0;
+    for (const Sample &s : data.samples) {
+        std::vector<double> scores(model.classes, 0.0);
+        for (uint32_t c = 0; c < model.classes; ++c)
+            for (uint32_t f = 0; f < model.dim; ++f)
+                scores[c] += model.weight(c, f) * s.features[f];
+        if (argmaxScore(scores) == s.label)
+            ++correct;
+    }
+    return static_cast<double>(correct) /
+        static_cast<double>(data.samples.size());
+}
+
+QuantizedModel
+quantize(const LinearModel &model)
+{
+    QuantizedModel qm;
+    qm.classes = model.classes;
+    qm.dim = model.dim;
+    qm.q.resize(model.w.size());
+    double wmax = 0.0;
+    for (double w : model.w)
+        wmax = std::max(wmax, std::fabs(w));
+    qm.scale = wmax > 0.0 ? wmax / 2.0 : 1.0;
+    for (size_t i = 0; i < model.w.size(); ++i) {
+        auto level = static_cast<int>(std::lround(model.w[i] /
+                                                  qm.scale));
+        qm.q[i] = static_cast<int8_t>(std::clamp(level, -2, 2));
+    }
+    return qm;
+}
+
+double
+quantizedAccuracy(const QuantizedModel &model, const Dataset &data)
+{
+    if (data.samples.empty())
+        return 0.0;
+    uint32_t correct = 0;
+    for (const Sample &s : data.samples) {
+        std::vector<double> scores(model.classes, 0.0);
+        for (uint32_t c = 0; c < model.classes; ++c)
+            for (uint32_t f = 0; f < model.dim; ++f)
+                scores[c] += model.weight(c, f) * s.features[f];
+        if (argmaxScore(scores) == s.label)
+            ++correct;
+    }
+    return static_cast<double>(correct) /
+        static_cast<double>(data.samples.size());
+}
+
+} // namespace nscs

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Host-side training and weight quantisation.
+ *
+ * The published tool flow trains off-chip and deploys quantised
+ * weights onto cores.  NSCS mirrors that: an averaged one-vs-all
+ * perceptron (bias-free; features are rate-coded probabilities)
+ * trains in floating point, then quantises to the five levels
+ * {-2, -1, 0, +1, +2} expressible with the four axon-type weights
+ * (+1, -1, +2, -2) plus absent synapses.
+ */
+
+#ifndef NSCS_APPS_TRAINER_HH
+#define NSCS_APPS_TRAINER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "apps/dataset.hh"
+
+namespace nscs {
+
+/** A trained float linear model (bias-free, one row per class). */
+struct LinearModel
+{
+    uint32_t classes = 0;
+    uint32_t dim = 0;
+    std::vector<double> w;  //!< classes x dim, row-major
+
+    double
+    weight(uint32_t c, uint32_t f) const
+    {
+        return w[static_cast<size_t>(c) * dim + f];
+    }
+};
+
+/** The chip-ready quantised model. */
+struct QuantizedModel
+{
+    uint32_t classes = 0;
+    uint32_t dim = 0;
+    std::vector<int8_t> q;  //!< classes x dim in {-2..2}
+    double scale = 1.0;     //!< float weight units per level
+
+    int8_t
+    weight(uint32_t c, uint32_t f) const
+    {
+        return q[static_cast<size_t>(c) * dim + f];
+    }
+};
+
+/** Train an averaged one-vs-all perceptron. */
+LinearModel trainPerceptron(const Dataset &train, uint32_t epochs,
+                            uint64_t seed);
+
+/** Accuracy of the float model (argmax of w.x). */
+double modelAccuracy(const LinearModel &model, const Dataset &data);
+
+/** Quantise to 5 levels; scale = max|w| / 2. */
+QuantizedModel quantize(const LinearModel &model);
+
+/** Host-side accuracy of the quantised model (argmax of q.x). */
+double quantizedAccuracy(const QuantizedModel &model,
+                         const Dataset &data);
+
+} // namespace nscs
+
+#endif // NSCS_APPS_TRAINER_HH

@@ -1,0 +1,113 @@
+#include "baseline/dense_sim.hh"
+
+#include "neuron/neuron.hh"
+#include "util/logging.hh"
+
+namespace nscs {
+
+DenseSim::DenseSim(const Network &net, uint16_t rng_seed)
+    : net_(net), seed_(rng_seed), rng_(rng_seed)
+{
+    net_.validate();
+    const uint32_t n = net_.numNeurons();
+    params_.resize(n);
+    v_.resize(n);
+    synOf_.resize(n);
+    outputLine_.assign(n, -1);
+
+    uint32_t max_delay = 1;
+    for (uint32_t gid = 0; gid < n; ++gid)
+        params_[gid] = net_.neuronParams(net_.fromGlobalIndex(gid));
+    for (const Edge &e : net_.edges()) {
+        synOf_[net_.globalIndex(e.src)].push_back(
+            {net_.globalIndex(e.dst), e.typeClass, e.delay});
+        if (e.delay > max_delay)
+            max_delay = e.delay;
+    }
+    for (uint32_t line = 0; line < net_.numOutputs(); ++line)
+        outputLine_[net_.globalIndex(net_.outputNeuron(line))] = line;
+
+    ringSize_ = max_delay + 1;
+    ring_.assign(ringSize_, {});
+    reset();
+}
+
+void
+DenseSim::reset()
+{
+    for (uint32_t gid = 0; gid < net_.numNeurons(); ++gid)
+        v_[gid] = applyNegativeRule(params_[gid].initialPotential,
+                                    params_[gid]);
+    for (auto &slot : ring_)
+        slot.clear();
+    pendingInputs_.clear();
+    outputs_.clear();
+    counters_ = DenseCounters{};
+    rng_.reset(seed_);
+    now_ = 0;
+}
+
+void
+DenseSim::injectInput(uint32_t input, uint64_t tick)
+{
+    NSCS_ASSERT(input < net_.numInputs(),
+                "DenseSim input %u of %u", input, net_.numInputs());
+    NSCS_ASSERT(tick >= now_, "DenseSim input for past tick");
+    pendingInputs_[tick].push_back(input);
+}
+
+void
+DenseSim::tick()
+{
+    const uint64_t t = now_;
+
+    // External inputs integrate this tick.
+    auto it = pendingInputs_.find(t);
+    if (it != pendingInputs_.end()) {
+        for (uint32_t input : it->second) {
+            for (const InputAttachment &a :
+                     net_.inputAttachments(input)) {
+                uint32_t gid = net_.globalIndex(a.dst);
+                v_[gid] = integrateSynapse(v_[gid], params_[gid],
+                                           a.typeClass, &rng_);
+                ++counters_.sops;
+            }
+        }
+        pendingInputs_.erase(it);
+    }
+
+    // Delayed recurrent events due this tick.
+    auto &due = ring_[t % ringSize_];
+    for (const Event &ev : due) {
+        v_[ev.dst] = integrateSynapse(v_[ev.dst], params_[ev.dst],
+                                      ev.type, &rng_);
+        ++counters_.sops;
+    }
+    due.clear();
+
+    // Conventional clock-driven sweep: every neuron, every tick.
+    for (uint32_t gid = 0; gid < net_.numNeurons(); ++gid) {
+        ++counters_.evals;
+        if (!endOfTickUpdate(v_[gid], params_[gid], &rng_))
+            continue;
+        ++counters_.spikes;
+        if (outputLine_[gid] >= 0)
+            outputs_.push_back(
+                {t, static_cast<uint32_t>(outputLine_[gid])});
+        for (const Syn &s : synOf_[gid])
+            ring_[(t + s.delay) % ringSize_].push_back(
+                {s.dst, s.type});
+    }
+
+    ++now_;
+    ++counters_.ticks;
+}
+
+void
+DenseSim::run(uint64_t n)
+{
+    for (uint64_t i = 0; i < n; ++i)
+        tick();
+}
+
+} // namespace nscs

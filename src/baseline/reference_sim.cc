@@ -1,0 +1,111 @@
+#include "baseline/reference_sim.hh"
+
+#include "neuron/neuron.hh"
+#include "util/logging.hh"
+
+namespace nscs {
+
+ReferenceSim::ReferenceSim(const CompiledModel &model)
+    : model_(model)
+{
+    cores_.resize(model_.cores.size());
+    reset();
+}
+
+void
+ReferenceSim::reset()
+{
+    for (size_t c = 0; c < cores_.size(); ++c) {
+        RefCore &rc = cores_[c];
+        rc.cfg = &model_.cores[c];
+        const CoreGeometry &g = rc.cfg->geom;
+        rc.v.resize(g.numNeurons);
+        for (uint32_t n = 0; n < g.numNeurons; ++n) {
+            const NeuronParams &p = rc.cfg->neurons[n];
+            rc.v[n] = applyNegativeRule(p.initialPotential, p);
+        }
+        rc.slots.assign(g.delaySlots, BitVec(g.numAxons));
+        rc.rng.reset(rc.cfg->rngSeed);
+    }
+    outputs_.clear();
+    counters_ = ReferenceCounters{};
+    now_ = 0;
+}
+
+void
+ReferenceSim::injectInput(uint32_t core, uint32_t axon,
+                          uint64_t delivery_tick)
+{
+    NSCS_ASSERT(core < cores_.size(), "reference injectInput core %u",
+                core);
+    RefCore &rc = cores_[core];
+    NSCS_ASSERT(delivery_tick >= now_ &&
+                delivery_tick < now_ + rc.cfg->geom.delaySlots,
+                "reference injectInput outside scheduler window");
+    rc.slots[delivery_tick % rc.cfg->geom.delaySlots].set(axon);
+}
+
+void
+ReferenceSim::tick()
+{
+    const uint64_t t = now_;
+    const uint32_t grid_w = model_.gridWidth;
+
+    for (uint32_t c = 0; c < cores_.size(); ++c) {
+        RefCore &rc = cores_[c];
+        const CoreConfig &cfg = *rc.cfg;
+        const uint32_t slots = cfg.geom.delaySlots;
+
+        // Phase 1: drain + integrate, (axon, neuron)-major.
+        BitVec &slot = rc.slots[t % slots];
+        if (slot.any()) {
+            slot.forEachSet([&](size_t a) {
+                unsigned g = cfg.axonType[a];
+                cfg.xbarRows[a].forEachSet([&](size_t j) {
+                    rc.v[j] = integrateSynapse(
+                        rc.v[j], cfg.neurons[j], g, &rc.rng);
+                    ++counters_.sops;
+                });
+            });
+            slot.reset();
+        }
+
+        // Phases 2+3: every neuron, ascending.
+        for (uint32_t n = 0; n < cfg.geom.numNeurons; ++n) {
+            if (!endOfTickUpdate(rc.v[n], cfg.neurons[n], &rc.rng))
+                continue;
+            ++counters_.spikes;
+            const NeuronDest &d = cfg.dests[n];
+            switch (d.kind) {
+              case NeuronDest::Kind::None:
+                break;
+              case NeuronDest::Kind::Output:
+                outputs_.push_back({t, d.line});
+                ++counters_.spikesOut;
+                break;
+              case NeuronDest::Kind::Core: {
+                uint32_t sx = c % grid_w, sy = c / grid_w;
+                uint32_t target =
+                    (sy + static_cast<int32_t>(d.dy)) * grid_w +
+                    (sx + static_cast<int32_t>(d.dx));
+                RefCore &dst = cores_[target];
+                dst.slots[(t + d.delay) %
+                          dst.cfg->geom.delaySlots].set(d.axon);
+                break;
+              }
+            }
+        }
+    }
+
+    ++now_;
+    ++counters_.ticks;
+}
+
+void
+ReferenceSim::run(uint64_t n)
+{
+    for (uint64_t i = 0; i < n; ++i)
+        tick();
+}
+
+} // namespace nscs

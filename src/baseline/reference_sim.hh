@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Functional reference simulator — the "Compass" analog.
+ *
+ * An independent tick-level implementation of the architectural
+ * semantics, consuming the same CompiledModel as the Chip.  It shares
+ * only the pure per-neuron update functions (neuron/neuron.hh) with
+ * the cycle-level implementation; cores, schedulers, routing and
+ * engine scheduling are re-implemented from the written contract.
+ * Its purpose is the published system's one-to-one verification
+ * claim: for every legal model and input, the reference and the chip
+ * produce identical output spike streams, PRNG draw for PRNG draw.
+ */
+
+#ifndef NSCS_BASELINE_REFERENCE_SIM_HH
+#define NSCS_BASELINE_REFERENCE_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "chip/chip.hh"
+#include "prog/compiled.hh"
+#include "util/bitvec.hh"
+#include "util/rng.hh"
+
+namespace nscs {
+
+/** Reference implementation counters. */
+struct ReferenceCounters
+{
+    uint64_t ticks = 0;
+    uint64_t sops = 0;
+    uint64_t spikes = 0;
+    uint64_t spikesOut = 0;
+};
+
+/** The reference simulator. */
+class ReferenceSim
+{
+  public:
+    explicit ReferenceSim(const CompiledModel &model);
+
+    /** Park an external spike (same contract as Chip::injectInput). */
+    void injectInput(uint32_t core, uint32_t axon,
+                     uint64_t delivery_tick);
+
+    /** Execute one tick. */
+    void tick();
+
+    /** Execute @p n ticks. */
+    void run(uint64_t n);
+
+    /** Next tick to execute. */
+    uint64_t now() const { return now_; }
+
+    /** Output spikes accumulated since the last drain. */
+    const std::vector<OutputSpike> &outputs() const { return outputs_; }
+
+    /** Drop drained output spikes. */
+    void clearOutputs() { outputs_.clear(); }
+
+    /** Counters. */
+    const ReferenceCounters &counters() const { return counters_; }
+
+    /** Return to the initial state. */
+    void reset();
+
+  private:
+    struct RefCore
+    {
+        const CoreConfig *cfg = nullptr;
+        std::vector<int32_t> v;
+        std::vector<BitVec> slots;   //!< delaySlots x numAxons
+        Lfsr16 rng;
+    };
+
+    const CompiledModel &model_;
+    std::vector<RefCore> cores_;
+    std::vector<OutputSpike> outputs_;
+    ReferenceCounters counters_;
+    uint64_t now_ = 0;
+};
+
+} // namespace nscs
+
+#endif // NSCS_BASELINE_REFERENCE_SIM_HH

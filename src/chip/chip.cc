@@ -1,0 +1,354 @@
+#include "chip/chip.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace nscs {
+
+namespace {
+constexpr uint64_t kNever = ~0ull;
+} // anonymous namespace
+
+Chip::Chip(const ChipParams &params, std::vector<CoreConfig> configs)
+    : params_(params)
+{
+    const uint32_t w = params_.width;
+    const uint32_t h = params_.height;
+    if (w == 0 || h == 0)
+        fatal("chip grid %ux%u is empty", w, h);
+    if (configs.size() != static_cast<size_t>(w) * h)
+        fatal("chip expects %u core configs, got %zu",
+              w * h, configs.size());
+
+    cores_.reserve(configs.size());
+    for (size_t i = 0; i < configs.size(); ++i) {
+        if (!(configs[i].geom == params_.coreGeom))
+            fatal("core %zu geometry differs from chip geometry", i);
+        cores_.push_back(std::make_unique<Core>(std::move(configs[i])));
+    }
+
+    // Destinations must stay on the grid.
+    for (uint32_t c = 0; c < numCores(); ++c) {
+        uint32_t x = c % w, y = c / w;
+        const CoreConfig &cfg = cores_[c]->config();
+        for (uint32_t n = 0; n < cfg.geom.numNeurons; ++n) {
+            const NeuronDest &d = cfg.dests[n];
+            if (d.kind != NeuronDest::Kind::Core)
+                continue;
+            int64_t tx = static_cast<int64_t>(x) + d.dx;
+            int64_t ty = static_cast<int64_t>(y) + d.dy;
+            if (tx < 0 || tx >= static_cast<int64_t>(w) ||
+                ty < 0 || ty >= static_cast<int64_t>(h))
+                fatal("core (%u, %u) neuron %u targets (%lld, %lld) "
+                      "outside %ux%u grid", x, y, n,
+                      static_cast<long long>(tx),
+                      static_cast<long long>(ty), w, h);
+            if (d.axon >= params_.coreGeom.numAxons)
+                fatal("core (%u, %u) neuron %u targets axon %u of %u",
+                      x, y, n, d.axon, params_.coreGeom.numAxons);
+        }
+    }
+
+    if (params_.noc == NocModel::Cycle) {
+        MeshParams mp;
+        mp.width = w;
+        mp.height = h;
+        mp.fifoDepth = params_.meshFifoDepth;
+        mesh_ = std::make_unique<Mesh>(mp);
+    }
+
+    lastWake_.assign(numCores(), kNever);
+    for (uint32_t c = 0; c < numCores(); ++c)
+        if (cores_[c]->hasDenseNeurons())
+            denseCores_.push_back(c);
+
+    if (params_.engine == EngineKind::Event) {
+        for (uint32_t c = 0; c < numCores(); ++c) {
+            auto se = cores_[c]->nextSelfEvent();
+            if (se)
+                scheduleWake(c, *se);
+        }
+    }
+}
+
+void
+Chip::reset()
+{
+    for (auto &core : cores_)
+        core->reset();
+    if (mesh_)
+        mesh_->reset();
+    outputs_.clear();
+    counters_ = ChipCounters{};
+    now_ = 0;
+    agenda_ = {};
+    pendingInject_.clear();
+    std::fill(lastWake_.begin(), lastWake_.end(), kNever);
+    if (params_.engine == EngineKind::Event) {
+        for (uint32_t c = 0; c < numCores(); ++c) {
+            auto se = cores_[c]->nextSelfEvent();
+            if (se)
+                scheduleWake(c, *se);
+        }
+    }
+}
+
+void
+Chip::scheduleWake(uint32_t core, uint64_t tick)
+{
+    if (params_.engine != EngineKind::Event)
+        return;
+    if (lastWake_[core] == tick)
+        return;
+    lastWake_[core] = tick;
+    agenda_.emplace(tick, core);
+}
+
+uint64_t
+Chip::effectiveDeliveryTick(uint64_t delivery_tick,
+                            uint64_t first_available) const
+{
+    if (delivery_tick >= first_available)
+        return delivery_tick;
+    uint64_t slots = params_.coreGeom.delaySlots;
+    uint64_t gap = first_available - delivery_tick;
+    uint64_t wraps = (gap + slots - 1) / slots;
+    return delivery_tick + wraps * slots;
+}
+
+void
+Chip::depositAndWake(uint32_t core, uint32_t axon,
+                     uint64_t delivery_tick, uint64_t first_available)
+{
+    uint64_t effective = effectiveDeliveryTick(delivery_tick,
+                                               first_available);
+    if (effective != delivery_tick)
+        ++counters_.lateDeliveries;
+    cores_[core]->deposit(delivery_tick, axon);
+    scheduleWake(core, effective);
+}
+
+void
+Chip::injectInput(uint32_t core, uint32_t axon, uint64_t delivery_tick)
+{
+    NSCS_ASSERT(core < numCores(), "injectInput core %u of %u",
+                core, numCores());
+    NSCS_ASSERT(delivery_tick >= now_,
+                "injectInput for past tick %llu (now %llu)",
+                static_cast<unsigned long long>(delivery_tick),
+                static_cast<unsigned long long>(now_));
+    NSCS_ASSERT(delivery_tick < now_ + params_.coreGeom.delaySlots,
+                "injectInput for tick %llu overruns the %u-slot "
+                "scheduler (now %llu)",
+                static_cast<unsigned long long>(delivery_tick),
+                params_.coreGeom.delaySlots,
+                static_cast<unsigned long long>(now_));
+    depositAndWake(core, axon, delivery_tick, now_);
+}
+
+void
+Chip::routeSpike(uint32_t src_core, uint32_t neuron,
+                 const NeuronDest &dest, uint64_t t)
+{
+    switch (dest.kind) {
+      case NeuronDest::Kind::None:
+        ++counters_.spikesDropped;
+        return;
+      case NeuronDest::Kind::Output:
+        outputs_.push_back({t, dest.line});
+        ++counters_.spikesOut;
+        return;
+      case NeuronDest::Kind::Core:
+        break;
+    }
+    (void)neuron;
+    ++counters_.spikesRouted;
+    const uint32_t w = params_.width;
+    uint32_t sx = src_core % w, sy = src_core / w;
+    auto tx = static_cast<uint32_t>(static_cast<int32_t>(sx) + dest.dx);
+    auto ty = static_cast<uint32_t>(static_cast<int32_t>(sy) + dest.dy);
+    uint64_t delivery = t + dest.delay;
+
+    if (params_.noc == NocModel::Functional) {
+        counters_.hops += static_cast<uint64_t>(std::abs(dest.dx)) +
+            static_cast<uint64_t>(std::abs(dest.dy));
+        depositAndWake(ty * w + tx, dest.axon, delivery, t + 1);
+        return;
+    }
+
+    SpikePacket pkt;
+    pkt.dx = dest.dx;
+    pkt.dy = dest.dy;
+    pkt.axon = dest.axon;
+    pkt.deliveryTick = delivery;
+    pkt.injectTick = t;
+    pendingInject_.push_back({sx, sy, pkt});
+}
+
+void
+Chip::runMesh(uint64_t t)
+{
+    if (!mesh_)
+        return;
+    uint32_t budget = params_.cyclesPerTick;
+    uint32_t used = 0;
+    while (used < budget &&
+           (!pendingInject_.empty() || !mesh_->idle())) {
+        // Offer pending injections; keep the ones that stalled.
+        size_t pending = pendingInject_.size();
+        for (size_t i = 0; i < pending; ++i) {
+            PendingInject pi = pendingInject_.front();
+            pendingInject_.pop_front();
+            if (!mesh_->inject(pi.x, pi.y, pi.pkt)) {
+                ++counters_.injectRetries;
+                pendingInject_.push_back(pi);
+            }
+        }
+        mesh_->stepCycle();
+        ++used;
+        for (const MeshDelivery &d : mesh_->deliveries()) {
+            uint32_t core = d.y * params_.width + d.x;
+            depositAndWake(core, d.packet.axon, d.packet.deliveryTick,
+                           t + 1);
+        }
+        mesh_->clearDeliveries();
+    }
+    counters_.meshCycles += used;
+}
+
+void
+Chip::tick()
+{
+    const uint64_t t = now_;
+
+    activeScratch_.clear();
+    if (params_.engine == EngineKind::Clock) {
+        for (uint32_t c = 0; c < numCores(); ++c)
+            activeScratch_.push_back(c);
+    } else {
+        for (uint32_t c : denseCores_)
+            activeScratch_.push_back(c);
+        while (!agenda_.empty() && agenda_.top().first <= t) {
+            auto [tick, c] = agenda_.top();
+            NSCS_ASSERT(tick == t,
+                        "agenda entry for past tick %llu (now %llu)",
+                        static_cast<unsigned long long>(tick),
+                        static_cast<unsigned long long>(t));
+            agenda_.pop();
+            if (lastWake_[c] == tick)
+                lastWake_[c] = kNever;
+            activeScratch_.push_back(c);
+        }
+        std::sort(activeScratch_.begin(), activeScratch_.end());
+        activeScratch_.erase(std::unique(activeScratch_.begin(),
+                                         activeScratch_.end()),
+                             activeScratch_.end());
+    }
+
+    for (uint32_t c : activeScratch_) {
+        firedScratch_.clear();
+        if (params_.engine == EngineKind::Clock)
+            cores_[c]->tickDense(t, firedScratch_);
+        else
+            cores_[c]->tickSparse(t, firedScratch_);
+        ++counters_.coreActivations;
+        for (uint32_t n : firedScratch_)
+            routeSpike(c, n, cores_[c]->dest(n), t);
+    }
+
+    if (params_.noc == NocModel::Cycle)
+        runMesh(t);
+
+    if (params_.engine == EngineKind::Event) {
+        for (uint32_t c : activeScratch_) {
+            auto se = cores_[c]->nextSelfEvent();
+            if (se)
+                scheduleWake(c, *se);
+        }
+    }
+
+    ++now_;
+    ++counters_.ticks;
+}
+
+void
+Chip::run(uint64_t n)
+{
+    for (uint64_t i = 0; i < n; ++i)
+        tick();
+}
+
+const MeshStats *
+Chip::meshStats() const
+{
+    return mesh_ ? &mesh_->stats() : nullptr;
+}
+
+EnergyEvents
+Chip::energyEvents() const
+{
+    EnergyEvents e;
+    e.ticks = counters_.ticks;
+    e.cores = numCores();
+    e.neurons = static_cast<uint64_t>(numCores()) *
+        params_.coreGeom.numNeurons;
+    for (const auto &core : cores_) {
+        const CoreCounters &cc = core->counters();
+        e.sops += cc.sops;
+        e.spikes += cc.spikes;
+    }
+    e.hops = mesh_ ? mesh_->stats().flitMoves : counters_.hops;
+    return e;
+}
+
+EnergyBreakdown
+Chip::energy() const
+{
+    return computeEnergy(energyEvents(), params_.energy);
+}
+
+void
+Chip::dumpStats(const char *prefix, StatGroup &group) const
+{
+    std::string pre(prefix);
+    EnergyEvents e = energyEvents();
+    group.add(pre + ".ticks", static_cast<double>(counters_.ticks),
+              "ticks executed");
+    group.add(pre + ".cores", static_cast<double>(e.cores),
+              "cores on chip");
+    group.add(pre + ".neurons", static_cast<double>(e.neurons),
+              "neurons on chip");
+    group.add(pre + ".sops", static_cast<double>(e.sops),
+              "synaptic events");
+    group.add(pre + ".spikes", static_cast<double>(e.spikes),
+              "neuron fires");
+    group.add(pre + ".spikesRouted",
+              static_cast<double>(counters_.spikesRouted),
+              "core-to-core spikes");
+    group.add(pre + ".spikesOut",
+              static_cast<double>(counters_.spikesOut),
+              "off-chip spikes");
+    group.add(pre + ".hops", static_cast<double>(e.hops),
+              "router traversals");
+    group.add(pre + ".lateDeliveries",
+              static_cast<double>(counters_.lateDeliveries),
+              "packets that missed their delivery slot");
+    group.add(pre + ".coreActivations",
+              static_cast<double>(counters_.coreActivations),
+              "core tick evaluations (simulation effort)");
+    EnergyBreakdown b = computeEnergy(e, params_.energy);
+    energyStats(b, e, params_.energy, (pre + ".energy").c_str(), group);
+}
+
+size_t
+Chip::footprintBytes() const
+{
+    size_t bytes = sizeof(Chip);
+    for (const auto &core : cores_)
+        bytes += core->footprintBytes();
+    return bytes;
+}
+
+} // namespace nscs

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The chip: a grid of neurosynaptic cores joined by the mesh, run
+ * under a global tick discipline.
+ *
+ * Tick semantics (1 kHz in real time): at tick t every core drains
+ * its scheduler slot, integrates, updates neurons and emits spikes;
+ * each spike is then routed to (source + dx, source + dy) where it is
+ * parked for delivery at tick t + delay.  Delivery must complete
+ * before the delivery tick; packets that arrive after their slot has
+ * drained wait a full scheduler wrap and are counted as late (an
+ * architectural hazard, not a simulator error).
+ *
+ * Two execution engines with bit-identical spike output:
+ *  - Clock: every core evaluates every tick (tickDense);
+ *  - Event: cores run only when they have parked spikes to drain, a
+ *    due predicted self-event, or per-tick-stochastic neurons
+ *    (tickSparse).
+ *
+ * Two spike-transport models:
+ *  - Functional: spikes teleport into the destination scheduler at
+ *    emission; hop counts are accounted analytically (|dx| + |dy|).
+ *    Semantically exact as long as real transport would meet the
+ *    delivery deadline.
+ *  - Cycle: spikes traverse the cycle-accurate mesh with buffering,
+ *    arbitration and backpressure; a per-tick router-cycle budget
+ *    models the physical tick length.
+ *
+ * External I/O is functional in both transport models: input spikes
+ * are deposited directly into target schedulers, output spikes are
+ * recorded with their generation tick.
+ */
+
+#ifndef NSCS_CHIP_CHIP_HH
+#define NSCS_CHIP_CHIP_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "chip/energy.hh"
+#include "core/core.hh"
+#include "noc/mesh.hh"
+#include "util/stats.hh"
+
+namespace nscs {
+
+/** Execution engine selection. */
+enum class EngineKind : uint8_t {
+    Clock,  //!< evaluate every core every tick
+    Event,  //!< evaluate only cores with work
+};
+
+/** Spike transport model selection. */
+enum class NocModel : uint8_t {
+    Functional,  //!< exact-semantics instant transport
+    Cycle,       //!< cycle-accurate mesh
+};
+
+/** Chip construction parameters. */
+struct ChipParams
+{
+    uint32_t width = 4;              //!< cores in x
+    uint32_t height = 4;             //!< cores in y
+    CoreGeometry coreGeom;           //!< geometry of every core
+    EngineKind engine = EngineKind::Event;
+    NocModel noc = NocModel::Functional;
+    uint32_t meshFifoDepth = 4;      //!< router FIFO capacity (Cycle)
+    uint32_t cyclesPerTick = 4096;   //!< router cycles per tick (Cycle)
+    EnergyParams energy;             //!< energy constants
+};
+
+/** An output spike that left the chip. */
+struct OutputSpike
+{
+    uint64_t tick = 0;   //!< generation tick
+    uint32_t line = 0;   //!< output line id
+
+    bool operator==(const OutputSpike &other) const = default;
+};
+
+/** Chip-level aggregate counters (beyond per-core counters). */
+struct ChipCounters
+{
+    uint64_t ticks = 0;           //!< ticks executed
+    uint64_t coreActivations = 0; //!< core tick evaluations
+    uint64_t spikesRouted = 0;    //!< core-to-core spikes
+    uint64_t spikesOut = 0;       //!< off-chip spikes
+    uint64_t spikesDropped = 0;   //!< fired with Kind::None dest
+    uint64_t hops = 0;            //!< router traversals (both models)
+    uint64_t lateDeliveries = 0;  //!< arrived after their slot drained
+    uint64_t meshCycles = 0;      //!< cycles stepped (Cycle model)
+    uint64_t injectRetries = 0;   //!< backpressure retries (Cycle)
+};
+
+/** The simulated chip. */
+class Chip
+{
+  public:
+    /**
+     * Build a chip.  @p configs holds one CoreConfig per core in
+     * row-major order (index = y * width + x) and must match
+     * params.width * params.height; every config must match
+     * params.coreGeom.
+     */
+    Chip(const ChipParams &params, std::vector<CoreConfig> configs);
+
+    /** Return every core and the fabric to the initial state. */
+    void reset();
+
+    /**
+     * Deposit an external input spike into @p core's axon @p axon
+     * for delivery at absolute tick @p delivery_tick (must be >=
+     * the next tick to execute).
+     */
+    void injectInput(uint32_t core, uint32_t axon,
+                     uint64_t delivery_tick);
+
+    /** Execute one tick. */
+    void tick();
+
+    /** Execute @p n ticks. */
+    void run(uint64_t n);
+
+    /** Next tick to execute (== ticks executed so far). */
+    uint64_t now() const { return now_; }
+
+    /** Output spikes accumulated since the last drain. */
+    const std::vector<OutputSpike> &outputs() const { return outputs_; }
+
+    /** Drop drained output spikes. */
+    void clearOutputs() { outputs_.clear(); }
+
+    /** Number of cores. */
+    uint32_t numCores() const { return static_cast<uint32_t>(cores_.size()); }
+
+    /** Core access. */
+    const Core &core(uint32_t idx) const { return *cores_[idx]; }
+
+    /** Mutable core access (diagnostics/tests). */
+    Core &core(uint32_t idx) { return *cores_[idx]; }
+
+    /** Chip-level counters. */
+    const ChipCounters &counters() const { return counters_; }
+
+    /** Mesh statistics (Cycle model; empty otherwise). */
+    const MeshStats *meshStats() const;
+
+    /** Sum of core counters plus chip counters as energy inputs. */
+    EnergyEvents energyEvents() const;
+
+    /** Energy decomposition since reset. */
+    EnergyBreakdown energy() const;
+
+    /** Construction parameters. */
+    const ChipParams &params() const { return params_; }
+
+    /** Append chip stats to @p group under @p prefix. */
+    void dumpStats(const char *prefix, StatGroup &group) const;
+
+    /** Total heap footprint of cores + fabric in bytes. */
+    size_t footprintBytes() const;
+
+  private:
+    void routeSpike(uint32_t src_core, uint32_t neuron,
+                    const NeuronDest &dest, uint64_t t);
+    void depositAndWake(uint32_t core, uint32_t axon,
+                        uint64_t delivery_tick, uint64_t t);
+    void runMesh(uint64_t t);
+    void scheduleWake(uint32_t core, uint64_t tick);
+    uint64_t effectiveDeliveryTick(uint64_t delivery_tick,
+                                   uint64_t t) const;
+
+    ChipParams params_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::unique_ptr<Mesh> mesh_;          //!< Cycle model only
+    std::vector<OutputSpike> outputs_;
+    ChipCounters counters_;
+    uint64_t now_ = 0;
+
+    // Event engine agenda.
+    std::vector<uint32_t> denseCores_;
+    std::priority_queue<std::pair<uint64_t, uint32_t>,
+                        std::vector<std::pair<uint64_t, uint32_t>>,
+                        std::greater<>> agenda_;
+    std::vector<uint64_t> lastWake_;     //!< dedup helper per core
+    std::vector<uint32_t> activeScratch_;
+    std::vector<uint32_t> firedScratch_;
+
+    // Cycle model: spikes awaiting successful injection.
+    struct PendingInject
+    {
+        uint32_t x, y;
+        SpikePacket pkt;
+    };
+    std::deque<PendingInject> pendingInject_;
+};
+
+} // namespace nscs
+
+#endif // NSCS_CHIP_CHIP_HH

@@ -1,0 +1,55 @@
+#include "chip/energy.hh"
+
+namespace nscs {
+
+EnergyBreakdown
+computeEnergy(const EnergyEvents &e, const EnergyParams &p)
+{
+    EnergyBreakdown b;
+    double window = static_cast<double>(e.ticks) * p.tickSeconds;
+    b.leakageJ = p.leakagePerCoreW * static_cast<double>(e.cores)
+        * window;
+    b.sopJ = p.sopEnergyJ * static_cast<double>(e.sops);
+    b.neuronJ = p.neuronUpdateJ * static_cast<double>(e.neurons)
+        * static_cast<double>(e.ticks);
+    b.spikeJ = p.spikeGenJ * static_cast<double>(e.spikes);
+    b.hopJ = p.hopEnergyJ * static_cast<double>(e.hops);
+    return b;
+}
+
+double
+averagePowerW(const EnergyBreakdown &b, const EnergyEvents &e,
+              const EnergyParams &p)
+{
+    double window = static_cast<double>(e.ticks) * p.tickSeconds;
+    if (window <= 0.0)
+        return 0.0;
+    return b.totalJ() / window;
+}
+
+double
+energyPerSopJ(const EnergyBreakdown &b, const EnergyEvents &e)
+{
+    if (e.sops == 0)
+        return 0.0;
+    return b.totalJ() / static_cast<double>(e.sops);
+}
+
+void
+energyStats(const EnergyBreakdown &b, const EnergyEvents &e,
+            const EnergyParams &p, const char *prefix,
+            StatGroup &group)
+{
+    std::string pre(prefix);
+    group.add(pre + ".leakageJ", b.leakageJ, "static leakage energy");
+    group.add(pre + ".sopJ", b.sopJ, "synaptic event energy");
+    group.add(pre + ".neuronJ", b.neuronJ, "neuron update energy");
+    group.add(pre + ".spikeJ", b.spikeJ, "spike generation energy");
+    group.add(pre + ".hopJ", b.hopJ, "interconnect energy");
+    group.add(pre + ".totalJ", b.totalJ(), "total energy");
+    group.add(pre + ".powerW", averagePowerW(b, e, p), "mean power");
+    group.add(pre + ".pJPerSop", energyPerSopJ(b, e) * 1e12,
+              "effective energy per synaptic event (pJ)");
+}
+
+} // namespace nscs

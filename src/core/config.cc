@@ -1,0 +1,211 @@
+#include "core/config.hh"
+
+#include "util/logging.hh"
+
+namespace nscs {
+
+CoreConfig
+CoreConfig::make(const CoreGeometry &geom)
+{
+    CoreConfig cfg;
+    cfg.geom = geom;
+    cfg.axonType.assign(geom.numAxons, 0);
+    cfg.xbarRows.assign(geom.numAxons, BitVec(geom.numNeurons));
+    cfg.neurons.assign(geom.numNeurons, NeuronParams{});
+    cfg.dests.assign(geom.numNeurons, NeuronDest{});
+    return cfg;
+}
+
+void
+CoreConfig::connect(uint32_t axon, uint32_t neuron, bool on)
+{
+    NSCS_ASSERT(axon < geom.numAxons && neuron < geom.numNeurons,
+                "connect(%u, %u) outside %ux%u core",
+                axon, neuron, geom.numAxons, geom.numNeurons);
+    xbarRows[axon].set(neuron, on);
+}
+
+size_t
+CoreConfig::footprintBytes() const
+{
+    size_t bytes = sizeof(CoreConfig);
+    bytes += axonType.capacity();
+    for (const auto &row : xbarRows)
+        bytes += row.footprintBytes();
+    bytes += neurons.capacity() * sizeof(NeuronParams);
+    bytes += dests.capacity() * sizeof(NeuronDest);
+    return bytes;
+}
+
+void
+validateCoreConfig(const CoreConfig &cfg, const char *ctx, int max_delta)
+{
+    const CoreGeometry &g = cfg.geom;
+    if (g.numAxons == 0 || g.numNeurons == 0)
+        fatal("%s: empty core geometry", ctx);
+    if (g.delaySlots < 2)
+        fatal("%s: delaySlots=%u must be >= 2", ctx, g.delaySlots);
+    if (cfg.axonType.size() != g.numAxons)
+        fatal("%s: axonType size %zu != numAxons %u",
+              ctx, cfg.axonType.size(), g.numAxons);
+    if (cfg.xbarRows.size() != g.numAxons)
+        fatal("%s: xbarRows size %zu != numAxons %u",
+              ctx, cfg.xbarRows.size(), g.numAxons);
+    if (cfg.neurons.size() != g.numNeurons)
+        fatal("%s: neurons size %zu != numNeurons %u",
+              ctx, cfg.neurons.size(), g.numNeurons);
+    if (cfg.dests.size() != g.numNeurons)
+        fatal("%s: dests size %zu != numNeurons %u",
+              ctx, cfg.dests.size(), g.numNeurons);
+
+    for (uint32_t a = 0; a < g.numAxons; ++a) {
+        if (cfg.axonType[a] >= kNumAxonTypes)
+            fatal("%s: axon %u has type %u >= %u",
+                  ctx, a, cfg.axonType[a], kNumAxonTypes);
+        if (cfg.xbarRows[a].size() != g.numNeurons)
+            fatal("%s: crossbar row %u has %zu bits, expected %u",
+                  ctx, a, cfg.xbarRows[a].size(), g.numNeurons);
+    }
+    for (uint32_t n = 0; n < g.numNeurons; ++n) {
+        validateNeuronParams(cfg.neurons[n], ctx);
+        const NeuronDest &d = cfg.dests[n];
+        switch (d.kind) {
+          case NeuronDest::Kind::None:
+            break;
+          case NeuronDest::Kind::Core:
+            if (d.delay < 1 || d.delay >= g.delaySlots)
+                fatal("%s: neuron %u delay %u outside [1, %u]",
+                      ctx, n, d.delay, g.delaySlots - 1);
+            if (max_delta > 0 &&
+                (d.dx > max_delta || d.dx < -max_delta ||
+                 d.dy > max_delta || d.dy < -max_delta))
+                fatal("%s: neuron %u dest offset (%d, %d) exceeds "
+                      "packet range +/-%d", ctx, n, d.dx, d.dy,
+                      max_delta);
+            break;
+          case NeuronDest::Kind::Output:
+            break;
+          default:
+            fatal("%s: neuron %u has invalid dest kind", ctx, n);
+        }
+    }
+}
+
+JsonValue
+coreConfigToJson(const CoreConfig &cfg)
+{
+    JsonValue o = JsonValue::object();
+
+    JsonValue geom = JsonValue::object();
+    geom.set("numAxons", JsonValue::integer(cfg.geom.numAxons));
+    geom.set("numNeurons", JsonValue::integer(cfg.geom.numNeurons));
+    geom.set("delaySlots", JsonValue::integer(cfg.geom.delaySlots));
+    o.set("geometry", std::move(geom));
+
+    JsonValue types = JsonValue::array();
+    for (uint8_t t : cfg.axonType)
+        types.append(JsonValue::integer(t));
+    o.set("axonType", std::move(types));
+
+    // Crossbar rows serialize sparsely as set-bit index lists.
+    JsonValue rows = JsonValue::array();
+    for (const auto &row : cfg.xbarRows) {
+        JsonValue bits = JsonValue::array();
+        row.forEachSet([&bits](size_t j) {
+            bits.append(JsonValue::integer(static_cast<int64_t>(j)));
+        });
+        rows.append(std::move(bits));
+    }
+    o.set("crossbar", std::move(rows));
+
+    JsonValue neurons = JsonValue::array();
+    for (const auto &p : cfg.neurons)
+        neurons.append(neuronParamsToJson(p));
+    o.set("neurons", std::move(neurons));
+
+    JsonValue dests = JsonValue::array();
+    for (const auto &d : cfg.dests) {
+        JsonValue dj = JsonValue::object();
+        dj.set("kind", JsonValue::integer(static_cast<int>(d.kind)));
+        if (d.kind == NeuronDest::Kind::Core) {
+            dj.set("dx", JsonValue::integer(d.dx));
+            dj.set("dy", JsonValue::integer(d.dy));
+            dj.set("axon", JsonValue::integer(d.axon));
+            dj.set("delay", JsonValue::integer(d.delay));
+        } else if (d.kind == NeuronDest::Kind::Output) {
+            dj.set("line", JsonValue::integer(d.line));
+            dj.set("delay", JsonValue::integer(d.delay));
+        }
+        dests.append(std::move(dj));
+    }
+    o.set("dests", std::move(dests));
+
+    o.set("rngSeed", JsonValue::integer(cfg.rngSeed));
+    return o;
+}
+
+CoreConfig
+coreConfigFromJson(const JsonValue &v)
+{
+    CoreGeometry geom;
+    if (v.has("geometry")) {
+        const auto &g = v.at("geometry");
+        geom.numAxons = static_cast<uint32_t>(
+            g.getInt("numAxons", geom.numAxons));
+        geom.numNeurons = static_cast<uint32_t>(
+            g.getInt("numNeurons", geom.numNeurons));
+        geom.delaySlots = static_cast<uint32_t>(
+            g.getInt("delaySlots", geom.delaySlots));
+    }
+    CoreConfig cfg = CoreConfig::make(geom);
+
+    if (v.has("axonType")) {
+        const auto &types = v.at("axonType");
+        if (types.size() != geom.numAxons)
+            fatal("core config: axonType has %zu entries, expected %u",
+                  types.size(), geom.numAxons);
+        for (uint32_t a = 0; a < geom.numAxons; ++a)
+            cfg.axonType[a] = static_cast<uint8_t>(types.at(a).asInt());
+    }
+    if (v.has("crossbar")) {
+        const auto &rows = v.at("crossbar");
+        if (rows.size() != geom.numAxons)
+            fatal("core config: crossbar has %zu rows, expected %u",
+                  rows.size(), geom.numAxons);
+        for (uint32_t a = 0; a < geom.numAxons; ++a) {
+            const auto &bits = rows.at(a);
+            for (size_t i = 0; i < bits.size(); ++i)
+                cfg.connect(a, static_cast<uint32_t>(bits.at(i).asInt()));
+        }
+    }
+    if (v.has("neurons")) {
+        const auto &neurons = v.at("neurons");
+        if (neurons.size() != geom.numNeurons)
+            fatal("core config: neurons has %zu entries, expected %u",
+                  neurons.size(), geom.numNeurons);
+        for (uint32_t n = 0; n < geom.numNeurons; ++n)
+            cfg.neurons[n] = neuronParamsFromJson(neurons.at(n));
+    }
+    if (v.has("dests")) {
+        const auto &dests = v.at("dests");
+        if (dests.size() != geom.numNeurons)
+            fatal("core config: dests has %zu entries, expected %u",
+                  dests.size(), geom.numNeurons);
+        for (uint32_t n = 0; n < geom.numNeurons; ++n) {
+            const auto &dj = dests.at(n);
+            NeuronDest d;
+            d.kind = static_cast<NeuronDest::Kind>(dj.getInt("kind", 0));
+            d.dx = static_cast<int16_t>(dj.getInt("dx", 0));
+            d.dy = static_cast<int16_t>(dj.getInt("dy", 0));
+            d.axon = static_cast<uint16_t>(dj.getInt("axon", 0));
+            d.delay = static_cast<uint8_t>(dj.getInt("delay", 1));
+            d.line = static_cast<uint32_t>(dj.getInt("line", 0));
+            cfg.dests[n] = d;
+        }
+    }
+    cfg.rngSeed = static_cast<uint16_t>(v.getInt("rngSeed", 0xACE1));
+    validateCoreConfig(cfg, "coreConfigFromJson");
+    return cfg;
+}
+
+} // namespace nscs

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Static configuration of one neurosynaptic core.
+ *
+ * A core couples a set of input axons to a set of neurons through a
+ * binary crossbar.  Every axon carries a *type* (0..3); each neuron
+ * interprets each type through its own signed weight, so the crossbar
+ * itself stores a single bit per (axon, neuron) pair.  Every neuron
+ * owns exactly one spike destination: a relative core offset plus
+ * target axon and delivery delay, or an off-chip output line.
+ * Fan-out beyond one target is built from splitter cores by the
+ * compiler (see prog/).
+ *
+ * The default geometry (256 axons x 256 neurons x 16 delay slots)
+ * matches the published architecture; all of it is parameterisable.
+ */
+
+#ifndef NSCS_CORE_CONFIG_HH
+#define NSCS_CORE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "neuron/params.hh"
+#include "util/bitvec.hh"
+#include "util/json.hh"
+
+namespace nscs {
+
+/** Physical dimensions of a core. */
+struct CoreGeometry
+{
+    uint32_t numAxons = 256;    //!< input axons (crossbar rows)
+    uint32_t numNeurons = 256;  //!< neurons (crossbar columns)
+    uint32_t delaySlots = 16;   //!< scheduler depth in ticks
+
+    bool operator==(const CoreGeometry &other) const = default;
+};
+
+/** Where a neuron's output spike goes. */
+struct NeuronDest
+{
+    /** Destination kind. */
+    enum class Kind : uint8_t {
+        None = 0,     //!< neuron output is unused
+        Core = 1,     //!< another (or the same) core on this chip
+        Output = 2,   //!< off-chip output line
+    };
+
+    Kind kind = Kind::None;
+    int16_t dx = 0;       //!< relative core hops in x (Kind::Core)
+    int16_t dy = 0;       //!< relative core hops in y (Kind::Core)
+    uint16_t axon = 0;    //!< target axon index (Kind::Core)
+    uint8_t delay = 1;    //!< delivery delay in ticks, >= 1
+    uint32_t line = 0;    //!< output line id (Kind::Output)
+
+    bool operator==(const NeuronDest &other) const = default;
+};
+
+/** Complete serialisable configuration of one core. */
+struct CoreConfig
+{
+    CoreGeometry geom;
+
+    /** Axon type (0..kNumAxonTypes-1) per axon. */
+    std::vector<uint8_t> axonType;
+
+    /** Crossbar row per axon: bit j = synapse to neuron j. */
+    std::vector<BitVec> xbarRows;
+
+    /** Parameters per neuron. */
+    std::vector<NeuronParams> neurons;
+
+    /** Destination per neuron. */
+    std::vector<NeuronDest> dests;
+
+    /** Seed for the shared per-core PRNG. */
+    uint16_t rngSeed = 0xACE1;
+
+    /** Construct with geometry, everything zeroed/default. */
+    static CoreConfig make(const CoreGeometry &geom = CoreGeometry{});
+
+    /** Set a crossbar bit. */
+    void connect(uint32_t axon, uint32_t neuron, bool on = true);
+
+    /** Estimated model memory of this configuration in bytes. */
+    size_t footprintBytes() const;
+};
+
+/**
+ * Validate a core configuration against its geometry; fatal() with
+ * @p ctx on any violation.  @p max_delta bounds |dx|/|dy| (packet
+ * field width); pass 0 to skip that check.
+ */
+void validateCoreConfig(const CoreConfig &cfg, const char *ctx,
+                        int max_delta = 255);
+
+/** Serialize a core configuration. */
+JsonValue coreConfigToJson(const CoreConfig &cfg);
+
+/** Parse a core configuration (fatal on malformed input). */
+CoreConfig coreConfigFromJson(const JsonValue &v);
+
+} // namespace nscs
+
+#endif // NSCS_CORE_CONFIG_HH

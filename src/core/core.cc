@@ -1,0 +1,234 @@
+#include "core/core.hh"
+
+#include "util/logging.hh"
+
+namespace nscs {
+
+Core::Core(CoreConfig cfg)
+    : cfg_(std::move(cfg)),
+      xbar_(cfg_.xbarRows, cfg_.geom.numNeurons),
+      sched_(cfg_.geom.delaySlots, cfg_.geom.numAxons),
+      rng_(cfg_.rngSeed),
+      evalMask_(cfg_.geom.numNeurons)
+{
+    validateCoreConfig(cfg_, "Core");
+    const uint32_t n = cfg_.geom.numNeurons;
+    v_.resize(n);
+    cls_.resize(n);
+    doneThrough_.resize(n);
+    scheduledFire_.resize(n);
+    for (uint32_t j = 0; j < n; ++j)
+        cls_[j] = classifyNeuron(cfg_.neurons[j]);
+    reset();
+}
+
+void
+Core::reset()
+{
+    const uint32_t n = cfg_.geom.numNeurons;
+    denseList_.clear();
+    selfEvents_ = {};
+    for (uint32_t j = 0; j < n; ++j) {
+        // Architectural reset contract: the negative-threshold rule
+        // is applied once to the configured initial potential.
+        v_[j] = applyNegativeRule(cfg_.neurons[j].initialPotential,
+                                  cfg_.neurons[j]);
+        doneThrough_[j] = 0;
+        scheduledFire_[j] = kNoFire;
+        if (cls_[j] == UpdateClass::Dense) {
+            denseList_.push_back(j);
+        } else {
+            auto delta = nextFireDelta(v_[j], cfg_.neurons[j]);
+            if (delta) {
+                scheduledFire_[j] = *delta - 1;
+                selfEvents_.emplace(scheduledFire_[j], j);
+            }
+        }
+    }
+    sched_.reset();
+    rng_.reset(cfg_.rngSeed);
+    evalMask_.reset();
+    counters_ = CoreCounters{};
+    mode_ = Mode::Unset;
+}
+
+void
+Core::deposit(uint64_t delivery_tick, uint32_t axon)
+{
+    NSCS_ASSERT(axon < cfg_.geom.numAxons,
+                "deposit to axon %u of %u", axon, cfg_.geom.numAxons);
+    sched_.deposit(delivery_tick, axon);
+}
+
+void
+Core::commitMode(Mode m)
+{
+    if (mode_ == Mode::Unset)
+        mode_ = m;
+    NSCS_ASSERT(mode_ == m,
+                "core evaluated with mixed strategies; reset() first");
+}
+
+void
+Core::catchUp(uint32_t n, uint64_t t)
+{
+    uint64_t done = doneThrough_[n];
+    if (done >= t)
+        return;
+    NSCS_ASSERT(cls_[n] != UpdateClass::Dense,
+                "Dense neuron %u fell behind (done %llu < t %llu)", n,
+                static_cast<unsigned long long>(done),
+                static_cast<unsigned long long>(t));
+    v_[n] = leakForward(v_[n], cfg_.neurons[n], t - done);
+    doneThrough_[n] = t;
+}
+
+void
+Core::integrateActiveAxons(uint64_t t, bool sparse)
+{
+    const BitVec &active = sched_.slot(t);
+    if (active.none())
+        return;
+    active.forEachSet([this, t, sparse](size_t a) {
+        unsigned g = cfg_.axonType[a];
+        const BitVec &row = xbar_.row(static_cast<uint32_t>(a));
+        row.forEachSet([this, t, sparse, g](size_t j) {
+            auto n = static_cast<uint32_t>(j);
+            if (sparse) {
+                if (cls_[n] != UpdateClass::Dense)
+                    catchUp(n, t);
+                evalMask_.set(n);
+            }
+            v_[n] = integrateSynapse(v_[n], cfg_.neurons[n], g, &rng_);
+            ++counters_.sops;
+        });
+    });
+    sched_.clearSlot(t);
+}
+
+void
+Core::tickDense(uint64_t t, std::vector<uint32_t> &fired)
+{
+    commitMode(Mode::Dense);
+    ++counters_.ticksRun;
+    integrateActiveAxons(t, false);
+    const uint32_t n = cfg_.geom.numNeurons;
+    for (uint32_t j = 0; j < n; ++j) {
+        bool f = endOfTickUpdate(v_[j], cfg_.neurons[j], &rng_);
+        ++counters_.evals;
+        if (f) {
+            fired.push_back(j);
+            ++counters_.spikes;
+        }
+    }
+}
+
+void
+Core::scheduleSelfEvent(uint32_t n)
+{
+    auto delta = nextFireDelta(v_[n], cfg_.neurons[n]);
+    uint64_t sf = delta ? doneThrough_[n] + *delta - 1 : kNoFire;
+    if (sf == scheduledFire_[n])
+        return;
+    scheduledFire_[n] = sf;
+    if (sf != kNoFire)
+        selfEvents_.emplace(sf, n);
+}
+
+void
+Core::tickSparse(uint64_t t, std::vector<uint32_t> &fired)
+{
+    commitMode(Mode::Sparse);
+    ++counters_.ticksRun;
+
+    evalMask_.reset();
+
+    // Due self-events join the evaluation set.
+    while (!selfEvents_.empty() && selfEvents_.top().first <= t) {
+        auto [tick, n] = selfEvents_.top();
+        if (scheduledFire_[n] != tick) {
+            selfEvents_.pop();  // stale prediction
+            continue;
+        }
+        NSCS_ASSERT(tick == t,
+                    "missed self-event for neuron %u at tick %llu "
+                    "(now %llu)", n,
+                    static_cast<unsigned long long>(tick),
+                    static_cast<unsigned long long>(t));
+        selfEvents_.pop();
+        evalMask_.set(n);
+    }
+
+    integrateActiveAxons(t, true);
+
+    for (uint32_t n : denseList_)
+        evalMask_.set(n);
+
+    evalMask_.forEachSet([this, t, &fired](size_t j) {
+        auto n = static_cast<uint32_t>(j);
+        if (cls_[n] != UpdateClass::Dense)
+            catchUp(n, t);
+        bool f = endOfTickUpdate(v_[n], cfg_.neurons[n], &rng_);
+        ++counters_.evals;
+        doneThrough_[n] = t + 1;
+        if (f) {
+            fired.push_back(n);
+            ++counters_.spikes;
+        }
+        if (cls_[n] != UpdateClass::Dense)
+            scheduleSelfEvent(n);
+    });
+}
+
+std::optional<uint64_t>
+Core::nextSelfEvent()
+{
+    while (!selfEvents_.empty()) {
+        auto [tick, n] = selfEvents_.top();
+        if (scheduledFire_[n] != tick) {
+            selfEvents_.pop();
+            continue;
+        }
+        return tick;
+    }
+    return std::nullopt;
+}
+
+const CoreCounters &
+Core::counters() const
+{
+    counters_.rngDraws = rng_.draws();
+    counters_.deposits = sched_.deposits();
+    counters_.collisions = sched_.collisions();
+    return counters_;
+}
+
+int32_t
+Core::settledPotential(uint32_t n, uint64_t t) const
+{
+    NSCS_ASSERT(n < v_.size(), "neuron %u out of range", n);
+    if (mode_ != Mode::Sparse)
+        return v_[n];
+    uint64_t done = doneThrough_[n];
+    if (done >= t || cls_[n] == UpdateClass::Dense)
+        return v_[n];
+    return leakForward(v_[n], cfg_.neurons[n], t - done);
+}
+
+size_t
+Core::footprintBytes() const
+{
+    size_t bytes = sizeof(Core);
+    bytes += cfg_.footprintBytes();
+    bytes += xbar_.footprintBytes();
+    bytes += sched_.footprintBytes();
+    bytes += v_.capacity() * sizeof(int32_t);
+    bytes += cls_.capacity() * sizeof(UpdateClass);
+    bytes += denseList_.capacity() * sizeof(uint32_t);
+    bytes += doneThrough_.capacity() * sizeof(uint64_t);
+    bytes += scheduledFire_.capacity() * sizeof(uint64_t);
+    bytes += evalMask_.footprintBytes();
+    return bytes;
+}
+
+} // namespace nscs

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Runtime model of one neurosynaptic core.
+ *
+ * Per-tick pipeline (see neuron/params.hh for neuron semantics):
+ *
+ *   1. drain: read and clear the scheduler slot for this tick,
+ *      yielding the set of active axons;
+ *   2. integrate: for each active axon in ascending index order, for
+ *      each crossbar-connected neuron in ascending index order, apply
+ *      one synaptic event;
+ *   3. update: for each neuron in ascending index order, apply leak,
+ *      threshold, fire and reset; fired neuron indices are reported
+ *      to the caller, which routes them via the neuron's destination.
+ *
+ * Two evaluation strategies with bit-identical results:
+ *
+ *  - tickDense():  evaluates every neuron every tick (the hardware's
+ *                  own schedule, and the clock-driven engine's).
+ *  - tickSparse(): evaluates only neurons that (a) draw from the PRNG
+ *                  every tick ("dense" neurons), (b) received input
+ *                  this tick, or (c) are due for a predicted
+ *                  spontaneous fire.  Skipped neurons are caught up
+ *                  with the closed-form leakForward when next
+ *                  touched.  Only stochastic features consume PRNG
+ *                  draws, and those neurons are never skipped, so the
+ *                  shared PRNG stream is identical across strategies.
+ *
+ * A core must not mix strategies within one run; reset() clears the
+ * commitment.
+ *
+ * Reset semantics: the negative-threshold rule is applied once to
+ * every neuron's initial potential at reset (this makes skipping
+ * sound for all non-Dense classes and is part of the architectural
+ * contract implemented by the reference simulator as well).
+ */
+
+#ifndef NSCS_CORE_CORE_HH
+#define NSCS_CORE_CORE_HH
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/crossbar.hh"
+#include "core/scheduler.hh"
+#include "neuron/neuron.hh"
+#include "util/rng.hh"
+
+namespace nscs {
+
+/** Architectural and simulation-effort event counters of one core. */
+struct CoreCounters
+{
+    uint64_t sops = 0;         //!< synaptic events delivered
+    uint64_t spikes = 0;       //!< neuron fires
+    uint64_t evals = 0;        //!< end-of-tick neuron evaluations run
+    uint64_t ticksRun = 0;     //!< ticks this core was activated
+    uint64_t deposits = 0;     //!< scheduler deposits
+    uint64_t collisions = 0;   //!< scheduler merge collisions
+    uint64_t rngDraws = 0;     //!< PRNG draws consumed
+};
+
+/** One core's runtime state. */
+class Core
+{
+  public:
+    /** Build from a validated configuration (copied in). */
+    explicit Core(CoreConfig cfg);
+
+    /** Return to the configured initial state. */
+    void reset();
+
+    /** Park an incoming spike; collisions are counted internally. */
+    void deposit(uint64_t delivery_tick, uint32_t axon);
+
+    /** True when no spike is parked for @p tick. */
+    bool slotEmpty(uint64_t tick) const { return sched_.slotEmpty(tick); }
+
+    /**
+     * Full evaluation of tick @p t; appends fired neuron indices (in
+     * ascending order) to @p fired.
+     */
+    void tickDense(uint64_t t, std::vector<uint32_t> &fired);
+
+    /**
+     * Sparse evaluation of tick @p t; appends the identical fired
+     * set.  The caller (event-driven engine) must invoke this for
+     * every tick at which the core has work: a non-empty scheduler
+     * slot, any dense neuron, or a due self-event (see
+     * nextSelfEvent).
+     */
+    void tickSparse(uint64_t t, std::vector<uint32_t> &fired);
+
+    /** True if any neuron draws from the PRNG every tick. */
+    bool hasDenseNeurons() const { return !denseList_.empty(); }
+
+    /**
+     * Earliest tick at which a skipped neuron will spontaneously
+     * fire, if any such prediction is outstanding.  Pops stale
+     * entries; call after each tickSparse to plan the next wake-up.
+     */
+    std::optional<uint64_t> nextSelfEvent();
+
+    /** Configuration (immutable after construction). */
+    const CoreConfig &config() const { return cfg_; }
+
+    /** Destination of neuron @p n (routing). */
+    const NeuronDest &dest(uint32_t n) const { return cfg_.dests[n]; }
+
+    /** Crossbar view (capacity stats). */
+    const Crossbar &crossbar() const { return xbar_; }
+
+    /** Event counters (rngDraws refreshed on read). */
+    const CoreCounters &counters() const;
+
+    /**
+     * Raw membrane potential of neuron @p n as of its last
+     * evaluation (see settledPotential for a projected value).
+     */
+    int32_t potential(uint32_t n) const { return v_[n]; }
+
+    /** Membrane potential projected to the beginning of tick @p t
+     *  without mutating state (valid for non-Dense neurons). */
+    int32_t settledPotential(uint32_t n, uint64_t t) const;
+
+    /** Heap footprint of the runtime core in bytes. */
+    size_t footprintBytes() const;
+
+  private:
+    /** Strategy commitment guard. */
+    enum class Mode : uint8_t { Unset, Dense, Sparse };
+
+    void integrateActiveAxons(uint64_t t, bool sparse);
+    void catchUp(uint32_t n, uint64_t t);
+    void scheduleSelfEvent(uint32_t n);
+    void commitMode(Mode m);
+
+    CoreConfig cfg_;
+    Crossbar xbar_;
+    Scheduler sched_;
+    Lfsr16 rng_;
+
+    std::vector<int32_t> v_;             //!< membrane potentials
+    std::vector<UpdateClass> cls_;       //!< per-neuron class
+    std::vector<uint32_t> denseList_;    //!< Dense neurons, ascending
+
+    /** End-of-tick updates applied for all ticks < doneThrough_[n]. */
+    std::vector<uint64_t> doneThrough_;
+
+    BitVec evalMask_;                    //!< per-tick evaluation set
+
+    /** Predicted spontaneous fire tick per neuron (kNoFire if none). */
+    std::vector<uint64_t> scheduledFire_;
+    /** Min-heap of (tick, neuron) predictions; may hold stale pairs. */
+    std::priority_queue<std::pair<uint64_t, uint32_t>,
+                        std::vector<std::pair<uint64_t, uint32_t>>,
+                        std::greater<>> selfEvents_;
+
+    Mode mode_ = Mode::Unset;
+    mutable CoreCounters counters_;
+
+    static constexpr uint64_t kNoFire = ~0ull;
+};
+
+} // namespace nscs
+
+#endif // NSCS_CORE_CORE_HH

@@ -1,0 +1,44 @@
+#include "core/crossbar.hh"
+
+#include "util/logging.hh"
+
+namespace nscs {
+
+Crossbar::Crossbar(std::vector<BitVec> rows, uint32_t num_neurons)
+    : rows_(std::move(rows)), numNeurons_(num_neurons)
+{
+    for (const auto &row : rows_)
+        NSCS_ASSERT(row.size() == numNeurons_,
+                    "crossbar row width %zu != %u neurons",
+                    row.size(), numNeurons_);
+}
+
+uint64_t
+Crossbar::synapseCount() const
+{
+    uint64_t n = 0;
+    for (const auto &row : rows_)
+        n += row.count();
+    return n;
+}
+
+size_t
+Crossbar::neuronFanIn(uint32_t neuron) const
+{
+    size_t n = 0;
+    for (const auto &row : rows_)
+        if (row.test(neuron))
+            ++n;
+    return n;
+}
+
+size_t
+Crossbar::footprintBytes() const
+{
+    size_t bytes = sizeof(Crossbar);
+    for (const auto &row : rows_)
+        bytes += row.footprintBytes();
+    return bytes;
+}
+
+} // namespace nscs

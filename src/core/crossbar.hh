@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Binary synaptic crossbar: one bit per (axon, neuron) pair.
+ *
+ * The crossbar is the core's synapse memory.  A set bit (a, j) means
+ * axon a drives neuron j; the *strength* of that synapse is the
+ * neuron's weight for the axon's type, so the crossbar itself is
+ * binary, exactly as in the modelled hardware (256x256 SRAM).
+ */
+
+#ifndef NSCS_CORE_CROSSBAR_HH
+#define NSCS_CORE_CROSSBAR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.hh"
+
+namespace nscs {
+
+/** Runtime crossbar built from configuration rows. */
+class Crossbar
+{
+  public:
+    Crossbar() = default;
+
+    /** Build from per-axon rows (each @p numNeurons bits wide). */
+    Crossbar(std::vector<BitVec> rows, uint32_t num_neurons);
+
+    /** Number of axons (rows). */
+    uint32_t numAxons() const { return static_cast<uint32_t>(rows_.size()); }
+
+    /** Number of neurons (columns). */
+    uint32_t numNeurons() const { return numNeurons_; }
+
+    /** Synapse presence test. */
+    bool
+    connected(uint32_t axon, uint32_t neuron) const
+    {
+        return rows_[axon].test(neuron);
+    }
+
+    /** Row of synapses driven by @p axon. */
+    const BitVec &row(uint32_t axon) const { return rows_[axon]; }
+
+    /** Total set bits (synapse count). */
+    uint64_t synapseCount() const;
+
+    /** Number of synapses on @p axon (its fan-out inside the core). */
+    size_t axonDegree(uint32_t axon) const { return rows_[axon].count(); }
+
+    /** Number of synapses into @p neuron (its fan-in). */
+    size_t neuronFanIn(uint32_t neuron) const;
+
+    /** Heap footprint in bytes. */
+    size_t footprintBytes() const;
+
+  private:
+    std::vector<BitVec> rows_;
+    uint32_t numNeurons_ = 0;
+};
+
+} // namespace nscs
+
+#endif // NSCS_CORE_CROSSBAR_HH

@@ -1,0 +1,62 @@
+#include "core/scheduler.hh"
+
+#include "util/logging.hh"
+
+namespace nscs {
+
+Scheduler::Scheduler(uint32_t delay_slots, uint32_t num_axons)
+    : delaySlots_(delay_slots),
+      slots_(delay_slots, BitVec(num_axons))
+{
+    NSCS_ASSERT(delay_slots >= 2, "scheduler needs >= 2 slots");
+}
+
+bool
+Scheduler::deposit(uint64_t delivery_tick, uint32_t axon)
+{
+    BitVec &s = slots_[delivery_tick % delaySlots_];
+    bool collision = s.test(axon);
+    s.set(axon);
+    ++deposits_;
+    if (collision)
+        ++collisions_;
+    return collision;
+}
+
+const BitVec &
+Scheduler::slot(uint64_t tick) const
+{
+    return slots_[tick % delaySlots_];
+}
+
+bool
+Scheduler::slotEmpty(uint64_t tick) const
+{
+    return slots_[tick % delaySlots_].none();
+}
+
+void
+Scheduler::clearSlot(uint64_t tick)
+{
+    slots_[tick % delaySlots_].reset();
+}
+
+void
+Scheduler::reset()
+{
+    for (auto &s : slots_)
+        s.reset();
+    deposits_ = 0;
+    collisions_ = 0;
+}
+
+size_t
+Scheduler::footprintBytes() const
+{
+    size_t bytes = sizeof(Scheduler);
+    for (const auto &s : slots_)
+        bytes += s.footprintBytes();
+    return bytes;
+}
+
+} // namespace nscs

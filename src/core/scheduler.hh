@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The core's delay scheduler: a delaySlots x numAxons bit SRAM.
+ *
+ * Incoming spike packets carry a delivery tick; the scheduler parks
+ * the spike in slot (deliveryTick mod delaySlots) until the core
+ * drains that slot at the start of the corresponding tick.  Two
+ * packets addressing the same (slot, axon) merge into one event; the
+ * hardware behaves the same way and the collision is counted.
+ */
+
+#ifndef NSCS_CORE_SCHEDULER_HH
+#define NSCS_CORE_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.hh"
+
+namespace nscs {
+
+/** Tick-indexed axon event buffer. */
+class Scheduler
+{
+  public:
+    Scheduler() = default;
+
+    /** @p delay_slots slots of @p num_axons bits each. */
+    Scheduler(uint32_t delay_slots, uint32_t num_axons);
+
+    /**
+     * Park a spike for @p axon at @p delivery_tick.
+     * @return true if the bit was already set (collision/merge).
+     */
+    bool deposit(uint64_t delivery_tick, uint32_t axon);
+
+    /** Slot contents for @p tick (does not clear). */
+    const BitVec &slot(uint64_t tick) const;
+
+    /** True when no spike is parked for @p tick. */
+    bool slotEmpty(uint64_t tick) const;
+
+    /** Clear the slot for @p tick (after draining). */
+    void clearSlot(uint64_t tick);
+
+    /** Clear all slots. */
+    void reset();
+
+    /** Number of slots. */
+    uint32_t delaySlots() const { return delaySlots_; }
+
+    /** Total deposits since construction/reset. */
+    uint64_t deposits() const { return deposits_; }
+
+    /** Total merged (already-set) deposits. */
+    uint64_t collisions() const { return collisions_; }
+
+    /** Heap footprint in bytes. */
+    size_t footprintBytes() const;
+
+  private:
+    uint32_t delaySlots_ = 0;
+    std::vector<BitVec> slots_;
+    uint64_t deposits_ = 0;
+    uint64_t collisions_ = 0;
+};
+
+} // namespace nscs
+
+#endif // NSCS_CORE_SCHEDULER_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Canonical single-neuron behaviour gallery (experiment F2).
+ *
+ * The TrueNorth neuron paper demonstrates that one parameterised
+ * digital neuron reproduces a catalogue of biologically relevant
+ * behaviours.  This module provides self-contained presets — a
+ * parameter set plus a standard stimulus, optionally a self-feedback
+ * loop — and a tiny host-level runner that produces the spike train
+ * for plotting and assertion.
+ *
+ * Behaviours that biologically require adaptation state (spike
+ * frequency adaptation, refractory period) are realised the way the
+ * hardware realises them: the neuron's own output is looped back to
+ * an inhibitory axon with a delivery delay.  The runner implements
+ * that loop directly; the prog/ layer builds the identical structure
+ * as a one-core network.
+ */
+
+#ifndef NSCS_NEURON_BEHAVIORS_HH
+#define NSCS_NEURON_BEHAVIORS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "neuron/params.hh"
+
+namespace nscs {
+
+/** Identifier for each gallery entry. */
+enum class Behavior {
+    TonicSpiking,        //!< regular input -> regular output
+    TonicBursting,       //!< linear reset emits spike bursts
+    Integrator,          //!< perfect temporal summation (leak 0)
+    CoincidenceDetector, //!< leak-reversal decay; only paired inputs fire
+    Pacemaker,           //!< positive leak fires with no input
+    StochasticSpiker,    //!< masked random threshold, Poisson-like ISI
+    RateDivider,         //!< stochastic synapse thins the input train
+    SaturatingInhibition,//!< negative threshold floor under inhibition
+    NegativeRebound,     //!< negative reset produces post-inhibitory spike
+    Adaptation,          //!< self-inhibition stretches ISIs over time
+    Refractory,          //!< strong brief self-inhibition enforces dead time
+    ThresholdJitter,     //!< stochastic threshold jitters regular ISIs
+};
+
+/** All behaviours in gallery order. */
+const std::vector<Behavior> &allBehaviors();
+
+/** Short name, e.g. "tonic-spiking". */
+std::string behaviorName(Behavior b);
+
+/** One-line description for tables. */
+std::string behaviorDescription(Behavior b);
+
+/**
+ * A gallery preset: neuron parameters plus the standard stimulus that
+ * elicits the behaviour.
+ */
+struct BehaviorPreset
+{
+    Behavior behavior;
+    NeuronParams params;
+    /** Deliver an input spike on axon type 0 every this many ticks
+     *  (0 = no input). */
+    uint32_t inputPeriod = 0;
+    /** First tick that carries input. */
+    uint32_t inputStart = 0;
+    /** Number of periodic inputs to deliver (0 = unlimited). */
+    uint32_t inputCount = 0;
+    /** Explicit extra input ticks (for paired-pulse stimuli). */
+    std::vector<uint32_t> extraInputs;
+    /** When nonzero, the neuron's own spikes are fed back to axon
+     *  type 1 after this many ticks (self-feedback loop). */
+    uint32_t feedbackDelay = 0;
+    /** PRNG seed for the stochastic presets. */
+    uint16_t seed = 0x5EED;
+};
+
+/** Fetch the preset for a behaviour. */
+BehaviorPreset behaviorPreset(Behavior b);
+
+/** Result of running a preset. */
+struct BehaviorTrace
+{
+    std::vector<uint32_t> spikes;      //!< output spike ticks
+    std::vector<int32_t> potential;    //!< V after each tick
+    std::vector<uint32_t> inputTicks;  //!< ticks that carried input
+};
+
+/** Run a preset for @p ticks ticks on the host-level runner. */
+BehaviorTrace runBehavior(const BehaviorPreset &preset, uint32_t ticks);
+
+/** Mean inter-spike interval of a spike train (0 when < 2 spikes). */
+double meanIsi(const std::vector<uint32_t> &spikes);
+
+/** Coefficient of variation of the ISIs (0 when < 3 spikes). */
+double isiCv(const std::vector<uint32_t> &spikes);
+
+} // namespace nscs
+
+#endif // NSCS_NEURON_BEHAVIORS_HH

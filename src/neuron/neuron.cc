@@ -1,0 +1,231 @@
+#include "neuron/neuron.hh"
+
+#include "util/logging.hh"
+#include "util/saturate.hh"
+
+namespace nscs {
+
+namespace {
+
+/** sgn with sgn(0) == 0, as used by leak reversal. */
+int
+sgn(int32_t x)
+{
+    return (x > 0) - (x < 0);
+}
+
+/**
+ * Apply the negative-threshold rule once.  For every class the
+ * engines may skip (Pure/LazyLeak), this rule is idempotent; the
+ * non-idempotent combination (negative *linear* reset) forces Dense
+ * classification, see classifyNeuron.
+ */
+int32_t
+negativeHandle(int32_t v, const NeuronParams &p)
+{
+    if (v >= -p.negThreshold)
+        return v;
+    if (p.negSaturate)
+        return -p.negThreshold;
+    switch (p.resetMode) {
+      case ResetMode::Store:
+        return satClamp(-static_cast<int64_t>(p.resetPotential),
+                        p.potentialBits);
+      case ResetMode::Linear:
+        return satAdd(v, p.negThreshold, p.potentialBits);
+      case ResetMode::None:
+        return v;
+    }
+    panic("unreachable reset mode");
+}
+
+} // anonymous namespace
+
+int32_t
+applyNegativeRule(int32_t v, const NeuronParams &p)
+{
+    return negativeHandle(v, p);
+}
+
+UpdateClass
+classifyNeuron(const NeuronParams &p)
+{
+    if (drawsPerTick(p))
+        return UpdateClass::Dense;
+    // Negative linear reset climbs by beta per tick while below
+    // -beta: spontaneous state change that has no closed form here.
+    bool neg_linear = !p.negSaturate &&
+        p.resetMode == ResetMode::Linear && p.negThreshold > 0;
+    if (neg_linear)
+        return UpdateClass::Dense;
+    if (p.leak == 0)
+        return UpdateClass::Pure;
+    if (p.leakReversal)
+        return UpdateClass::Dense;
+    if (p.leak > 0) {
+        // Rising: the only spontaneous negative-side event is the
+        // one-shot saturation clamp, which is monotone.  A negative
+        // *reset* (kappa=0) can jump downward and even cycle, so it
+        // stays Dense.
+        return p.negSaturate ? UpdateClass::LazyLeak
+                             : UpdateClass::Dense;
+    }
+    // Falling: needs a monotone floor (saturate) or no reaction at
+    // all (None reset) for a closed form.
+    if (p.negSaturate || p.resetMode == ResetMode::None)
+        return UpdateClass::LazyLeak;
+    return UpdateClass::Dense;
+}
+
+int32_t
+integrateSynapse(int32_t v, const NeuronParams &p, unsigned g,
+                 Lfsr16 *rng)
+{
+    NSCS_ASSERT(g < kNumAxonTypes, "axon type %u out of range", g);
+    int16_t s = p.synWeight[g];
+    if (!p.synStochastic[g])
+        return satAdd(v, s, p.potentialBits);
+    NSCS_ASSERT(rng != nullptr, "stochastic synapse without PRNG");
+    uint8_t rho = rng->nextByte();
+    if (rho < (s < 0 ? -s : s))
+        return satAdd(v, sgn(s), p.potentialBits);
+    return v;
+}
+
+int32_t
+applyLeak(int32_t v, const NeuronParams &p, Lfsr16 *rng)
+{
+    int omega = p.leakReversal ? sgn(v) : 1;
+    if (!p.leakStochastic)
+        return satAdd(v, omega * p.leak, p.potentialBits);
+    NSCS_ASSERT(rng != nullptr, "stochastic leak without PRNG");
+    uint8_t rho = rng->nextByte();
+    if (rho < (p.leak < 0 ? -p.leak : p.leak))
+        return satAdd(v, omega * sgn(p.leak), p.potentialBits);
+    return v;
+}
+
+FireResult
+thresholdFireReset(int32_t v, const NeuronParams &p, Lfsr16 *rng)
+{
+    int32_t eta = 0;
+    if (p.thresholdMaskBits > 0) {
+        NSCS_ASSERT(rng != nullptr, "stochastic threshold without PRNG");
+        eta = rng->nextMasked(p.thresholdMaskBits);
+    }
+    FireResult res;
+    if (v >= p.threshold + eta) {
+        res.fired = true;
+        switch (p.resetMode) {
+          case ResetMode::Store:
+            res.v = p.resetPotential;
+            break;
+          case ResetMode::Linear:
+            res.v = satAdd(v, -(p.threshold + eta), p.potentialBits);
+            break;
+          case ResetMode::None:
+            res.v = v;
+            break;
+        }
+        return res;
+    }
+    res.fired = false;
+    res.v = negativeHandle(v, p);
+    return res;
+}
+
+bool
+endOfTickUpdate(int32_t &v, const NeuronParams &p, Lfsr16 *rng)
+{
+    int32_t leaked = applyLeak(v, p, rng);
+    FireResult r = thresholdFireReset(leaked, p, rng);
+    v = r.v;
+    return r.fired;
+}
+
+int32_t
+leakForward(int32_t v, const NeuronParams &p, uint64_t ticks)
+{
+    if (ticks == 0)
+        return v;
+    UpdateClass cls = classifyNeuron(p);
+    NSCS_ASSERT(cls != UpdateClass::Dense,
+                "leakForward on a Dense neuron");
+    if (p.leak == 0) {
+        // Pure: one unstimulated tick applies the (idempotent)
+        // negative rule — a fire can leave V below -beta (Store
+        // reset with R < -beta), which the next tick normalises.
+        return negativeHandle(v, p);
+    }
+    int64_t lam = p.leak;
+    if (lam > 0) {
+        // One explicit step handles a possible one-shot clamp up to
+        // -beta from a deeply negative start; afterwards the
+        // trajectory is a rising line.
+        int64_t u = satAdd(v, p.leak, p.potentialBits);
+        if (u < -p.negThreshold)
+            u = -p.negThreshold;
+        return satClamp(u + lam * static_cast<int64_t>(ticks - 1),
+                        p.potentialBits);
+    }
+    // Falling line with a floor: -beta when saturating, the register
+    // minimum when the negative rule is None.
+    int64_t raw = static_cast<int64_t>(v) +
+        lam * static_cast<int64_t>(ticks);
+    int32_t lin = satClamp(raw, p.potentialBits);
+    if (p.negSaturate && lin < -p.negThreshold)
+        return -p.negThreshold;
+    return lin;
+}
+
+std::optional<uint64_t>
+nextFireDelta(int32_t v, const NeuronParams &p)
+{
+    UpdateClass cls = classifyNeuron(p);
+    NSCS_ASSERT(cls != UpdateClass::Dense,
+                "nextFireDelta on a Dense neuron");
+    int64_t lam = p.leak;
+    if (lam == 0) {
+        if (v >= p.threshold)
+            return 1;
+        // The negative rule can lift V above threshold one tick
+        // later (negative reset with -R >= alpha: a rebound fire).
+        if (negativeHandle(v, p) >= p.threshold)
+            return 2;
+        return std::nullopt;
+    }
+    if (lam > 0) {
+        int64_t u1 = satAdd(v, p.leak, p.potentialBits);
+        if (u1 < -p.negThreshold)
+            u1 = -p.negThreshold;
+        if (u1 >= p.threshold)
+            return 1;
+        // u_k = u1 + (k-1)*lam; first k with u_k >= threshold.
+        int64_t need = p.threshold - u1;
+        uint64_t extra = static_cast<uint64_t>((need + lam - 1) / lam);
+        return 1 + extra;
+    }
+    // Falling: only an immediate overshoot can still fire.
+    return satAdd(v, p.leak, p.potentialBits) >= p.threshold
+        ? std::optional<uint64_t>(1) : std::nullopt;
+}
+
+Neuron::Neuron(const NeuronParams &params, uint16_t seed)
+    : params_(params), v_(params.initialPotential), rng_(seed)
+{
+    validateNeuronParams(params_, "Neuron");
+}
+
+void
+Neuron::receive(unsigned g)
+{
+    v_ = integrateSynapse(v_, params_, g, &rng_);
+}
+
+bool
+Neuron::tick()
+{
+    return endOfTickUpdate(v_, params_, &rng_);
+}
+
+} // namespace nscs

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Pure neuron dynamics: the per-tick update functions shared by the
+ * cycle-level core, the functional reference simulator and the
+ * event-driven engine's analytic fast-forward.
+ *
+ * All functions are free and side-effect-free apart from PRNG draws,
+ * so the equivalence contract (identical draws in identical order)
+ * is easy to audit.  See neuron/params.hh for the full semantics.
+ */
+
+#ifndef NSCS_NEURON_NEURON_HH
+#define NSCS_NEURON_NEURON_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "neuron/params.hh"
+#include "util/rng.hh"
+
+namespace nscs {
+
+/**
+ * How an execution engine may treat a neuron without changing
+ * results.
+ */
+enum class UpdateClass : uint8_t {
+    /**
+     * No per-tick state change while unstimulated and below
+     * threshold: leak == 0 and no per-tick draws.  May be skipped on
+     * ticks without input, except when a pending re-fire is due.
+     */
+    Pure,
+    /**
+     * Deterministic nonzero leak without reversal whose unstimulated
+     * trajectory has a closed form (see leakForward); spontaneous
+     * fires are predictable (see nextFireDelta).
+     */
+    LazyLeak,
+    /** Must be evaluated every tick (per-tick draws or reversal or a
+     *  sawtooth negative-reset trajectory). */
+    Dense,
+};
+
+/** Classify a (validated) parameter set for engine scheduling. */
+UpdateClass classifyNeuron(const NeuronParams &p);
+
+/**
+ * Apply one synaptic event of axon type @p g to potential @p v.
+ * @param rng the per-core PRNG; must be non-null when
+ *            synStochastic[g] is set (exactly one draw then).
+ */
+int32_t integrateSynapse(int32_t v, const NeuronParams &p, unsigned g,
+                         Lfsr16 *rng);
+
+/** Apply the leak step (phase 2 of the per-tick semantics). */
+int32_t applyLeak(int32_t v, const NeuronParams &p, Lfsr16 *rng);
+
+/** Outcome of the threshold/fire/reset phase. */
+struct FireResult
+{
+    bool fired = false;   //!< positive threshold was crossed
+    int32_t v = 0;        //!< potential after reset handling
+};
+
+/** Apply the threshold/fire/reset step (phase 3). */
+FireResult thresholdFireReset(int32_t v, const NeuronParams &p,
+                              Lfsr16 *rng);
+
+/**
+ * Apply the negative-threshold rule once (no fire, no draws).  Also
+ * used to normalise initial potentials at reset; idempotent for every
+ * class an engine may skip.
+ */
+int32_t applyNegativeRule(int32_t v, const NeuronParams &p);
+
+/**
+ * Convenience: run phases 2+3 (an end-of-tick update with no
+ * further synaptic input).  @return true if the neuron fired.
+ */
+bool endOfTickUpdate(int32_t &v, const NeuronParams &p, Lfsr16 *rng);
+
+/**
+ * Advance an *unstimulated* LazyLeak/Pure neuron @p ticks end-of-tick
+ * updates at once.  Preconditions (panic on violation): the neuron
+ * classifies Pure or LazyLeak, and no fire occurs within the window —
+ * i.e. ticks < nextFireDelta(v, p) when that is defined.
+ */
+int32_t leakForward(int32_t v, const NeuronParams &p, uint64_t ticks);
+
+/**
+ * Number of end-of-tick updates after which an unstimulated neuron at
+ * potential @p v (as left by its last update) will next fire, or
+ * nullopt if it never will.  Defined for Pure and LazyLeak classes.
+ */
+std::optional<uint64_t> nextFireDelta(int32_t v, const NeuronParams &p);
+
+/**
+ * Value-semantic single neuron: params + potential + private PRNG.
+ * Used for single-neuron studies (behaviour gallery, unit tests);
+ * cores keep neuron state in arrays instead.
+ */
+class Neuron
+{
+  public:
+    /** Construct with validated parameters and a PRNG seed. */
+    explicit Neuron(const NeuronParams &params, uint16_t seed = 0xACE1);
+
+    /** Deliver one spike with axon type @p g (phase 1). */
+    void receive(unsigned g);
+
+    /** Finish the tick (phases 2+3). @return true if fired. */
+    bool tick();
+
+    /** Current membrane potential. */
+    int32_t potential() const { return v_; }
+
+    /** Overwrite the membrane potential (testing). */
+    void setPotential(int32_t v) { v_ = v; }
+
+    /** Parameter set. */
+    const NeuronParams &params() const { return params_; }
+
+    /** The private PRNG (testing / draw accounting). */
+    Lfsr16 &rng() { return rng_; }
+
+  private:
+    NeuronParams params_;
+    int32_t v_;
+    Lfsr16 rng_;
+};
+
+} // namespace nscs
+
+#endif // NSCS_NEURON_NEURON_HH

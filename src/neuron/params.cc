@@ -1,0 +1,159 @@
+#include "neuron/params.hh"
+
+#include "util/logging.hh"
+#include "util/saturate.hh"
+
+namespace nscs {
+
+void
+validateNeuronParams(const NeuronParams &p, const char *ctx)
+{
+    for (unsigned g = 0; g < kNumAxonTypes; ++g) {
+        if (p.synWeight[g] < -255 || p.synWeight[g] > 255)
+            fatal("%s: synWeight[%u]=%d outside [-255, 255]",
+                  ctx, g, p.synWeight[g]);
+    }
+    if (p.leak < -255 || p.leak > 255)
+        fatal("%s: leak=%d outside [-255, 255]", ctx, p.leak);
+    if (p.threshold < 1)
+        fatal("%s: threshold=%d must be >= 1", ctx, p.threshold);
+    if (p.negThreshold < 0)
+        fatal("%s: negThreshold=%d must be >= 0", ctx, p.negThreshold);
+    if (p.thresholdMaskBits > 16)
+        fatal("%s: thresholdMaskBits=%u must be <= 16",
+              ctx, p.thresholdMaskBits);
+    if (p.potentialBits < 8 || p.potentialBits > 31)
+        fatal("%s: potentialBits=%u outside [8, 31]",
+              ctx, p.potentialBits);
+
+    int32_t hi = satMax(p.potentialBits);
+    int32_t lo = satMin(p.potentialBits);
+    int64_t max_thresh = static_cast<int64_t>(p.threshold) +
+        ((1 << p.thresholdMaskBits) - 1);
+    if (max_thresh > hi)
+        fatal("%s: threshold+mask (%lld) exceeds potential range (%d)",
+              ctx, static_cast<long long>(max_thresh), hi);
+    if (-p.negThreshold < lo)
+        fatal("%s: -negThreshold (%d) below potential range (%d)",
+              ctx, -p.negThreshold, lo);
+    if (p.resetPotential > hi || p.resetPotential < lo)
+        fatal("%s: resetPotential=%d outside potential range",
+              ctx, p.resetPotential);
+    if (p.initialPotential > hi || p.initialPotential < lo)
+        fatal("%s: initialPotential=%d outside potential range",
+              ctx, p.initialPotential);
+    if (p.resetMode == ResetMode::Store &&
+        p.resetPotential >= p.threshold) {
+        warn("%s: resetPotential (%d) >= threshold (%d): neuron will "
+             "re-fire every tick", ctx, p.resetPotential, p.threshold);
+    }
+}
+
+bool
+usesRandomness(const NeuronParams &p)
+{
+    if (p.leakStochastic || p.thresholdMaskBits > 0)
+        return true;
+    for (bool b : p.synStochastic)
+        if (b)
+            return true;
+    return false;
+}
+
+bool
+drawsPerTick(const NeuronParams &p)
+{
+    return p.leakStochastic || p.thresholdMaskBits > 0;
+}
+
+namespace {
+const NeuronParams kDefaults{};
+} // anonymous namespace
+
+JsonValue
+neuronParamsToJson(const NeuronParams &p)
+{
+    JsonValue o = JsonValue::object();
+    if (p.synWeight != kDefaults.synWeight) {
+        JsonValue w = JsonValue::array();
+        for (auto s : p.synWeight)
+            w.append(JsonValue::integer(s));
+        o.set("synWeight", std::move(w));
+    }
+    if (p.synStochastic != kDefaults.synStochastic) {
+        JsonValue b = JsonValue::array();
+        for (auto s : p.synStochastic)
+            b.append(JsonValue::boolean(s));
+        o.set("synStochastic", std::move(b));
+    }
+    if (p.leak != kDefaults.leak)
+        o.set("leak", JsonValue::integer(p.leak));
+    if (p.leakReversal != kDefaults.leakReversal)
+        o.set("leakReversal", JsonValue::boolean(p.leakReversal));
+    if (p.leakStochastic != kDefaults.leakStochastic)
+        o.set("leakStochastic", JsonValue::boolean(p.leakStochastic));
+    if (p.threshold != kDefaults.threshold)
+        o.set("threshold", JsonValue::integer(p.threshold));
+    if (p.negThreshold != kDefaults.negThreshold)
+        o.set("negThreshold", JsonValue::integer(p.negThreshold));
+    if (p.thresholdMaskBits != kDefaults.thresholdMaskBits)
+        o.set("thresholdMaskBits",
+              JsonValue::integer(p.thresholdMaskBits));
+    if (p.resetMode != kDefaults.resetMode)
+        o.set("resetMode",
+              JsonValue::integer(static_cast<int>(p.resetMode)));
+    if (p.negSaturate != kDefaults.negSaturate)
+        o.set("negSaturate", JsonValue::boolean(p.negSaturate));
+    if (p.resetPotential != kDefaults.resetPotential)
+        o.set("resetPotential", JsonValue::integer(p.resetPotential));
+    if (p.initialPotential != kDefaults.initialPotential)
+        o.set("initialPotential",
+              JsonValue::integer(p.initialPotential));
+    if (p.potentialBits != kDefaults.potentialBits)
+        o.set("potentialBits", JsonValue::integer(p.potentialBits));
+    return o;
+}
+
+NeuronParams
+neuronParamsFromJson(const JsonValue &v)
+{
+    NeuronParams p;
+    if (v.has("synWeight")) {
+        const auto &w = v.at("synWeight");
+        if (w.size() != kNumAxonTypes)
+            fatal("neuron params: synWeight must have %u entries",
+                  kNumAxonTypes);
+        for (unsigned g = 0; g < kNumAxonTypes; ++g)
+            p.synWeight[g] = static_cast<int16_t>(w.at(g).asInt());
+    }
+    if (v.has("synStochastic")) {
+        const auto &b = v.at("synStochastic");
+        if (b.size() != kNumAxonTypes)
+            fatal("neuron params: synStochastic must have %u entries",
+                  kNumAxonTypes);
+        for (unsigned g = 0; g < kNumAxonTypes; ++g)
+            p.synStochastic[g] = b.at(g).asBool();
+    }
+    p.leak = static_cast<int16_t>(v.getInt("leak", p.leak));
+    p.leakReversal = v.getBool("leakReversal", p.leakReversal);
+    p.leakStochastic = v.getBool("leakStochastic", p.leakStochastic);
+    p.threshold = static_cast<int32_t>(v.getInt("threshold",
+                                                p.threshold));
+    p.negThreshold = static_cast<int32_t>(v.getInt("negThreshold",
+                                                   p.negThreshold));
+    p.thresholdMaskBits = static_cast<uint8_t>(
+        v.getInt("thresholdMaskBits", p.thresholdMaskBits));
+    p.resetMode = static_cast<ResetMode>(
+        v.getInt("resetMode", static_cast<int>(p.resetMode)));
+    p.negSaturate = v.getBool("negSaturate", p.negSaturate);
+    p.resetPotential = static_cast<int32_t>(
+        v.getInt("resetPotential", p.resetPotential));
+    p.initialPotential = static_cast<int32_t>(
+        v.getInt("initialPotential", p.initialPotential));
+    p.potentialBits = static_cast<uint8_t>(
+        v.getInt("potentialBits", p.potentialBits));
+    validateNeuronParams(p, "neuronParamsFromJson");
+    return p;
+}
+
+} // namespace nscs

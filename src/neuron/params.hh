@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Parameters of the digital neurosynaptic neuron.
+ *
+ * The model follows the TrueNorth building-block neuron (Cassidy et
+ * al., IJCNN 2013): a unit-delay discrete-time leaky
+ * integrate-and-fire neuron with
+ *
+ *  - four signed synaptic weights selected by the *axon type* of the
+ *    incoming spike (axons, not synapses, carry the type; every
+ *    neuron interprets each type through its own weight),
+ *  - per-type deterministic or stochastic synapse modes,
+ *  - deterministic or stochastic leak, with an optional "leak
+ *    reversal" that directs the leak toward/away from zero,
+ *  - deterministic threshold plus an optional masked random component,
+ *  - three positive reset modes and two negative-threshold modes,
+ *  - a saturating fixed-width membrane-potential register.
+ *
+ * Exact per-tick semantics (the contract both the cycle-level chip
+ * and the functional reference simulator implement, including the
+ * order of PRNG draws):
+ *
+ *  1. Synaptic integration, in increasing (axon, neuron) order over
+ *     the spikes delivered this tick:
+ *       g := type of axon;  s := synWeight[g]
+ *       deterministic (synStochastic[g] == false):
+ *           V := satAdd(V, s)
+ *       stochastic:
+ *           rho := rng.nextByte()                     (one draw)
+ *           if rho < |s|: V := satAdd(V, sgn(s))
+ *  2. Leak:
+ *       omega := leakReversal ? sgn(V) : +1           (sgn(0) == 0)
+ *       deterministic (leakStochastic == false):
+ *           V := satAdd(V, omega * leak)
+ *       stochastic:
+ *           rho := rng.nextByte()                     (one draw)
+ *           if rho < |leak|: V := satAdd(V, omega * sgn(leak))
+ *  3. Threshold, fire, reset:
+ *       eta := thresholdMaskBits ? rng.nextMasked(TM) : 0  (one draw)
+ *       if V >= threshold + eta:                      -> FIRE
+ *           Store:  V := resetPotential
+ *           Linear: V := V - (threshold + eta)
+ *           None:   V unchanged
+ *       else if V < -negThreshold:
+ *           negSaturate:  V := -negThreshold
+ *           else (negative reset):
+ *               Store:  V := -resetPotential
+ *               Linear: V := V + negThreshold
+ *               None:   V unchanged
+ *
+ * PRNG draw discipline: a stochastic synapse event draws exactly
+ * once per delivered spike; stochastic leak draws exactly once per
+ * neuron per tick; a nonzero threshold mask draws exactly once per
+ * neuron per tick.  Neurons with no stochastic feature never draw, so
+ * execution engines may skip their evaluation without perturbing the
+ * shared per-core PRNG stream.
+ */
+
+#ifndef NSCS_NEURON_PARAMS_HH
+#define NSCS_NEURON_PARAMS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "util/json.hh"
+
+namespace nscs {
+
+/** Number of axon types (and per-neuron synaptic weights). */
+constexpr unsigned kNumAxonTypes = 4;
+
+/** Positive-threshold reset behaviour (gamma). */
+enum class ResetMode : uint8_t {
+    Store = 0,   //!< V <- resetPotential
+    Linear = 1,  //!< V <- V - (threshold + eta)
+    None = 2,    //!< V unchanged
+};
+
+/**
+ * Complete per-neuron parameter set.  Defaults give a deterministic
+ * unit-weight integrate-and-fire neuron with threshold 1.
+ */
+struct NeuronParams
+{
+    /** Signed synaptic weight per axon type; |w| <= 255. */
+    std::array<int16_t, kNumAxonTypes> synWeight {1, 1, 1, 1};
+
+    /** Per-type stochastic synapse flag (b). */
+    std::array<bool, kNumAxonTypes> synStochastic {};
+
+    /** Signed leak added every tick (lambda); |leak| <= 255. */
+    int16_t leak = 0;
+
+    /** Leak reversal flag (epsilon): leak follows sgn(V). */
+    bool leakReversal = false;
+
+    /** Stochastic leak flag (c): apply sgn(leak) with p=|leak|/256. */
+    bool leakStochastic = false;
+
+    /** Positive threshold (alpha); must be >= 1. */
+    int32_t threshold = 1;
+
+    /** Negative threshold magnitude (beta); must be >= 0. */
+    int32_t negThreshold = 0;
+
+    /** Stochastic threshold mask width TM in bits (0 = off, <= 16). */
+    uint8_t thresholdMaskBits = 0;
+
+    /** Positive reset mode (gamma). */
+    ResetMode resetMode = ResetMode::Store;
+
+    /** Negative-threshold mode (kappa): true = saturate at -beta. */
+    bool negSaturate = true;
+
+    /** Reset potential (R). */
+    int32_t resetPotential = 0;
+
+    /** Membrane potential at configuration time. */
+    int32_t initialPotential = 0;
+
+    /** Width of the saturating membrane register in bits (<= 31). */
+    uint8_t potentialBits = 20;
+
+    bool operator==(const NeuronParams &other) const = default;
+};
+
+/**
+ * Validate a parameter set; calls fatal() with @p ctx in the message
+ * on any violation (user error: parameters come from models/tools).
+ */
+void validateNeuronParams(const NeuronParams &p, const char *ctx);
+
+/** @return true if any stochastic feature is enabled. */
+bool usesRandomness(const NeuronParams &p);
+
+/** @return true if the neuron must be evaluated every tick to stay
+ *  bit-equivalent (per-tick PRNG draws). */
+bool drawsPerTick(const NeuronParams &p);
+
+/** Serialize to a JSON object (skips default-valued fields). */
+JsonValue neuronParamsToJson(const NeuronParams &p);
+
+/** Deserialize; missing fields keep defaults; calls fatal on junk. */
+NeuronParams neuronParamsFromJson(const JsonValue &v);
+
+} // namespace nscs
+
+#endif // NSCS_NEURON_PARAMS_HH

@@ -1,0 +1,38 @@
+#include "noc/packet.hh"
+
+#include "util/logging.hh"
+
+namespace nscs {
+
+uint32_t
+packetEncode(const SpikePacket &p, uint32_t delay_slots)
+{
+    NSCS_ASSERT(p.dx >= -256 && p.dx <= 255 &&
+                p.dy >= -256 && p.dy <= 255,
+                "packet offset (%d, %d) exceeds 9-bit fields",
+                p.dx, p.dy);
+    NSCS_ASSERT(p.axon < 256, "packet axon %u exceeds 8-bit field",
+                p.axon);
+    uint32_t dx9 = static_cast<uint32_t>(p.dx) & 0x1FFu;
+    uint32_t dy9 = static_cast<uint32_t>(p.dy) & 0x1FFu;
+    uint32_t slot = static_cast<uint32_t>(p.deliveryTick % delay_slots)
+        & 0xFu;
+    return (dx9 << 21) | (dy9 << 12) | (uint32_t(p.axon) << 4) | slot;
+}
+
+SpikePacket
+packetDecode(uint32_t wire, uint32_t delay_slots)
+{
+    SpikePacket p;
+    auto sext9 = [](uint32_t f) {
+        return static_cast<int16_t>((f & 0x100u) ? (f | ~0x1FFu) : f);
+    };
+    p.dx = sext9((wire >> 21) & 0x1FFu);
+    p.dy = sext9((wire >> 12) & 0x1FFu);
+    p.axon = static_cast<uint16_t>((wire >> 4) & 0xFFu);
+    p.deliveryTick = wire & 0xFu;
+    (void)delay_slots;
+    return p;
+}
+
+} // namespace nscs

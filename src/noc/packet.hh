@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The on-chip spike packet.
+ *
+ * Spikes travel as single-flit packets with *relative* addressing:
+ * the packet carries the remaining (dx, dy) core hops, decremented as
+ * it moves, the target axon index, and the delivery tick.  The wire
+ * format packs dx and dy as 9-bit signed fields, the axon as 8 bits
+ * and the delivery tick modulo the scheduler depth as 4 bits — 30
+ * bits per spike, matching the modelled architecture's packet budget.
+ *
+ * The simulation additionally carries the absolute delivery tick and
+ * bookkeeping timestamps; wireBits() shows what silicon would send.
+ */
+
+#ifndef NSCS_NOC_PACKET_HH
+#define NSCS_NOC_PACKET_HH
+
+#include <cstdint>
+
+namespace nscs {
+
+/** A spike in flight. */
+struct SpikePacket
+{
+    int16_t dx = 0;            //!< remaining x hops (+ = east)
+    int16_t dy = 0;            //!< remaining y hops (+ = north)
+    uint16_t axon = 0;         //!< target axon index
+    uint64_t deliveryTick = 0; //!< absolute tick the spike fires at
+    uint64_t injectTick = 0;   //!< tick the spike was generated
+    uint64_t injectCycle = 0;  //!< mesh cycle of injection (stats)
+    uint8_t hops = 0;          //!< router-to-router moves so far
+};
+
+/** Number of wire bits per spike packet for @p delay_slot_bits. */
+constexpr unsigned
+packetWireBits(unsigned delta_bits = 9, unsigned axon_bits = 8,
+               unsigned delay_slot_bits = 4)
+{
+    return 2 * delta_bits + axon_bits + delay_slot_bits;
+}
+
+/**
+ * Pack the architectural fields into the 30-bit wire format
+ * (dx | dy | axon | delivery slot), as a 32-bit container.
+ * Offsets must fit 9-bit signed fields; callers validate earlier.
+ */
+uint32_t packetEncode(const SpikePacket &p, uint32_t delay_slots);
+
+/** Inverse of packetEncode (absolute fields left at zero). */
+SpikePacket packetDecode(uint32_t wire, uint32_t delay_slots);
+
+} // namespace nscs
+
+#endif // NSCS_NOC_PACKET_HH

@@ -1,0 +1,23 @@
+// Router is a plain state holder; routing decisions are constexpr in
+// the header.  This translation unit exists to anchor the library and
+// to hold the port pretty-printer.
+
+#include "noc/router.hh"
+
+namespace nscs {
+
+/** Human-readable port name (tracing, tests). */
+const char *
+portName(Port p)
+{
+    switch (p) {
+      case Port::Local: return "local";
+      case Port::North: return "north";
+      case Port::East:  return "east";
+      case Port::South: return "south";
+      case Port::West:  return "west";
+    }
+    return "?";
+}
+
+} // namespace nscs

@@ -1,0 +1,99 @@
+#include "prog/compiled.hh"
+
+#include "util/logging.hh"
+
+namespace nscs {
+
+const std::vector<InputSpike> &
+CompiledModel::inputTargets(const std::string &name) const
+{
+    auto it = inputs.find(name);
+    if (it == inputs.end())
+        fatal("compiled model has no input named '%s'", name.c_str());
+    return it->second;
+}
+
+JsonValue
+compiledModelToJson(const CompiledModel &model)
+{
+    JsonValue o = JsonValue::object();
+    o.set("gridWidth", JsonValue::integer(model.gridWidth));
+    o.set("gridHeight", JsonValue::integer(model.gridHeight));
+
+    JsonValue cores = JsonValue::array();
+    for (const auto &cfg : model.cores)
+        cores.append(coreConfigToJson(cfg));
+    o.set("cores", std::move(cores));
+
+    JsonValue inputs = JsonValue::object();
+    for (const auto &kv : model.inputs) {
+        JsonValue arr = JsonValue::array();
+        for (const auto &t : kv.second) {
+            JsonValue tj = JsonValue::object();
+            tj.set("core", JsonValue::integer(t.core));
+            tj.set("axon", JsonValue::integer(t.axon));
+            arr.append(std::move(tj));
+        }
+        inputs.set(kv.first, std::move(arr));
+    }
+    o.set("inputs", std::move(inputs));
+    o.set("numOutputs", JsonValue::integer(model.numOutputs));
+    return o;
+}
+
+CompiledModel
+compiledModelFromJson(const JsonValue &v)
+{
+    CompiledModel m;
+    m.gridWidth = static_cast<uint32_t>(v.at("gridWidth").asInt());
+    m.gridHeight = static_cast<uint32_t>(v.at("gridHeight").asInt());
+    const auto &cores = v.at("cores");
+    if (cores.size() !=
+        static_cast<size_t>(m.gridWidth) * m.gridHeight)
+        fatal("model file: %zu cores for a %ux%u grid", cores.size(),
+              m.gridWidth, m.gridHeight);
+    for (size_t i = 0; i < cores.size(); ++i)
+        m.cores.push_back(coreConfigFromJson(cores.at(i)));
+    if (!m.cores.empty())
+        m.geom = m.cores.front().geom;
+    if (v.has("inputs")) {
+        const auto &inputs = v.at("inputs");
+        for (const auto &name : inputs.keys()) {
+            std::vector<InputSpike> targets;
+            const auto &arr = inputs.at(name);
+            for (size_t i = 0; i < arr.size(); ++i) {
+                const auto &tj = arr.at(i);
+                InputSpike t;
+                t.core = static_cast<uint32_t>(tj.at("core").asInt());
+                t.axon = static_cast<uint32_t>(tj.at("axon").asInt());
+                targets.push_back(t);
+            }
+            m.inputs[name] = std::move(targets);
+        }
+    }
+    m.numOutputs = static_cast<uint32_t>(v.getInt("numOutputs", 0));
+    return m;
+}
+
+bool
+saveCompiledModel(const std::string &path, const CompiledModel &model)
+{
+    return writeFile(path, compiledModelToJson(model).dump(2));
+}
+
+bool
+loadCompiledModel(const std::string &path, CompiledModel &model)
+{
+    std::string text;
+    if (!readFile(path, text))
+        return false;
+    JsonParseResult res = parseJson(text);
+    if (!res.ok) {
+        warn("model file '%s': %s", path.c_str(), res.error.c_str());
+        return false;
+    }
+    model = compiledModelFromJson(res.value);
+    return true;
+}
+
+} // namespace nscs

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The compiled model: the chip-ready artefact produced by the
+ * compiler and consumed by the Chip, the functional reference
+ * simulator and the model-file tools.
+ */
+
+#ifndef NSCS_PROG_COMPILED_HH
+#define NSCS_PROG_COMPILED_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "runtime/source.hh"
+#include "util/json.hh"
+
+namespace nscs {
+
+/** Compile-time statistics for reporting/ablation. */
+struct CompileStats
+{
+    uint32_t logicalCores = 0;    //!< cores holding user neurons
+    uint32_t splitterCores = 0;   //!< cores added for fan-out
+    uint32_t relayNeurons = 0;    //!< splitter relay neurons
+    uint64_t axonsUsed = 0;       //!< allocated axons across cores
+    uint64_t synapses = 0;        //!< crossbar bits set
+    double meanDestHops = 0.0;    //!< mean |dx|+|dy| over neuron dests
+};
+
+/** A chip-ready model. */
+struct CompiledModel
+{
+    uint32_t gridWidth = 0;        //!< chip grid width in cores
+    uint32_t gridHeight = 0;       //!< chip grid height in cores
+    CoreGeometry geom;             //!< common core geometry
+    std::vector<CoreConfig> cores; //!< one per grid cell, row-major
+
+    /** Input line name -> injection targets. */
+    std::map<std::string, std::vector<InputSpike>> inputs;
+
+    /** Number of output lines (ids are 0..numOutputs-1). */
+    uint32_t numOutputs = 0;
+
+    CompileStats stats;
+
+    /** Injection targets for a named input (fatal if unknown). */
+    const std::vector<InputSpike> &inputTargets(
+        const std::string &name) const;
+};
+
+/** Serialize a compiled model (model-file format). */
+JsonValue compiledModelToJson(const CompiledModel &model);
+
+/** Parse a model file (fatal on malformed content). */
+CompiledModel compiledModelFromJson(const JsonValue &v);
+
+/** Convenience: write/read a model file; false on I/O error. */
+bool saveCompiledModel(const std::string &path,
+                       const CompiledModel &model);
+bool loadCompiledModel(const std::string &path, CompiledModel &model);
+
+} // namespace nscs
+
+#endif // NSCS_PROG_COMPILED_HH

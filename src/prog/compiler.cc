@@ -1,0 +1,459 @@
+#include "prog/compiler.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <tuple>
+
+#include "util/logging.hh"
+
+namespace nscs {
+
+NeuronParams
+relayNeuronParams()
+{
+    NeuronParams p;
+    p.synWeight = {1, 0, 0, 0};
+    p.threshold = 1;
+    p.resetMode = ResetMode::Store;
+    p.resetPotential = 0;
+    return p;
+}
+
+namespace {
+
+/** Destination before coordinates are known. */
+struct LogicalDest
+{
+    NeuronDest::Kind kind = NeuronDest::Kind::None;
+    uint32_t targetCore = 0;  //!< logical core id (Kind::Core)
+    uint16_t axon = 0;
+    uint8_t delay = 1;
+    uint32_t line = 0;        //!< output line (Kind::Output)
+};
+
+/** A pending spike target of one source. */
+struct Branch
+{
+    bool isOutput = false;
+    uint32_t line = 0;        //!< when isOutput
+    uint32_t core = 0;        //!< logical core (when !isOutput)
+    uint16_t axon = 0;
+    uint8_t delay = 1;        //!< required arrival offset
+};
+
+/** A logical core under construction. */
+struct BuildCore
+{
+    explicit BuildCore(const CoreGeometry &g) : geom(g) {}
+
+    const CoreGeometry &geom;
+    std::vector<NeuronParams> params;
+    std::vector<LogicalDest> dests;
+    std::vector<uint8_t> axonTypes;
+    std::vector<std::pair<uint16_t, uint16_t>> synapses;
+    /** (sourceId, typeClass, delay) -> axon index. */
+    std::map<std::tuple<uint32_t, uint8_t, uint8_t>, uint16_t> axonOf;
+
+    uint32_t neuronsUsed() const
+    {
+        return static_cast<uint32_t>(params.size());
+    }
+
+    uint32_t axonsUsed() const
+    {
+        return static_cast<uint32_t>(axonTypes.size());
+    }
+
+    bool
+    allocNeuron(const NeuronParams &p, uint32_t &slot)
+    {
+        if (neuronsUsed() >= geom.numNeurons)
+            return false;
+        slot = neuronsUsed();
+        params.push_back(p);
+        dests.push_back(LogicalDest{});
+        return true;
+    }
+
+    /** Allocate (or reuse) the axon for @p key with @p type. */
+    bool
+    allocAxon(std::tuple<uint32_t, uint8_t, uint8_t> key,
+              uint8_t type, uint16_t &axon)
+    {
+        auto it = axonOf.find(key);
+        if (it != axonOf.end()) {
+            axon = it->second;
+            return true;
+        }
+        if (axonsUsed() >= geom.numAxons)
+            return false;
+        axon = static_cast<uint16_t>(axonTypes.size());
+        axonTypes.push_back(type);
+        axonOf.emplace(key, axon);
+        return true;
+    }
+
+    void
+    connect(uint16_t axon, uint16_t neuron)
+    {
+        synapses.emplace_back(axon, neuron);
+    }
+};
+
+/** Whole-compilation scratch state. */
+class Compilation
+{
+  public:
+    Compilation(const Network &net, const CompileOptions &opt)
+        : net_(net), opt_(opt)
+    {
+    }
+
+    CompiledModel run();
+
+  private:
+    uint32_t coreOfGid(uint32_t gid) const
+    {
+        return gid / opt_.geom.numNeurons;
+    }
+
+    uint32_t slotOfGid(uint32_t gid) const
+    {
+        return gid % opt_.geom.numNeurons;
+    }
+
+    uint32_t
+    freshSourceId()
+    {
+        return nextSourceId_++;
+    }
+
+    /** Splitter-core allocation: first fit over splitter cores. */
+    uint32_t
+    allocSplitterCore(uint32_t relays_needed)
+    {
+        for (uint32_t c : splitterCores_) {
+            if (cores_[c].neuronsUsed() + relays_needed <=
+                    opt_.geom.numNeurons &&
+                cores_[c].axonsUsed() < opt_.geom.numAxons) {
+                return c;
+            }
+        }
+        auto c = static_cast<uint32_t>(cores_.size());
+        cores_.emplace_back(opt_.geom);
+        splitterCores_.push_back(c);
+        return c;
+    }
+
+    /**
+     * Resolve one source's branches into a single LogicalDest the
+     * source can carry, inserting splitter relays as needed.
+     * @p what names the source for diagnostics.
+     */
+    LogicalDest resolveFanout(std::vector<Branch> branches,
+                              const std::string &what);
+
+    const Network &net_;
+    const CompileOptions &opt_;
+    std::vector<BuildCore> cores_;
+    std::vector<uint32_t> splitterCores_;
+    uint32_t nextSourceId_ = 0;
+    uint32_t relayNeurons_ = 0;
+};
+
+LogicalDest
+Compilation::resolveFanout(std::vector<Branch> branches,
+                           const std::string &what)
+{
+    NSCS_ASSERT(!branches.empty(), "resolveFanout with no branches");
+
+    if (branches.size() == 1 && !branches[0].isOutput) {
+        const Branch &b = branches[0];
+        LogicalDest d;
+        d.kind = NeuronDest::Kind::Core;
+        d.targetCore = b.core;
+        d.axon = b.axon;
+        d.delay = b.delay;
+        return d;
+    }
+    if (branches.size() == 1) {
+        LogicalDest d;
+        d.kind = NeuronDest::Kind::Output;
+        d.line = branches[0].line;
+        return d;
+    }
+
+    // Splitter tree height: every leaf relay sits h hops from the
+    // source, so each core branch must afford delay >= h + 1.
+    const uint32_t fan = opt_.geom.numNeurons;
+    uint32_t height = 1;
+    uint64_t capacity = fan;
+    while (capacity < branches.size()) {
+        capacity *= fan;
+        ++height;
+    }
+    for (const Branch &b : branches) {
+        if (!b.isOutput && b.delay < height + 1)
+            fatal("%s: fan-out %zu needs a depth-%u splitter tree but "
+                  "an edge has delay %u (< %u); increase the edge "
+                  "delay", what.c_str(), branches.size(), height,
+                  b.delay, height + 1);
+    }
+
+    // Create the leaf relays, chunked onto splitter cores; then feed
+    // the chunks through recursion (each chunk entry must receive the
+    // spike exactly at t + height - ... the recursion's own height).
+    std::vector<Branch> entries;
+    for (size_t at = 0; at < branches.size(); at += fan) {
+        size_t chunk_end = std::min(branches.size(),
+                                    at + static_cast<size_t>(fan));
+        auto relays = static_cast<uint32_t>(chunk_end - at);
+        uint32_t core = allocSplitterCore(relays);
+        uint32_t vid = freshSourceId();
+        uint16_t axon = 0;
+        if (!cores_[core].allocAxon({vid, 0, 1}, 0, axon))
+            panic("splitter core out of axons after allocation check");
+        for (size_t i = at; i < chunk_end; ++i) {
+            const Branch &b = branches[i];
+            uint32_t slot = 0;
+            if (!cores_[core].allocNeuron(relayNeuronParams(), slot))
+                panic("splitter core out of neurons after check");
+            ++relayNeurons_;
+            cores_[core].connect(axon, static_cast<uint16_t>(slot));
+            LogicalDest &ld = cores_[core].dests[slot];
+            if (b.isOutput) {
+                ld.kind = NeuronDest::Kind::Output;
+                ld.line = b.line;
+            } else {
+                ld.kind = NeuronDest::Kind::Core;
+                ld.targetCore = b.core;
+                ld.axon = b.axon;
+                ld.delay = static_cast<uint8_t>(b.delay - height);
+            }
+        }
+        Branch entry;
+        entry.isOutput = false;
+        entry.core = core;
+        entry.axon = axon;
+        entry.delay = static_cast<uint8_t>(height);
+        entries.push_back(entry);
+    }
+    return resolveFanout(std::move(entries), what);
+}
+
+CompiledModel
+Compilation::run()
+{
+    net_.validate();
+    const CoreGeometry &geom = opt_.geom;
+    const uint32_t num_user = net_.numNeurons();
+    const uint32_t num_inputs = net_.numInputs();
+    if (num_user == 0)
+        fatal("compiling an empty network");
+
+    const uint32_t max_delay = geom.delaySlots - 1;
+
+    // 1. user cores
+    uint32_t user_cores = (num_user + geom.numNeurons - 1) /
+        geom.numNeurons;
+    for (uint32_t c = 0; c < user_cores; ++c)
+        cores_.emplace_back(geom);
+    for (uint32_t gid = 0; gid < num_user; ++gid) {
+        NeuronRef ref = net_.fromGlobalIndex(gid);
+        BuildCore &bc = cores_[coreOfGid(gid)];
+        uint32_t slot = 0;
+        if (!bc.allocNeuron(net_.neuronParams(ref), slot))
+            panic("user core overflow");
+        NSCS_ASSERT(slot == slotOfGid(gid), "packing out of order");
+    }
+    nextSourceId_ = num_user + num_inputs;
+
+    // 2. group edges per source
+    std::vector<std::vector<const Edge *>> out_edges(num_user);
+    for (const Edge &e : net_.edges()) {
+        if (e.delay > max_delay)
+            fatal("edge delay %u exceeds scheduler budget %u",
+                  e.delay, max_delay);
+        out_edges[net_.globalIndex(e.src)].push_back(&e);
+    }
+
+    // Output lines per neuron.
+    std::vector<int64_t> output_line(num_user, -1);
+    for (uint32_t line = 0; line < net_.numOutputs(); ++line)
+        output_line[net_.globalIndex(net_.outputNeuron(line))] = line;
+
+    // 3. per-source branch building + fan-out resolution
+    for (uint32_t gid = 0; gid < num_user; ++gid) {
+        std::map<std::tuple<uint32_t, uint8_t, uint8_t>, Branch>
+            branch_of;
+        for (const Edge *e : out_edges[gid]) {
+            uint32_t dst_gid = net_.globalIndex(e->dst);
+            uint32_t dst_core = coreOfGid(dst_gid);
+            auto key = std::make_tuple(dst_core, e->typeClass,
+                                       e->delay);
+            auto it = branch_of.find(key);
+            if (it == branch_of.end()) {
+                uint16_t axon = 0;
+                if (!cores_[dst_core].allocAxon(
+                        {gid, e->typeClass, e->delay}, e->typeClass,
+                        axon))
+                    fatal("core %u out of axons (%u) while wiring "
+                          "neuron %u; reduce fan-in or use a larger "
+                          "geometry", dst_core, geom.numAxons, gid);
+                Branch b;
+                b.core = dst_core;
+                b.axon = axon;
+                b.delay = e->delay;
+                it = branch_of.emplace(key, b).first;
+            }
+            cores_[dst_core].connect(
+                it->second.axon,
+                static_cast<uint16_t>(slotOfGid(dst_gid)));
+        }
+
+        std::vector<Branch> branches;
+        for (auto &kv : branch_of)
+            branches.push_back(kv.second);
+        if (output_line[gid] >= 0) {
+            Branch b;
+            b.isOutput = true;
+            b.line = static_cast<uint32_t>(output_line[gid]);
+            branches.push_back(b);
+        }
+        if (branches.empty())
+            continue;
+        std::string what = "neuron " + std::to_string(gid) + " ('" +
+            net_.popName(net_.fromGlobalIndex(gid).pop) + "')";
+        cores_[coreOfGid(gid)].dests[slotOfGid(gid)] =
+            resolveFanout(std::move(branches), what);
+    }
+
+    // 4. external inputs: allocate axons, record injection targets
+    std::map<std::string, std::vector<InputSpike>> input_targets;
+    // (filled with logical core ids first; remapped after placement)
+    for (uint32_t in = 0; in < num_inputs; ++in) {
+        uint32_t src_id = num_user + in;
+        std::vector<InputSpike> targets;
+        std::map<std::pair<uint32_t, uint8_t>, uint16_t> seen;
+        for (const InputAttachment &a : net_.inputAttachments(in)) {
+            uint32_t dst_gid = net_.globalIndex(a.dst);
+            uint32_t dst_core = coreOfGid(dst_gid);
+            auto key = std::make_pair(dst_core, a.typeClass);
+            auto it = seen.find(key);
+            if (it == seen.end()) {
+                uint16_t axon = 0;
+                if (!cores_[dst_core].allocAxon(
+                        {src_id, a.typeClass, 0}, a.typeClass, axon))
+                    fatal("core %u out of axons while binding input "
+                          "'%s'", dst_core,
+                          net_.inputName(in).c_str());
+                it = seen.emplace(key, axon).first;
+                targets.push_back({dst_core, axon});
+            }
+            cores_[dst_core].connect(
+                it->second,
+                static_cast<uint16_t>(slotOfGid(dst_gid)));
+        }
+        input_targets[net_.inputName(in)] = std::move(targets);
+    }
+
+    // 5. traffic matrix and placement
+    const auto num_logical = static_cast<uint32_t>(cores_.size());
+    TrafficMatrix traffic(num_logical);
+    for (uint32_t c = 0; c < num_logical; ++c)
+        for (const LogicalDest &d : cores_[c].dests)
+            if (d.kind == NeuronDest::Kind::Core)
+                traffic[c][d.targetCore] += 1;
+
+    Placement pl = placeCores(traffic, opt_.placement,
+                              opt_.gridWidth, opt_.gridHeight,
+                              opt_.placerSeed);
+    if (pl.width > 256 || pl.height > 256)
+        fatal("placed grid %ux%u exceeds the 9-bit packet offset "
+              "range", pl.width, pl.height);
+
+    // 6. emit the grid
+    CompiledModel model;
+    model.gridWidth = pl.width;
+    model.gridHeight = pl.height;
+    model.geom = geom;
+    model.numOutputs = net_.numOutputs();
+    model.cores.reserve(static_cast<size_t>(pl.width) * pl.height);
+    for (uint32_t i = 0;
+         i < static_cast<uint32_t>(pl.width) * pl.height; ++i)
+        model.cores.push_back(CoreConfig::make(geom));
+
+    uint64_t axons_used = 0, synapse_count = 0;
+    double hops_sum = 0.0;
+    uint64_t hops_n = 0;
+
+    for (uint32_t c = 0; c < num_logical; ++c) {
+        const BuildCore &bc = cores_[c];
+        uint32_t cell = pl.y[c] * pl.width + pl.x[c];
+        CoreConfig &cfg = model.cores[cell];
+        cfg.rngSeed = static_cast<uint16_t>(opt_.rngSeedBase + cell);
+        for (uint32_t a = 0; a < bc.axonsUsed(); ++a)
+            cfg.axonType[a] = bc.axonTypes[a];
+        for (auto [axon, neuron] : bc.synapses)
+            cfg.connect(axon, neuron);
+        for (uint32_t n = 0; n < bc.neuronsUsed(); ++n) {
+            cfg.neurons[n] = bc.params[n];
+            const LogicalDest &ld = bc.dests[n];
+            NeuronDest &d = cfg.dests[n];
+            switch (ld.kind) {
+              case NeuronDest::Kind::None:
+                break;
+              case NeuronDest::Kind::Output:
+                d.kind = NeuronDest::Kind::Output;
+                d.line = ld.line;
+                break;
+              case NeuronDest::Kind::Core: {
+                d.kind = NeuronDest::Kind::Core;
+                d.axon = ld.axon;
+                d.delay = ld.delay;
+                d.dx = static_cast<int16_t>(
+                    static_cast<int32_t>(pl.x[ld.targetCore]) -
+                    static_cast<int32_t>(pl.x[c]));
+                d.dy = static_cast<int16_t>(
+                    static_cast<int32_t>(pl.y[ld.targetCore]) -
+                    static_cast<int32_t>(pl.y[c]));
+                hops_sum += std::abs(d.dx) + std::abs(d.dy);
+                ++hops_n;
+                break;
+              }
+            }
+        }
+        axons_used += bc.axonsUsed();
+        synapse_count += bc.synapses.size();
+        validateCoreConfig(cfg, "compiled core");
+    }
+
+    // Remap input targets from logical core ids to grid cells.
+    for (auto &kv : input_targets)
+        for (InputSpike &t : kv.second)
+            t.core = pl.y[t.core] * pl.width + pl.x[t.core];
+    model.inputs = std::move(input_targets);
+
+    model.stats.logicalCores = num_logical -
+        static_cast<uint32_t>(splitterCores_.size());
+    model.stats.splitterCores =
+        static_cast<uint32_t>(splitterCores_.size());
+    model.stats.relayNeurons = relayNeurons_;
+    model.stats.axonsUsed = axons_used;
+    model.stats.synapses = synapse_count;
+    model.stats.meanDestHops =
+        hops_n ? hops_sum / static_cast<double>(hops_n) : 0.0;
+    return model;
+}
+
+} // anonymous namespace
+
+CompiledModel
+compile(const Network &net, const CompileOptions &opt)
+{
+    Compilation c(net, opt);
+    return c.run();
+}
+
+} // namespace nscs

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The compiler: lowers a logical Network onto neurosynaptic cores.
+ *
+ * Lowering steps:
+ *
+ *  1. Pack user neurons sequentially onto logical cores (geometry
+ *     neuron capacity per core).
+ *  2. For every spike source (user neuron, external input, inserted
+ *     relay), group its synapses into *branches*: one target axon per
+ *     (destination core, axon type, delay) triple.  Axons are
+ *     allocated per source so no two sources share an axon, exactly
+ *     as in hardware.
+ *  3. A source with one branch sends directly.  A source with more
+ *     branches gets a splitter tree of relay neurons; each tree level
+ *     consumes one tick of the edge delay budget (an edge needing a
+ *     depth-h tree requires delay >= h + 1; violations are fatal with
+ *     a diagnostic).  Relay neurons are packed onto shared splitter
+ *     cores.
+ *  4. External inputs allocate target axons the same way but are
+ *     injected functionally (host-side fan-out, no splitters).
+ *  5. A traffic matrix over logical cores feeds the placer; relative
+ *     destination offsets are computed from the resulting
+ *     coordinates.
+ *  6. Unused grid cells receive empty core configurations.
+ */
+
+#ifndef NSCS_PROG_COMPILER_HH
+#define NSCS_PROG_COMPILER_HH
+
+#include <cstdint>
+
+#include "core/config.hh"
+#include "prog/compiled.hh"
+#include "prog/network.hh"
+#include "prog/placer.hh"
+
+namespace nscs {
+
+/** Compiler knobs. */
+struct CompileOptions
+{
+    CoreGeometry geom;                 //!< target core geometry
+    PlacementPolicy placement = PlacementPolicy::GreedyBfs;
+    uint32_t gridWidth = 0;            //!< 0 = auto near-square
+    uint32_t gridHeight = 0;           //!< 0 = auto near-square
+    uint16_t rngSeedBase = 0x1234;     //!< per-core PRNG seed base
+    uint64_t placerSeed = 1;           //!< annealing seed
+};
+
+/** Relay neuron parameters used by splitter trees. */
+NeuronParams relayNeuronParams();
+
+/** Compile @p net; fatal() on capacity or delay-budget violations. */
+CompiledModel compile(const Network &net, const CompileOptions &opt);
+
+} // namespace nscs
+
+#endif // NSCS_PROG_COMPILER_HH

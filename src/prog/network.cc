@@ -1,0 +1,219 @@
+#include "prog/network.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace nscs {
+
+PopId
+Network::addPopulation(const std::string &name, uint32_t size,
+                       const NeuronParams &proto)
+{
+    if (size == 0)
+        fatal("population '%s' has size 0", name.c_str());
+    validateNeuronParams(proto, name.c_str());
+    Pop p;
+    p.name = name;
+    p.size = size;
+    p.firstGid = totalNeurons_;
+    p.proto = proto;
+    pops_.push_back(std::move(p));
+    totalNeurons_ += size;
+    return static_cast<PopId>(pops_.size() - 1);
+}
+
+void
+Network::checkRef(NeuronRef ref, const char *what) const
+{
+    if (ref.pop >= pops_.size())
+        fatal("%s: population %u does not exist", what, ref.pop);
+    if (ref.idx >= pops_[ref.pop].size)
+        fatal("%s: neuron %u outside population '%s' (size %u)",
+              what, ref.idx, pops_[ref.pop].name.c_str(),
+              pops_[ref.pop].size);
+}
+
+void
+Network::setNeuronParams(NeuronRef ref, const NeuronParams &params)
+{
+    checkRef(ref, "setNeuronParams");
+    validateNeuronParams(params, "setNeuronParams");
+    auto &ov = pops_[ref.pop].overrides;
+    for (auto &kv : ov) {
+        if (kv.first == ref.idx) {
+            kv.second = params;
+            return;
+        }
+    }
+    ov.emplace_back(ref.idx, params);
+}
+
+const NeuronParams &
+Network::neuronParams(NeuronRef ref) const
+{
+    checkRef(ref, "neuronParams");
+    const auto &pop = pops_[ref.pop];
+    for (const auto &kv : pop.overrides)
+        if (kv.first == ref.idx)
+            return kv.second;
+    return pop.proto;
+}
+
+void
+Network::connect(NeuronRef src, NeuronRef dst, uint8_t type_class,
+                 uint8_t delay)
+{
+    checkRef(src, "connect src");
+    checkRef(dst, "connect dst");
+    if (type_class >= kNumAxonTypes)
+        fatal("connect: type class %u >= %u", type_class,
+              kNumAxonTypes);
+    if (delay < 1)
+        fatal("connect: delay must be >= 1");
+    edges_.push_back({src, dst, type_class, delay});
+}
+
+void
+Network::connectAllToAll(PopId src, PopId dst, uint8_t type_class,
+                         uint8_t delay)
+{
+    uint32_t ns = popSize(src), nd = popSize(dst);
+    for (uint32_t i = 0; i < ns; ++i)
+        for (uint32_t j = 0; j < nd; ++j)
+            connect({src, i}, {dst, j}, type_class, delay);
+}
+
+void
+Network::connectOneToOne(PopId src, PopId dst, uint8_t type_class,
+                         uint8_t delay)
+{
+    uint32_t ns = popSize(src), nd = popSize(dst);
+    if (ns != nd)
+        fatal("connectOneToOne: sizes differ (%u vs %u)", ns, nd);
+    for (uint32_t i = 0; i < ns; ++i)
+        connect({src, i}, {dst, i}, type_class, delay);
+}
+
+void
+Network::connectRandom(PopId src, PopId dst, double p,
+                       uint8_t type_class, uint8_t delay, uint64_t seed)
+{
+    if (p < 0.0 || p > 1.0)
+        fatal("connectRandom: probability %f outside [0, 1]", p);
+    Xoshiro256 rng(seed);
+    uint32_t ns = popSize(src), nd = popSize(dst);
+    for (uint32_t i = 0; i < ns; ++i)
+        for (uint32_t j = 0; j < nd; ++j)
+            if (rng.chance(p))
+                connect({src, i}, {dst, j}, type_class, delay);
+}
+
+uint32_t
+Network::addInput(const std::string &name)
+{
+    for (const auto &n : inputNames_)
+        if (n == name)
+            fatal("input '%s' already exists", name.c_str());
+    inputNames_.push_back(name);
+    inputAttach_.emplace_back();
+    return static_cast<uint32_t>(inputNames_.size() - 1);
+}
+
+void
+Network::bindInput(uint32_t input, NeuronRef dst, uint8_t type_class)
+{
+    if (input >= inputNames_.size())
+        fatal("bindInput: input %u does not exist", input);
+    checkRef(dst, "bindInput");
+    if (type_class >= kNumAxonTypes)
+        fatal("bindInput: type class %u >= %u", type_class,
+              kNumAxonTypes);
+    inputAttach_[input].push_back({dst, type_class});
+}
+
+uint32_t
+Network::markOutput(NeuronRef ref)
+{
+    checkRef(ref, "markOutput");
+    for (const auto &o : outputs_)
+        if (o == ref)
+            fatal("markOutput: neuron (%u, %u) already an output",
+                  ref.pop, ref.idx);
+    outputs_.push_back(ref);
+    return static_cast<uint32_t>(outputs_.size() - 1);
+}
+
+uint32_t
+Network::popSize(PopId pop) const
+{
+    if (pop >= pops_.size())
+        fatal("popSize: population %u does not exist", pop);
+    return pops_[pop].size;
+}
+
+const std::string &
+Network::popName(PopId pop) const
+{
+    if (pop >= pops_.size())
+        fatal("popName: population %u does not exist", pop);
+    return pops_[pop].name;
+}
+
+const std::string &
+Network::inputName(uint32_t input) const
+{
+    if (input >= inputNames_.size())
+        fatal("inputName: input %u does not exist", input);
+    return inputNames_[input];
+}
+
+const std::vector<InputAttachment> &
+Network::inputAttachments(uint32_t input) const
+{
+    if (input >= inputAttach_.size())
+        fatal("inputAttachments: input %u does not exist", input);
+    return inputAttach_[input];
+}
+
+NeuronRef
+Network::outputNeuron(uint32_t line) const
+{
+    if (line >= outputs_.size())
+        fatal("outputNeuron: line %u does not exist", line);
+    return outputs_[line];
+}
+
+uint32_t
+Network::globalIndex(NeuronRef ref) const
+{
+    checkRef(ref, "globalIndex");
+    return pops_[ref.pop].firstGid + ref.idx;
+}
+
+NeuronRef
+Network::fromGlobalIndex(uint32_t gid) const
+{
+    for (PopId p = 0; p < pops_.size(); ++p) {
+        const auto &pop = pops_[p];
+        if (gid >= pop.firstGid && gid < pop.firstGid + pop.size)
+            return {p, gid - pop.firstGid};
+    }
+    fatal("fromGlobalIndex: gid %u outside network (%u neurons)",
+          gid, totalNeurons_);
+}
+
+void
+Network::validate() const
+{
+    for (const auto &e : edges_) {
+        checkRef(e.src, "edge src");
+        checkRef(e.dst, "edge dst");
+    }
+    for (uint32_t i = 0; i < numInputs(); ++i)
+        for (const auto &a : inputAttach_[i])
+            checkRef(a.dst, "input attachment");
+    for (const auto &o : outputs_)
+        checkRef(o, "output");
+}
+
+} // namespace nscs

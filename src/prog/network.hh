@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The logical network IR: what users and corelets build, and what the
+ * compiler lowers onto cores.
+ *
+ * A network is a set of *populations* of neurons, synapse-level
+ * *edges* between them, named external *inputs* and numbered
+ * *outputs*.  Edges carry an axon *type class* (which of the target
+ * neuron's four weights the synapse uses) and a delivery *delay* in
+ * ticks; the magnitude of a synapse is therefore determined by the
+ * target neuron's weight table, exactly as in the hardware.
+ *
+ * Delay semantics: a spike fired by the source at tick t integrates
+ * at the target at tick t + delay.  When the compiler must insert
+ * splitter relays (source fan-out beyond one core/axon), each relay
+ * level consumes one tick of the edge's delay budget, so edges that
+ * require splitting need delay >= 2 (validated at compile time).
+ */
+
+#ifndef NSCS_PROG_NETWORK_HH
+#define NSCS_PROG_NETWORK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "neuron/params.hh"
+
+namespace nscs {
+
+/** Population handle. */
+using PopId = uint32_t;
+
+/** A reference to one logical neuron. */
+struct NeuronRef
+{
+    PopId pop = 0;
+    uint32_t idx = 0;
+
+    bool operator==(const NeuronRef &other) const = default;
+    auto operator<=>(const NeuronRef &other) const = default;
+};
+
+/** One synapse-level edge. */
+struct Edge
+{
+    NeuronRef src;
+    NeuronRef dst;
+    uint8_t typeClass = 0;  //!< target weight slot (0..3)
+    uint8_t delay = 1;      //!< ticks from fire to integration
+};
+
+/** One external-input attachment. */
+struct InputAttachment
+{
+    NeuronRef dst;
+    uint8_t typeClass = 0;
+};
+
+/** The logical network. */
+class Network
+{
+  public:
+    /** Population of @p size neurons sharing @p proto parameters. */
+    PopId addPopulation(const std::string &name, uint32_t size,
+                        const NeuronParams &proto);
+
+    /** Override one neuron's parameters. */
+    void setNeuronParams(NeuronRef ref, const NeuronParams &params);
+
+    /** Parameters of one neuron. */
+    const NeuronParams &neuronParams(NeuronRef ref) const;
+
+    /** Add one edge. */
+    void connect(NeuronRef src, NeuronRef dst, uint8_t type_class,
+                 uint8_t delay = 1);
+
+    /** Every (i, j) pair between two populations. */
+    void connectAllToAll(PopId src, PopId dst, uint8_t type_class,
+                         uint8_t delay = 1);
+
+    /** (i, i) pairs; sizes must match. */
+    void connectOneToOne(PopId src, PopId dst, uint8_t type_class,
+                         uint8_t delay = 1);
+
+    /** Each (i, j) pair independently with probability @p p. */
+    void connectRandom(PopId src, PopId dst, double p,
+                       uint8_t type_class, uint8_t delay,
+                       uint64_t seed);
+
+    /**
+     * Declare a named external input line.  @return the input id
+     * used by InputBinding at runtime.
+     */
+    uint32_t addInput(const std::string &name);
+
+    /** Attach input @p input to a target neuron's axon. */
+    void bindInput(uint32_t input, NeuronRef dst, uint8_t type_class);
+
+    /**
+     * Mark a neuron as an output; @return its output line id.
+     * A neuron may be marked once; it may also have regular edges
+     * (the compiler splits as needed).
+     */
+    uint32_t markOutput(NeuronRef ref);
+
+    // --- queries ---------------------------------------------------------
+
+    /** Number of populations. */
+    uint32_t numPopulations() const
+    {
+        return static_cast<uint32_t>(pops_.size());
+    }
+
+    /** Population size. */
+    uint32_t popSize(PopId pop) const;
+
+    /** Population name. */
+    const std::string &popName(PopId pop) const;
+
+    /** Total logical neurons. */
+    uint32_t numNeurons() const { return totalNeurons_; }
+
+    /** All edges in insertion order. */
+    const std::vector<Edge> &edges() const { return edges_; }
+
+    /** Number of declared inputs. */
+    uint32_t numInputs() const
+    {
+        return static_cast<uint32_t>(inputNames_.size());
+    }
+
+    /** Input name. */
+    const std::string &inputName(uint32_t input) const;
+
+    /** Attachments of input @p input. */
+    const std::vector<InputAttachment> &
+    inputAttachments(uint32_t input) const;
+
+    /** Number of output lines. */
+    uint32_t numOutputs() const
+    {
+        return static_cast<uint32_t>(outputs_.size());
+    }
+
+    /** The neuron behind output line @p line. */
+    NeuronRef outputNeuron(uint32_t line) const;
+
+    /** Dense global index of a neuron (populations concatenated). */
+    uint32_t globalIndex(NeuronRef ref) const;
+
+    /** Inverse of globalIndex. */
+    NeuronRef fromGlobalIndex(uint32_t gid) const;
+
+    /** Consistency check; fatal() on violations. */
+    void validate() const;
+
+  private:
+    struct Pop
+    {
+        std::string name;
+        uint32_t size;
+        uint32_t firstGid;
+        NeuronParams proto;
+        /** Sparse overrides: (idx, params). */
+        std::vector<std::pair<uint32_t, NeuronParams>> overrides;
+    };
+
+    void checkRef(NeuronRef ref, const char *what) const;
+
+    std::vector<Pop> pops_;
+    std::vector<Edge> edges_;
+    std::vector<std::string> inputNames_;
+    std::vector<std::vector<InputAttachment>> inputAttach_;
+    std::vector<NeuronRef> outputs_;
+    uint32_t totalNeurons_ = 0;
+};
+
+} // namespace nscs
+
+#endif // NSCS_PROG_NETWORK_HH

@@ -1,0 +1,214 @@
+#include "prog/placer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace nscs {
+
+const char *
+placementPolicyName(PlacementPolicy p)
+{
+    switch (p) {
+      case PlacementPolicy::RowMajor:  return "row-major";
+      case PlacementPolicy::GreedyBfs: return "greedy-bfs";
+      case PlacementPolicy::Anneal:    return "anneal";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Symmetrised adjacency view used by traversal and cost. */
+TrafficMatrix
+symmetrise(const TrafficMatrix &traffic)
+{
+    TrafficMatrix sym(traffic.size());
+    for (uint32_t i = 0; i < traffic.size(); ++i) {
+        for (const auto &kv : traffic[i]) {
+            sym[i][kv.first] += kv.second;
+            sym[kv.first][i] += kv.second;
+        }
+    }
+    return sym;
+}
+
+/** Boustrophedon coordinate of ordinal @p k on a w-wide grid. */
+std::pair<uint32_t, uint32_t>
+snakeCoord(uint32_t k, uint32_t w)
+{
+    uint32_t row = k / w;
+    uint32_t col = k % w;
+    if (row % 2 == 1)
+        col = w - 1 - col;
+    return {col, row};
+}
+
+/**
+ * Order logical cores by best-first traversal: repeatedly take the
+ * unvisited core with the largest traffic into the visited set
+ * (seeded by the highest-degree core of each component).
+ */
+std::vector<uint32_t>
+greedyOrder(const TrafficMatrix &sym)
+{
+    const uint32_t n = static_cast<uint32_t>(sym.size());
+    std::vector<uint32_t> order;
+    order.reserve(n);
+    std::vector<bool> visited(n, false);
+    std::vector<uint64_t> attraction(n, 0);
+
+    // Degree (total traffic) per core for seeding.
+    std::vector<uint64_t> degree(n, 0);
+    for (uint32_t i = 0; i < n; ++i)
+        for (const auto &kv : sym[i])
+            degree[i] += kv.second;
+
+    for (uint32_t placed = 0; placed < n; ++placed) {
+        // Pick the unvisited core with the largest attraction,
+        // breaking ties by degree then index.
+        uint32_t best = n;
+        for (uint32_t i = 0; i < n; ++i) {
+            if (visited[i])
+                continue;
+            if (best == n ||
+                attraction[i] > attraction[best] ||
+                (attraction[i] == attraction[best] &&
+                 degree[i] > degree[best])) {
+                best = i;
+            }
+        }
+        visited[best] = true;
+        order.push_back(best);
+        for (const auto &kv : sym[best])
+            if (!visited[kv.first])
+                attraction[kv.first] += kv.second;
+    }
+    return order;
+}
+
+} // anonymous namespace
+
+double
+placementCost(const TrafficMatrix &traffic,
+              const std::vector<uint32_t> &x,
+              const std::vector<uint32_t> &y)
+{
+    double cost = 0.0;
+    for (uint32_t i = 0; i < traffic.size(); ++i) {
+        for (const auto &kv : traffic[i]) {
+            uint32_t j = kv.first;
+            auto dist =
+                std::abs(static_cast<int64_t>(x[i]) - x[j]) +
+                std::abs(static_cast<int64_t>(y[i]) - y[j]);
+            cost += static_cast<double>(kv.second) *
+                static_cast<double>(dist);
+        }
+    }
+    return cost;
+}
+
+Placement
+placeCores(const TrafficMatrix &traffic, PlacementPolicy policy,
+           uint32_t grid_w, uint32_t grid_h, uint64_t seed)
+{
+    const uint32_t n = static_cast<uint32_t>(traffic.size());
+    NSCS_ASSERT(n > 0, "placing zero cores");
+
+    if (grid_w == 0 && grid_h == 0) {
+        grid_w = static_cast<uint32_t>(
+            std::ceil(std::sqrt(static_cast<double>(n))));
+        grid_h = (n + grid_w - 1) / grid_w;
+    } else if (grid_w == 0) {
+        grid_w = (n + grid_h - 1) / grid_h;
+    } else if (grid_h == 0) {
+        grid_h = (n + grid_w - 1) / grid_w;
+    }
+    if (static_cast<uint64_t>(grid_w) * grid_h < n)
+        fatal("placement grid %ux%u cannot hold %u cores",
+              grid_w, grid_h, n);
+
+    Placement pl;
+    pl.width = grid_w;
+    pl.height = grid_h;
+    pl.x.resize(n);
+    pl.y.resize(n);
+
+    auto assignByOrder = [&](const std::vector<uint32_t> &order) {
+        for (uint32_t k = 0; k < n; ++k) {
+            auto [cx, cy] = snakeCoord(k, grid_w);
+            pl.x[order[k]] = cx;
+            pl.y[order[k]] = cy;
+        }
+    };
+
+    switch (policy) {
+      case PlacementPolicy::RowMajor: {
+        std::vector<uint32_t> order(n);
+        for (uint32_t i = 0; i < n; ++i)
+            order[i] = i;
+        // Plain row-major, not snaked: the naive baseline.
+        for (uint32_t k = 0; k < n; ++k) {
+            pl.x[k] = k % grid_w;
+            pl.y[k] = k / grid_w;
+        }
+        break;
+      }
+      case PlacementPolicy::GreedyBfs: {
+        assignByOrder(greedyOrder(symmetrise(traffic)));
+        break;
+      }
+      case PlacementPolicy::Anneal: {
+        TrafficMatrix sym = symmetrise(traffic);
+        assignByOrder(greedyOrder(sym));
+
+        // Pairwise-swap annealing over the symmetric cost.  Delta
+        // evaluation only touches the two swapped cores' edges.
+        Xoshiro256 rng(seed);
+        auto nodeCost = [&](uint32_t i) {
+            double c = 0.0;
+            for (const auto &kv : sym[i]) {
+                uint32_t j = kv.first;
+                if (j == i)
+                    continue;
+                auto dist =
+                    std::abs(static_cast<int64_t>(pl.x[i]) - pl.x[j]) +
+                    std::abs(static_cast<int64_t>(pl.y[i]) - pl.y[j]);
+                c += static_cast<double>(kv.second) *
+                    static_cast<double>(dist);
+            }
+            return c;
+        };
+
+        uint64_t iters = static_cast<uint64_t>(n) * 200;
+        double temp = 8.0;
+        double cooling = std::pow(0.01 / temp,
+                                  1.0 / static_cast<double>(iters));
+        for (uint64_t it = 0; it < iters; ++it, temp *= cooling) {
+            uint32_t a = static_cast<uint32_t>(rng.below(n));
+            uint32_t b = static_cast<uint32_t>(rng.below(n));
+            if (a == b)
+                continue;
+            double before = nodeCost(a) + nodeCost(b);
+            std::swap(pl.x[a], pl.x[b]);
+            std::swap(pl.y[a], pl.y[b]);
+            double after = nodeCost(a) + nodeCost(b);
+            double delta = after - before;
+            if (delta > 0.0 &&
+                rng.uniform() >= std::exp(-delta / std::max(temp, 1e-9))) {
+                std::swap(pl.x[a], pl.x[b]);  // reject
+                std::swap(pl.y[a], pl.y[b]);
+            }
+        }
+        break;
+      }
+    }
+
+    pl.cost = placementCost(traffic, pl.x, pl.y);
+    return pl;
+}
+
+} // namespace nscs

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Placement of logical cores onto the physical core grid.
+ *
+ * The compiler produces K logical cores and a core-to-core traffic
+ * matrix; the placer assigns each logical core a grid coordinate to
+ * minimise sum(traffic * manhattan distance) — the dominant term of
+ * interconnect energy and latency.  Three policies (ablation A1):
+ *
+ *  - RowMajor:  identity order, the naive baseline;
+ *  - GreedyBfs: order cores by best-first traversal of the traffic
+ *               graph and lay them along a boustrophedon (snake)
+ *               curve, keeping talkative neighbours adjacent;
+ *  - Anneal:    simulated annealing of pairwise swaps on top of the
+ *               greedy start.
+ */
+
+#ifndef NSCS_PROG_PLACER_HH
+#define NSCS_PROG_PLACER_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace nscs {
+
+/** Placement policy selector. */
+enum class PlacementPolicy : uint8_t {
+    RowMajor,
+    GreedyBfs,
+    Anneal,
+};
+
+/** Short policy name for tables. */
+const char *placementPolicyName(PlacementPolicy p);
+
+/** traffic[i][j] = packets per window from logical core i to j. */
+using TrafficMatrix = std::vector<std::map<uint32_t, uint64_t>>;
+
+/** A computed placement. */
+struct Placement
+{
+    std::vector<uint32_t> x;  //!< grid x per logical core
+    std::vector<uint32_t> y;  //!< grid y per logical core
+    uint32_t width = 0;       //!< grid width
+    uint32_t height = 0;      //!< grid height
+    double cost = 0.0;        //!< sum(traffic * manhattan)
+};
+
+/** Weighted manhattan cost of a placement. */
+double placementCost(const TrafficMatrix &traffic,
+                     const std::vector<uint32_t> &x,
+                     const std::vector<uint32_t> &y);
+
+/**
+ * Place @p traffic.size() logical cores.  Grid dimensions of 0 choose
+ * the smallest near-square grid that fits.  @p seed drives annealing.
+ */
+Placement placeCores(const TrafficMatrix &traffic,
+                     PlacementPolicy policy,
+                     uint32_t grid_w = 0, uint32_t grid_h = 0,
+                     uint64_t seed = 1);
+
+} // namespace nscs
+
+#endif // NSCS_PROG_PLACER_HH

@@ -1,0 +1,56 @@
+#include "runtime/simulator.hh"
+
+#include <chrono>
+
+namespace nscs {
+
+Simulator::Simulator(const ChipParams &params,
+                     std::vector<CoreConfig> configs)
+    : chip_(std::make_unique<Chip>(params, std::move(configs)))
+{
+}
+
+void
+Simulator::addSource(std::unique_ptr<SpikeSource> source)
+{
+    sources_.push_back(std::move(source));
+}
+
+RunPerf
+Simulator::run(uint64_t ticks)
+{
+    using clock = std::chrono::steady_clock;
+    RunPerf perf;
+    uint64_t out_before = recorder_.size();
+    auto start = clock::now();
+
+    for (uint64_t i = 0; i < ticks; ++i) {
+        uint64_t t = chip_->now();
+        inputScratch_.clear();
+        for (auto &src : sources_)
+            src->spikesFor(t, inputScratch_);
+        for (const InputSpike &s : inputScratch_)
+            chip_->injectInput(s.core, s.axon, t);
+        chip_->tick();
+        if (!chip_->outputs().empty()) {
+            recorder_.recordAll(chip_->outputs());
+            chip_->clearOutputs();
+        }
+    }
+
+    auto stop = clock::now();
+    perf.ticks = ticks;
+    perf.seconds =
+        std::chrono::duration<double>(stop - start).count();
+    perf.spikesOut = recorder_.size() - out_before;
+    return perf;
+}
+
+void
+Simulator::reset()
+{
+    chip_->reset();
+    recorder_.clear();
+}
+
+} // namespace nscs

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Top-level simulation driver.
+ *
+ * The Simulator owns a Chip, a set of input sources and an output
+ * recorder, and runs the per-tick loop:
+ *
+ *   1. poll every source for this tick's input spikes and inject
+ *      them for same-tick delivery;
+ *   2. execute the chip tick;
+ *   3. drain output spikes into the recorder.
+ *
+ * It also keeps wall-clock statistics (ticks/second, real-time
+ * headroom at the nominal 1 ms tick) used by the scaling and
+ * real-time benches.
+ */
+
+#ifndef NSCS_RUNTIME_SIMULATOR_HH
+#define NSCS_RUNTIME_SIMULATOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "chip/chip.hh"
+#include "runtime/sink.hh"
+#include "runtime/source.hh"
+
+namespace nscs {
+
+/** Wall-clock performance of a run() call. */
+struct RunPerf
+{
+    uint64_t ticks = 0;        //!< ticks executed
+    double seconds = 0.0;      //!< wall-clock seconds
+    uint64_t spikesOut = 0;    //!< output spikes in the window
+
+    /** Simulated ticks per wall-clock second. */
+    double
+    ticksPerSecond() const
+    {
+        return seconds > 0.0 ? static_cast<double>(ticks) / seconds : 0.0;
+    }
+
+    /**
+     * Fraction of real time at @p tick_seconds per tick (> 1 means
+     * faster than real time).
+     */
+    double
+    realTimeFactor(double tick_seconds = 1e-3) const
+    {
+        return ticksPerSecond() * tick_seconds;
+    }
+};
+
+/** Chip + I/O harness. */
+class Simulator
+{
+  public:
+    /** Build the chip from params and configs. */
+    Simulator(const ChipParams &params,
+              std::vector<CoreConfig> configs);
+
+    /** Attach an input source (polled every tick, in order). */
+    void addSource(std::unique_ptr<SpikeSource> source);
+
+    /** Run @p ticks ticks; returns wall-clock performance. */
+    RunPerf run(uint64_t ticks);
+
+    /** The chip. */
+    Chip &chip() { return *chip_; }
+
+    /** The chip (const). */
+    const Chip &chip() const { return *chip_; }
+
+    /** Recorded output spikes. */
+    SpikeRecorder &recorder() { return recorder_; }
+
+    /** Recorded output spikes (const). */
+    const SpikeRecorder &recorder() const { return recorder_; }
+
+    /** Reset chip, recorder and performance counters (sources keep
+     *  their own state and are not reset). */
+    void reset();
+
+  private:
+    std::unique_ptr<Chip> chip_;
+    std::vector<std::unique_ptr<SpikeSource>> sources_;
+    SpikeRecorder recorder_;
+    std::vector<InputSpike> inputScratch_;
+};
+
+} // namespace nscs
+
+#endif // NSCS_RUNTIME_SIMULATOR_HH

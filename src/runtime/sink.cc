@@ -1,0 +1,98 @@
+#include "runtime/sink.hh"
+
+#include <algorithm>
+
+namespace nscs {
+
+void
+SpikeRecorder::record(const OutputSpike &s)
+{
+    spikes_.push_back(s);
+    byLine_[s.line].push_back(s.tick);
+}
+
+void
+SpikeRecorder::recordAll(const std::vector<OutputSpike> &batch)
+{
+    for (const auto &s : batch)
+        record(s);
+}
+
+uint64_t
+SpikeRecorder::count(uint32_t line) const
+{
+    auto it = byLine_.find(line);
+    return it == byLine_.end() ? 0 : it->second.size();
+}
+
+uint64_t
+SpikeRecorder::countInWindow(uint32_t line, uint64_t t0,
+                             uint64_t t1) const
+{
+    auto it = byLine_.find(line);
+    if (it == byLine_.end())
+        return 0;
+    const auto &ticks = it->second;
+    // Recorded in arrival order == tick order per line.
+    auto lo = std::lower_bound(ticks.begin(), ticks.end(), t0);
+    auto hi = std::lower_bound(ticks.begin(), ticks.end(), t1);
+    return static_cast<uint64_t>(hi - lo);
+}
+
+std::optional<uint64_t>
+SpikeRecorder::firstSpike(uint32_t line) const
+{
+    auto it = byLine_.find(line);
+    if (it == byLine_.end() || it->second.empty())
+        return std::nullopt;
+    return it->second.front();
+}
+
+std::vector<uint64_t>
+SpikeRecorder::ticksOf(uint32_t line) const
+{
+    auto it = byLine_.find(line);
+    if (it == byLine_.end())
+        return {};
+    return it->second;
+}
+
+uint32_t
+SpikeRecorder::argmaxLine(uint32_t line0, uint32_t n) const
+{
+    uint32_t best = line0;
+    uint64_t best_count = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+        uint64_t c = count(line0 + i);
+        if (c > best_count) {
+            best_count = c;
+            best = line0 + i;
+        }
+    }
+    return best;
+}
+
+uint32_t
+SpikeRecorder::argmaxLineInWindow(uint32_t line0, uint32_t n,
+                                  uint64_t t0, uint64_t t1) const
+{
+    uint32_t best = line0;
+    uint64_t best_count = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+        uint64_t c = countInWindow(line0 + i, t0, t1);
+        if (c > best_count) {
+            best_count = c;
+            best = line0 + i;
+        }
+    }
+    return best;
+}
+
+void
+SpikeRecorder::clear()
+{
+    spikes_.clear();
+    byLine_.clear();
+}
+
+} // namespace nscs

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Output spike recording and analysis.
+ *
+ * The SpikeRecorder accumulates off-chip spikes drained from the chip
+ * and answers the queries benches and applications need: per-line
+ * counts, window counts, rates, first-spike times and full rasters.
+ */
+
+#ifndef NSCS_RUNTIME_SINK_HH
+#define NSCS_RUNTIME_SINK_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "chip/chip.hh"
+
+namespace nscs {
+
+/** Accumulates output spikes. */
+class SpikeRecorder
+{
+  public:
+    /** Record one spike. */
+    void record(const OutputSpike &s);
+
+    /** Record a batch. */
+    void recordAll(const std::vector<OutputSpike> &batch);
+
+    /** All spikes in arrival order. */
+    const std::vector<OutputSpike> &spikes() const { return spikes_; }
+
+    /** Total recorded spikes. */
+    size_t size() const { return spikes_.size(); }
+
+    /** Spike count of @p line. */
+    uint64_t count(uint32_t line) const;
+
+    /** Spike count of @p line within [t0, t1). */
+    uint64_t countInWindow(uint32_t line, uint64_t t0, uint64_t t1) const;
+
+    /** First spike tick of @p line, or nullopt. */
+    std::optional<uint64_t> firstSpike(uint32_t line) const;
+
+    /** Spike ticks of @p line in order. */
+    std::vector<uint64_t> ticksOf(uint32_t line) const;
+
+    /**
+     * Line with the highest count among lines [line0, line0 + n);
+     * ties resolve to the lowest line.  Returns line0 when all are
+     * silent.
+     */
+    uint32_t argmaxLine(uint32_t line0, uint32_t n) const;
+
+    /** As argmaxLine, but counting only within [t0, t1). */
+    uint32_t argmaxLineInWindow(uint32_t line0, uint32_t n,
+                                uint64_t t0, uint64_t t1) const;
+
+    /** Forget everything. */
+    void clear();
+
+  private:
+    std::vector<OutputSpike> spikes_;
+    std::unordered_map<uint32_t, std::vector<uint64_t>> byLine_;
+};
+
+} // namespace nscs
+
+#endif // NSCS_RUNTIME_SINK_HH

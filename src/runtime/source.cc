@@ -1,0 +1,69 @@
+#include "runtime/source.hh"
+
+#include "util/logging.hh"
+
+namespace nscs {
+
+PoissonSource::PoissonSource(std::vector<InputSpike> targets,
+                             double rate, uint64_t seed)
+    : targets_(std::move(targets)),
+      rates_(targets_.size(), rate),
+      rng_(seed)
+{
+    NSCS_ASSERT(rate >= 0.0 && rate <= 1.0,
+                "per-tick rate %f outside [0, 1]", rate);
+}
+
+PoissonSource::PoissonSource(std::vector<InputSpike> targets,
+                             std::vector<double> rates, uint64_t seed)
+    : targets_(std::move(targets)), rates_(std::move(rates)),
+      rng_(seed)
+{
+    NSCS_ASSERT(targets_.size() == rates_.size(),
+                "targets (%zu) and rates (%zu) size mismatch",
+                targets_.size(), rates_.size());
+    for (double r : rates_)
+        NSCS_ASSERT(r >= 0.0 && r <= 1.0,
+                    "per-tick rate %f outside [0, 1]", r);
+}
+
+void
+PoissonSource::spikesFor(uint64_t, std::vector<InputSpike> &out)
+{
+    for (size_t i = 0; i < targets_.size(); ++i)
+        if (rng_.chance(rates_[i]))
+            out.push_back(targets_[i]);
+}
+
+RegularSource::RegularSource(std::vector<InputSpike> targets,
+                             uint64_t period, uint64_t phase)
+    : targets_(std::move(targets)), period_(period), phase_(phase)
+{
+    NSCS_ASSERT(period_ > 0, "RegularSource period must be > 0");
+}
+
+void
+RegularSource::spikesFor(uint64_t t, std::vector<InputSpike> &out)
+{
+    if (t < phase_ || (t - phase_) % period_ != 0)
+        return;
+    out.insert(out.end(), targets_.begin(), targets_.end());
+}
+
+void
+ScheduleSource::add(uint64_t tick, InputSpike spike)
+{
+    schedule_[tick].push_back(spike);
+    ++count_;
+}
+
+void
+ScheduleSource::spikesFor(uint64_t t, std::vector<InputSpike> &out)
+{
+    auto it = schedule_.find(t);
+    if (it == schedule_.end())
+        return;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+}
+
+} // namespace nscs

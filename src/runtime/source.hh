@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Input spike sources.
+ *
+ * A source produces the external spikes to inject at each tick.  The
+ * Simulator polls every attached source once per tick, before the
+ * chip executes that tick, and injects the produced spikes for
+ * same-tick delivery.
+ *
+ * All stochastic sources use a private seeded host RNG; reruns with
+ * the same seed produce the same input streams.
+ */
+
+#ifndef NSCS_RUNTIME_SOURCE_HH
+#define NSCS_RUNTIME_SOURCE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace nscs {
+
+/** One external spike: a (core, axon) target. */
+struct InputSpike
+{
+    uint32_t core = 0;  //!< target core index (row-major)
+    uint32_t axon = 0;  //!< target axon
+
+    bool operator==(const InputSpike &other) const = default;
+};
+
+/** Produces input spikes per tick. */
+class SpikeSource
+{
+  public:
+    virtual ~SpikeSource() = default;
+
+    /** Append this source's spikes for tick @p t to @p out. */
+    virtual void spikesFor(uint64_t t, std::vector<InputSpike> &out) = 0;
+};
+
+/**
+ * Independent Bernoulli spiking per target per tick: target i fires
+ * with probability rate[i] (spikes/tick, <= 1).
+ */
+class PoissonSource : public SpikeSource
+{
+  public:
+    /** Same rate for all targets. */
+    PoissonSource(std::vector<InputSpike> targets, double rate,
+                  uint64_t seed);
+
+    /** Per-target rates; sizes must match. */
+    PoissonSource(std::vector<InputSpike> targets,
+                  std::vector<double> rates, uint64_t seed);
+
+    void spikesFor(uint64_t t, std::vector<InputSpike> &out) override;
+
+  private:
+    std::vector<InputSpike> targets_;
+    std::vector<double> rates_;
+    Xoshiro256 rng_;
+};
+
+/** Fires every target every @p period ticks starting at @p phase. */
+class RegularSource : public SpikeSource
+{
+  public:
+    RegularSource(std::vector<InputSpike> targets, uint64_t period,
+                  uint64_t phase = 0);
+
+    void spikesFor(uint64_t t, std::vector<InputSpike> &out) override;
+
+  private:
+    std::vector<InputSpike> targets_;
+    uint64_t period_;
+    uint64_t phase_;
+};
+
+/** Replays an explicit (tick -> spikes) schedule. */
+class ScheduleSource : public SpikeSource
+{
+  public:
+    ScheduleSource() = default;
+
+    /** Add one spike at @p tick. */
+    void add(uint64_t tick, InputSpike spike);
+
+    void spikesFor(uint64_t t, std::vector<InputSpike> &out) override;
+
+    /** Total scheduled spikes. */
+    size_t size() const { return count_; }
+
+  private:
+    std::map<uint64_t, std::vector<InputSpike>> schedule_;
+    size_t count_ = 0;
+};
+
+} // namespace nscs
+
+#endif // NSCS_RUNTIME_SOURCE_HH

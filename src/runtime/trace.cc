@@ -1,0 +1,83 @@
+#include "runtime/trace.hh"
+
+#include <sstream>
+
+#include "util/json.hh"
+
+namespace nscs {
+
+std::string
+formatSpikeTrace(const std::vector<OutputSpike> &spikes)
+{
+    std::ostringstream os;
+    os << "# nscs spike trace: tick line\n";
+    for (const auto &s : spikes)
+        os << s.tick << ' ' << s.line << '\n';
+    return os.str();
+}
+
+bool
+parseSpikeTrace(const std::string &text, std::vector<OutputSpike> &out)
+{
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        size_t pos = line.find_first_not_of(" \t");
+        if (pos == std::string::npos || line[pos] == '#')
+            continue;
+        std::istringstream ls(line);
+        OutputSpike s;
+        if (!(ls >> s.tick >> s.line))
+            return false;
+        out.push_back(s);
+    }
+    return true;
+}
+
+bool
+writeSpikeTrace(const std::string &path,
+                const std::vector<OutputSpike> &spikes)
+{
+    return writeFile(path, formatSpikeTrace(spikes));
+}
+
+bool
+readSpikeTrace(const std::string &path, std::vector<OutputSpike> &out)
+{
+    std::string text;
+    if (!readFile(path, text))
+        return false;
+    return parseSpikeTrace(text, out);
+}
+
+std::string
+renderRaster(const std::vector<OutputSpike> &spikes, uint32_t line0,
+             uint32_t nlines, uint64_t t0, uint64_t t1)
+{
+    size_t width = static_cast<size_t>(t1 - t0);
+    std::vector<std::string> rows(nlines, std::string(width, '.'));
+    for (const auto &s : spikes) {
+        if (s.line < line0 || s.line >= line0 + nlines)
+            continue;
+        if (s.tick < t0 || s.tick >= t1)
+            continue;
+        rows[s.line - line0][static_cast<size_t>(s.tick - t0)] = '|';
+    }
+    std::ostringstream os;
+    for (uint32_t i = 0; i < nlines; ++i)
+        os << "line " << (line0 + i) << "  " << rows[i] << '\n';
+    return os.str();
+}
+
+std::string
+renderSpikeRow(const std::vector<uint32_t> &ticks, uint32_t t0,
+               uint32_t t1)
+{
+    std::string row(t1 - t0, '.');
+    for (uint32_t t : ticks)
+        if (t >= t0 && t < t1)
+            row[t - t0] = '|';
+    return row;
+}
+
+} // namespace nscs

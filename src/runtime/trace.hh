@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Spike trace file I/O and ASCII raster rendering.
+ *
+ * Trace format: one "tick line" pair per text line, '#' comments
+ * allowed.  Rasters render lines as rows and ticks as columns, '|'
+ * marking a spike — the library's stand-in for the paper's raster
+ * figures.
+ */
+
+#ifndef NSCS_RUNTIME_TRACE_HH
+#define NSCS_RUNTIME_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "chip/chip.hh"
+
+namespace nscs {
+
+/** Serialize a spike list to the text trace format. */
+std::string formatSpikeTrace(const std::vector<OutputSpike> &spikes);
+
+/**
+ * Parse a text trace.  @return false on malformed input (parsing
+ * user files is a recoverable condition).
+ */
+bool parseSpikeTrace(const std::string &text,
+                     std::vector<OutputSpike> &out);
+
+/** Write a trace file; false on I/O error. */
+bool writeSpikeTrace(const std::string &path,
+                     const std::vector<OutputSpike> &spikes);
+
+/** Read a trace file; false on I/O or parse error. */
+bool readSpikeTrace(const std::string &path,
+                    std::vector<OutputSpike> &out);
+
+/**
+ * Render lines [line0, line0+nlines) over ticks [t0, t1) as an ASCII
+ * raster, one row per line: '|' spike, '.' silence.
+ */
+std::string renderRaster(const std::vector<OutputSpike> &spikes,
+                         uint32_t line0, uint32_t nlines,
+                         uint64_t t0, uint64_t t1);
+
+/**
+ * Render a single spike train (ticks of one unit) as one raster row.
+ */
+std::string renderSpikeRow(const std::vector<uint32_t> &ticks,
+                           uint32_t t0, uint32_t t1);
+
+} // namespace nscs
+
+#endif // NSCS_RUNTIME_TRACE_HH

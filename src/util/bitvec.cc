@@ -1,0 +1,77 @@
+#include "util/bitvec.hh"
+
+#include "util/logging.hh"
+
+namespace nscs {
+
+BitVec::BitVec(size_t nbits)
+    : nbits_(nbits), words_((nbits + 63) / 64, 0)
+{
+}
+
+void
+BitVec::set(size_t idx, bool value)
+{
+    NSCS_ASSERT(idx < nbits_, "BitVec::set(%zu) out of range %zu",
+                idx, nbits_);
+    uint64_t mask = 1ull << (idx & 63);
+    if (value)
+        words_[idx >> 6] |= mask;
+    else
+        words_[idx >> 6] &= ~mask;
+}
+
+bool
+BitVec::test(size_t idx) const
+{
+    NSCS_ASSERT(idx < nbits_, "BitVec::test(%zu) out of range %zu",
+                idx, nbits_);
+    return (words_[idx >> 6] >> (idx & 63)) & 1ull;
+}
+
+void
+BitVec::reset()
+{
+    for (auto &w : words_)
+        w = 0;
+}
+
+size_t
+BitVec::count() const
+{
+    size_t n = 0;
+    for (uint64_t w : words_)
+        n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+}
+
+bool
+BitVec::none() const
+{
+    for (uint64_t w : words_)
+        if (w)
+            return false;
+    return true;
+}
+
+BitVec &
+BitVec::operator|=(const BitVec &other)
+{
+    NSCS_ASSERT(nbits_ == other.nbits_, "BitVec size mismatch %zu vs %zu",
+                nbits_, other.nbits_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        words_[i] |= other.words_[i];
+    return *this;
+}
+
+BitVec &
+BitVec::operator&=(const BitVec &other)
+{
+    NSCS_ASSERT(nbits_ == other.nbits_, "BitVec size mismatch %zu vs %zu",
+                nbits_, other.nbits_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        words_[i] &= other.words_[i];
+    return *this;
+}
+
+} // namespace nscs

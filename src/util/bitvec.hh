@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A compact dynamic bit vector used for crossbar rows and scheduler
+ * slots, with fast iteration over set bits.
+ *
+ * std::vector<bool> lacks word access and std::bitset is fixed-size;
+ * crossbar geometry is a runtime parameter, so NSCS carries its own
+ * minimal implementation.
+ */
+
+#ifndef NSCS_UTIL_BITVEC_HH
+#define NSCS_UTIL_BITVEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nscs {
+
+/**
+ * Fixed-length (at construction) vector of bits backed by 64-bit
+ * words.  All index arguments are asserted in range in debug terms via
+ * bounds checks kept cheap enough for release builds.
+ */
+class BitVec
+{
+  public:
+    BitVec() = default;
+
+    /** Construct @p nbits bits, all clear. */
+    explicit BitVec(size_t nbits);
+
+    /** Number of bits. */
+    size_t size() const { return nbits_; }
+
+    /** Set bit @p idx to @p value. */
+    void set(size_t idx, bool value = true);
+
+    /** Clear bit @p idx. */
+    void clear(size_t idx) { set(idx, false); }
+
+    /** Clear all bits. */
+    void reset();
+
+    /** @return the value of bit @p idx. */
+    bool test(size_t idx) const;
+
+    /** @return number of set bits. */
+    size_t count() const;
+
+    /** @return true if no bit is set. */
+    bool none() const;
+
+    /** @return true if any bit is set. */
+    bool any() const { return !none(); }
+
+    /** Bitwise OR-assign; sizes must match. */
+    BitVec &operator|=(const BitVec &other);
+
+    /** Bitwise AND-assign; sizes must match. */
+    BitVec &operator&=(const BitVec &other);
+
+    /** Equality compares size and content. */
+    bool operator==(const BitVec &other) const = default;
+
+    /**
+     * Call @p fn(size_t index) for every set bit in increasing index
+     * order.  This is the hot path of synaptic integration: it scans
+     * words and extracts set bits with countr_zero.
+     */
+    template <typename Fn>
+    void
+    forEachSet(Fn &&fn) const
+    {
+        for (size_t w = 0; w < words_.size(); ++w) {
+            uint64_t bits = words_[w];
+            while (bits) {
+                unsigned b = static_cast<unsigned>(__builtin_ctzll(bits));
+                fn(w * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /** Direct word access (serialization). */
+    const std::vector<uint64_t> &words() const { return words_; }
+
+    /** Approximate heap footprint in bytes. */
+    size_t footprintBytes() const { return words_.size() * 8; }
+
+  private:
+    size_t nbits_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+} // namespace nscs
+
+#endif // NSCS_UTIL_BITVEC_HH

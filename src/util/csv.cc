@@ -1,0 +1,39 @@
+#include "util/csv.hh"
+
+namespace nscs {
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    bool needs = false;
+    for (char c : field) {
+        if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+            needs = true;
+            break;
+        }
+    }
+    if (!needs)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &fields)
+{
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            os_ << ',';
+        os_ << escape(fields[i]);
+    }
+    os_ << '\n';
+}
+
+} // namespace nscs

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Minimal CSV emitter so benches can dump machine-readable series
+ * next to the human-readable tables.
+ */
+
+#ifndef NSCS_UTIL_CSV_HH
+#define NSCS_UTIL_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nscs {
+
+/**
+ * Streams rows of comma-separated values with RFC-4180-style quoting
+ * of fields containing commas, quotes or newlines.
+ */
+class CsvWriter
+{
+  public:
+    /** Write to @p os; the stream must outlive the writer. */
+    explicit CsvWriter(std::ostream &os) : os_(os) {}
+
+    /** Emit one row. */
+    void row(const std::vector<std::string> &fields);
+
+    /** Quote a single field if needed. */
+    static std::string escape(const std::string &field);
+
+  private:
+    std::ostream &os_;
+};
+
+} // namespace nscs
+
+#endif // NSCS_UTIL_CSV_HH

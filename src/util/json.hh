@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Minimal self-contained JSON value, parser and writer.
+ *
+ * Used for model-file serialization (compiled networks, core
+ * configurations, experiment manifests).  Supports the full JSON
+ * grammar except for \u escapes beyond the Basic Latin range, which
+ * model files never contain.  Parsing errors are reported with byte
+ * offsets through a status object rather than exceptions.
+ */
+
+#ifndef NSCS_UTIL_JSON_HH
+#define NSCS_UTIL_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nscs {
+
+/**
+ * A JSON document node.  Numbers are stored as double plus an exact
+ * int64 when the literal was integral, so round-tripping configuration
+ * integers is lossless up to 2^53 (and up to int64 via asInt).
+ */
+class JsonValue
+{
+  public:
+    /** JSON node kind. */
+    enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+    JsonValue() : type_(Type::Null) {}
+
+    /** Boolean literal. */
+    static JsonValue boolean(bool b);
+
+    /** Integer number. */
+    static JsonValue integer(int64_t v);
+
+    /** Floating number. */
+    static JsonValue number(double v);
+
+    /** String literal. */
+    static JsonValue string(std::string s);
+
+    /** Empty array. */
+    static JsonValue array();
+
+    /** Empty object. */
+    static JsonValue object();
+
+    /** Node kind. */
+    Type type() const { return type_; }
+
+    /** @return true for Null nodes. */
+    bool isNull() const { return type_ == Type::Null; }
+
+    /** @return true for Int or Double nodes. */
+    bool
+    isNumber() const
+    {
+        return type_ == Type::Int || type_ == Type::Double;
+    }
+
+    /** Boolean content; node must be Bool. */
+    bool asBool() const;
+
+    /** Integer content; node must be numeric and integral. */
+    int64_t asInt() const;
+
+    /** Numeric content as double; node must be numeric. */
+    double asDouble() const;
+
+    /** String content; node must be String. */
+    const std::string &asString() const;
+
+    // --- array interface -------------------------------------------------
+
+    /** Number of elements / members. */
+    size_t size() const;
+
+    /** Append to an Array node. */
+    void append(JsonValue v);
+
+    /** Element access; node must be Array and index in range. */
+    const JsonValue &at(size_t i) const;
+
+    // --- object interface ------------------------------------------------
+
+    /** Set object member @p key. */
+    void set(const std::string &key, JsonValue v);
+
+    /** @return true if the Object node has member @p key. */
+    bool has(const std::string &key) const;
+
+    /** Member access; node must be Object and key present. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Member access with default when the key is absent. */
+    int64_t getInt(const std::string &key, int64_t dflt) const;
+
+    /** Member access with default when the key is absent. */
+    double getDouble(const std::string &key, double dflt) const;
+
+    /** Member access with default when the key is absent. */
+    bool getBool(const std::string &key, bool dflt) const;
+
+    /** Member access with default when the key is absent. */
+    std::string getString(const std::string &key,
+                          const std::string &dflt) const;
+
+    /** Object keys in sorted order. */
+    std::vector<std::string> keys() const;
+
+    // --- serialization ---------------------------------------------------
+
+    /** Serialize; @p indent > 0 pretty-prints with that indent. */
+    std::string dump(int indent = 0) const;
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    int64_t int_ = 0;
+    double dbl_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::map<std::string, JsonValue> obj_;
+};
+
+/** Result of JsonValue parsing. */
+struct JsonParseResult
+{
+    bool ok = false;        //!< true when parsing succeeded
+    std::string error;      //!< human-readable error with offset
+    JsonValue value;        //!< parsed document when ok
+};
+
+/** Parse a complete JSON document from @p text. */
+JsonParseResult parseJson(const std::string &text);
+
+/** Read a whole file; returns false on I/O failure. */
+bool readFile(const std::string &path, std::string &out);
+
+/** Write a whole file; returns false on I/O failure. */
+bool writeFile(const std::string &path, const std::string &content);
+
+} // namespace nscs
+
+#endif // NSCS_UTIL_JSON_HH

@@ -1,0 +1,114 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace nscs {
+
+namespace {
+
+/** SplitMix64 step used for state expansion. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+void
+Xoshiro256::reset(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &w : s_)
+        w = splitmix64(sm);
+    // An all-zero state is invalid for xoshiro; splitmix64 cannot
+    // produce four zero outputs in a row, but be defensive anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 0x9E3779B97F4A7C15ull;
+    hasCachedNormal_ = false;
+}
+
+uint64_t
+Xoshiro256::next()
+{
+    uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Xoshiro256::below(uint64_t n)
+{
+    NSCS_ASSERT(n > 0, "below(0) is undefined");
+    // Rejection sampling to remove modulo bias.
+    uint64_t threshold = (0 - n) % n;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+double
+Xoshiro256::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    double u, v, s;
+    do {
+        u = 2.0 * uniform() - 1.0;
+        v = 2.0 * uniform() - 1.0;
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    double m = std::sqrt(-2.0 * std::log(s) / s);
+    cachedNormal_ = v * m;
+    hasCachedNormal_ = true;
+    return u * m;
+}
+
+uint64_t
+Xoshiro256::poisson(double lambda)
+{
+    NSCS_ASSERT(lambda >= 0.0, "poisson(lambda<0)");
+    if (lambda == 0.0)
+        return 0;
+    if (lambda < 30.0) {
+        // Knuth's product-of-uniforms method.
+        double limit = std::exp(-lambda);
+        uint64_t k = 0;
+        double p = uniform();
+        while (p > limit) {
+            ++k;
+            p *= uniform();
+        }
+        return k;
+    }
+    // Normal approximation with continuity correction; adequate for
+    // workload synthesis at high rates.
+    double draw = normal(lambda, std::sqrt(lambda));
+    if (draw < 0.0)
+        return 0;
+    return static_cast<uint64_t>(draw + 0.5);
+}
+
+} // namespace nscs

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Random number generation for NSCS.
+ *
+ * Two distinct generators with distinct roles:
+ *
+ *  - Lfsr16:     models the per-core hardware pseudo-random number
+ *                generator.  TrueNorth-class cores share one small
+ *                linear-feedback shift register among all neurons of a
+ *                core; its draws decide stochastic synapse, leak and
+ *                threshold events.  Both the cycle-level chip and the
+ *                functional reference simulator use this generator in
+ *                an identical, documented draw order so that their
+ *                spike outputs are bit-for-bit equal.
+ *
+ *  - Xoshiro256: host-side general purpose generator (workload
+ *                synthesis, datasets, placement annealing...).  Never
+ *                used inside the simulated architecture.
+ *
+ * All generators are seedable and fully deterministic; NSCS never
+ * touches global random state.
+ */
+
+#ifndef NSCS_UTIL_RNG_HH
+#define NSCS_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace nscs {
+
+/**
+ * 16-bit maximal-length Galois LFSR (taps 16,14,13,11: polynomial
+ * 0xB400), the hardware PRNG model.
+ *
+ * A zero seed is remapped to a fixed non-zero constant because an LFSR
+ * locks up at state zero.  Draw order discipline (see chip/chip.hh):
+ * per tick, draws occur in the order the core performs stochastic
+ * operations — synaptic draws in (axon, neuron) order while spikes are
+ * drained, then per-neuron leak and threshold draws in neuron index
+ * order.
+ */
+class Lfsr16
+{
+  public:
+    /** Construct with a seed; seed 0 is remapped to 0xACE1. */
+    explicit Lfsr16(uint16_t seed = 0xACE1) { reset(seed); }
+
+    /** Re-seed the register. */
+    void
+    reset(uint16_t seed)
+    {
+        state_ = seed ? seed : 0xACE1;
+        draws_ = 0;
+    }
+
+    /** Advance one step and return the full 16-bit state. */
+    uint16_t
+    next()
+    {
+        uint16_t lsb = state_ & 1u;
+        state_ >>= 1;
+        if (lsb)
+            state_ ^= 0xB400u;
+        ++draws_;
+        return state_;
+    }
+
+    /** Draw an 8-bit value (the compare operand for stochastic ops). */
+    uint8_t nextByte() { return static_cast<uint8_t>(next() & 0xFFu); }
+
+    /**
+     * Draw and mask to the low @p bits bits (0..16).  Used for the
+     * stochastic threshold mask eta = draw & (2^TM - 1).
+     */
+    uint16_t
+    nextMasked(unsigned bits)
+    {
+        uint16_t v = next();
+        if (bits >= 16)
+            return v;
+        return static_cast<uint16_t>(v & ((1u << bits) - 1u));
+    }
+
+    /** Current register state (for serialization / debugging). */
+    uint16_t state() const { return state_; }
+
+    /** Number of draws since the last reset (equivalence checking). */
+    uint64_t draws() const { return draws_; }
+
+  private:
+    uint16_t state_ = 0xACE1;
+    uint64_t draws_ = 0;
+};
+
+/**
+ * xoshiro256** host-side generator (Blackman & Vigna), seeded through
+ * SplitMix64 so any 64-bit seed yields a good state.
+ */
+class Xoshiro256
+{
+  public:
+    explicit Xoshiro256(uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        reset(seed);
+    }
+
+    /** Re-seed via SplitMix64 expansion of @p seed. */
+    void reset(uint64_t seed);
+
+    /** Next raw 64-bit draw. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n); n must be > 0. */
+    uint64_t below(uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+            below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw with success probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Standard normal draw (polar Box-Muller, cached pair). */
+    double normal();
+
+    /** Normal draw with the given mean and standard deviation. */
+    double
+    normal(double mean, double sigma)
+    {
+        return mean + sigma * normal();
+    }
+
+    /** Poisson draw (Knuth for small lambda, normal approx beyond). */
+    uint64_t poisson(double lambda);
+
+  private:
+    uint64_t s_[4] = {};
+    double cachedNormal_ = 0.0;
+    bool hasCachedNormal_ = false;
+};
+
+} // namespace nscs
+
+#endif // NSCS_UTIL_RNG_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Saturating fixed-point helpers for the membrane-potential register.
+ *
+ * The hardware stores the membrane potential in a fixed-width signed
+ * register that saturates instead of wrapping.  NSCS keeps potentials
+ * in int32_t and saturates to a configurable bit width.
+ */
+
+#ifndef NSCS_UTIL_SATURATE_HH
+#define NSCS_UTIL_SATURATE_HH
+
+#include <cstdint>
+
+namespace nscs {
+
+/** Maximum representable value of a signed @p bits-bit register. */
+constexpr int32_t
+satMax(unsigned bits)
+{
+    return (bits >= 31) ? INT32_MAX : ((1 << (bits - 1)) - 1);
+}
+
+/** Minimum representable value of a signed @p bits-bit register. */
+constexpr int32_t
+satMin(unsigned bits)
+{
+    return (bits >= 31) ? INT32_MIN : -(1 << (bits - 1));
+}
+
+/** Clamp @p v into the signed @p bits-bit range. */
+constexpr int32_t
+satClamp(int64_t v, unsigned bits)
+{
+    int64_t hi = satMax(bits);
+    int64_t lo = satMin(bits);
+    if (v > hi)
+        return static_cast<int32_t>(hi);
+    if (v < lo)
+        return static_cast<int32_t>(lo);
+    return static_cast<int32_t>(v);
+}
+
+/** Saturating add of @p a and @p b within a signed @p bits register. */
+constexpr int32_t
+satAdd(int32_t a, int32_t b, unsigned bits)
+{
+    return satClamp(static_cast<int64_t>(a) + b, bits);
+}
+
+} // namespace nscs
+
+#endif // NSCS_UTIL_SATURATE_HH

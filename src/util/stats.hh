@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Small statistics package: running scalar statistics, linear
+ * histograms and named stat groups, in the spirit of gem5's stats.
+ *
+ * Everything is plain value types; benches and the energy model read
+ * the counters directly.
+ */
+
+#ifndef NSCS_UTIL_STATS_HH
+#define NSCS_UTIL_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace nscs {
+
+/**
+ * Streaming scalar statistic (Welford's algorithm): count, mean,
+ * variance, min, max without storing samples.
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        ++n_;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+    }
+
+    /** Number of samples. */
+    uint64_t count() const { return n_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance (0 when fewer than 2 samples). */
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+    }
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample (0 when empty). */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest sample (0 when empty). */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+    /** Forget all samples. */
+    void reset() { *this = RunningStat(); }
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Linear-bin histogram over [lo, hi) with an underflow and an
+ * overflow bucket; supports quantile queries over binned data.
+ */
+class Histogram
+{
+  public:
+    Histogram() : Histogram(0.0, 1.0, 10) {}
+
+    /** @p nbins bins spanning [lo, hi). */
+    Histogram(double lo, double hi, size_t nbins);
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Total samples (including under/overflow). */
+    uint64_t count() const { return count_; }
+
+    /** Count in bin @p i. */
+    uint64_t binCount(size_t i) const { return bins_[i]; }
+
+    /** Number of bins (excluding under/overflow). */
+    size_t numBins() const { return bins_.size(); }
+
+    /** Samples below lo. */
+    uint64_t underflow() const { return underflow_; }
+
+    /** Samples at or above hi. */
+    uint64_t overflow() const { return overflow_; }
+
+    /** Mean of all samples (exact, tracked separately). */
+    double mean() const { return stat_.mean(); }
+
+    /** Max of all samples (exact). */
+    double max() const { return stat_.max(); }
+
+    /**
+     * Approximate quantile (0..1) using bin upper edges; overflow
+     * samples report the exact observed max.
+     */
+    double quantile(double q) const;
+
+    /** Forget all samples. */
+    void reset();
+
+  private:
+    double lo_, hi_, width_;
+    std::vector<uint64_t> bins_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t count_ = 0;
+    RunningStat stat_;
+};
+
+/**
+ * A named scalar for human-readable stat dumps.
+ */
+struct StatEntry
+{
+    std::string name;  //!< dotted stat path, e.g. "core.synEvents"
+    double value;      //!< current value
+    std::string desc;  //!< one-line description
+};
+
+/**
+ * An ordered collection of named scalars.  Modules expose a
+ * `dumpStats` that appends entries; tools print them via formatStats.
+ */
+class StatGroup
+{
+  public:
+    /** Append one named scalar. */
+    void
+    add(const std::string &name, double value, const std::string &desc)
+    {
+        entries_.push_back({name, value, desc});
+    }
+
+    /** All entries in insertion order. */
+    const std::vector<StatEntry> &entries() const { return entries_; }
+
+    /** Find an entry by exact name; returns NaN when missing. */
+    double get(const std::string &name) const;
+
+    /** Render as an aligned text block. */
+    std::string format() const;
+
+  private:
+    std::vector<StatEntry> entries_;
+};
+
+} // namespace nscs
+
+#endif // NSCS_UTIL_STATS_HH

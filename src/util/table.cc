@@ -1,0 +1,138 @@
+#include "util/table.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace nscs {
+
+namespace {
+const std::string kRuleMarker = "\x01";
+} // anonymous namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addRule()
+{
+    rows_.push_back({kRuleMarker});
+}
+
+std::string
+TextTable::str() const
+{
+    // Compute column widths over header and all rows.
+    std::vector<size_t> widths;
+    auto grow = [&widths](const std::vector<std::string> &row) {
+        if (row.size() == 1 && row[0] == kRuleMarker)
+            return;
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (size_t i = 0; i < row.size(); ++i)
+            if (row[i].size() > widths[i])
+                widths[i] = row[i].size();
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    if (total >= 2)
+        total -= 2;
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            os << row[i];
+            if (i + 1 < row.size())
+                for (size_t p = row[i].size(); p < widths[i] + 2; ++p)
+                    os << ' ';
+        }
+        os << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_) {
+        if (r.size() == 1 && r[0] == kRuleMarker)
+            os << std::string(total, '-') << '\n';
+        else
+            emit(r);
+    }
+    return os.str();
+}
+
+std::string
+fmtF(double v, int decimals)
+{
+    return strprintf("%.*f", decimals, v);
+}
+
+std::string
+fmtInt(uint64_t v)
+{
+    std::string raw = std::to_string(v);
+    std::string out;
+    int count = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    return std::string(out.rbegin(), out.rend());
+}
+
+std::string
+fmtSi(double v, const std::string &unit)
+{
+    if (v == 0.0)
+        return "0" + unit;
+    static const struct { double scale; const char *prefix; } steps[] = {
+        {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+        {1.0, ""},
+        {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"},
+    };
+    double mag = std::fabs(v);
+    for (const auto &s : steps) {
+        if (mag >= s.scale) {
+            double scaled = v / s.scale;
+            int decimals = (std::fabs(scaled) >= 100) ? 0
+                         : (std::fabs(scaled) >= 10) ? 1 : 2;
+            return strprintf("%.*f%s%s", decimals, scaled, s.prefix,
+                             unit.c_str());
+        }
+    }
+    return strprintf("%.3g%s", v, unit.c_str());
+}
+
+std::string
+fmtBytes(uint64_t bytes)
+{
+    static const struct { uint64_t scale; const char *suffix; } steps[] = {
+        {1ull << 30, "GiB"}, {1ull << 20, "MiB"}, {1ull << 10, "KiB"},
+    };
+    for (const auto &s : steps)
+        if (bytes >= s.scale)
+            return strprintf("%.2f %s",
+                             static_cast<double>(bytes) /
+                                 static_cast<double>(s.scale),
+                             s.suffix);
+    return strprintf("%llu B", static_cast<unsigned long long>(bytes));
+}
+
+} // namespace nscs

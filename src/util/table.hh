@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Aligned ASCII table emitter used by every bench to print the
+ * paper-style tables and figure series, plus number formatting
+ * helpers (SI prefixes, bytes, fixed decimals).
+ */
+
+#ifndef NSCS_UTIL_TABLE_HH
+#define NSCS_UTIL_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nscs {
+
+/**
+ * Column-aligned text table.  Usage:
+ * @code
+ *   TextTable t({"cores", "ticks/s", "speedup"});
+ *   t.addRow({"16", "12000", "1.0x"});
+ *   std::cout << t.str();
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    TextTable() = default;
+
+    /** Construct with a header row. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a data row; width may differ from the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addRule();
+
+    /** Render the table with 2-space column gaps. */
+    std::string str() const;
+
+  private:
+    std::vector<std::string> header_;
+    /** Rows; an empty optional-marker row (single "\x01") is a rule. */
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format with @p decimals fixed decimals, e.g. 3.142. */
+std::string fmtF(double v, int decimals = 2);
+
+/** Format an integer with thousands separators, e.g. 1,234,567. */
+std::string fmtInt(uint64_t v);
+
+/**
+ * Format with an SI prefix and ~3 significant digits,
+ * e.g. 2.56G, 13.4m, 26p.
+ */
+std::string fmtSi(double v, const std::string &unit = "");
+
+/** Format a byte count with binary prefixes, e.g. 1.50 MiB. */
+std::string fmtBytes(uint64_t bytes);
+
+} // namespace nscs
+
+#endif // NSCS_UTIL_TABLE_HH

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Baseline-simulator tests, centred on the published one-to-one
+ * verification claim: the functional reference simulator and the
+ * cycle-level chip must produce identical output spike streams for
+ * every legal model, including stochastic ones, under every engine
+ * and transport combination.  The conventional (DenseSim) baseline
+ * must agree with the chip on deterministic, splitter-free networks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/dense_sim.hh"
+#include "baseline/reference_sim.hh"
+#include "chip/chip.hh"
+#include "prog/compiler.hh"
+#include "prog/network.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace nscs {
+namespace {
+
+CompileOptions
+smallOptions()
+{
+    CompileOptions opt;
+    // Generous axon budget: every neuron of the random networks may
+    // need a distinct axon on a destination core.
+    opt.geom.numAxons = 256;
+    opt.geom.numNeurons = 32;
+    opt.geom.delaySlots = 16;
+    return opt;
+}
+
+/** Random logical network exercising all features. */
+Network
+randomNetwork(uint64_t seed, bool allow_stochastic)
+{
+    Xoshiro256 rng(seed);
+    Network net;
+
+    uint32_t pops = 2 + static_cast<uint32_t>(rng.below(3));
+    std::vector<PopId> ids;
+    for (uint32_t p = 0; p < pops; ++p) {
+        NeuronParams proto;
+        proto.synWeight = {
+            static_cast<int16_t>(rng.range(1, 4)),
+            static_cast<int16_t>(rng.range(-4, -1)),
+            static_cast<int16_t>(rng.range(1, 6)),
+            static_cast<int16_t>(rng.range(-6, -1))};
+        proto.threshold = static_cast<int32_t>(rng.range(2, 8));
+        proto.leak = static_cast<int16_t>(rng.range(-2, 2));
+        proto.negThreshold = static_cast<int32_t>(rng.below(10));
+        proto.negSaturate = true;
+        proto.resetMode = static_cast<ResetMode>(rng.below(2));
+        if (allow_stochastic) {
+            proto.synStochastic[0] = rng.chance(0.3);
+            proto.leakStochastic = rng.chance(0.3);
+            proto.thresholdMaskBits = rng.chance(0.3)
+                ? static_cast<uint8_t>(1 + rng.below(2)) : 0;
+        }
+        ids.push_back(net.addPopulation(
+            "p" + std::to_string(p),
+            8 + static_cast<uint32_t>(rng.below(9)), proto));
+    }
+    for (uint32_t e = 0; e < pops * 2; ++e) {
+        PopId src = ids[rng.below(ids.size())];
+        PopId dst = ids[rng.below(ids.size())];
+        net.connectRandom(src, dst, 0.08,
+                          static_cast<uint8_t>(rng.below(4)),
+                          static_cast<uint8_t>(rng.range(2, 6)),
+                          rng.next());
+    }
+    uint32_t in = net.addInput("drive");
+    for (uint32_t k = 0; k < 6; ++k)
+        net.bindInput(in, {ids[k % ids.size()],
+                           static_cast<uint32_t>(
+                               rng.below(net.popSize(
+                                   ids[k % ids.size()])))},
+                      static_cast<uint8_t>(rng.below(2)) ? 0 : 2);
+    for (uint32_t k = 0; k < 8; ++k) {
+        PopId p = ids[rng.below(ids.size())];
+        NeuronRef ref{p, static_cast<uint32_t>(
+            rng.below(net.popSize(p)))};
+        bool dup = false;
+        for (uint32_t l = 0; l < net.numOutputs(); ++l)
+            if (net.outputNeuron(l) == ref)
+                dup = true;
+        if (!dup)
+            net.markOutput(ref);
+    }
+    return net;
+}
+
+class ReferenceEquivalence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ReferenceEquivalence, ChipMatchesReferenceSpikeForSpike)
+{
+    setQuiet(true);
+    uint64_t seed = static_cast<uint64_t>(GetParam()) * 6700417 + 11;
+    Network net = randomNetwork(seed, /*allow_stochastic=*/true);
+    CompiledModel model = compile(net, smallOptions());
+
+    // Shared input schedule.
+    Xoshiro256 rng(seed ^ 0x5A5A);
+    const uint64_t ticks = 150;
+    std::vector<std::vector<uint8_t>> fire(ticks);
+    for (uint64_t t = 0; t < ticks; ++t)
+        fire[t] = {rng.chance(0.5)};
+
+    const auto &targets = model.inputTargets("drive");
+
+    ReferenceSim ref(model);
+    for (uint64_t t = 0; t < ticks; ++t) {
+        if (fire[t][0])
+            for (const InputSpike &s : targets)
+                ref.injectInput(s.core, s.axon, t);
+        ref.tick();
+    }
+
+    struct Combo { EngineKind ek; NocModel nm; };
+    const Combo combos[] = {
+        {EngineKind::Clock, NocModel::Functional},
+        {EngineKind::Event, NocModel::Functional},
+        {EngineKind::Event, NocModel::Cycle},
+    };
+    for (const Combo &combo : combos) {
+        ChipParams cp;
+        cp.width = model.gridWidth;
+        cp.height = model.gridHeight;
+        cp.coreGeom = model.geom;
+        cp.engine = combo.ek;
+        cp.noc = combo.nm;
+        Chip chip(cp, model.cores);
+        for (uint64_t t = 0; t < ticks; ++t) {
+            if (fire[t][0])
+                for (const InputSpike &s : targets)
+                    chip.injectInput(s.core, s.axon, t);
+            chip.tick();
+        }
+        ASSERT_EQ(chip.outputs(), ref.outputs())
+            << "seed " << seed << " engine "
+            << static_cast<int>(combo.ek) << " noc "
+            << static_cast<int>(combo.nm);
+        // Architectural counters agree too.
+        uint64_t chip_sops = 0, chip_spikes = 0;
+        for (uint32_t c = 0; c < chip.numCores(); ++c) {
+            chip_sops += chip.core(c).counters().sops;
+            chip_spikes += chip.core(c).counters().spikes;
+        }
+        EXPECT_EQ(chip_sops, ref.counters().sops);
+        EXPECT_EQ(chip_spikes, ref.counters().spikes);
+    }
+    setQuiet(false);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReferenceEquivalence,
+                         ::testing::Range(0, 25));
+
+TEST(ReferenceSim, ResetRestoresInitialState)
+{
+    Network net = randomNetwork(3, false);
+    CompiledModel model = compile(net, smallOptions());
+    ReferenceSim ref(model);
+    const auto &targets = model.inputTargets("drive");
+    for (uint64_t t = 0; t < 50; ++t) {
+        for (const InputSpike &s : targets)
+            ref.injectInput(s.core, s.axon, t);
+        ref.tick();
+    }
+    auto first = ref.outputs();
+    ref.reset();
+    EXPECT_EQ(ref.now(), 0u);
+    for (uint64_t t = 0; t < 50; ++t) {
+        for (const InputSpike &s : targets)
+            ref.injectInput(s.core, s.axon, t);
+        ref.tick();
+    }
+    EXPECT_EQ(ref.outputs(), first);
+}
+
+// --- DenseSim ------------------------------------------------------------------
+
+/**
+ * Deterministic network that compiles splitter-free: every source
+ * neuron's edges share one (core, type, delay) branch, and output
+ * neurons have no other edges.  Pop a is recurrently inhibitory
+ * (its type-0 weight is -1) and excites pop b (type-0 weight +2);
+ * the external drive arrives on type 2.
+ */
+Network
+chainNetwork()
+{
+    Network net;
+    NeuronParams pa;
+    pa.synWeight = {-1, 0, 2, 0};
+    pa.threshold = 3;
+    pa.leak = -1;
+    pa.negSaturate = true;
+    NeuronParams pb;
+    pb.synWeight = {2, 0, 0, 0};
+    pb.threshold = 3;
+    PopId a = net.addPopulation("a", 12, pa);
+    PopId b = net.addPopulation("b", 12, pb);
+    net.connectOneToOne(a, b, 0, 2);
+    net.connectRandom(a, a, 0.15, 0, 2, 99);
+    uint32_t in = net.addInput("drive");
+    for (uint32_t i = 0; i < 12; ++i)
+        net.bindInput(in, {a, i}, 2);
+    for (uint32_t i = 0; i < 12; ++i)
+        net.markOutput({b, i});
+    return net;
+}
+
+TEST(DenseSim, MatchesChipOnDeterministicNetwork)
+{
+    Network net = chainNetwork();
+    CompiledModel model = compile(net, smallOptions());
+    ASSERT_EQ(model.stats.splitterCores, 0u)
+        << "test requires a splitter-free lowering";
+
+    DenseSim dense(net);
+    ChipParams cp;
+    cp.width = model.gridWidth;
+    cp.height = model.gridHeight;
+    cp.coreGeom = model.geom;
+    Chip chip(cp, model.cores);
+
+    const auto &targets = model.inputTargets("drive");
+    Xoshiro256 rng(4242);
+    for (uint64_t t = 0; t < 200; ++t) {
+        if (rng.chance(0.4)) {
+            dense.injectInput(0, t);
+            for (const InputSpike &s : targets)
+                chip.injectInput(s.core, s.axon, t);
+        }
+        dense.tick();
+        chip.tick();
+    }
+    ASSERT_FALSE(dense.outputs().empty());
+    EXPECT_EQ(dense.outputs(), chip.outputs());
+}
+
+TEST(DenseSim, CountersAndPotentials)
+{
+    Network net = chainNetwork();
+    DenseSim dense(net);
+    dense.injectInput(0, 0);
+    dense.run(5);
+    EXPECT_EQ(dense.now(), 5u);
+    EXPECT_EQ(dense.counters().ticks, 5u);
+    EXPECT_EQ(dense.counters().evals, 5u * net.numNeurons());
+    EXPECT_GT(dense.counters().sops, 0u);
+    dense.reset();
+    EXPECT_EQ(dense.counters().ticks, 0u);
+    EXPECT_EQ(dense.now(), 0u);
+}
+
+TEST(DenseSimDeath, RejectsBadInput)
+{
+    Network net = chainNetwork();
+    DenseSim dense(net);
+    EXPECT_DEATH(dense.injectInput(9, 0), "input");
+    dense.run(3);
+    EXPECT_DEATH(dense.injectInput(0, 1), "past");
+}
+
+} // anonymous namespace
+} // namespace nscs

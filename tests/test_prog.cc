@@ -1,0 +1,446 @@
+/**
+ * @file
+ * Tests for the programming tool flow: network IR, compiler lowering
+ * (axon allocation, splitter insertion, delay budgets), placement
+ * policies and the standard corelets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/reference_sim.hh"
+#include "chip/chip.hh"
+#include "prog/compiler.hh"
+#include "prog/corelet.hh"
+#include "prog/network.hh"
+#include "prog/placer.hh"
+#include "util/logging.hh"
+
+namespace nscs {
+namespace {
+
+NeuronParams
+unitNeuron(int32_t threshold = 1)
+{
+    NeuronParams p;
+    p.threshold = threshold;
+    return p;
+}
+
+CompileOptions
+smallOptions()
+{
+    CompileOptions opt;
+    opt.geom.numAxons = 32;
+    opt.geom.numNeurons = 32;
+    opt.geom.delaySlots = 16;
+    return opt;
+}
+
+/**
+ * Compile and run a network on the chip: fire the given (input id,
+ * tick) schedule and return all output spikes.
+ */
+std::vector<OutputSpike>
+runOnChip(const Network &net, const CompileOptions &opt,
+          const std::vector<std::pair<uint32_t, uint64_t>> &fires,
+          uint64_t ticks,
+          EngineKind ek = EngineKind::Event,
+          NocModel nm = NocModel::Functional)
+{
+    CompiledModel model = compile(net, opt);
+    ChipParams cp;
+    cp.width = model.gridWidth;
+    cp.height = model.gridHeight;
+    cp.coreGeom = model.geom;
+    cp.engine = ek;
+    cp.noc = nm;
+    Chip chip(cp, model.cores);
+    for (uint64_t t = 0; t < ticks; ++t) {
+        for (const auto &f : fires) {
+            if (f.second != t)
+                continue;
+            for (const InputSpike &target :
+                     model.inputTargets(net.inputName(f.first)))
+                chip.injectInput(target.core, target.axon, t);
+        }
+        chip.tick();
+    }
+    return chip.outputs();
+}
+
+// --- network IR -------------------------------------------------------------
+
+TEST(Network, PopulationBookkeeping)
+{
+    Network net;
+    PopId a = net.addPopulation("a", 5, unitNeuron());
+    PopId b = net.addPopulation("b", 3, unitNeuron(7));
+    EXPECT_EQ(net.numPopulations(), 2u);
+    EXPECT_EQ(net.numNeurons(), 8u);
+    EXPECT_EQ(net.popSize(a), 5u);
+    EXPECT_EQ(net.popName(b), "b");
+    EXPECT_EQ(net.globalIndex({b, 0}), 5u);
+    EXPECT_EQ(net.fromGlobalIndex(6), (NeuronRef{b, 1}));
+    EXPECT_EQ(net.neuronParams({b, 2}).threshold, 7);
+}
+
+TEST(Network, ParamOverrides)
+{
+    Network net;
+    PopId a = net.addPopulation("a", 4, unitNeuron(2));
+    NeuronParams special = unitNeuron(9);
+    net.setNeuronParams({a, 2}, special);
+    EXPECT_EQ(net.neuronParams({a, 2}).threshold, 9);
+    EXPECT_EQ(net.neuronParams({a, 1}).threshold, 2);
+}
+
+TEST(Network, ConnectGenerators)
+{
+    Network net;
+    PopId a = net.addPopulation("a", 4, unitNeuron());
+    PopId b = net.addPopulation("b", 4, unitNeuron());
+    net.connectAllToAll(a, b, 0, 1);
+    EXPECT_EQ(net.edges().size(), 16u);
+    net.connectOneToOne(b, a, 1, 2);
+    EXPECT_EQ(net.edges().size(), 20u);
+    size_t before = net.edges().size();
+    net.connectRandom(a, b, 0.5, 0, 1, 77);
+    size_t added = net.edges().size() - before;
+    EXPECT_GT(added, 2u);
+    EXPECT_LT(added, 14u);
+}
+
+TEST(NetworkDeath, Validation)
+{
+    Network net;
+    PopId a = net.addPopulation("a", 2, unitNeuron());
+    EXPECT_EXIT(net.connect({a, 5}, {a, 0}, 0, 1),
+                ::testing::ExitedWithCode(1), "outside");
+    EXPECT_EXIT(net.connect({a, 0}, {a, 1}, 7, 1),
+                ::testing::ExitedWithCode(1), "type class");
+    EXPECT_EXIT(net.connect({a, 0}, {a, 1}, 0, 0),
+                ::testing::ExitedWithCode(1), "delay");
+    net.markOutput({a, 0});
+    EXPECT_EXIT(net.markOutput({a, 0}),
+                ::testing::ExitedWithCode(1), "already");
+    net.addInput("x");
+    EXPECT_EXIT(net.addInput("x"),
+                ::testing::ExitedWithCode(1), "already");
+}
+
+// --- compiler ----------------------------------------------------------------
+
+TEST(Compiler, DirectSingleCorePipeline)
+{
+    Network net;
+    PopId a = net.addPopulation("a", 2, unitNeuron(2));
+    uint32_t in = net.addInput("stim");
+    net.bindInput(in, {a, 0}, 0);
+    net.bindInput(in, {a, 1}, 0);
+    net.markOutput({a, 0});
+    net.markOutput({a, 1});
+
+    CompiledModel model = compile(net, smallOptions());
+    EXPECT_EQ(model.gridWidth * model.gridHeight, 1u);
+    EXPECT_EQ(model.stats.splitterCores, 0u);
+    EXPECT_EQ(model.numOutputs, 2u);
+    // One shared axon for the input (same core, same type).
+    EXPECT_EQ(model.inputTargets("stim").size(), 1u);
+
+    // Threshold 2: two input fires produce one output spike each.
+    auto out = runOnChip(net, smallOptions(),
+                         {{in, 0}, {in, 1}}, 5);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].tick, 1u);
+    EXPECT_EQ(out[1].tick, 1u);
+}
+
+TEST(Compiler, MultiCorePlacementAndRouting)
+{
+    // 40 neurons with 32-neuron cores: spans two cores; a one-to-one
+    // chain from pop a to pop b must route across them.
+    Network net;
+    PopId a = net.addPopulation("a", 20, unitNeuron());
+    PopId b = net.addPopulation("b", 20, unitNeuron());
+    net.connectOneToOne(a, b, 0, 2);
+    uint32_t in = net.addInput("kick");
+    net.bindInput(in, {a, 17}, 0);
+    uint32_t line = net.markOutput({b, 17});
+
+    auto out = runOnChip(net, smallOptions(), {{in, 0}}, 8);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].line, line);
+    // a fires at 0, edge delay 2: b integrates at 2, fires at 2.
+    EXPECT_EQ(out[0].tick, 2u);
+}
+
+TEST(Compiler, SplitterInsertedForWideFanout)
+{
+    // One source feeding 3 cores' worth of targets needs relays.
+    Network net;
+    PopId src = net.addPopulation("src", 1, unitNeuron());
+    PopId dst = net.addPopulation("dst", 90, unitNeuron());
+    net.connectAllToAll(src, dst, 0, 2);
+    uint32_t in = net.addInput("kick");
+    net.bindInput(in, {src, 0}, 0);
+    for (uint32_t i = 0; i < 90; ++i)
+        net.markOutput({dst, i});
+
+    CompiledModel model = compile(net, smallOptions());
+    EXPECT_GE(model.stats.splitterCores, 1u);
+    EXPECT_EQ(model.stats.relayNeurons, 3u);  // one per target core
+
+    auto out = runOnChip(net, smallOptions(), {{in, 0}}, 8);
+    EXPECT_EQ(out.size(), 90u);
+    for (const auto &s : out)
+        EXPECT_EQ(s.tick, 2u);  // 1 tick relay + 1 tick remaining
+}
+
+TEST(Compiler, FanoutByTypeNeedsSplitterToo)
+{
+    // Same source, same destination core, two type classes: two
+    // axons, hence two branches.
+    Network net;
+    PopId src = net.addPopulation("src", 1, unitNeuron());
+    PopId dst = net.addPopulation("dst", 2, unitNeuron(3));
+    net.connect({src, 0}, {dst, 0}, 0, 2);
+    net.connect({src, 0}, {dst, 1}, 2, 2);
+    CompiledModel model = compile(net, smallOptions());
+    EXPECT_EQ(model.stats.relayNeurons, 2u);
+}
+
+TEST(CompilerDeath, DelayBudgetViolation)
+{
+    Network net;
+    PopId src = net.addPopulation("src", 1, unitNeuron());
+    PopId dst = net.addPopulation("dst", 90, unitNeuron());
+    net.connectAllToAll(src, dst, 0, 1);  // delay 1 but needs a tree
+    EXPECT_EXIT(compile(net, smallOptions()),
+                ::testing::ExitedWithCode(1), "increase the edge");
+}
+
+TEST(CompilerDeath, AxonExhaustion)
+{
+    // 33 distinct sources into a 32-axon core cannot be wired.
+    Network net;
+    PopId src = net.addPopulation("src", 33, unitNeuron());
+    PopId dst = net.addPopulation("dst", 1, unitNeuron());
+    net.connectAllToAll(src, dst, 0, 1);
+    EXPECT_EXIT(compile(net, smallOptions()),
+                ::testing::ExitedWithCode(1), "out of axons");
+}
+
+TEST(CompilerDeath, DelayBeyondScheduler)
+{
+    Network net;
+    PopId a = net.addPopulation("a", 2, unitNeuron());
+    net.connect({a, 0}, {a, 1}, 0, 16);
+    EXPECT_EXIT(compile(net, smallOptions()),
+                ::testing::ExitedWithCode(1), "scheduler");
+}
+
+TEST(Compiler, StatsPopulated)
+{
+    Network net;
+    PopId a = net.addPopulation("a", 40, unitNeuron());
+    net.connectRandom(a, a, 0.1, 0, 3, 5);
+    CompileOptions opt = smallOptions();
+    opt.geom.numAxons = 128;  // room for 40 distinct sources per core
+    CompiledModel model = compile(net, opt);
+    EXPECT_GE(model.stats.logicalCores, 2u);
+    EXPECT_GT(model.stats.synapses, 0u);
+    EXPECT_GT(model.stats.axonsUsed, 0u);
+}
+
+// --- placement -----------------------------------------------------------------
+
+TrafficMatrix
+pairedTraffic(uint32_t n)
+{
+    // Heavy traffic between i and i + n/2: row-major places the
+    // partners far apart, a traffic-aware order brings them together.
+    TrafficMatrix tm(n);
+    for (uint32_t i = 0; i < n / 2; ++i)
+        tm[i][i + n / 2] = 100;
+    return tm;
+}
+
+TEST(Placer, CostComputation)
+{
+    TrafficMatrix tm(2);
+    tm[0][1] = 10;
+    std::vector<uint32_t> x = {0, 3}, y = {0, 4};
+    EXPECT_DOUBLE_EQ(placementCost(tm, x, y), 70.0);
+}
+
+TEST(Placer, PoliciesCoverAllCells)
+{
+    TrafficMatrix tm = pairedTraffic(16);
+    for (auto policy : {PlacementPolicy::RowMajor,
+                        PlacementPolicy::GreedyBfs,
+                        PlacementPolicy::Anneal}) {
+        Placement pl = placeCores(tm, policy, 4, 4, 3);
+        std::vector<bool> used(16, false);
+        for (uint32_t i = 0; i < 16; ++i) {
+            uint32_t cell = pl.y[i] * 4 + pl.x[i];
+            ASSERT_LT(cell, 16u);
+            ASSERT_FALSE(used[cell]) << "cell reused by "
+                                     << placementPolicyName(policy);
+            used[cell] = true;
+        }
+    }
+}
+
+TEST(Placer, TrafficAwareBeatsRowMajor)
+{
+    TrafficMatrix tm = pairedTraffic(36);
+    Placement naive = placeCores(tm, PlacementPolicy::RowMajor, 6, 6);
+    Placement greedy = placeCores(tm, PlacementPolicy::GreedyBfs, 6, 6);
+    Placement anneal = placeCores(tm, PlacementPolicy::Anneal, 6, 6, 9);
+    EXPECT_LT(greedy.cost, naive.cost);
+    EXPECT_LE(anneal.cost, greedy.cost * 1.05);
+}
+
+TEST(Placer, AutoGridFits)
+{
+    TrafficMatrix tm(10);
+    Placement pl = placeCores(tm, PlacementPolicy::RowMajor);
+    EXPECT_GE(pl.width * pl.height, 10u);
+    EXPECT_LE(pl.width, 4u);
+}
+
+// --- corelets -------------------------------------------------------------------
+
+TEST(Corelets, MergerIsOrGate)
+{
+    Network net;
+    auto m = corelets::merger(net, "or");
+    uint32_t in_a = net.addInput("a");
+    uint32_t in_b = net.addInput("b");
+    net.bindInput(in_a, m.in[0], 0);
+    net.bindInput(in_b, m.in[0], 0);
+    net.markOutput(m.out[0]);
+
+    // Tick 0: both fire (one output spike); tick 3: only a.
+    auto out = runOnChip(net, smallOptions(),
+                         {{in_a, 0}, {in_b, 0}, {in_a, 3}}, 6);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].tick, 0u);
+    EXPECT_EQ(out[1].tick, 3u);
+}
+
+TEST(Corelets, DelayLineShiftsByLength)
+{
+    Network net;
+    auto dl = corelets::delayLine(net, "dl", 5);
+    uint32_t in = net.addInput("x");
+    net.bindInput(in, dl.in[0], 0);
+    net.markOutput(dl.out[0]);
+
+    auto out = runOnChip(net, smallOptions(), {{in, 2}}, 12);
+    ASSERT_EQ(out.size(), 1u);
+    // Head fires at 2; four more relay hops of delay 1 each.
+    EXPECT_EQ(out[0].tick, 6u);
+}
+
+TEST(Corelets, MajorityGateCounts)
+{
+    Network net;
+    auto maj = corelets::majority(net, "m3", 3);
+    std::vector<uint32_t> ins;
+    for (int i = 0; i < 4; ++i) {
+        uint32_t in = net.addInput("i" + std::to_string(i));
+        net.bindInput(in, maj.in[0], 0);
+        ins.push_back(in);
+    }
+    net.markOutput(maj.out[0]);
+
+    // Tick 0: 2 of 4 (below k=3).  Tick 4: 3 of 4 (fires).
+    // Ticks 8 and 9: 2 then 2 — must NOT accumulate across ticks.
+    auto out = runOnChip(net, smallOptions(),
+                         {{ins[0], 0}, {ins[1], 0},
+                          {ins[0], 4}, {ins[1], 4}, {ins[2], 4},
+                          {ins[0], 8}, {ins[1], 8},
+                          {ins[2], 9}, {ins[3], 9}},
+                         14);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].tick, 4u);
+}
+
+TEST(Corelets, RateScalerApproximatesProbability)
+{
+    Network net;
+    auto rs = corelets::rateScaler(net, "quarter", 1, 64);
+    uint32_t in = net.addInput("drive");
+    net.bindInput(in, rs.in[0], 0);
+    net.markOutput(rs.out[0]);
+
+    std::vector<std::pair<uint32_t, uint64_t>> fires;
+    const uint64_t ticks = 4000;
+    for (uint64_t t = 0; t < ticks; ++t)
+        fires.push_back({in, t});
+    auto out = runOnChip(net, smallOptions(), fires, ticks);
+    double rate = static_cast<double>(out.size()) /
+        static_cast<double>(ticks);
+    EXPECT_NEAR(rate, 0.25, 0.03);
+}
+
+TEST(Corelets, WinnerTakeAllSelectsStrongerChannel)
+{
+    Network net;
+    auto wta = corelets::winnerTakeAll(net, "wta", 3, 4);
+    std::vector<uint32_t> ins;
+    for (uint32_t i = 0; i < 3; ++i) {
+        uint32_t in = net.addInput("ch" + std::to_string(i));
+        net.bindInput(in, wta.in[i], 0);
+        ins.push_back(in);
+    }
+    for (uint32_t i = 0; i < 3; ++i)
+        net.markOutput(wta.out[i]);
+
+    // Channel 1 gets drive every tick, channels 0/2 every 3rd tick:
+    // channel 1 must dominate the output counts decisively.
+    std::vector<std::pair<uint32_t, uint64_t>> fires;
+    for (uint64_t t = 0; t < 60; ++t) {
+        fires.push_back({ins[1], t});
+        if (t % 3 == 0) {
+            fires.push_back({ins[0], t});
+            fires.push_back({ins[2], t});
+        }
+    }
+    auto out = runOnChip(net, smallOptions(), fires, 70);
+    uint64_t counts[3] = {0, 0, 0};
+    for (const auto &s : out)
+        ++counts[s.line];
+    EXPECT_GT(counts[1], 3 * counts[0]);
+    EXPECT_GT(counts[1], 3 * counts[2]);
+    EXPECT_GT(counts[1], 5u);
+}
+
+TEST(Corelets, WinnerTakeAllSilentWithoutDrive)
+{
+    Network net;
+    auto wta = corelets::winnerTakeAll(net, "wta", 4);
+    for (uint32_t i = 0; i < 4; ++i)
+        net.markOutput(wta.out[i]);
+    auto out = runOnChip(net, smallOptions(), {}, 50);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Corelets, SplitterExplicitFanout)
+{
+    Network net;
+    auto sp = corelets::splitter(net, "sp", 3);
+    uint32_t in = net.addInput("x");
+    for (int i = 0; i < 3; ++i) {
+        net.bindInput(in, sp.in[static_cast<size_t>(i)], 0);
+        net.markOutput(sp.out[static_cast<size_t>(i)]);
+    }
+    auto out = runOnChip(net, smallOptions(), {{in, 1}}, 5);
+    EXPECT_EQ(out.size(), 3u);
+    for (const auto &s : out)
+        EXPECT_EQ(s.tick, 1u);
+}
+
+} // anonymous namespace
+} // namespace nscs

@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Stress and failure-injection tests: saturation corners, scheduler
+ * wrap-around semantics, congested cycle-accurate transport, long
+ * deterministic runs, reset-mid-run behaviour, and degenerate
+ * configurations that must stay well-defined.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/reference_sim.hh"
+#include "chip/chip.hh"
+#include "prog/compiler.hh"
+#include "prog/network.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/saturate.hh"
+
+namespace nscs {
+namespace {
+
+CoreGeometry
+smallGeom()
+{
+    CoreGeometry g;
+    g.numAxons = 16;
+    g.numNeurons = 16;
+    g.delaySlots = 16;
+    return g;
+}
+
+CoreConfig
+relayCore()
+{
+    CoreConfig cfg = CoreConfig::make(smallGeom());
+    for (uint32_t n = 0; n < 16; ++n) {
+        cfg.neurons[n].threshold = 1;
+        cfg.connect(n, n);
+    }
+    return cfg;
+}
+
+// --- saturation corners -------------------------------------------------------
+
+TEST(Saturation, MaxThresholdCrossingIsExact)
+{
+    // Max-weight drive toward the maximum legal threshold: the
+    // register never wraps, the fire lands exactly at the predicted
+    // crossing tick, and accumulation restarts cleanly.
+    CoreConfig cfg = CoreConfig::make(smallGeom());
+    cfg.neurons[0].synWeight[0] = 255;
+    cfg.neurons[0].threshold = satMax(20);
+    cfg.connect(0, 0);
+    Core core(cfg);
+    std::vector<uint32_t> fired;
+    uint64_t fire_tick = 0;
+    for (uint64_t t = 0; t < 3000; ++t) {
+        core.deposit(t, 0);
+        fired.clear();
+        core.tickDense(t, fired);
+        if (!fired.empty())
+            fire_tick = t;
+        ASSERT_LE(core.potential(0), satMax(20));
+        ASSERT_GE(core.potential(0), satMin(20));
+    }
+    // ceil(524287 / 255) events needed: fires at tick 2056 (0-based).
+    EXPECT_EQ(fire_tick, 2056u);
+    EXPECT_EQ(core.potential(0), (3000 - 2057) * 255);
+}
+
+TEST(Saturation, WithinTickIntegrationSaturates)
+{
+    // An 8-bit register: a single +255 event already pins at +127;
+    // further events in the same tick change nothing, and the fire
+    // then resets normally.
+    CoreConfig cfg = CoreConfig::make(smallGeom());
+    NeuronParams &p = cfg.neurons[0];
+    p.potentialBits = 8;
+    p.synWeight[0] = 255;
+    p.threshold = 127;
+    for (uint32_t a = 0; a < 3; ++a)
+        cfg.connect(a, 0);
+    Core core(cfg);
+    std::vector<uint32_t> fired;
+    for (uint64_t t = 0; t < 50; ++t) {
+        for (uint32_t a = 0; a < 3; ++a)
+            core.deposit(t, a);
+        core.tickDense(t, fired);
+        ASSERT_LE(core.potential(0), 127);
+    }
+    EXPECT_EQ(fired.size(), 50u);  // fires every tick, no wrap
+}
+
+TEST(Saturation, NegativePinsAtFloor)
+{
+    CoreConfig cfg = CoreConfig::make(smallGeom());
+    cfg.neurons[0].synWeight[0] = -255;
+    cfg.neurons[0].threshold = 10;
+    cfg.neurons[0].negThreshold = 0;  // no beta floor
+    cfg.neurons[0].negSaturate = false;
+    cfg.neurons[0].resetMode = ResetMode::None;
+    cfg.connect(0, 0);
+    Core core(cfg);
+    std::vector<uint32_t> fired;
+    for (uint64_t t = 0; t < 3000; ++t) {
+        core.deposit(t, 0);
+        core.tickDense(t, fired);
+    }
+    EXPECT_EQ(core.potential(0), satMin(20));
+    EXPECT_TRUE(fired.empty());
+}
+
+// --- scheduler wrap-around ------------------------------------------------------
+
+TEST(SchedulerWrap, MaxDelayDeliversExactlyOnce)
+{
+    // Delay 15 on a 16-slot scheduler: the spike must arrive at
+    // t+15, not t-1 mod 16.
+    CoreConfig src = relayCore();
+    src.dests[0].kind = NeuronDest::Kind::Core;
+    src.dests[0].dx = 0;
+    src.dests[0].dy = 0;
+    src.dests[0].axon = 1;
+    src.dests[0].delay = 15;
+    src.dests[1].kind = NeuronDest::Kind::Output;
+    src.dests[1].line = 0;
+
+    ChipParams p;
+    p.width = 1;
+    p.height = 1;
+    p.coreGeom = smallGeom();
+    Chip chip(p, {src});
+    chip.injectInput(0, 0, 0);
+    chip.run(40);
+    ASSERT_EQ(chip.outputs().size(), 1u);
+    EXPECT_EQ(chip.outputs()[0].tick, 15u);
+    EXPECT_EQ(chip.counters().lateDeliveries, 0u);
+}
+
+TEST(SchedulerWrap, RepeatedWrapsStayAligned)
+{
+    // A self-loop of delay 13 must tick at exactly 13-tick intervals
+    // through many scheduler wraps.
+    CoreConfig cfg = relayCore();
+    cfg.dests[2].kind = NeuronDest::Kind::Core;
+    cfg.dests[2].dx = 0;
+    cfg.dests[2].dy = 0;
+    cfg.dests[2].axon = 2;
+    cfg.dests[2].delay = 13;
+    cfg.connect(2, 3);
+    cfg.dests[3].kind = NeuronDest::Kind::Output;
+    cfg.dests[3].line = 7;
+
+    ChipParams p;
+    p.width = 1;
+    p.height = 1;
+    p.coreGeom = smallGeom();
+    Chip chip(p, {cfg});
+    chip.injectInput(0, 2, 0);
+    chip.run(400);
+    const auto &out = chip.outputs();
+    ASSERT_GE(out.size(), 30u);
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i].tick, i * 13)
+            << "wrap misalignment at spike " << i;
+}
+
+// --- congestion and late delivery ------------------------------------------------
+
+TEST(Congestion, HotspotStaysDeterministicAndLossless)
+{
+    // Every core fires into core 0's axons every tick through the
+    // cycle-accurate mesh: heavy contention at the hotspot.  All
+    // spikes must be delivered (possibly late), and two identical
+    // runs must agree exactly.
+    const uint32_t side = 4;
+    std::vector<CoreConfig> cfgs;
+    for (uint32_t c = 0; c < side * side; ++c) {
+        CoreConfig cfg = relayCore();
+        uint32_t x = c % side, y = c / side;
+        for (uint32_t n = 0; n < 8; ++n) {
+            cfg.dests[n].kind = NeuronDest::Kind::Core;
+            cfg.dests[n].dx = -static_cast<int16_t>(x);
+            cfg.dests[n].dy = -static_cast<int16_t>(y);
+            cfg.dests[n].axon = static_cast<uint16_t>(8 + (n % 8));
+            cfg.dests[n].delay = 2;
+        }
+        if (c == 0)
+            for (uint32_t n = 8; n < 16; ++n) {
+                cfg.dests[n].kind = NeuronDest::Kind::Output;
+                cfg.dests[n].line = n;
+            }
+        cfgs.push_back(std::move(cfg));
+    }
+
+    auto run = [&](uint32_t budget) {
+        ChipParams p;
+        p.width = side;
+        p.height = side;
+        p.coreGeom = smallGeom();
+        p.noc = NocModel::Cycle;
+        p.cyclesPerTick = budget;
+        Chip chip(p, cfgs);
+        for (uint64_t t = 0; t < 60; ++t) {
+            for (uint32_t c = 0; c < side * side; ++c)
+                for (uint32_t a = 0; a < 8; ++a)
+                    chip.injectInput(c, a, t);
+            chip.tick();
+        }
+        chip.run(64);  // drain
+        return chip;
+    };
+
+    // Tight budget forces lateness but not loss.
+    {
+        Chip chip = run(4);
+        EXPECT_GT(chip.counters().lateDeliveries, 0u);
+        EXPECT_GT(chip.counters().spikesOut, 0u);
+    }
+    // Determinism under congestion: identical reruns.
+    {
+        Chip a = run(8);
+        Chip b = run(8);
+        EXPECT_EQ(a.outputs(), b.outputs());
+        EXPECT_EQ(a.counters().lateDeliveries,
+                  b.counters().lateDeliveries);
+    }
+    // A generous budget delivers everything on time.
+    {
+        Chip chip = run(4096);
+        EXPECT_EQ(chip.counters().lateDeliveries, 0u);
+    }
+}
+
+// --- long-run determinism ---------------------------------------------------------
+
+TEST(LongRun, TenThousandTicksBitStable)
+{
+    Network net;
+    NeuronParams p;
+    p.synWeight = {2, -1, 1, 1};
+    p.threshold = 5;
+    p.leak = -1;
+    p.negSaturate = true;
+    p.leakStochastic = true;  // exercises per-tick PRNG for 10k ticks
+    PopId a = net.addPopulation("a", 20, p);
+    net.connectRandom(a, a, 0.08, 0, 3, 5);
+    uint32_t in = net.addInput("drive");
+    for (uint32_t i = 0; i < 6; ++i)
+        net.bindInput(in, {a, i}, 0);
+    for (uint32_t i = 12; i < 20; ++i)
+        net.markOutput({a, i});
+
+    CompileOptions opt;
+    opt.geom.numAxons = 64;
+    opt.geom.numNeurons = 32;
+    CompiledModel model = compile(net, opt);
+    const auto &targets = model.inputTargets("drive");
+
+    auto run = [&](EngineKind ek) {
+        ChipParams cp;
+        cp.width = model.gridWidth;
+        cp.height = model.gridHeight;
+        cp.coreGeom = model.geom;
+        cp.engine = ek;
+        Chip chip(cp, model.cores);
+        Xoshiro256 rng(77);
+        for (uint64_t t = 0; t < 10000; ++t) {
+            if (rng.chance(0.3))
+                for (const InputSpike &s : targets)
+                    chip.injectInput(s.core, s.axon, t);
+            chip.tick();
+        }
+        return chip.outputs();
+    };
+    auto clock = run(EngineKind::Clock);
+    auto event = run(EngineKind::Event);
+    ASSERT_GT(clock.size(), 100u);
+    EXPECT_EQ(clock, event);
+}
+
+// --- reset mid-run -----------------------------------------------------------------
+
+TEST(Reset, MidRunResetReproducesFromScratch)
+{
+    CoreConfig cfg = relayCore();
+    cfg.neurons[5].leak = 1;
+    cfg.neurons[5].threshold = 9;
+    cfg.dests[5].kind = NeuronDest::Kind::Output;
+    cfg.dests[5].line = 0;
+
+    ChipParams p;
+    p.width = 1;
+    p.height = 1;
+    p.coreGeom = smallGeom();
+    Chip chip(p, {cfg});
+    chip.run(57);
+    auto first = chip.outputs();
+    ASSERT_FALSE(first.empty());
+
+    chip.reset();
+    chip.run(57);
+    EXPECT_EQ(chip.outputs(), first);
+}
+
+// --- degenerate configurations ------------------------------------------------------
+
+TEST(Degenerate, UnconnectedChipIsSilentAndCheap)
+{
+    std::vector<CoreConfig> cfgs(9, CoreConfig::make(smallGeom()));
+    ChipParams p;
+    p.width = 3;
+    p.height = 3;
+    p.coreGeom = smallGeom();
+    p.engine = EngineKind::Event;
+    Chip chip(p, std::move(cfgs));
+    chip.run(1000);
+    EXPECT_TRUE(chip.outputs().empty());
+    // The event engine never activates a single core.
+    EXPECT_EQ(chip.counters().coreActivations, 0u);
+}
+
+TEST(Degenerate, CollisionMergeSemantics)
+{
+    // Two sources hitting the same (axon, tick) merge into one
+    // event: the target integrates once, and the collision is
+    // counted.
+    CoreConfig cfg = relayCore();
+    cfg.neurons[4].threshold = 2;  // needs two separate events
+    Chip chip({.width = 1, .height = 1, .coreGeom = smallGeom()},
+              {cfg});
+    chip.injectInput(0, 4, 0);
+    chip.injectInput(0, 4, 0);  // merged with the first
+    chip.run(3);
+    EXPECT_TRUE(chip.outputs().empty());
+    EXPECT_EQ(chip.core(0).counters().collisions, 1u);
+    EXPECT_EQ(chip.core(0).counters().sops, 1u);
+}
+
+TEST(Degenerate, ReferenceAgreesOnPathologicalParams)
+{
+    // Extreme parameter corners (saturated weights, max mask, both
+    // negative modes) still agree chip-vs-reference.
+    CoreGeometry geom;
+    geom.numAxons = 8;
+    geom.numNeurons = 8;
+    geom.delaySlots = 16;
+    CoreConfig cfg = CoreConfig::make(geom);
+    for (uint32_t n = 0; n < 8; ++n) {
+        NeuronParams &np = cfg.neurons[n];
+        np.synWeight = {255, -255, 255, -255};
+        np.synStochastic = {true, false, true, false};
+        np.threshold = 1 + static_cast<int32_t>(n);
+        np.negThreshold = 255;
+        np.negSaturate = (n % 2) == 0;
+        np.resetMode = static_cast<ResetMode>(n % 3);
+        np.thresholdMaskBits = static_cast<uint8_t>(n % 5);
+        np.leak = static_cast<int16_t>((n % 2) ? -255 : 255);
+        np.leakStochastic = (n % 3) == 0;
+        cfg.connect(n % 8, n);
+        cfg.dests[n].kind = NeuronDest::Kind::Output;
+        cfg.dests[n].line = n;
+    }
+    validateCoreConfig(cfg, "pathological");
+
+    CompiledModel model;
+    model.gridWidth = model.gridHeight = 1;
+    model.geom = geom;
+    model.cores = {cfg};
+
+    ReferenceSim ref(model);
+    Chip chip({.width = 1, .height = 1, .coreGeom = geom,
+               .engine = EngineKind::Event},
+              {cfg});
+    Xoshiro256 rng(9);
+    for (uint64_t t = 0; t < 500; ++t) {
+        for (uint32_t a = 0; a < 8; ++a) {
+            if (rng.chance(0.3)) {
+                ref.injectInput(0, a, t);
+                chip.injectInput(0, a, t);
+            }
+        }
+        ref.tick();
+        chip.tick();
+    }
+    EXPECT_EQ(chip.outputs(), ref.outputs());
+    EXPECT_FALSE(ref.outputs().empty());
+}
+
+} // anonymous namespace
+} // namespace nscs

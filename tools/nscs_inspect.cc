@@ -1,0 +1,105 @@
+/**
+ * @file
+ * nscs_inspect — summarise a compiled model file: grid, per-core
+ * utilisation, synapse counts, destinations, inputs and outputs.
+ *
+ * Usage:
+ *   nscs_inspect MODEL.json [--cores]
+ *
+ * With --cores, prints a per-core utilisation table in addition to
+ * the model summary.
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "prog/compiled.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace nscs;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: nscs_inspect MODEL.json [--cores]\n";
+        return 2;
+    }
+    bool per_core = argc > 2 && std::strcmp(argv[2], "--cores") == 0;
+
+    CompiledModel model;
+    if (!loadCompiledModel(argv[1], model))
+        fatal("cannot load model file '%s'", argv[1]);
+
+    uint64_t synapses = 0, used_cores = 0, neurons_used = 0;
+    uint64_t axons_used = 0, core_dests = 0, output_dests = 0;
+    for (const CoreConfig &cfg : model.cores) {
+        uint64_t core_syn = 0;
+        uint32_t axons = 0;
+        for (const auto &row : cfg.xbarRows) {
+            core_syn += row.count();
+            if (row.any())
+                ++axons;
+        }
+        uint32_t active = 0;
+        for (uint32_t n = 0; n < cfg.geom.numNeurons; ++n) {
+            if (cfg.dests[n].kind == NeuronDest::Kind::Core) {
+                ++core_dests;
+                ++active;
+            } else if (cfg.dests[n].kind == NeuronDest::Kind::Output) {
+                ++output_dests;
+                ++active;
+            }
+        }
+        if (core_syn || active)
+            ++used_cores;
+        synapses += core_syn;
+        axons_used += axons;
+        neurons_used += active;
+    }
+
+    TextTable t({"property", "value"});
+    t.addRow({"grid", std::to_string(model.gridWidth) + "x" +
+              std::to_string(model.gridHeight)});
+    t.addRow({"core geometry",
+              std::to_string(model.geom.numAxons) + " axons x " +
+              std::to_string(model.geom.numNeurons) + " neurons x " +
+              std::to_string(model.geom.delaySlots) + " slots"});
+    t.addRow({"cores in use", fmtInt(used_cores) + " / " +
+              fmtInt(model.cores.size())});
+    t.addRow({"synapses", fmtInt(synapses)});
+    t.addRow({"axons in use", fmtInt(axons_used)});
+    t.addRow({"routed neurons", fmtInt(neurons_used)});
+    t.addRow({"core->core dests", fmtInt(core_dests)});
+    t.addRow({"output dests", fmtInt(output_dests)});
+    t.addRow({"input lines", fmtInt(model.inputs.size())});
+    t.addRow({"output lines", fmtInt(model.numOutputs)});
+    std::cout << t.str();
+
+    if (per_core) {
+        std::cout << "\n";
+        TextTable ct({"core", "x,y", "neurons", "axons", "synapses"});
+        for (uint32_t c = 0; c < model.cores.size(); ++c) {
+            const CoreConfig &cfg = model.cores[c];
+            uint64_t syn = 0;
+            uint32_t axons = 0, used = 0;
+            for (const auto &row : cfg.xbarRows) {
+                syn += row.count();
+                if (row.any())
+                    ++axons;
+            }
+            for (const auto &d : cfg.dests)
+                if (d.kind != NeuronDest::Kind::None)
+                    ++used;
+            if (!syn && !used)
+                continue;
+            ct.addRow({std::to_string(c),
+                       std::to_string(c % model.gridWidth) + "," +
+                       std::to_string(c / model.gridWidth),
+                       fmtInt(used), fmtInt(axons), fmtInt(syn)});
+        }
+        std::cout << ct.str();
+    }
+    return 0;
+}

@@ -16,6 +16,7 @@
 
 #include <chrono>
 #include <iostream>
+#include <thread>
 
 #include "baseline/dense_sim.hh"
 #include "bench/workload.hh"
@@ -84,25 +85,37 @@ main()
     TextTable t({"cores", "engine", "ticks/s", "MSOPs/s",
                  "rel. clock"});
 
+    const uint32_t par_threads = std::max(
+        2u, std::thread::hardware_concurrency());
+
     for (uint32_t side : {4u, 8u, 16u, 32u}) {
         double clock_tps = 0.0;
-        for (EngineKind ek : {EngineKind::Clock, EngineKind::Event}) {
+        struct EngineRow { EngineKind ek; uint32_t threads;
+                           const char *name; };
+        const EngineRow rows[] = {
+            {EngineKind::Clock, 0, "clock"},
+            {EngineKind::Event, 0, "event"},
+            {EngineKind::Clock, par_threads, "clock (parallel)"},
+        };
+        for (const EngineRow &row : rows) {
             CorticalParams wp;
             wp.gridW = wp.gridH = side;
             wp.density = density;
             wp.ratePerTick = rate;
             wp.seed = 3;
             CorticalWorkload w = makeCortical(wp);
-            auto sim = makeCorticalSim(w, ek);
+            auto sim = makeCorticalSim(w, row.ek,
+                                       NocModel::Functional,
+                                       row.threads);
             RunPerf perf = sim->run(ticks);
             EnergyEvents e = sim->chip().energyEvents();
             double tps = perf.ticksPerSecond();
             double msops = static_cast<double>(e.sops) /
                 perf.seconds / 1e6;
-            if (ek == EngineKind::Clock)
+            if (row.ek == EngineKind::Clock && row.threads == 0)
                 clock_tps = tps;
             t.addRow({fmtInt(side * side),
-                      ek == EngineKind::Clock ? "clock" : "event",
+                      row.name,
                       fmtF(tps, 1),
                       fmtF(msops, 1),
                       fmtF(tps / clock_tps, 2) + "x"});

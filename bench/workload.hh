@@ -89,10 +89,12 @@ makeCortical(const CorticalParams &wp)
     return w;
 }
 
-/** Simulator wired with the workload's Poisson source. */
+/** Simulator wired with the workload's Poisson source.  @p threads
+ *  selects the chip's parallel tick engine (0/1 = serial). */
 inline std::unique_ptr<Simulator>
 makeCorticalSim(const CorticalWorkload &w, EngineKind engine,
-                NocModel noc = NocModel::Functional)
+                NocModel noc = NocModel::Functional,
+                uint32_t threads = 0)
 {
     ChipParams cp;
     cp.width = w.params.gridW;
@@ -100,6 +102,7 @@ makeCorticalSim(const CorticalWorkload &w, EngineKind engine,
     cp.coreGeom = CoreGeometry{};
     cp.engine = engine;
     cp.noc = noc;
+    cp.threads = threads;
     auto sim = std::make_unique<Simulator>(cp, w.cores);
     if (w.params.ratePerTick > 0.0) {
         sim->addSource(std::make_unique<PoissonSource>(

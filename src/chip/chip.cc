@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "runtime/parallel.hh"
 #include "util/logging.hh"
 
 namespace nscs {
@@ -71,7 +72,16 @@ Chip::Chip(const ChipParams &params, std::vector<CoreConfig> configs)
                 scheduleWake(c, *se);
         }
     }
+
+    if (params_.threads >= 2) {
+        pool_ = std::make_unique<ThreadPool>(params_.threads);
+        chunks_.resize(pool_->lanes());
+    }
 }
+
+Chip::Chip(Chip &&) = default;
+Chip &Chip::operator=(Chip &&) = default;
+Chip::~Chip() = default;
 
 void
 Chip::reset()
@@ -219,10 +229,8 @@ Chip::runMesh(uint64_t t)
 }
 
 void
-Chip::tick()
+Chip::collectActive(uint64_t t)
 {
-    const uint64_t t = now_;
-
     activeScratch_.clear();
     if (params_.engine == EngineKind::Clock) {
         for (uint32_t c = 0; c < numCores(); ++c)
@@ -246,18 +254,21 @@ Chip::tick()
                                          activeScratch_.end()),
                              activeScratch_.end());
     }
+}
 
-    for (uint32_t c : activeScratch_) {
-        firedScratch_.clear();
-        if (params_.engine == EngineKind::Clock)
-            cores_[c]->tickDense(t, firedScratch_);
-        else
-            cores_[c]->tickSparse(t, firedScratch_);
-        ++counters_.coreActivations;
-        for (uint32_t n : firedScratch_)
-            routeSpike(c, n, cores_[c]->dest(n), t);
-    }
+void
+Chip::evaluateCore(uint32_t core, uint64_t t,
+                   std::vector<uint32_t> &fired)
+{
+    if (params_.engine == EngineKind::Clock)
+        cores_[core]->tickDense(t, fired);
+    else
+        cores_[core]->tickSparse(t, fired);
+}
 
+void
+Chip::finishTick(uint64_t t)
+{
     if (params_.noc == NocModel::Cycle)
         runMesh(t);
 
@@ -271,6 +282,82 @@ Chip::tick()
 
     ++now_;
     ++counters_.ticks;
+}
+
+void
+Chip::tick()
+{
+    if (pool_)
+        tickParallel();
+    else
+        tickSerial();
+}
+
+void
+Chip::tickSerial()
+{
+    const uint64_t t = now_;
+    collectActive(t);
+
+    for (uint32_t c : activeScratch_) {
+        firedScratch_.clear();
+        evaluateCore(c, t, firedScratch_);
+        ++counters_.coreActivations;
+        for (uint32_t n : firedScratch_)
+            routeSpike(c, n, cores_[c]->dest(n), t);
+    }
+
+    finishTick(t);
+}
+
+void
+Chip::tickParallel()
+{
+    const uint64_t t = now_;
+    collectActive(t);
+
+    // Evaluation phase: cores only mutate their own state (routing,
+    // i.e. cross-core deposits, is deferred), so active cores can be
+    // evaluated concurrently.  Contiguous chunks of activeScratch_
+    // keep each chunk's fired list in ascending active-index order.
+    const auto n = static_cast<uint32_t>(activeScratch_.size());
+    if (chunks_.empty())
+        chunks_.resize(1);
+    const auto num_chunks =
+        std::min(static_cast<uint32_t>(chunks_.size()), n);
+    const auto eval_chunk = [&](uint32_t k) {
+        EvalChunk &chunk = chunks_[k];
+        chunk.fired.clear();
+        const uint32_t begin =
+            static_cast<uint32_t>(uint64_t{n} * k / num_chunks);
+        const uint32_t end =
+            static_cast<uint32_t>(uint64_t{n} * (k + 1) / num_chunks);
+        for (uint32_t i = begin; i < end; ++i) {
+            chunk.scratch.clear();
+            evaluateCore(activeScratch_[i], t, chunk.scratch);
+            for (uint32_t fired : chunk.scratch)
+                chunk.fired.emplace_back(i, fired);
+        }
+    };
+    if (pool_) {
+        pool_->parallelFor(num_chunks, eval_chunk);
+    } else {
+        for (uint32_t k = 0; k < num_chunks; ++k)
+            eval_chunk(k);
+    }
+    counters_.coreActivations += n;
+
+    // Merge phase: route in ascending active-index order — exactly
+    // the serial engine's order, so outputs, counters and mesh
+    // injections are bit-identical.
+    for (uint32_t k = 0; k < num_chunks; ++k) {
+        for (auto [i, neuron] : chunks_[k].fired) {
+            uint32_t c = activeScratch_[i];
+            routeSpike(c, neuron, cores_[c]->dest(neuron), t);
+        }
+    }
+
+    finishTick(t);
 }
 
 void

@@ -47,6 +47,8 @@
 
 namespace nscs {
 
+class ThreadPool;
+
 /** Execution engine selection. */
 enum class EngineKind : uint8_t {
     Clock,  //!< evaluate every core every tick
@@ -70,6 +72,15 @@ struct ChipParams
     uint32_t meshFifoDepth = 4;      //!< router FIFO capacity (Cycle)
     uint32_t cyclesPerTick = 4096;   //!< router cycles per tick (Cycle)
     EnergyParams energy;             //!< energy constants
+
+    /**
+     * Worker lanes for the parallel tick engine; 0 or 1 selects the
+     * serial engine.  Output is bit-identical either way: cores are
+     * evaluated concurrently (every destination delay is >= 1 tick,
+     * so evaluation of tick t never observes tick-t deposits) and
+     * spikes are then routed serially in the serial engine's order.
+     */
+    uint32_t threads = 0;
 };
 
 /** An output spike that left the chip. */
@@ -107,6 +118,10 @@ class Chip
      */
     Chip(const ChipParams &params, std::vector<CoreConfig> configs);
 
+    Chip(Chip &&);
+    Chip &operator=(Chip &&);
+    ~Chip();
+
     /** Return every core and the fabric to the initial state. */
     void reset();
 
@@ -118,8 +133,23 @@ class Chip
     void injectInput(uint32_t core, uint32_t axon,
                      uint64_t delivery_tick);
 
-    /** Execute one tick. */
+    /**
+     * Execute one tick.  Uses the parallel engine when
+     * params.threads >= 2, the serial engine otherwise.
+     */
     void tick();
+
+    /**
+     * Execute one tick on the parallel path: evaluate the active
+     * cores across the worker pool, then merge and route the fired
+     * spikes serially in ascending core order.  Bit-identical to the
+     * serial engine; with params.threads < 2 the evaluation phase
+     * runs on the calling thread only.
+     */
+    void tickParallel();
+
+    /** Execute one tick on the serial engine regardless of params. */
+    void tickSerial();
 
     /** Execute @p n ticks. */
     void run(uint64_t n);
@@ -172,6 +202,10 @@ class Chip
     void scheduleWake(uint32_t core, uint64_t tick);
     uint64_t effectiveDeliveryTick(uint64_t delivery_tick,
                                    uint64_t t) const;
+    void collectActive(uint64_t t);
+    void evaluateCore(uint32_t core, uint64_t t,
+                      std::vector<uint32_t> &fired);
+    void finishTick(uint64_t t);
 
     ChipParams params_;
     std::vector<std::unique_ptr<Core>> cores_;
@@ -188,6 +222,17 @@ class Chip
     std::vector<uint64_t> lastWake_;     //!< dedup helper per core
     std::vector<uint32_t> activeScratch_;
     std::vector<uint32_t> firedScratch_;
+
+    // Parallel engine (params.threads >= 2).
+    std::unique_ptr<ThreadPool> pool_;
+    /** Per-chunk reusable buffers for the parallel evaluation phase. */
+    struct EvalChunk
+    {
+        /** (index into activeScratch_, fired neuron), in eval order. */
+        std::vector<std::pair<uint32_t, uint32_t>> fired;
+        std::vector<uint32_t> scratch;   //!< per-core fired scratch
+    };
+    std::vector<EvalChunk> chunks_;
 
     // Cycle model: spikes awaiting successful injection.
     struct PendingInject

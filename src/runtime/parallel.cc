@@ -1,0 +1,97 @@
+#include "runtime/parallel.hh"
+
+namespace nscs {
+
+ThreadPool::ThreadPool(uint32_t threads)
+{
+    if (threads < 2)
+        return;
+    workers_.reserve(threads - 1);
+    for (uint32_t i = 0; i + 1 < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::runLanes()
+{
+    // Claim-and-run until the index space is exhausted.  Indices are
+    // claimed atomically, and parallelFor does not publish a new job
+    // while any worker is still in here (active_ > 0), so every
+    // index runs exactly once.
+    for (;;) {
+        uint32_t i = cursor_.fetch_add(1);
+        uint32_t count = count_.load();
+        if (i >= count)
+            return;
+        (*job_)(i);
+        if (completed_.fetch_add(1) + 1 == count) {
+            std::lock_guard<std::mutex> lk(mu_);
+            done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        wake_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_)
+            return;
+        seen = generation_;
+        // Register in active_ before dropping the lock: a new job
+        // cannot be published while this worker might still claim
+        // from the old cursor.
+        ++active_;
+        lk.unlock();
+        runLanes();
+        lk.lock();
+        if (--active_ == 0)
+            done_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(uint32_t count,
+                        const std::function<void(uint32_t)> &job)
+{
+    if (count == 0)
+        return;
+    if (workers_.empty() || count == 1) {
+        for (uint32_t i = 0; i < count; ++i)
+            job(i);
+        return;
+    }
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        // Wait out stragglers from the previous job: a worker still
+        // inside runLanes could otherwise fetch_add a stale cursor
+        // value between the stores below and claim an index of the
+        // new job twice (or inflate completed_ past count).
+        done_.wait(lk, [&] { return active_ == 0; });
+        job_ = &job;
+        completed_.store(0);
+        count_.store(count);
+        cursor_.store(0);
+        ++generation_;
+    }
+    wake_.notify_all();
+    runLanes();
+    std::unique_lock<std::mutex> lk(mu_);
+    done_.wait(lk, [&] { return completed_.load() == count; });
+}
+
+} // namespace nscs

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A persistent worker-thread pool for data-parallel tick evaluation.
+ *
+ * The pool is built once (threads are spawned at construction and
+ * parked on a condition variable between jobs) and then reused every
+ * tick, so the per-tick dispatch cost is one notify plus one join
+ * rendezvous rather than thread creation.  Work is handed out as an
+ * index space [0, count): each worker (plus the calling thread, which
+ * participates) repeatedly claims the next unclaimed index from an
+ * atomic cursor and runs the job on it.  parallelFor blocks until
+ * every index has been processed.
+ *
+ * The job must be safe to run concurrently for distinct indices; the
+ * pool provides no ordering between indices.  Exceptions must not
+ * escape the job (the simulator core is exception-free; fatal() is
+ * the error path).
+ */
+
+#ifndef NSCS_RUNTIME_PARALLEL_HH
+#define NSCS_RUNTIME_PARALLEL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nscs {
+
+/** Persistent pool of worker threads with a parallel-for primitive. */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn @p threads - 1 workers (the caller is the remaining
+     * lane).  @p threads < 2 spawns no workers; parallelFor then
+     * degenerates to a serial loop on the calling thread.
+     */
+    explicit ThreadPool(uint32_t threads);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Join and reap all workers. */
+    ~ThreadPool();
+
+    /** Total lanes (workers + the calling thread). */
+    uint32_t lanes() const { return static_cast<uint32_t>(workers_.size()) + 1; }
+
+    /**
+     * Run @p job(i) for every i in [0, count), distributing indices
+     * across all lanes; returns when every index is done.  Must not
+     * be called concurrently or re-entered from inside a job.
+     */
+    void parallelFor(uint32_t count, const std::function<void(uint32_t)> &job);
+
+  private:
+    void workerLoop();
+    void runLanes();
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable wake_;   //!< workers wait for a new job
+    std::condition_variable done_;   //!< caller waits for completion
+    uint64_t generation_ = 0;        //!< bumps once per parallelFor
+    bool stop_ = false;
+
+    const std::function<void(uint32_t)> *job_ = nullptr;
+    std::atomic<uint32_t> count_{0};     //!< index-space size of the job
+    std::atomic<uint32_t> cursor_{0};    //!< next unclaimed index
+    std::atomic<uint32_t> completed_{0}; //!< indices finished
+    uint32_t active_ = 0;  //!< workers inside runLanes (guarded by mu_)
+};
+
+} // namespace nscs
+
+#endif // NSCS_RUNTIME_PARALLEL_HH

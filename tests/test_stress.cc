@@ -327,8 +327,11 @@ TEST(Degenerate, CollisionMergeSemantics)
     // counted.
     CoreConfig cfg = relayCore();
     cfg.neurons[4].threshold = 2;  // needs two separate events
-    Chip chip({.width = 1, .height = 1, .coreGeom = smallGeom()},
-              {cfg});
+    ChipParams p;
+    p.width = 1;
+    p.height = 1;
+    p.coreGeom = smallGeom();
+    Chip chip(p, {cfg});
     chip.injectInput(0, 4, 0);
     chip.injectInput(0, 4, 0);  // merged with the first
     chip.run(3);
@@ -369,9 +372,12 @@ TEST(Degenerate, ReferenceAgreesOnPathologicalParams)
     model.cores = {cfg};
 
     ReferenceSim ref(model);
-    Chip chip({.width = 1, .height = 1, .coreGeom = geom,
-               .engine = EngineKind::Event},
-              {cfg});
+    ChipParams p;
+    p.width = 1;
+    p.height = 1;
+    p.coreGeom = geom;
+    p.engine = EngineKind::Event;
+    Chip chip(p, {cfg});
     Xoshiro256 rng(9);
     for (uint64_t t = 0; t < 500; ++t) {
         for (uint32_t a = 0; a < 8; ++a) {

@@ -9,6 +9,9 @@
  * Options:
  *   --engine clock|event      execution engine (default event)
  *   --noc functional|cycle    spike transport (default functional)
+ *   --threads N               parallel tick engine with N worker
+ *                             lanes (default 0 = serial; output is
+ *                             bit-identical either way)
  *   --inputs FILE             input schedule: lines "tick inputName"
  *   --trace FILE              write the output trace here
  *   --stats                   dump chip statistics to stderr
@@ -37,8 +40,8 @@ usage()
 {
     std::cerr <<
         "usage: nscs_run MODEL.json TICKS [--engine clock|event]\n"
-        "                [--noc functional|cycle] [--inputs FILE]\n"
-        "                [--trace FILE] [--stats]\n";
+        "                [--noc functional|cycle] [--threads N]\n"
+        "                [--inputs FILE] [--trace FILE] [--stats]\n";
     std::exit(2);
 }
 
@@ -54,6 +57,7 @@ main(int argc, char **argv)
 
     EngineKind engine = EngineKind::Event;
     NocModel noc = NocModel::Functional;
+    uint32_t threads = 0;
     std::string inputs_path, trace_path;
     bool stats = false;
 
@@ -80,6 +84,13 @@ main(int argc, char **argv)
                 noc = NocModel::Cycle;
             else
                 usage();
+        } else if (arg == "--threads") {
+            std::string v = next();
+            char *end = nullptr;
+            unsigned long n = std::strtoul(v.c_str(), &end, 10);
+            if (v.empty() || end != v.c_str() + v.size() || n > 1024)
+                usage();
+            threads = static_cast<uint32_t>(n);
         } else if (arg == "--inputs") {
             inputs_path = next();
         } else if (arg == "--trace") {
@@ -126,6 +137,7 @@ main(int argc, char **argv)
     cp.coreGeom = model.geom;
     cp.engine = engine;
     cp.noc = noc;
+    cp.threads = threads;
     Simulator sim(cp, model.cores);
 
     auto source = std::make_unique<ScheduleSource>();

@@ -68,6 +68,8 @@ main()
         Chip chip(cp, std::move(cores));
         auto t1 = std::chrono::steady_clock::now();
 
+        // synapseCount() is cached at crossbar construction, so this
+        // sweep no longer rescans every bitmap per sample.
         uint64_t synapses = 0;
         for (uint32_t c = 0; c < chip.numCores(); ++c)
             synapses += chip.core(c).crossbar().synapseCount();

@@ -95,5 +95,43 @@ main()
                   fmtF(tps / serial_tps, 2) + "x"});
     }
     std::cout << p.str();
+
+    std::cout <<
+        "\n== A2c: scalar vs word-parallel synaptic integration ==\n"
+        "(64-core chip, busy activity, serial clock engine; shape\n"
+        " target: word-parallel wins where integrate dominates)\n\n";
+
+    TextTable q({"integrate", "ticks/s", "sops", "hit rate", "speedup"});
+    double scalar_tps = 0;
+    for (bool fast : {false, true}) {
+        CorticalParams wp;
+        wp.gridW = wp.gridH = 8;
+        wp.density = 128;
+        // Dense activity: half the driven axons fire per tick, well
+        // above the cores' adaptive word-parallel threshold.
+        wp.ratePerTick = 0.5;
+        wp.seed = 9;
+        CorticalWorkload w = makeCortical(wp);
+        auto sim = makeCorticalSim(w, EngineKind::Clock);
+        for (uint32_t c = 0; c < sim->chip().numCores(); ++c)
+            sim->chip().core(c).setWordParallel(fast);
+        RunPerf perf = sim->run(pticks);
+
+        uint64_t sops = 0, batched = 0;
+        for (uint32_t c = 0; c < sim->chip().numCores(); ++c) {
+            sops += sim->chip().core(c).counters().sops;
+            batched += sim->chip().core(c).counters().sopsBatched;
+        }
+        double tps = perf.ticksPerSecond();
+        if (!fast)
+            scalar_tps = tps;
+        double hit = sops ? static_cast<double>(batched) / sops : 0.0;
+        q.addRow({fast ? "word-par" : "scalar",
+                  fmtF(tps, 1),
+                  fmtInt(sops),
+                  fast ? fmtF(hit * 100, 1) + "%" : "-",
+                  fmtF(tps / scalar_tps, 2) + "x"});
+    }
+    std::cout << q.str();
     return 0;
 }

@@ -1,5 +1,7 @@
 #include "core/core.hh"
 
+#include <bit>
+
 #include "util/logging.hh"
 
 namespace nscs {
@@ -19,7 +21,66 @@ Core::Core(CoreConfig cfg)
     scheduledFire_.resize(n);
     for (uint32_t j = 0; j < n; ++j)
         cls_[j] = classifyNeuron(cfg_.neurons[j]);
+    buildLanes();
     reset();
+}
+
+void
+Core::buildLanes()
+{
+    const uint32_t num_neurons = cfg_.geom.numNeurons;
+    const uint32_t num_axons = cfg_.geom.numAxons;
+    const size_t words = (num_neurons + 63) / 64;
+
+    // Enough carry-save bit-planes to count up to num_axons events
+    // per (neuron, type) without overflow.
+    planeCount_ = static_cast<uint32_t>(std::bit_width(num_axons));
+
+    vLo_.resize(num_neurons);
+    vHi_.resize(num_neurons);
+    for (uint32_t j = 0; j < num_neurons; ++j) {
+        PotentialRange r = potentialRange(cfg_.neurons[j]);
+        vLo_[j] = r.lo;
+        vHi_[j] = r.hi;
+    }
+
+    for (unsigned g = 0; g < kNumAxonTypes; ++g) {
+        TypeLane &lane = lanes_[g];
+        lane.axons = BitVec(num_axons);
+        lane.stoch = BitVec(num_neurons);
+        lane.weight.assign(num_neurons, 0);
+        lane.rowOr = BitVec(num_neurons);
+        lane.planes.assign(static_cast<size_t>(planeCount_) * words, 0);
+        lane.present = false;
+        lane.activeAxons = 0;
+        for (uint32_t j = 0; j < num_neurons; ++j) {
+            lane.weight[j] = cfg_.neurons[j].synWeight[g];
+            if (cfg_.neurons[j].synStochastic[g])
+                lane.stoch.set(j);
+        }
+    }
+    for (uint32_t a = 0; a < num_axons; ++a) {
+        TypeLane &lane = lanes_[cfg_.axonType[a]];
+        lane.axons.set(a);
+        lane.present = true;
+    }
+
+    touched_ = BitVec(num_neurons);
+    fallback_ = BitVec(num_neurons);
+
+    // Engagement threshold: scalar cost ~ events = rows x density x
+    // neurons, word-parallel cost adds ~ one extraction per touched
+    // neuron, so break-even is at roughly 10 / density active rows
+    // (~20 rows at 50% density on the 256x256 I3 microbench).  An
+    // empty crossbar never integrates, so the threshold is moot.
+    uint64_t synapses = xbar_.synapseCount();
+    if (synapses == 0) {
+        wpMinActive_ = num_axons + 1;
+    } else {
+        double density = static_cast<double>(synapses) /
+            (static_cast<double>(num_axons) * num_neurons);
+        wpMinActive_ = static_cast<uint32_t>(10.0 / density);
+    }
 }
 
 void
@@ -86,9 +147,24 @@ Core::catchUp(uint32_t n, uint64_t t)
 void
 Core::integrateActiveAxons(uint64_t t, bool sparse)
 {
-    const BitVec &active = sched_.slot(t);
-    if (active.none())
+    if (sched_.slotEmpty(t))
         return;
+    const BitVec &active = sched_.slot(t);
+    if (wordParallel_ && sched_.slotCount(t) >= wpMinActive_)
+        integrateWordParallel(active, t, sparse);
+    else
+        integrateScalar(active, t, sparse);
+    sched_.clearSlot(t);
+}
+
+/**
+ * The architectural reference order: one integrateSynapse call per
+ * (axon, neuron) event, axons ascending, neurons ascending within a
+ * row.  The word-parallel path below must match this bit for bit.
+ */
+void
+Core::integrateScalar(const BitVec &active, uint64_t t, bool sparse)
+{
     active.forEachSet([this, t, sparse](size_t a) {
         unsigned g = cfg_.axonType[a];
         const BitVec &row = xbar_.row(static_cast<uint32_t>(a));
@@ -103,7 +179,160 @@ Core::integrateActiveAxons(uint64_t t, bool sparse)
             ++counters_.sops;
         });
     });
-    sched_.clearSlot(t);
+}
+
+/**
+ * Word-parallel synaptic integration.
+ *
+ * Phase 1 folds the active-axon slot against each axon-type
+ * partition with 64-bit word operations: the OR of active rows
+ * gives the touched-neuron mask, and carry-save bit-plane addition
+ * of the same rows gives per-neuron event counts per type (a column
+ * popcount computed 64 columns at a time).
+ *
+ * Phase 2 applies deterministic synapses as one batched
+ * v += count * weight add per type.  Equivalence argument: the
+ * scalar path is a chain of saturating adds in (axon, neuron)
+ * order.  Addition is commutative, so the chain equals the batched
+ * sum whenever no partial sum can leave the register rails; the
+ * guard checks the worst-case excursion (all positive contributions
+ * first / all negative first brackets every interleaving).  Neurons
+ * that fail the guard — mixed signs near the rails — or that have a
+ * stochastic synapse in play fall back to the scalar path.
+ *
+ * Phase 3 replays the fallback neurons event by event in the
+ * architectural order.  Deterministic events never draw from the
+ * PRNG, so batching them cannot shift the draw positions of the
+ * stochastic events replayed here: the draw order stays axon-major,
+ * which is the cross-engine equivalence contract.
+ */
+void
+Core::integrateWordParallel(const BitVec &active, uint64_t t,
+                            bool sparse)
+{
+    const size_t words = touched_.words().size();
+
+    // Phase 1: partition the active slot by axon type and fold each
+    // partition's crossbar rows into (touched mask, count planes).
+    touched_.reset();
+    for (unsigned g = 0; g < kNumAxonTypes; ++g) {
+        TypeLane &lane = lanes_[g];
+        lane.activeAxons = 0;
+        if (!lane.present || !active.intersects(lane.axons))
+            continue;
+        active.forEachSetMasked(lane.axons, [this, &lane,
+                                             words](size_t a) {
+            const BitVec &row = xbar_.row(static_cast<uint32_t>(a));
+            ++lane.activeAxons;
+            row.forEachSetWord([&lane, words](size_t w, uint64_t bits) {
+                lane.rowOr.orWordAt(w, bits);
+                // Carry-save add: plane p holds bit p of every
+                // column's running count.
+                uint64_t carry = bits;
+                size_t idx = w;
+                while (carry) {
+                    uint64_t old = lane.planes[idx];
+                    lane.planes[idx] = old ^ carry;
+                    carry &= old;
+                    idx += words;
+                }
+            });
+        });
+        touched_.orAccumulate(lane.rowOr);
+    }
+    if (sparse)
+        evalMask_.orAccumulate(touched_);
+
+    // Plane p of lane g can be nonzero only once 2^p rows were
+    // folded; bound extraction and cleanup accordingly.
+    unsigned planes_used[kNumAxonTypes];
+    for (unsigned g = 0; g < kNumAxonTypes; ++g)
+        planes_used[g] = static_cast<unsigned>(
+            std::bit_width(lanes_[g].activeAxons));
+
+    // Phase 2: batch-apply deterministic events per touched neuron;
+    // divert saturation-risk and stochastic targets to the fallback
+    // set.
+    bool any_fallback = false;
+    touched_.forEachSetWord([&](size_t w, uint64_t word) {
+        uint64_t bits = word;
+        while (bits) {
+            unsigned b = static_cast<unsigned>(__builtin_ctzll(bits));
+            bits &= bits - 1;
+            auto n = static_cast<uint32_t>(w * 64 + b);
+            if (sparse && cls_[n] != UpdateClass::Dense)
+                catchUp(n, t);
+            int64_t delta = 0, pos = 0, neg = 0;
+            uint64_t events = 0;
+            bool stochastic = false;
+            for (unsigned g = 0; g < kNumAxonTypes; ++g) {
+                const TypeLane &lane = lanes_[g];
+                if (!lane.activeAxons ||
+                    !((lane.rowOr.words()[w] >> b) & 1))
+                    continue;
+                if ((lane.stoch.words()[w] >> b) & 1) {
+                    stochastic = true;
+                    break;
+                }
+                uint64_t cnt = 0;
+                size_t idx = w;
+                for (unsigned p = 0; p < planes_used[g];
+                     ++p, idx += words)
+                    cnt |= ((lane.planes[idx] >> b) & 1) << p;
+                events += cnt;
+                int64_t d = static_cast<int64_t>(cnt) * lane.weight[n];
+                delta += d;
+                if (d > 0)
+                    pos += d;
+                else
+                    neg += d;
+            }
+            if (stochastic) {
+                fallback_.set(n);
+                any_fallback = true;
+                continue;
+            }
+            int64_t v0 = v_[n];
+            if (v0 + pos <= vHi_[n] && v0 + neg >= vLo_[n]) {
+                v_[n] = static_cast<int32_t>(v0 + delta);
+                counters_.sops += events;
+                counters_.sopsBatched += events;
+            } else {
+                fallback_.set(n);
+                any_fallback = true;
+            }
+        }
+    });
+
+    // Phase 3: event-by-event replay of the fallback neurons in the
+    // architectural (axon-major) order; the only PRNG consumer.
+    if (any_fallback) {
+        active.forEachSet([this](size_t a) {
+            unsigned g = cfg_.axonType[a];
+            xbar_.row(static_cast<uint32_t>(a)).forEachSetMasked(
+                fallback_, [this, g](size_t j) {
+                    auto n = static_cast<uint32_t>(j);
+                    v_[n] = integrateSynapse(v_[n], cfg_.neurons[n], g,
+                                             &rng_);
+                    ++counters_.sops;
+                });
+        });
+        fallback_.reset();
+    }
+
+    // Scratch cleanup, word-wise over the words each lane touched.
+    for (unsigned g = 0; g < kNumAxonTypes; ++g) {
+        TypeLane &lane = lanes_[g];
+        if (!lane.activeAxons)
+            continue;
+        lane.rowOr.forEachSetWord([&lane, words,
+                                   &planes_used, g](size_t w, uint64_t) {
+            size_t idx = w;
+            for (unsigned p = 0; p < planes_used[g]; ++p, idx += words)
+                lane.planes[idx] = 0;
+        });
+        lane.rowOr.reset();
+    }
 }
 
 void
@@ -228,6 +457,17 @@ Core::footprintBytes() const
     bytes += doneThrough_.capacity() * sizeof(uint64_t);
     bytes += scheduledFire_.capacity() * sizeof(uint64_t);
     bytes += evalMask_.footprintBytes();
+    for (const TypeLane &lane : lanes_) {
+        bytes += lane.axons.footprintBytes();
+        bytes += lane.stoch.footprintBytes();
+        bytes += lane.weight.capacity() * sizeof(int32_t);
+        bytes += lane.rowOr.footprintBytes();
+        bytes += lane.planes.capacity() * sizeof(uint64_t);
+    }
+    bytes += vLo_.capacity() * sizeof(int32_t);
+    bytes += vHi_.capacity() * sizeof(int32_t);
+    bytes += touched_.footprintBytes();
+    bytes += fallback_.footprintBytes();
     return bytes;
 }
 

@@ -29,6 +29,21 @@
  * A core must not mix strategies within one run; reset() clears the
  * commitment.
  *
+ * Synaptic integration itself has two implementations with
+ * bit-identical results (see integrateWordParallel in core.cc for
+ * the equivalence argument):
+ *
+ *  - scalar:        one integrateSynapse call per (axon, neuron)
+ *                   event, in architectural order;
+ *  - word-parallel: the active-axon slot is folded against per-type
+ *                   crossbar partitions with 64-bit word operations,
+ *                   yielding a touched-neuron mask and per-neuron
+ *                   event counts per type; deterministic synapses
+ *                   are then applied as one count x weight add per
+ *                   type.  Neurons whose events could saturate
+ *                   mid-sequence, or that have a stochastic synapse
+ *                   in play, drop to the scalar path for that tick.
+ *
  * Reset semantics: the negative-threshold rule is applied once to
  * every neuron's initial potential at reset (this makes skipping
  * sound for all non-Dense classes and is part of the architectural
@@ -38,6 +53,7 @@
 #ifndef NSCS_CORE_CORE_HH
 #define NSCS_CORE_CORE_HH
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <queue>
@@ -61,6 +77,14 @@ struct CoreCounters
     uint64_t deposits = 0;     //!< scheduler deposits
     uint64_t collisions = 0;   //!< scheduler merge collisions
     uint64_t rngDraws = 0;     //!< PRNG draws consumed
+
+    /**
+     * Of sops, events applied by the word-parallel batched integrate
+     * path (one add per (neuron, type) instead of one per event).
+     * Purely a simulation-effort statistic: architectural results are
+     * bit-identical whichever path applied the event.
+     */
+    uint64_t sopsBatched = 0;
 };
 
 /** One core's runtime state. */
@@ -126,6 +150,32 @@ class Core
      *  without mutating state (valid for non-Dense neurons). */
     int32_t settledPotential(uint32_t n, uint64_t t) const;
 
+    /**
+     * Toggle the word-parallel integrate fast path (default on).
+     * Results are bit-identical either way; the toggle exists for
+     * differential testing and benchmarking.  May be flipped at any
+     * tick boundary.
+     */
+    void setWordParallel(bool on) { wordParallel_ = on; }
+
+    /** True when the word-parallel integrate path is enabled. */
+    bool wordParallel() const { return wordParallel_; }
+
+    /**
+     * Minimum active-axon count in a tick's slot for the
+     * word-parallel path to engage; below it the scalar path runs
+     * (its cost scales with delivered events, while the
+     * word-parallel path adds a per-touched-neuron extraction term
+     * that only amortizes once enough rows fold together).  The
+     * default is derived from the crossbar density at construction;
+     * 0 forces word-parallel whenever enabled.  Results are
+     * bit-identical at any setting.
+     */
+    void setWordParallelMinActive(uint32_t n) { wpMinActive_ = n; }
+
+    /** Current word-parallel engagement threshold. */
+    uint32_t wordParallelMinActive() const { return wpMinActive_; }
+
     /** Heap footprint of the runtime core in bytes. */
     size_t footprintBytes() const;
 
@@ -133,7 +183,32 @@ class Core
     /** Strategy commitment guard. */
     enum class Mode : uint8_t { Unset, Dense, Sparse };
 
+    /**
+     * Per-axon-type structure-of-arrays view of the configuration,
+     * built once at construction, plus the per-tick scratch the
+     * word-parallel integrate path folds into.  The AoS NeuronParams
+     * array stays the source of truth; these lanes are a dense
+     * read-only projection of the three fields the integrate hot
+     * loop needs (weight, stochastic flag, axon partition).
+     */
+    struct TypeLane
+    {
+        BitVec axons;                 //!< axons of this type
+        BitVec stoch;                 //!< neurons with stochastic syn
+        std::vector<int32_t> weight;  //!< per-neuron weight lane
+        bool present = false;         //!< any axon carries this type
+
+        // Per-tick scratch, cleared word-wise after each drain.
+        BitVec rowOr;                 //!< OR of active crossbar rows
+        std::vector<uint64_t> planes; //!< carry-save count bit-planes
+        uint32_t activeAxons = 0;     //!< active axons this tick
+    };
+
+    void buildLanes();
     void integrateActiveAxons(uint64_t t, bool sparse);
+    void integrateScalar(const BitVec &active, uint64_t t, bool sparse);
+    void integrateWordParallel(const BitVec &active, uint64_t t,
+                               bool sparse);
     void catchUp(uint32_t n, uint64_t t);
     void scheduleSelfEvent(uint32_t n);
     void commitMode(Mode m);
@@ -146,6 +221,16 @@ class Core
     std::vector<int32_t> v_;             //!< membrane potentials
     std::vector<UpdateClass> cls_;       //!< per-neuron class
     std::vector<uint32_t> denseList_;    //!< Dense neurons, ascending
+
+    // Word-parallel integrate state (see integrateWordParallel).
+    std::array<TypeLane, kNumAxonTypes> lanes_;
+    std::vector<int32_t> vLo_;           //!< per-neuron lower rail
+    std::vector<int32_t> vHi_;           //!< per-neuron upper rail
+    BitVec touched_;                     //!< scratch: event targets
+    BitVec fallback_;                    //!< scratch: scalar replays
+    uint32_t planeCount_ = 0;            //!< carry-save plane budget
+    uint32_t wpMinActive_ = 0;           //!< engagement threshold
+    bool wordParallel_ = true;
 
     /** End-of-tick updates applied for all ticks < doneThrough_[n]. */
     std::vector<uint64_t> doneThrough_;

@@ -7,29 +7,29 @@ namespace nscs {
 Crossbar::Crossbar(std::vector<BitVec> rows, uint32_t num_neurons)
     : rows_(std::move(rows)), numNeurons_(num_neurons)
 {
-    for (const auto &row : rows_)
+    // The crossbar is immutable after build, so the aggregate stats
+    // (total synapses, per-row degree, per-column fan-in) are
+    // computed once here instead of rescanning the bitmap per query.
+    axonDegree_.resize(rows_.size());
+    fanIn_.assign(numNeurons_, 0);
+    for (size_t a = 0; a < rows_.size(); ++a) {
+        const BitVec &row = rows_[a];
         NSCS_ASSERT(row.size() == numNeurons_,
                     "crossbar row width %zu != %u neurons",
                     row.size(), numNeurons_);
-}
-
-uint64_t
-Crossbar::synapseCount() const
-{
-    uint64_t n = 0;
-    for (const auto &row : rows_)
-        n += row.count();
-    return n;
+        size_t degree = row.count();
+        axonDegree_[a] = static_cast<uint32_t>(degree);
+        synapseCount_ += degree;
+        row.forEachSet([this](size_t j) { ++fanIn_[j]; });
+    }
 }
 
 size_t
 Crossbar::neuronFanIn(uint32_t neuron) const
 {
-    size_t n = 0;
-    for (const auto &row : rows_)
-        if (row.test(neuron))
-            ++n;
-    return n;
+    NSCS_ASSERT(neuron < numNeurons_, "neuronFanIn(%u) of %u neurons",
+                neuron, numNeurons_);
+    return fanIn_[neuron];
 }
 
 size_t
@@ -38,6 +38,8 @@ Crossbar::footprintBytes() const
     size_t bytes = sizeof(Crossbar);
     for (const auto &row : rows_)
         bytes += row.footprintBytes();
+    bytes += axonDegree_.capacity() * sizeof(uint32_t);
+    bytes += fanIn_.capacity() * sizeof(uint32_t);
     return bytes;
 }
 

@@ -43,13 +43,15 @@ class Crossbar
     /** Row of synapses driven by @p axon. */
     const BitVec &row(uint32_t axon) const { return rows_[axon]; }
 
-    /** Total set bits (synapse count). */
-    uint64_t synapseCount() const;
+    /** Total set bits (synapse count); cached at construction. */
+    uint64_t synapseCount() const { return synapseCount_; }
 
-    /** Number of synapses on @p axon (its fan-out inside the core). */
-    size_t axonDegree(uint32_t axon) const { return rows_[axon].count(); }
+    /** Number of synapses on @p axon (its fan-out inside the core);
+     *  cached at construction. */
+    size_t axonDegree(uint32_t axon) const { return axonDegree_[axon]; }
 
-    /** Number of synapses into @p neuron (its fan-in). */
+    /** Number of synapses into @p neuron (its fan-in); cached at
+     *  construction. */
     size_t neuronFanIn(uint32_t neuron) const;
 
     /** Heap footprint in bytes. */
@@ -57,6 +59,9 @@ class Crossbar
 
   private:
     std::vector<BitVec> rows_;
+    std::vector<uint32_t> axonDegree_;   //!< per-row popcount
+    std::vector<uint32_t> fanIn_;        //!< per-column popcount
+    uint64_t synapseCount_ = 0;
     uint32_t numNeurons_ = 0;
 };
 

@@ -1,12 +1,15 @@
 #include "core/scheduler.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace nscs {
 
 Scheduler::Scheduler(uint32_t delay_slots, uint32_t num_axons)
     : delaySlots_(delay_slots),
-      slots_(delay_slots, BitVec(num_axons))
+      slots_(delay_slots, BitVec(num_axons)),
+      slotCounts_(delay_slots, 0)
 {
     NSCS_ASSERT(delay_slots >= 2, "scheduler needs >= 2 slots");
 }
@@ -14,12 +17,15 @@ Scheduler::Scheduler(uint32_t delay_slots, uint32_t num_axons)
 bool
 Scheduler::deposit(uint64_t delivery_tick, uint32_t axon)
 {
-    BitVec &s = slots_[delivery_tick % delaySlots_];
+    uint32_t idx = static_cast<uint32_t>(delivery_tick % delaySlots_);
+    BitVec &s = slots_[idx];
     bool collision = s.test(axon);
     s.set(axon);
     ++deposits_;
     if (collision)
         ++collisions_;
+    else
+        ++slotCounts_[idx];
     return collision;
 }
 
@@ -32,13 +38,21 @@ Scheduler::slot(uint64_t tick) const
 bool
 Scheduler::slotEmpty(uint64_t tick) const
 {
-    return slots_[tick % delaySlots_].none();
+    return slotCounts_[tick % delaySlots_] == 0;
+}
+
+uint32_t
+Scheduler::slotCount(uint64_t tick) const
+{
+    return slotCounts_[tick % delaySlots_];
 }
 
 void
 Scheduler::clearSlot(uint64_t tick)
 {
-    slots_[tick % delaySlots_].reset();
+    uint32_t idx = static_cast<uint32_t>(tick % delaySlots_);
+    slots_[idx].reset();
+    slotCounts_[idx] = 0;
 }
 
 void
@@ -46,6 +60,7 @@ Scheduler::reset()
 {
     for (auto &s : slots_)
         s.reset();
+    std::fill(slotCounts_.begin(), slotCounts_.end(), 0);
     deposits_ = 0;
     collisions_ = 0;
 }
@@ -56,6 +71,7 @@ Scheduler::footprintBytes() const
     size_t bytes = sizeof(Scheduler);
     for (const auto &s : slots_)
         bytes += s.footprintBytes();
+    bytes += slotCounts_.capacity() * sizeof(uint32_t);
     return bytes;
 }
 

@@ -37,8 +37,12 @@ class Scheduler
     /** Slot contents for @p tick (does not clear). */
     const BitVec &slot(uint64_t tick) const;
 
-    /** True when no spike is parked for @p tick. */
+    /** True when no spike is parked for @p tick.  O(1): backed by a
+     *  per-slot population count, not a word scan. */
     bool slotEmpty(uint64_t tick) const;
+
+    /** Number of distinct axons parked for @p tick (O(1)). */
+    uint32_t slotCount(uint64_t tick) const;
 
     /** Clear the slot for @p tick (after draining). */
     void clearSlot(uint64_t tick);
@@ -61,6 +65,7 @@ class Scheduler
   private:
     uint32_t delaySlots_ = 0;
     std::vector<BitVec> slots_;
+    std::vector<uint32_t> slotCounts_;   //!< set bits per slot
     uint64_t deposits_ = 0;
     uint64_t collisions_ = 0;
 };

@@ -77,6 +77,12 @@ classifyNeuron(const NeuronParams &p)
     return UpdateClass::Dense;
 }
 
+PotentialRange
+potentialRange(const NeuronParams &p)
+{
+    return {satMin(p.potentialBits), satMax(p.potentialBits)};
+}
+
 int32_t
 integrateSynapse(int32_t v, const NeuronParams &p, unsigned g,
                  Lfsr16 *rng)

@@ -45,6 +45,22 @@ enum class UpdateClass : uint8_t {
 /** Classify a (validated) parameter set for engine scheduling. */
 UpdateClass classifyNeuron(const NeuronParams &p);
 
+/** Inclusive saturation rails of a neuron's membrane register. */
+struct PotentialRange
+{
+    int32_t lo = 0;   //!< most negative representable potential
+    int32_t hi = 0;   //!< most positive representable potential
+};
+
+/**
+ * Saturation rails for @p p's potentialBits.  Synaptic integration
+ * is a chain of saturating adds; as long as every partial sum stays
+ * strictly inside these rails the chain is order-independent, which
+ * is the soundness condition of the core's word-parallel batched
+ * integrate path.
+ */
+PotentialRange potentialRange(const NeuronParams &p);
+
 /**
  * Apply one synaptic event of axon type @p g to potential @p v.
  * @param rng the per-core PRNG; must be non-null when

@@ -74,4 +74,45 @@ BitVec::operator&=(const BitVec &other)
     return *this;
 }
 
+void
+BitVec::assertSameSize(const BitVec &other) const
+{
+    NSCS_ASSERT(nbits_ == other.nbits_, "BitVec size mismatch %zu vs %zu",
+                nbits_, other.nbits_);
+}
+
+bool
+BitVec::orAccumulate(const BitVec &other)
+{
+    assertSameSize(other);
+    uint64_t changed = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+        uint64_t fresh = other.words_[i] & ~words_[i];
+        words_[i] |= fresh;
+        changed |= fresh;
+    }
+    return changed != 0;
+}
+
+size_t
+BitVec::andPopcount(const BitVec &other) const
+{
+    assertSameSize(other);
+    size_t n = 0;
+    for (size_t i = 0; i < words_.size(); ++i)
+        n += static_cast<size_t>(
+            __builtin_popcountll(words_[i] & other.words_[i]));
+    return n;
+}
+
+bool
+BitVec::intersects(const BitVec &other) const
+{
+    assertSameSize(other);
+    for (size_t i = 0; i < words_.size(); ++i)
+        if (words_[i] & other.words_[i])
+            return true;
+    return false;
+}
+
 } // namespace nscs

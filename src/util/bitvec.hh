@@ -60,6 +60,30 @@ class BitVec
     /** Bitwise AND-assign; sizes must match. */
     BitVec &operator&=(const BitVec &other);
 
+    /**
+     * Word-wise OR-accumulate of @p other into this vector (sizes
+     * must match).  @return true if any bit changed.
+     */
+    bool orAccumulate(const BitVec &other);
+
+    /**
+     * OR @p bits into backing word @p word_index.  The caller must
+     * not set bits beyond size() (i.e. @p bits must come from a
+     * same-width vector's word at the same index).
+     */
+    void
+    orWordAt(size_t word_index, uint64_t bits)
+    {
+        words_[word_index] |= bits;
+    }
+
+    /** Popcount of (*this & other) without materializing the AND;
+     *  sizes must match. */
+    size_t andPopcount(const BitVec &other) const;
+
+    /** True if (*this & other) has any set bit; sizes must match. */
+    bool intersects(const BitVec &other) const;
+
     /** Equality compares size and content. */
     bool operator==(const BitVec &other) const = default;
 
@@ -82,6 +106,41 @@ class BitVec
         }
     }
 
+    /**
+     * Call @p fn(size_t word_index, uint64_t word) for every nonzero
+     * backing word, in increasing word order.  The word-parallel
+     * integrate path folds whole 64-neuron strips through this.
+     */
+    template <typename Fn>
+    void
+    forEachSetWord(Fn &&fn) const
+    {
+        for (size_t w = 0; w < words_.size(); ++w)
+            if (words_[w])
+                fn(w, words_[w]);
+    }
+
+    /**
+     * Masked variant of forEachSet: visit set bits of
+     * (*this & mask) in increasing index order without materializing
+     * the intersection.  Sizes must match.
+     */
+    template <typename Fn>
+    void
+    forEachSetMasked(const BitVec &mask, Fn &&fn) const
+    {
+        assertSameSize(mask);
+        const std::vector<uint64_t> &mw = mask.words_;
+        for (size_t w = 0; w < words_.size(); ++w) {
+            uint64_t bits = words_[w] & mw[w];
+            while (bits) {
+                unsigned b = static_cast<unsigned>(__builtin_ctzll(bits));
+                fn(w * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+    }
+
     /** Direct word access (serialization). */
     const std::vector<uint64_t> &words() const { return words_; }
 
@@ -89,6 +148,10 @@ class BitVec
     size_t footprintBytes() const { return words_.size() * 8; }
 
   private:
+    /** Panics unless @p other has the same bit length (out-of-line
+     *  so the header needs no logging include). */
+    void assertSameSize(const BitVec &other) const;
+
     size_t nbits_ = 0;
     std::vector<uint64_t> words_;
 };

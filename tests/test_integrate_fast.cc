@@ -1,0 +1,494 @@
+/**
+ * @file
+ * Differential fuzz suite for the word-parallel integrate fast path.
+ *
+ * Every test drives two (or four) cores built from the same
+ * configuration with the word-parallel path enabled on one side and
+ * disabled on the other, feeds them identical spike streams, and
+ * asserts bit-identical observable state: fired sets per tick,
+ * membrane potentials per tick, and the architectural counters
+ * (sops, spikes, evals, PRNG draw count).
+ *
+ * The fuzz configurations deliberately stress the fallback
+ * conditions: mixed-sign weights near the saturation rails (small
+ * potentialBits, large weights), stochastic synapses (PRNG draw
+ * order), and all three update classes through both the dense and
+ * sparse evaluation strategies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/core.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace nscs {
+namespace {
+
+/** Multi-word geometry with a partial tail word. */
+CoreGeometry
+fuzzGeom()
+{
+    CoreGeometry g;
+    g.numAxons = 96;
+    g.numNeurons = 80;
+    g.delaySlots = 16;
+    return g;
+}
+
+/**
+ * Random configuration biased toward the hard cases: a narrow
+ * membrane register (8..12 bits) with weights up to the rail
+ * magnitude, mixed signs, stochastic synapse/leak/threshold
+ * features, and every update class.
+ */
+CoreConfig
+fuzzConfig(uint64_t seed, double stoch_rate = 0.2)
+{
+    Xoshiro256 rng(seed);
+    CoreGeometry g = fuzzGeom();
+    CoreConfig cfg = CoreConfig::make(g);
+    cfg.rngSeed = static_cast<uint16_t>(rng.below(65536));
+
+    for (uint32_t a = 0; a < g.numAxons; ++a) {
+        cfg.axonType[a] = static_cast<uint8_t>(rng.below(4));
+        for (uint32_t n = 0; n < g.numNeurons; ++n)
+            if (rng.chance(0.25))
+                cfg.connect(a, n);
+    }
+    for (uint32_t n = 0; n < g.numNeurons; ++n) {
+        NeuronParams &p = cfg.neurons[n];
+        p.potentialBits = static_cast<uint8_t>(rng.range(8, 12));
+        for (unsigned w = 0; w < kNumAxonTypes; ++w) {
+            // Large mixed-sign weights drive partial sums into the
+            // rails, exercising the fallback guard.
+            p.synWeight[w] = static_cast<int16_t>(rng.range(-120, 120));
+            p.synStochastic[w] = rng.chance(stoch_rate);
+        }
+        p.leak = static_cast<int16_t>(rng.range(-4, 4));
+        p.leakReversal = rng.chance(0.15);
+        p.leakStochastic = rng.chance(0.15);
+        p.threshold = static_cast<int32_t>(rng.range(2, 60));
+        p.negThreshold = static_cast<int32_t>(rng.below(100));
+        p.negSaturate = rng.chance(0.7);
+        p.thresholdMaskBits =
+            rng.chance(0.2) ? static_cast<uint8_t>(rng.below(4)) : 0;
+        p.resetMode = static_cast<ResetMode>(rng.below(3));
+        p.resetPotential = static_cast<int32_t>(rng.range(-60, 1));
+        p.initialPotential = static_cast<int32_t>(rng.range(-100, 100));
+    }
+    validateCoreConfig(cfg, "fuzzConfig");
+    return cfg;
+}
+
+/** Random input spikes per tick, identical for every core under test. */
+std::map<uint64_t, std::vector<std::pair<uint64_t, uint32_t>>>
+fuzzInputs(uint64_t seed, const CoreGeometry &g, uint64_t ticks,
+           double rate)
+{
+    Xoshiro256 rng(seed ^ 0xF00DBEEFull);
+    std::map<uint64_t, std::vector<std::pair<uint64_t, uint32_t>>> in;
+    for (uint64_t t = 0; t < ticks; ++t)
+        for (uint32_t a = 0; a < g.numAxons; ++a)
+            if (rng.chance(rate)) {
+                // Mostly same-tick delivery, sometimes a short delay.
+                uint64_t delivery =
+                    t + (rng.chance(0.2) ? rng.below(4) : 0);
+                if (delivery < ticks)
+                    in[t].emplace_back(delivery, a);
+            }
+    return in;
+}
+
+/** Drive a sparse core per its contract (mirrors test_core.cc). */
+void
+sparseContractTick(Core &core, uint64_t t, std::vector<uint32_t> &fired)
+{
+    bool must = core.hasDenseNeurons() || !core.slotEmpty(t);
+    auto se = core.nextSelfEvent();
+    if (se && *se <= t)
+        must = true;
+    if (must)
+        core.tickSparse(t, fired);
+}
+
+enum class Drive { Dense, Sparse };
+
+/**
+ * Run @p fast and @p scalar in lockstep over identical inputs and
+ * assert identical fired sets, potentials and counters each tick.
+ */
+void
+runDifferential(Core &fast, Core &scalar, Drive drive, uint64_t seed,
+                uint64_t ticks, double rate)
+{
+    const CoreGeometry &g = fast.config().geom;
+    auto inputs = fuzzInputs(seed, g, ticks, rate);
+
+    std::vector<uint32_t> fired_f, fired_s;
+    for (uint64_t t = 0; t < ticks; ++t) {
+        auto it = inputs.find(t);
+        if (it != inputs.end()) {
+            for (auto [delivery, a] : it->second) {
+                fast.deposit(delivery, a);
+                scalar.deposit(delivery, a);
+            }
+        }
+        fired_f.clear();
+        fired_s.clear();
+        if (drive == Drive::Dense) {
+            fast.tickDense(t, fired_f);
+            scalar.tickDense(t, fired_s);
+        } else {
+            sparseContractTick(fast, t, fired_f);
+            sparseContractTick(scalar, t, fired_s);
+        }
+        ASSERT_EQ(fired_f, fired_s) << "tick " << t << " seed " << seed;
+        ASSERT_EQ(fast.counters().rngDraws, scalar.counters().rngDraws)
+            << "draw-order divergence at tick " << t << " seed " << seed;
+        for (uint32_t n = 0; n < g.numNeurons; ++n)
+            ASSERT_EQ(fast.settledPotential(n, t + 1),
+                      scalar.settledPotential(n, t + 1))
+                << "neuron " << n << " tick " << t << " seed " << seed;
+    }
+    EXPECT_EQ(fast.counters().sops, scalar.counters().sops);
+    EXPECT_EQ(fast.counters().spikes, scalar.counters().spikes);
+    EXPECT_EQ(fast.counters().evals, scalar.counters().evals);
+    EXPECT_EQ(fast.counters().rngDraws, scalar.counters().rngDraws);
+    // The scalar reference never batches.
+    EXPECT_EQ(scalar.counters().sopsBatched, 0u);
+    EXPECT_LE(fast.counters().sopsBatched, fast.counters().sops);
+}
+
+class IntegrateFastFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(IntegrateFastFuzz, DenseStrategyMatchesScalar)
+{
+    setQuiet(true);
+    uint64_t seed = static_cast<uint64_t>(GetParam()) * 2654435761 + 7;
+    CoreConfig cfg = fuzzConfig(seed);
+    Core fast(cfg);
+    Core scalar(cfg);
+    fast.setWordParallelMinActive(0);
+    scalar.setWordParallel(false);
+    runDifferential(fast, scalar, Drive::Dense, seed, 200, 0.08);
+    setQuiet(false);
+}
+
+TEST_P(IntegrateFastFuzz, SparseStrategyMatchesScalar)
+{
+    setQuiet(true);
+    uint64_t seed = static_cast<uint64_t>(GetParam()) * 1299709 + 101;
+    CoreConfig cfg = fuzzConfig(seed);
+    Core fast(cfg);
+    Core scalar(cfg);
+    fast.setWordParallelMinActive(0);
+    scalar.setWordParallel(false);
+    runDifferential(fast, scalar, Drive::Sparse, seed, 200, 0.05);
+    setQuiet(false);
+}
+
+TEST_P(IntegrateFastFuzz, DenseFastMatchesSparseFast)
+{
+    setQuiet(true);
+    uint64_t seed = static_cast<uint64_t>(GetParam()) * 15485863 + 3;
+    CoreConfig cfg = fuzzConfig(seed);
+    Core dense(cfg);
+    Core sparse(cfg);
+    dense.setWordParallelMinActive(0);
+    sparse.setWordParallelMinActive(0);
+    auto inputs = fuzzInputs(seed, cfg.geom, 200, 0.06);
+    std::vector<uint32_t> fired_d, fired_s;
+    for (uint64_t t = 0; t < 200; ++t) {
+        auto it = inputs.find(t);
+        if (it != inputs.end()) {
+            for (auto [delivery, a] : it->second) {
+                dense.deposit(delivery, a);
+                sparse.deposit(delivery, a);
+            }
+        }
+        fired_d.clear();
+        fired_s.clear();
+        dense.tickDense(t, fired_d);
+        sparseContractTick(sparse, t, fired_s);
+        ASSERT_EQ(fired_d, fired_s) << "tick " << t << " seed " << seed;
+    }
+    EXPECT_EQ(dense.counters().sops, sparse.counters().sops);
+    EXPECT_EQ(dense.counters().spikes, sparse.counters().spikes);
+    EXPECT_EQ(dense.counters().rngDraws, sparse.counters().rngDraws);
+    setQuiet(false);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IntegrateFastFuzz,
+                         ::testing::Range(0, 25));
+
+// --- targeted cases ----------------------------------------------------------
+
+/** 4-axon, 2-neuron core with explicit types and weights. */
+CoreConfig
+tinyConfig()
+{
+    CoreGeometry g;
+    g.numAxons = 4;
+    g.numNeurons = 2;
+    g.delaySlots = 16;
+    return CoreConfig::make(g);
+}
+
+TEST(IntegrateFast, SaturationRailsForceScalarFallback)
+{
+    // Neuron 0: 8-bit register (rails -128/127), +100 then -100 from
+    // v0 = 100.  Architectural order saturates at 127 before the
+    // negative event, so the result is 27, not 100; batching would
+    // be wrong, hence the rails guard must divert to the fallback.
+    CoreConfig cfg = tinyConfig();
+    cfg.axonType = {0, 1, 0, 1};
+    for (uint32_t n = 0; n < 2; ++n) {
+        NeuronParams &p = cfg.neurons[n];
+        p.potentialBits = 8;
+        p.synWeight = {100, -100, 0, 0};
+        p.threshold = 127;
+        p.initialPotential = 100;
+    }
+    cfg.connect(0, 0);
+    cfg.connect(1, 0);
+
+    for (bool fast : {true, false}) {
+        Core core(cfg);
+        core.setWordParallel(fast);
+        core.setWordParallelMinActive(0);
+        std::vector<uint32_t> fired;
+        core.deposit(0, 0);
+        core.deposit(0, 1);
+        core.tickDense(0, fired);
+        EXPECT_EQ(core.potential(0), 27) << "fast=" << fast;
+        EXPECT_EQ(core.counters().sops, 2u);
+        EXPECT_EQ(core.counters().sopsBatched, 0u)
+            << "rails guard failed to divert, fast=" << fast;
+    }
+}
+
+TEST(IntegrateFast, SameSignSaturationStillDivertsExactly)
+{
+    // Two +100 events into an 8-bit register from v0 = 0: the second
+    // add saturates at 127.  The batched sum (200) would clamp to
+    // the same value here, but the guard is conservative and the
+    // fallback must reproduce 127 exactly.
+    CoreConfig cfg = tinyConfig();
+    cfg.axonType = {0, 0, 0, 0};
+    NeuronParams &p = cfg.neurons[0];
+    p.potentialBits = 8;
+    p.synWeight = {100, 0, 0, 0};
+    p.threshold = 127;
+    cfg.connect(0, 0);
+    cfg.connect(1, 0);
+
+    for (bool fast : {true, false}) {
+        Core core(cfg);
+        core.setWordParallel(fast);
+        core.setWordParallelMinActive(0);
+        std::vector<uint32_t> fired;
+        core.deposit(0, 0);
+        core.deposit(0, 1);
+        core.tickDense(0, fired);
+        EXPECT_EQ(fired, (std::vector<uint32_t>{0})) << "fast=" << fast;
+    }
+}
+
+TEST(IntegrateFast, DeterministicEventsAwayFromRailsBatch)
+{
+    // Small weights in a 20-bit register: everything batches.
+    CoreConfig cfg = tinyConfig();
+    cfg.axonType = {0, 1, 2, 3};
+    for (uint32_t n = 0; n < 2; ++n) {
+        NeuronParams &p = cfg.neurons[n];
+        p.synWeight = {3, -2, 1, 5};
+        p.threshold = 1000;
+    }
+    for (uint32_t a = 0; a < 4; ++a)
+        for (uint32_t n = 0; n < 2; ++n)
+            cfg.connect(a, n);
+
+    Core core(cfg);
+    core.setWordParallelMinActive(0);
+    std::vector<uint32_t> fired;
+    for (uint32_t a = 0; a < 4; ++a)
+        core.deposit(0, a);
+    core.tickDense(0, fired);
+    EXPECT_EQ(core.potential(0), 3 - 2 + 1 + 5);
+    EXPECT_EQ(core.potential(1), 3 - 2 + 1 + 5);
+    EXPECT_EQ(core.counters().sops, 8u);
+    EXPECT_EQ(core.counters().sopsBatched, 8u);
+}
+
+TEST(IntegrateFast, StochasticSynapsePreservesDrawOrder)
+{
+    // Two stochastic-synapse neurons fed by interleaved axons: the
+    // LFSR draw order must stay axon-major across neurons, so the
+    // fast path has to replay these events in architectural order
+    // even though it discovers them through per-type partitions.
+    CoreConfig cfg = tinyConfig();
+    cfg.axonType = {0, 1, 0, 1};
+    for (uint32_t n = 0; n < 2; ++n) {
+        NeuronParams &p = cfg.neurons[n];
+        p.synWeight = {90, -120, 0, 0};
+        p.synStochastic = {true, true, false, false};
+        p.threshold = 50;
+        p.negThreshold = 60;
+    }
+    for (uint32_t a = 0; a < 4; ++a)
+        for (uint32_t n = 0; n < 2; ++n)
+            cfg.connect(a, n);
+
+    Core fast(cfg);
+    Core scalar(cfg);
+    fast.setWordParallelMinActive(0);
+    scalar.setWordParallel(false);
+    std::vector<uint32_t> fired_f, fired_s;
+    for (uint64_t t = 0; t < 64; ++t) {
+        for (uint32_t a = 0; a < 4; ++a) {
+            fast.deposit(t, a);
+            scalar.deposit(t, a);
+        }
+        fired_f.clear();
+        fired_s.clear();
+        fast.tickDense(t, fired_f);
+        scalar.tickDense(t, fired_s);
+        ASSERT_EQ(fired_f, fired_s) << "tick " << t;
+        ASSERT_EQ(fast.potential(0), scalar.potential(0)) << "tick " << t;
+        ASSERT_EQ(fast.potential(1), scalar.potential(1)) << "tick " << t;
+    }
+    EXPECT_EQ(fast.counters().rngDraws, scalar.counters().rngDraws);
+    EXPECT_GT(fast.counters().rngDraws, 0u);
+    // All events hit stochastic neurons: nothing may batch.
+    EXPECT_EQ(fast.counters().sopsBatched, 0u);
+}
+
+TEST(IntegrateFast, MixedBatchAndFallbackNeuronsCoexist)
+{
+    // Neuron 0 is deterministic (batches), neuron 1 has a stochastic
+    // synapse (falls back); both are driven by the same axons.
+    CoreConfig cfg = tinyConfig();
+    cfg.axonType = {0, 0, 1, 1};
+    cfg.neurons[0].synWeight = {2, -1, 0, 0};
+    cfg.neurons[0].threshold = 1000;
+    cfg.neurons[1].synWeight = {80, -80, 0, 0};
+    cfg.neurons[1].synStochastic = {true, false, false, false};
+    cfg.neurons[1].threshold = 1000;
+    cfg.neurons[1].negThreshold = 500;
+    for (uint32_t a = 0; a < 4; ++a) {
+        cfg.connect(a, 0);
+        cfg.connect(a, 1);
+    }
+
+    Core fast(cfg);
+    Core scalar(cfg);
+    fast.setWordParallelMinActive(0);
+    scalar.setWordParallel(false);
+    std::vector<uint32_t> fired;
+    for (uint64_t t = 0; t < 32; ++t) {
+        for (uint32_t a = 0; a < 4; ++a) {
+            fast.deposit(t, a);
+            scalar.deposit(t, a);
+        }
+        fired.clear();
+        fast.tickDense(t, fired);
+        fired.clear();
+        scalar.tickDense(t, fired);
+        ASSERT_EQ(fast.potential(0), scalar.potential(0)) << "tick " << t;
+        ASSERT_EQ(fast.potential(1), scalar.potential(1)) << "tick " << t;
+    }
+    EXPECT_EQ(fast.counters().rngDraws, scalar.counters().rngDraws);
+    // Neuron 0's 4 events per tick batched; neuron 1's 4 did not.
+    EXPECT_EQ(fast.counters().sopsBatched, 32u * 4u);
+    EXPECT_EQ(fast.counters().sops, 32u * 8u);
+}
+
+TEST(IntegrateFast, AdaptiveGateEngagesByActivity)
+{
+    // Default threshold scales inversely with crossbar density: a
+    // fully connected 64x64 core breaks even around 10 active rows.
+    CoreGeometry g;
+    g.numAxons = 64;
+    g.numNeurons = 64;
+    g.delaySlots = 16;
+    CoreConfig cfg = CoreConfig::make(g);
+    for (uint32_t a = 0; a < g.numAxons; ++a)
+        for (uint32_t n = 0; n < g.numNeurons; ++n)
+            cfg.connect(a, n);
+    for (uint32_t n = 0; n < g.numNeurons; ++n)
+        cfg.neurons[n].threshold = 100000;
+
+    Core core(cfg);
+    EXPECT_EQ(core.wordParallelMinActive(), 10u);
+
+    std::vector<uint32_t> fired;
+    // Two active axons sit below the threshold: scalar path.
+    core.deposit(0, 0);
+    core.deposit(0, 1);
+    core.tickDense(0, fired);
+    EXPECT_EQ(core.counters().sops, 2u * 64u);
+    EXPECT_EQ(core.counters().sopsBatched, 0u);
+
+    // A full slot engages the word-parallel path.
+    for (uint32_t a = 0; a < g.numAxons; ++a)
+        core.deposit(1, a);
+    fired.clear();
+    core.tickDense(1, fired);
+    EXPECT_EQ(core.counters().sops, 66u * 64u);
+    EXPECT_EQ(core.counters().sopsBatched, 64u * 64u);
+}
+
+TEST(IntegrateFast, AllUpdateClassesAppearInFuzzConfigs)
+{
+    // Guard the fuzz generator itself: across a few seeds it must
+    // produce every update class, or the sparse differential tests
+    // would silently lose coverage.
+    bool seen[3] = {false, false, false};
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+        CoreConfig cfg = fuzzConfig(seed * 7919 + 1);
+        for (const NeuronParams &p : cfg.neurons)
+            seen[static_cast<int>(classifyNeuron(p))] = true;
+    }
+    EXPECT_TRUE(seen[static_cast<int>(UpdateClass::Pure)]);
+    EXPECT_TRUE(seen[static_cast<int>(UpdateClass::LazyLeak)]);
+    EXPECT_TRUE(seen[static_cast<int>(UpdateClass::Dense)]);
+}
+
+TEST(IntegrateFast, ToggleMidRunStaysConsistent)
+{
+    // Flipping the path at a tick boundary must not corrupt state:
+    // run half the ticks fast, half scalar, against an all-scalar
+    // reference.
+    uint64_t seed = 42;
+    CoreConfig cfg = fuzzConfig(seed, 0.0);
+    Core mixed(cfg);
+    Core scalar(cfg);
+    scalar.setWordParallel(false);
+    auto inputs = fuzzInputs(seed, cfg.geom, 100, 0.1);
+    std::vector<uint32_t> fired_m, fired_s;
+    for (uint64_t t = 0; t < 100; ++t) {
+        mixed.setWordParallel(t % 2 == 0);
+        mixed.setWordParallelMinActive(t % 3 == 0 ? 0 : 5);
+        auto it = inputs.find(t);
+        if (it != inputs.end()) {
+            for (auto [delivery, a] : it->second) {
+                mixed.deposit(delivery, a);
+                scalar.deposit(delivery, a);
+            }
+        }
+        fired_m.clear();
+        fired_s.clear();
+        mixed.tickDense(t, fired_m);
+        scalar.tickDense(t, fired_s);
+        ASSERT_EQ(fired_m, fired_s) << "tick " << t;
+    }
+    EXPECT_EQ(mixed.counters().sops, scalar.counters().sops);
+}
+
+} // anonymous namespace
+} // namespace nscs

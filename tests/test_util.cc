@@ -260,6 +260,53 @@ TEST(BitVec, OrAndOperators)
     EXPECT_TRUE(n.test(68));
 }
 
+TEST(BitVec, WordCombinators)
+{
+    BitVec a(130), b(130);
+    a.set(0);
+    a.set(64);
+    a.set(129);
+    b.set(64);
+    b.set(100);
+
+    EXPECT_EQ(a.andPopcount(b), 1u);
+    EXPECT_TRUE(a.intersects(b));
+
+    // orAccumulate reports whether any bit changed.
+    BitVec acc = a;
+    EXPECT_TRUE(acc.orAccumulate(b));
+    EXPECT_EQ(acc.count(), 4u);
+    EXPECT_FALSE(acc.orAccumulate(b));
+
+    BitVec empty(130);
+    EXPECT_EQ(a.andPopcount(empty), 0u);
+    EXPECT_FALSE(a.intersects(empty));
+
+    // forEachSetWord skips zero words and reports word-aligned bits.
+    std::vector<size_t> word_idx;
+    size_t bits_seen = 0;
+    acc.forEachSetWord([&](size_t w, uint64_t word) {
+        word_idx.push_back(w);
+        bits_seen += static_cast<size_t>(__builtin_popcountll(word));
+    });
+    EXPECT_EQ(word_idx, (std::vector<size_t>{0, 1, 2}));
+    EXPECT_EQ(bits_seen, 4u);
+
+    // forEachSetMasked visits the intersection in ascending order.
+    std::vector<size_t> masked;
+    a.forEachSetMasked(b, [&masked](size_t i) { masked.push_back(i); });
+    EXPECT_EQ(masked, (std::vector<size_t>{64}));
+}
+
+TEST(BitVecDeath, CombinatorSizeMismatchPanics)
+{
+    BitVec a(64), b(65);
+    EXPECT_DEATH(a.andPopcount(b), "size mismatch");
+    EXPECT_DEATH(a.orAccumulate(b), "size mismatch");
+    EXPECT_DEATH(a.intersects(b), "size mismatch");
+    EXPECT_DEATH(a.forEachSetMasked(b, [](size_t) {}), "size mismatch");
+}
+
 TEST(BitVec, EqualityIncludesSize)
 {
     BitVec a(10), b(10), c(11);

@@ -1,10 +1,11 @@
 /**
  * @file
- * Microbenchmark I3 — the core integrate phase.
+ * Microbenchmark I3 — the core integrate and update phases.
  *
- * Drives a single 256x256 core through the dense tick pipeline under
- * three activity profiles and compares the scalar event-by-event
- * integrate path against the word-parallel batched one:
+ * Part 1 drives a single 256x256 core through the dense tick
+ * pipeline under three activity profiles and compares the scalar
+ * event-by-event integrate path against the word-parallel batched
+ * one:
  *
  *  - dense:      every axon active every tick (the hardware's worst
  *                case and the fast path's best: long crossbar rows
@@ -17,9 +18,20 @@
  *                quarter of the neurons, measuring the cost of the
  *                scalar fallback replay.
  *
+ * Part 2 isolates the end-of-tick update phase (leak, threshold,
+ * fire, reset — the architectural steady-state cost: every neuron,
+ * every tick) by running input-free dense ticks and comparing the
+ * scalar endOfTickUpdate loop against the batched SoA kernel:
+ *
+ *  - update-homog: homogeneous deterministic population (the whole
+ *                  core is one flat kernel run);
+ *  - update-mixed: a quarter of the neurons draw per tick
+ *                  (stochastic leak/threshold), bounding the cost of
+ *                  the cohort split and scalar interleave.
+ *
  * Emits machine-readable BENCH_core.json (ticks/s, sops/s, fast-path
  * hit rate, speedup) so CI can record the bench trajectory; see the
- * perf-smoke step in .github/workflows.
+ * perf-smoke step in .github/workflows and tools/nscs_bench_diff.
  *
  * Usage: bench_core [ticks-per-run] (default 1000).
  */
@@ -78,6 +90,65 @@ struct RunResult
     uint64_t sopsBatched = 0;
     uint64_t ticks = 0;
 };
+
+/**
+ * Update-phase workload: no input spikes, so tickDense is purely the
+ * end-of-tick update loop.  @p stoch_rate neurons draw per tick and
+ * keep the scalar cohort busy.
+ */
+CoreConfig
+buildUpdateCore(double stoch_rate, uint64_t seed)
+{
+    Xoshiro256 rng(seed);
+    CoreGeometry geom;  // default 256 x 256 x 16
+    CoreConfig cfg = CoreConfig::make(geom);
+    cfg.rngSeed = 0xFACE;
+    for (uint32_t n = 0; n < geom.numNeurons; ++n) {
+        NeuronParams &p = cfg.neurons[n];
+        p.leak = static_cast<int16_t>(-1 - (n % 3));
+        p.threshold = 40;
+        p.negThreshold = 300;
+        p.resetMode = static_cast<ResetMode>(n % 3);
+        p.resetPotential = -20;
+        p.initialPotential = static_cast<int32_t>(rng.range(-200, 200));
+        if (rng.chance(stoch_rate)) {
+            // Per-tick draws: stochastic leak or threshold mask.
+            if (rng.chance(0.5))
+                p.leakStochastic = true;
+            else
+                p.thresholdMaskBits = 3;
+        }
+    }
+    return cfg;
+}
+
+struct UpdateRunResult
+{
+    double seconds = 0.0;
+    uint64_t evals = 0;
+    uint64_t evalsBatched = 0;
+    uint64_t ticks = 0;
+};
+
+UpdateRunResult
+runUpdate(const CoreConfig &cfg, uint64_t ticks, bool batched)
+{
+    Core core(cfg);
+    core.setWordParallelUpdate(batched);
+    std::vector<uint32_t> fired;
+    auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t t = 0; t < ticks; ++t) {
+        fired.clear();
+        core.tickDense(t, fired);
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    UpdateRunResult r;
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    r.evals = core.counters().evals;
+    r.evalsBatched = core.counters().evalsBatched;
+    r.ticks = ticks;
+    return r;
+}
 
 RunResult
 runCore(const CoreConfig &cfg, const WorkloadSpec &spec,
@@ -172,10 +243,71 @@ main(int argc, char **argv)
     }
     std::cout << t.str();
 
+    std::cout <<
+        "\n== update-phase microbenchmark ==\n"
+        "(input-free dense ticks: leak/threshold/fire/reset only;\n"
+        " scalar endOfTickUpdate loop vs batched SoA kernel)\n\n";
+
+    struct UpdateSpec
+    {
+        const char *name;
+        double stochRate;
+    };
+    const UpdateSpec update_specs[] = {
+        {"update-homog", 0.0},
+        {"update-mixed", 0.25},
+    };
+    const uint64_t update_ticks = ticks * 20;
+
+    TextTable ut({"workload", "path", "ticks/s", "Mevals/s",
+                  "batched", "speedup"});
+    JsonValue update_workloads = JsonValue::array();
+
+    for (const UpdateSpec &spec : update_specs) {
+        CoreConfig cfg = buildUpdateCore(spec.stochRate, 99);
+        UpdateRunResult scalar = runUpdate(cfg, update_ticks, false);
+        UpdateRunResult fast = runUpdate(cfg, update_ticks, true);
+
+        auto tps = [](const UpdateRunResult &r) {
+            return r.seconds > 0 ? r.ticks / r.seconds : 0.0;
+        };
+        auto eps = [](const UpdateRunResult &r) {
+            return r.seconds > 0 ? r.evals / r.seconds : 0.0;
+        };
+        double batched_share = fast.evals
+            ? static_cast<double>(fast.evalsBatched) / fast.evals : 0.0;
+        double speedup = fast.seconds > 0
+            ? scalar.seconds / fast.seconds : 0.0;
+
+        ut.addRow({spec.name, "scalar", fmtF(tps(scalar), 0),
+                   fmtF(eps(scalar) / 1e6, 1), "-", "1.00x"});
+        ut.addRow({spec.name, "batched", fmtF(tps(fast), 0),
+                   fmtF(eps(fast) / 1e6, 1),
+                   fmtF(batched_share * 100, 1) + "%",
+                   fmtF(speedup, 2) + "x"});
+        ut.addRule();
+
+        JsonValue w = JsonValue::object();
+        w.set("name", JsonValue::string(spec.name));
+        w.set("ticks", JsonValue::integer(
+            static_cast<int64_t>(update_ticks)));
+        w.set("evals", JsonValue::integer(
+            static_cast<int64_t>(fast.evals)));
+        w.set("scalarTicksPerSec", JsonValue::number(tps(scalar)));
+        w.set("fastTicksPerSec", JsonValue::number(tps(fast)));
+        w.set("scalarEvalsPerSec", JsonValue::number(eps(scalar)));
+        w.set("fastEvalsPerSec", JsonValue::number(eps(fast)));
+        w.set("batchedShare", JsonValue::number(batched_share));
+        w.set("speedup", JsonValue::number(speedup));
+        update_workloads.append(std::move(w));
+    }
+    std::cout << ut.str();
+
     JsonValue doc = JsonValue::object();
     doc.set("bench", JsonValue::string("bench_core"));
     doc.set("geometry", JsonValue::string("256x256x16"));
     doc.set("workloads", std::move(workloads));
+    doc.set("updateWorkloads", std::move(update_workloads));
     const std::string path = "BENCH_core.json";
     if (writeFile(path, doc.dump(2) + "\n"))
         std::cout << "\nwrote " << path << "\n";
@@ -186,6 +318,8 @@ main(int argc, char **argv)
         "\nshape target: >= 1.5x integrate throughput on the dense\n"
         "workload with a ~100% hit rate; the sparse workload stays\n"
         "near 1.0x (adaptive gate holds the scalar path); the\n"
-        "stochastic workload bounds the fallback replay overhead.\n";
+        "stochastic workload bounds the fallback replay overhead.\n"
+        "update phase: >= 1.5x ticks/s on update-homog with 100%\n"
+        "batched share; update-mixed bounds the cohort-split cost.\n";
     return 0;
 }

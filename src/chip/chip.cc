@@ -425,6 +425,26 @@ Chip::dumpStats(const char *prefix, StatGroup &group) const
     group.add(pre + ".coreActivations",
               static_cast<double>(counters_.coreActivations),
               "core tick evaluations (simulation effort)");
+    uint64_t evals = 0, evals_batched = 0, sops_batched = 0;
+    uint64_t compactions = 0;
+    for (const auto &core : cores_) {
+        const CoreCounters &cc = core->counters();
+        evals += cc.evals;
+        evals_batched += cc.evalsBatched;
+        sops_batched += cc.sopsBatched;
+        compactions += cc.selfEventCompactions;
+    }
+    group.add(pre + ".evals", static_cast<double>(evals),
+              "end-of-tick neuron evaluations");
+    group.add(pre + ".evalsBatched",
+              static_cast<double>(evals_batched),
+              "of evals, via the batched SoA update kernel");
+    group.add(pre + ".sopsBatched",
+              static_cast<double>(sops_batched),
+              "of sops, via the word-parallel integrate path");
+    group.add(pre + ".selfEventCompactions",
+              static_cast<double>(compactions),
+              "lazy self-event heap rebuilds");
     EnergyBreakdown b = computeEnergy(e, params_.energy);
     energyStats(b, e, params_.energy, (pre + ".energy").c_str(), group);
 }

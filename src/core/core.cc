@@ -1,6 +1,8 @@
 #include "core/core.hh"
 
+#include <algorithm>
 #include <bit>
+#include <chrono>
 
 #include "util/logging.hh"
 
@@ -22,7 +24,39 @@ Core::Core(CoreConfig cfg)
     for (uint32_t j = 0; j < n; ++j)
         cls_[j] = classifyNeuron(cfg_.neurons[j]);
     buildLanes();
+    buildUpdateCohorts();
     reset();
+}
+
+/**
+ * Project the update-relevant NeuronParams fields into SoA lanes and
+ * split the population into the deterministic update cohort (zero
+ * per-tick draws, batchable) and the stochastic cohort (scalar).
+ * Deterministic neurons are additionally grouped into maximal
+ * ascending runs so the homogeneous case — the architectural
+ * steady state — is one flat kernel sweep over the whole core.
+ */
+void
+Core::buildUpdateCohorts()
+{
+    const uint32_t n = cfg_.geom.numNeurons;
+    update_.build(cfg_.neurons);
+    firedBits_ = BitVec(n);
+    detEvalScratch_ = BitVec(n);
+    detRuns_.clear();
+    stochUpdList_.clear();
+    uint32_t j = 0;
+    while (j < n) {
+        if (update_.deterministic.test(j)) {
+            uint32_t b = j;
+            while (j < n && update_.deterministic.test(j))
+                ++j;
+            detRuns_.emplace_back(b, j);
+        } else {
+            stochUpdList_.push_back(j);
+            ++j;
+        }
+    }
 }
 
 void
@@ -68,19 +102,108 @@ Core::buildLanes()
     touched_ = BitVec(num_neurons);
     fallback_ = BitVec(num_neurons);
 
-    // Engagement threshold: scalar cost ~ events = rows x density x
-    // neurons, word-parallel cost adds ~ one extraction per touched
-    // neuron, so break-even is at roughly 10 / density active rows
-    // (~20 rows at 50% density on the 256x256 I3 microbench).  An
-    // empty crossbar never integrates, so the threshold is moot.
-    uint64_t synapses = xbar_.synapseCount();
-    if (synapses == 0) {
-        wpMinActive_ = num_axons + 1;
-    } else {
-        double density = static_cast<double>(synapses) /
-            (static_cast<double>(num_axons) * num_neurons);
-        wpMinActive_ = static_cast<uint32_t>(10.0 / density);
+    wpMinActive_ = calibrateWordParallelThreshold();
+}
+
+/**
+ * Derive the scalar vs word-parallel engagement threshold.
+ *
+ * Small cores keep the analytic density model: scalar cost ~ events =
+ * rows x density x neurons, word-parallel cost adds ~ one extraction
+ * per touched neuron, so break-even sits at roughly 10 / density
+ * active rows.  Cores large enough for the path choice to matter are
+ * micro-calibrated instead: synthetic active slots of doubling
+ * activity are timed through the *real* scalar and word-parallel
+ * integrate paths and the measured crossover wins.  Everything the
+ * probes mutate (potentials, counters, PRNG, lane scratch) is
+ * re-initialised by reset() immediately after construction, and the
+ * threshold only selects between two bit-identical paths, so
+ * calibration cannot perturb architectural results.
+ */
+uint32_t
+Core::calibrateWordParallelThreshold()
+{
+    const uint32_t num_axons = cfg_.geom.numAxons;
+    const uint32_t num_neurons = cfg_.geom.numNeurons;
+    const uint64_t synapses = xbar_.synapseCount();
+    // An empty crossbar never integrates; the threshold is moot.
+    if (synapses == 0)
+        return num_axons + 1;
+    const double density = static_cast<double>(synapses) /
+        (static_cast<double>(num_axons) * num_neurons);
+    const uint32_t model = std::max<uint32_t>(
+        1, static_cast<uint32_t>(10.0 / density));
+
+    // Below this size one integrate costs well under the timer
+    // granularity and the path choice is in the noise; per-core
+    // probing would dominate construction instead of helping.
+    if (static_cast<uint64_t>(num_axons) * num_neurons < (1u << 14))
+        return std::min(model, num_axons + 1);
+
+    std::vector<uint32_t> rows;
+    for (uint32_t a = 0; a < num_axons; ++a)
+        if (xbar_.axonDegree(a) > 0)
+            rows.push_back(a);
+    if (rows.size() < 2)
+        return std::min(model, num_axons + 1);
+
+    BitVec active(num_axons);
+    auto probe = [&](bool word_parallel) {
+        double best = 1e300;
+        for (int rep = 0; rep < 3; ++rep) {
+            // Re-zero the potentials so every rep measures the
+            // steady-state path: drifting values would saturate at
+            // the rails and push later word-parallel reps onto the
+            // fallback replay, biasing the crossover.
+            std::fill(v_.begin(), v_.end(), 0);
+            auto t0 = std::chrono::steady_clock::now();
+            if (word_parallel)
+                integrateWordParallel(active, 0, false);
+            else
+                integrateScalar(active, 0, false);
+            auto t1 = std::chrono::steady_clock::now();
+            best = std::min(
+                best, std::chrono::duration<double>(t1 - t0).count());
+        }
+        return best;
+    };
+
+    // Doubling sweep over active-row counts, capped so a sweep that
+    // never finds the crossover stays a bounded fraction of
+    // construction cost.  The first k where the word-parallel probe
+    // clearly wins (scalar time measurable, 10% margin — a 0-vs-0
+    // timer-granularity tie must not hand word-parallel the verdict)
+    // brackets the crossover in (k/2, k].
+    const uint32_t k_max = std::min<uint32_t>(
+        static_cast<uint32_t>(rows.size()), 64);
+    uint32_t set_rows = 0;
+    uint32_t prev = 0;
+    for (uint32_t k = 1; set_rows < k_max; k *= 2) {
+        k = std::min<uint32_t>(k, k_max);
+        while (set_rows < k)
+            active.set(rows[set_rows++]);
+        double wp = probe(true);
+        double sc = probe(false);
+        if (sc > 0.0 && wp * 10 <= sc * 9) {
+            // Crossover is in (prev, k].  Pick the density model when
+            // it lands inside the bracket, else the conservative
+            // upper end: at the crossover both paths cost the same,
+            // so erring toward scalar never loses and keeps
+            // break-even slots off the extraction overhead.
+            uint32_t pick = (model > prev && model <= k) ? model : k;
+            return std::max<uint32_t>(1, pick);
+        }
+        prev = k;
+        if (k == k_max)
+            break;
     }
+    // Word-parallel never won inside the probe budget: scalar is
+    // sticky at least through prev rows, so keep the analytic model
+    // where it is more conservative and stay past the probed range
+    // otherwise.
+    return static_cast<uint32_t>(std::min<uint64_t>(
+        std::max<uint64_t>(model, 2ull * prev),
+        static_cast<uint64_t>(num_axons) + 1));
 }
 
 void
@@ -88,7 +211,8 @@ Core::reset()
 {
     const uint32_t n = cfg_.geom.numNeurons;
     denseList_.clear();
-    selfEvents_ = {};
+    selfEvents_.clear();
+    selfEventsStale_ = 0;
     for (uint32_t j = 0; j < n; ++j) {
         // Architectural reset contract: the negative-threshold rule
         // is applied once to the configured initial potential.
@@ -102,10 +226,12 @@ Core::reset()
             auto delta = nextFireDelta(v_[j], cfg_.neurons[j]);
             if (delta) {
                 scheduledFire_[j] = *delta - 1;
-                selfEvents_.emplace(scheduledFire_[j], j);
+                pushSelfEvent(scheduledFire_[j], j);
             }
         }
     }
+    firedBits_.reset();
+    detEvalScratch_.reset();
     sched_.reset();
     rng_.reset(cfg_.rngSeed);
     evalMask_.reset();
@@ -342,14 +468,91 @@ Core::tickDense(uint64_t t, std::vector<uint32_t> &fired)
     ++counters_.ticksRun;
     integrateActiveAxons(t, false);
     const uint32_t n = cfg_.geom.numNeurons;
-    for (uint32_t j = 0; j < n; ++j) {
-        bool f = endOfTickUpdate(v_[j], cfg_.neurons[j], &rng_);
-        ++counters_.evals;
-        if (f) {
-            fired.push_back(j);
-            ++counters_.spikes;
+    if (!wordParallelUpdate_) {
+        // Scalar reference: one endOfTickUpdate per neuron, ascending.
+        for (uint32_t j = 0; j < n; ++j) {
+            bool f = endOfTickUpdate(v_[j], cfg_.neurons[j], &rng_);
+            ++counters_.evals;
+            if (f) {
+                fired.push_back(j);
+                ++counters_.spikes;
+            }
         }
+        return;
     }
+    // Batched: the deterministic cohort consumes no draws, so running
+    // its runs through the SoA kernel first and the stochastic cohort
+    // scalar (ascending) after preserves the reference LFSR stream;
+    // emitFired then merges both cohorts' fires in ascending order.
+    for (const auto &[b, e] : detRuns_)
+        batchUpdateRange(update_, v_.data(), b, e, firedBits_);
+    for (uint32_t j : stochUpdList_) {
+        if (endOfTickUpdate(v_[j], cfg_.neurons[j], &rng_))
+            firedBits_.set(j);
+    }
+    counters_.evals += n;
+    counters_.evalsBatched += n - stochUpdList_.size();
+    emitFired(fired);
+}
+
+/** Drain firedBits_ into @p fired in ascending index order. */
+void
+Core::emitFired(std::vector<uint32_t> &fired)
+{
+    firedBits_.forEachSet([this, &fired](size_t j) {
+        fired.push_back(static_cast<uint32_t>(j));
+        ++counters_.spikes;
+    });
+    firedBits_.reset();
+}
+
+void
+Core::pushSelfEvent(uint64_t tick, uint32_t n)
+{
+    selfEvents_.emplace_back(tick, n);
+    std::push_heap(selfEvents_.begin(), selfEvents_.end(),
+                   std::greater<>{});
+}
+
+void
+Core::popSelfEventTop()
+{
+    std::pop_heap(selfEvents_.begin(), selfEvents_.end(),
+                  std::greater<>{});
+    selfEvents_.pop_back();
+}
+
+/**
+ * Record that a live heap pair just turned stale (its neuron was
+ * re-predicted), and lazily rebuild the heap once stale pairs
+ * outnumber live ones.  Without this, long sparse runs on
+ * frequently re-predicted neurons grow the heap without bound; with
+ * it, the heap holds at most ~2x the live prediction count (plus the
+ * rebuild floor).
+ */
+void
+Core::noteStaleSelfEvent()
+{
+    ++selfEventsStale_;
+    if (selfEvents_.size() < 64 ||
+        selfEventsStale_ * 2 <= selfEvents_.size())
+        return;
+    // Drop pairs that no longer match their neuron's prediction.  A
+    // neuron re-predicted away from and then back to the same tick
+    // leaves two pairs that both read live here; sort + unique
+    // collapses them so the rebuilt heap holds exactly one pair per
+    // outstanding prediction and the stale counter restarts from a
+    // clean slate.  A sorted ascending range already satisfies the
+    // min-heap property, so no make_heap is needed.
+    std::erase_if(selfEvents_, [this](const auto &e) {
+        return scheduledFire_[e.second] != e.first;
+    });
+    std::sort(selfEvents_.begin(), selfEvents_.end());
+    selfEvents_.erase(
+        std::unique(selfEvents_.begin(), selfEvents_.end()),
+        selfEvents_.end());
+    selfEventsStale_ = 0;
+    ++counters_.selfEventCompactions;
 }
 
 void
@@ -357,11 +560,17 @@ Core::scheduleSelfEvent(uint32_t n)
 {
     auto delta = nextFireDelta(v_[n], cfg_.neurons[n]);
     uint64_t sf = delta ? doneThrough_[n] + *delta - 1 : kNoFire;
-    if (sf == scheduledFire_[n])
+    uint64_t old = scheduledFire_[n];
+    if (sf == old)
         return;
     scheduledFire_[n] = sf;
     if (sf != kNoFire)
-        selfEvents_.emplace(sf, n);
+        pushSelfEvent(sf, n);
+    // The previous prediction's pair (old, n) is still in the heap
+    // and now reads stale; account for it after the push so a
+    // triggered compaction sees the fresh pair as live.
+    if (old != kNoFire)
+        noteStaleSelfEvent();
 }
 
 void
@@ -372,11 +581,19 @@ Core::tickSparse(uint64_t t, std::vector<uint32_t> &fired)
 
     evalMask_.reset();
 
-    // Due self-events join the evaluation set.
-    while (!selfEvents_.empty() && selfEvents_.top().first <= t) {
-        auto [tick, n] = selfEvents_.top();
+    // Due self-events join the evaluation set.  A popped live pair is
+    // consumed: clearing scheduledFire_ keeps the near-invariant
+    // that a non-kNoFire prediction has one live pair in the heap
+    // (re-predicting back to a previously-staled tick can transiently
+    // duplicate a live pair; the duplicate drains here as stale and
+    // compaction collapses it, so the stale accounting only defers,
+    // never corrupts).
+    while (!selfEvents_.empty() && selfEvents_.front().first <= t) {
+        auto [tick, n] = selfEvents_.front();
         if (scheduledFire_[n] != tick) {
-            selfEvents_.pop();  // stale prediction
+            popSelfEventTop();  // stale prediction
+            if (selfEventsStale_ > 0)
+                --selfEventsStale_;
             continue;
         }
         NSCS_ASSERT(tick == t,
@@ -384,7 +601,8 @@ Core::tickSparse(uint64_t t, std::vector<uint32_t> &fired)
                     "(now %llu)", n,
                     static_cast<unsigned long long>(tick),
                     static_cast<unsigned long long>(t));
-        selfEvents_.pop();
+        popSelfEventTop();
+        scheduledFire_[n] = kNoFire;
         evalMask_.set(n);
     }
 
@@ -393,29 +611,70 @@ Core::tickSparse(uint64_t t, std::vector<uint32_t> &fired)
     for (uint32_t n : denseList_)
         evalMask_.set(n);
 
-    evalMask_.forEachSet([this, t, &fired](size_t j) {
+    if (!wordParallelUpdate_) {
+        // Scalar reference: ascending over the full evaluation set.
+        evalMask_.forEachSet([this, t, &fired](size_t j) {
+            auto n = static_cast<uint32_t>(j);
+            if (cls_[n] != UpdateClass::Dense)
+                catchUp(n, t);
+            bool f = endOfTickUpdate(v_[n], cfg_.neurons[n], &rng_);
+            ++counters_.evals;
+            doneThrough_[n] = t + 1;
+            if (f) {
+                fired.push_back(n);
+                ++counters_.spikes;
+            }
+            if (cls_[n] != UpdateClass::Dense)
+                scheduleSelfEvent(n);
+        });
+        return;
+    }
+
+    // Batched: evalMask_ ∩ deterministic goes through the SoA kernel
+    // (zero draws), the stochastic remainder runs scalar in ascending
+    // order — the reference draw order, since deterministic neurons
+    // never draw.  Fired bits from both cohorts merge ascending.
+    detEvalScratch_ = evalMask_;
+    detEvalScratch_ &= update_.deterministic;
+    detEvalScratch_.forEachSet([this, t](size_t j) {
         auto n = static_cast<uint32_t>(j);
         if (cls_[n] != UpdateClass::Dense)
             catchUp(n, t);
-        bool f = endOfTickUpdate(v_[n], cfg_.neurons[n], &rng_);
-        ++counters_.evals;
+    });
+    uint64_t batched =
+        batchUpdateMasked(update_, v_.data(), detEvalScratch_,
+                          firedBits_);
+    counters_.evals += batched;
+    counters_.evalsBatched += batched;
+    detEvalScratch_.forEachSet([this, t](size_t j) {
+        auto n = static_cast<uint32_t>(j);
         doneThrough_[n] = t + 1;
-        if (f) {
-            fired.push_back(n);
-            ++counters_.spikes;
-        }
         if (cls_[n] != UpdateClass::Dense)
             scheduleSelfEvent(n);
     });
+
+    // The remainder is exactly the drawsPerTick neurons, which
+    // always classify Dense: never skipped (no catch-up) and never
+    // self-predicted.
+    evalMask_.forEachSetMasked(update_.stochastic, [this, t](size_t j) {
+        auto n = static_cast<uint32_t>(j);
+        if (endOfTickUpdate(v_[n], cfg_.neurons[n], &rng_))
+            firedBits_.set(n);
+        ++counters_.evals;
+        doneThrough_[n] = t + 1;
+    });
+    emitFired(fired);
 }
 
 std::optional<uint64_t>
 Core::nextSelfEvent()
 {
     while (!selfEvents_.empty()) {
-        auto [tick, n] = selfEvents_.top();
+        auto [tick, n] = selfEvents_.front();
         if (scheduledFire_[n] != tick) {
-            selfEvents_.pop();
+            popSelfEventTop();
+            if (selfEventsStale_ > 0)
+                --selfEventsStale_;
             continue;
         }
         return tick;
@@ -468,6 +727,16 @@ Core::footprintBytes() const
     bytes += vHi_.capacity() * sizeof(int32_t);
     bytes += touched_.footprintBytes();
     bytes += fallback_.footprintBytes();
+    bytes += update_.footprintBytes();
+    bytes += detRuns_.capacity() *
+        sizeof(std::pair<uint32_t, uint32_t>);
+    bytes += stochUpdList_.capacity() * sizeof(uint32_t);
+    bytes += firedBits_.footprintBytes();
+    bytes += detEvalScratch_.footprintBytes();
+    // The self-event heap was previously omitted, under-reporting
+    // long sparse runs where stale predictions accumulate.
+    bytes += selfEvents_.capacity() *
+        sizeof(std::pair<uint64_t, uint32_t>);
     return bytes;
 }
 

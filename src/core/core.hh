@@ -13,6 +13,24 @@
  *      threshold, fire and reset; fired neuron indices are reported
  *      to the caller, which routes them via the neuron's destination.
  *
+ * The update phase, like integration, has two implementations with
+ * bit-identical results (see neuron/batch.hh for the kernel and its
+ * equivalence argument):
+ *
+ *  - scalar:  one endOfTickUpdate call per neuron in ascending index
+ *             order (the architectural reference);
+ *  - batched: neurons are partitioned at construction into a
+ *             *deterministic* cohort (zero per-tick PRNG draws: no
+ *             stochastic leak, no threshold mask) and a *stochastic*
+ *             cohort.  Deterministic neurons update through a flat
+ *             SoA kernel writing fired bits into a BitVec;
+ *             stochastic neurons then run the scalar update in
+ *             ascending index order.  Deterministic neurons never
+ *             draw, so the split leaves the LFSR stream untouched;
+ *             fired indices are emitted in ascending order by
+ *             scanning the merged fired BitVec.  The sparse strategy
+ *             batches over evalMask_ ∩ deterministic.
+ *
  * Two evaluation strategies with bit-identical results:
  *
  *  - tickDense():  evaluates every neuron every tick (the hardware's
@@ -56,12 +74,13 @@
 #include <array>
 #include <cstdint>
 #include <optional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "core/config.hh"
 #include "core/crossbar.hh"
 #include "core/scheduler.hh"
+#include "neuron/batch.hh"
 #include "neuron/neuron.hh"
 #include "util/rng.hh"
 
@@ -85,6 +104,16 @@ struct CoreCounters
      * bit-identical whichever path applied the event.
      */
     uint64_t sopsBatched = 0;
+
+    /**
+     * Of evals, end-of-tick updates applied by the batched SoA
+     * update kernel instead of the scalar endOfTickUpdate.  Like
+     * sopsBatched, a simulation-effort statistic only.
+     */
+    uint64_t evalsBatched = 0;
+
+    /** Lazy compactions of the self-event heap (see tickSparse). */
+    uint64_t selfEventCompactions = 0;
 };
 
 /** One core's runtime state. */
@@ -176,6 +205,24 @@ class Core
     /** Current word-parallel engagement threshold. */
     uint32_t wordParallelMinActive() const { return wpMinActive_; }
 
+    /**
+     * Toggle the batched end-of-tick update path (default on).
+     * Results are bit-identical either way; the toggle exists for
+     * differential testing and benchmarking.  May be flipped at any
+     * tick boundary.
+     */
+    void setWordParallelUpdate(bool on) { wordParallelUpdate_ = on; }
+
+    /** True when the batched update path is enabled. */
+    bool wordParallelUpdate() const { return wordParallelUpdate_; }
+
+    /**
+     * Entries currently held by the self-event heap, stale ones
+     * included (diagnostics: lazy compaction keeps this bounded by
+     * roughly twice the live prediction count).
+     */
+    size_t selfEventQueueDepth() const { return selfEvents_.size(); }
+
     /** Heap footprint of the runtime core in bytes. */
     size_t footprintBytes() const;
 
@@ -205,12 +252,18 @@ class Core
     };
 
     void buildLanes();
+    void buildUpdateCohorts();
+    uint32_t calibrateWordParallelThreshold();
     void integrateActiveAxons(uint64_t t, bool sparse);
     void integrateScalar(const BitVec &active, uint64_t t, bool sparse);
     void integrateWordParallel(const BitVec &active, uint64_t t,
                                bool sparse);
+    void emitFired(std::vector<uint32_t> &fired);
     void catchUp(uint32_t n, uint64_t t);
     void scheduleSelfEvent(uint32_t n);
+    void pushSelfEvent(uint64_t tick, uint32_t n);
+    void popSelfEventTop();
+    void noteStaleSelfEvent();
     void commitMode(Mode m);
 
     CoreConfig cfg_;
@@ -231,6 +284,16 @@ class Core
     uint32_t planeCount_ = 0;            //!< carry-save plane budget
     uint32_t wpMinActive_ = 0;           //!< engagement threshold
     bool wordParallel_ = true;
+    bool wordParallelUpdate_ = true;
+
+    // Batched update-phase state (see neuron/batch.hh).
+    UpdateLanes update_;                 //!< SoA update projection
+    /** Maximal runs [first, second) of deterministic-cohort neurons
+     *  (ascending); one run spanning the core when homogeneous. */
+    std::vector<std::pair<uint32_t, uint32_t>> detRuns_;
+    std::vector<uint32_t> stochUpdList_; //!< stochastic cohort, asc.
+    BitVec firedBits_;                   //!< scratch: per-tick fires
+    BitVec detEvalScratch_;              //!< scratch: evalMask ∩ det
 
     /** End-of-tick updates applied for all ticks < doneThrough_[n]. */
     std::vector<uint64_t> doneThrough_;
@@ -239,10 +302,15 @@ class Core
 
     /** Predicted spontaneous fire tick per neuron (kNoFire if none). */
     std::vector<uint64_t> scheduledFire_;
-    /** Min-heap of (tick, neuron) predictions; may hold stale pairs. */
-    std::priority_queue<std::pair<uint64_t, uint32_t>,
-                        std::vector<std::pair<uint64_t, uint32_t>>,
-                        std::greater<>> selfEvents_;
+    /**
+     * Min-heap (std::push_heap/pop_heap with std::greater) of
+     * (tick, neuron) predictions.  Re-predictions leave stale pairs
+     * behind; selfEventsStale_ counts them and the heap is rebuilt
+     * lazily once stale pairs outnumber live ones (see
+     * noteStaleSelfEvent), which bounds the heap in long sparse runs.
+     */
+    std::vector<std::pair<uint64_t, uint32_t>> selfEvents_;
+    uint64_t selfEventsStale_ = 0;       //!< stale pairs in the heap
 
     Mode mode_ = Mode::Unset;
     mutable CoreCounters counters_;

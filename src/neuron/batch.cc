@@ -1,0 +1,162 @@
+#include "neuron/batch.hh"
+
+#include <algorithm>
+
+#include "neuron/neuron.hh"
+#include "util/saturate.hh"
+
+namespace nscs {
+
+void
+UpdateLanes::build(const std::vector<NeuronParams> &params)
+{
+    const size_t n = params.size();
+    leak.resize(n);
+    revSel.resize(n);
+    thr.resize(n);
+    negLim.resize(n);
+    posMul.resize(n);
+    posAdd.resize(n);
+    negMul.resize(n);
+    negAdd.resize(n);
+    lo.resize(n);
+    hi.resize(n);
+    deterministic = BitVec(n);
+    stochastic = BitVec(n);
+
+    for (size_t j = 0; j < n; ++j) {
+        const NeuronParams &p = params[j];
+        PotentialRange r = potentialRange(p);
+        lo[j] = r.lo;
+        hi[j] = r.hi;
+        leak[j] = p.leak;
+        revSel[j] = p.leakReversal ? 1 : 0;
+        thr[j] = p.threshold;
+        negLim[j] = -p.negThreshold;
+        switch (p.resetMode) {
+          case ResetMode::Store:
+            posMul[j] = 0;
+            posAdd[j] = p.resetPotential;
+            break;
+          case ResetMode::Linear:
+            posMul[j] = 1;
+            posAdd[j] = -p.threshold;
+            break;
+          case ResetMode::None:
+            posMul[j] = 1;
+            posAdd[j] = 0;
+            break;
+        }
+        if (p.negSaturate) {
+            negMul[j] = 0;
+            negAdd[j] = -p.negThreshold;
+        } else {
+            switch (p.resetMode) {
+              case ResetMode::Store:
+                negMul[j] = 0;
+                negAdd[j] = satClamp(
+                    -static_cast<int64_t>(p.resetPotential),
+                    p.potentialBits);
+                break;
+              case ResetMode::Linear:
+                negMul[j] = 1;
+                negAdd[j] = p.negThreshold;
+                break;
+              case ResetMode::None:
+                negMul[j] = 1;
+                negAdd[j] = 0;
+                break;
+            }
+        }
+        if (!drawsPerTick(p))
+            deterministic.set(j);
+        else
+            stochastic.set(j);
+    }
+    narrow = true;
+    for (const NeuronParams &p : params)
+        if (p.potentialBits > 30)
+            narrow = false;
+}
+
+size_t
+UpdateLanes::footprintBytes() const
+{
+    auto vec = [](const std::vector<int32_t> &v) {
+        return v.capacity() * sizeof(int32_t);
+    };
+    return vec(leak) + vec(revSel) + vec(thr) + vec(negLim) +
+        vec(posMul) + vec(posAdd) + vec(negMul) + vec(negAdd) +
+        vec(lo) + vec(hi) + deterministic.footprintBytes() +
+        stochastic.footprintBytes();
+}
+
+namespace {
+
+template <typename W>
+void
+batchUpdateRangeT(const UpdateLanes &lanes, int32_t *v,
+                  uint32_t begin, uint32_t end, BitVec &fired_bits)
+{
+    // Per 64-lane strip: a flat compute loop storing fired flags as
+    // bytes (no cross-lane dependency, so it can vectorize), then a
+    // scalar pack of the flags into the strip's fired word.
+    uint32_t j = begin;
+    while (j < end) {
+        const size_t word = j / 64;
+        const uint32_t base = j;
+        const uint32_t stop = std::min<uint32_t>(
+            end, static_cast<uint32_t>((word + 1) * 64));
+        uint8_t flags[64];
+        for (uint32_t k = 0; j < stop; ++j, ++k)
+            flags[k] = batchUpdateOneT<W>(lanes, v, j);
+        uint64_t bits = 0;
+        for (uint32_t k = 0; k < stop - base; ++k)
+            bits |= static_cast<uint64_t>(flags[k])
+                << ((base + k) % 64);
+        if (bits)
+            fired_bits.orWordAt(word, bits);
+    }
+}
+
+} // anonymous namespace
+
+void
+batchUpdateRange(const UpdateLanes &lanes, int32_t *v,
+                 uint32_t begin, uint32_t end, BitVec &fired_bits)
+{
+    if (lanes.narrow)
+        batchUpdateRangeT<int32_t>(lanes, v, begin, end, fired_bits);
+    else
+        batchUpdateRangeT<int64_t>(lanes, v, begin, end, fired_bits);
+}
+
+uint64_t
+batchUpdateMasked(const UpdateLanes &lanes, int32_t *v,
+                  const BitVec &mask, BitVec &fired_bits)
+{
+    uint64_t updated = 0;
+    mask.forEachSetWord([&](size_t w, uint64_t word) {
+        if (word == ~0ull) {
+            batchUpdateRange(lanes, v, static_cast<uint32_t>(w * 64),
+                             static_cast<uint32_t>(w * 64 + 64),
+                             fired_bits);
+            updated += 64;
+            return;
+        }
+        uint64_t bits = word;
+        uint64_t fired = 0;
+        while (bits) {
+            unsigned b = static_cast<unsigned>(__builtin_ctzll(bits));
+            bits &= bits - 1;
+            fired |= static_cast<uint64_t>(
+                batchUpdateOne(lanes, v, w * 64 + b)) << b;
+            ++updated;
+        }
+        if (fired)
+            fired_bits.orWordAt(w, fired);
+    });
+    return updated;
+}
+
+} // namespace nscs

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Batched (word-parallel) end-of-tick neuron updates.
+ *
+ * The per-tick update phase — leak, threshold, fire, reset — is the
+ * architectural steady-state cost of the chip: the hardware evaluates
+ * every neuron every tick.  The scalar path (neuron/neuron.hh's
+ * endOfTickUpdate) walks the AoS NeuronParams array and branches on
+ * every field; this file provides the structure-of-arrays projection
+ * and a flat, auto-vectorizable kernel for the *deterministic update
+ * cohort* — neurons that draw nothing per tick (no stochastic leak,
+ * no threshold mask), which is every neuron with
+ * drawsPerTick(p) == false.
+ *
+ * Equivalence argument (mirrors the word-parallel integrate path):
+ * for a zero-draw neuron, one end-of-tick update is the pure function
+ *
+ *   u   = clamp(v + omega * leak)          omega = reversal ? sgn(v) : 1
+ *   out = u >= threshold       -> posReset(u)       (fired)
+ *       | u < -negThreshold    -> negRule(u)
+ *       | otherwise            -> u
+ *
+ * and both posReset and negRule are affine selects of the form
+ * clamp(mul * u + add) with per-neuron constants:
+ *
+ *   posReset: Store (0, R)   Linear (1, -threshold)    None (1, 0)
+ *   negRule:  saturate (0, -beta)   Store (0, clamp(-R))
+ *             Linear (1, +beta)     None (1, 0)
+ *
+ * Projecting (mul, add) pairs into lanes at construction removes every
+ * data-dependent branch from the kernel, so updating a neuron is a
+ * handful of lane loads, two compares and three clamped selects —
+ * identical arithmetic to the scalar path, evaluated in the same
+ * per-neuron order, consuming zero PRNG draws.  Stochastic-cohort
+ * neurons must keep using endOfTickUpdate; see core/core.cc for how
+ * the cohorts are interleaved without perturbing the LFSR stream.
+ */
+
+#ifndef NSCS_NEURON_BATCH_HH
+#define NSCS_NEURON_BATCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "neuron/params.hh"
+#include "util/bitvec.hh"
+
+namespace nscs {
+
+/**
+ * Structure-of-arrays projection of the update-relevant NeuronParams
+ * fields, one lane entry per neuron.  The AoS params array stays the
+ * source of truth; lanes are a read-only view built once.
+ */
+struct UpdateLanes
+{
+    std::vector<int32_t> leak;     //!< signed leak per tick
+    std::vector<int32_t> revSel;   //!< 1 if leakReversal else 0
+    std::vector<int32_t> thr;      //!< positive threshold
+    std::vector<int32_t> negLim;   //!< -negThreshold
+    std::vector<int32_t> posMul;   //!< positive-reset select: mul
+    std::vector<int32_t> posAdd;   //!< positive-reset select: add
+    std::vector<int32_t> negMul;   //!< negative-rule select: mul
+    std::vector<int32_t> negAdd;   //!< negative-rule select: add
+    std::vector<int32_t> lo;       //!< lower saturation rail
+    std::vector<int32_t> hi;       //!< upper saturation rail
+
+    /** Zero-draw neurons (the batchable deterministic cohort). */
+    BitVec deterministic;
+
+    /** Complement: neurons that draw per tick (scalar cohort). */
+    BitVec stochastic;
+
+    /**
+     * True when every neuron's potentialBits <= 30, in which case
+     * all kernel intermediates (|rail| + |leak|, u + add with
+     * |add| <= rail) fit in int32 and the narrow kernel applies —
+     * int32 lanes auto-vectorize on baseline x86-64 where int64
+     * compares do not.
+     */
+    bool narrow = false;
+
+    /** Build all lanes from a validated parameter array. */
+    void build(const std::vector<NeuronParams> &params);
+
+    /** Number of neurons projected. */
+    size_t size() const { return leak.size(); }
+
+    /** Heap footprint of the lanes in bytes. */
+    size_t footprintBytes() const;
+};
+
+/**
+ * One batched end-of-tick update of neuron @p j.  @p j must be in the
+ * deterministic cohort.  @return true if the neuron fired.
+ *
+ * Kept inline in the header so the flat range kernel, the masked
+ * kernel and any caller-side loop all compile down to the same
+ * branch-free select chain.
+ */
+template <typename W>
+inline bool
+batchUpdateOneT(const UpdateLanes &L, int32_t *v, size_t j)
+{
+    // Restrict-qualified lane views: the potential array can never
+    // alias the const projection lanes, and telling the compiler so
+    // keeps the word loop in batchUpdateRange auto-vectorizable.
+    const int32_t *__restrict leak = L.leak.data();
+    const int32_t *__restrict rev = L.revSel.data();
+    const int32_t *__restrict thr = L.thr.data();
+    const int32_t *__restrict neg_lim = L.negLim.data();
+    const int32_t *__restrict pos_mul = L.posMul.data();
+    const int32_t *__restrict pos_add = L.posAdd.data();
+    const int32_t *__restrict neg_mul = L.negMul.data();
+    const int32_t *__restrict neg_add = L.negAdd.data();
+    const int32_t *__restrict lo_l = L.lo.data();
+    const int32_t *__restrict hi_l = L.hi.data();
+
+    W x = v[j];
+    W sg = (x > 0) - (x < 0);
+    // omega = reversal ? sgn(v) : 1, as an arithmetic select.
+    W omega = 1 + rev[j] * (sg - 1);
+    W lo = lo_l[j];
+    W hi = hi_l[j];
+    W u = x + omega * leak[j];
+    u = u < lo ? lo : (u > hi ? hi : u);
+    bool fired = u >= thr[j];
+    bool neg = u < neg_lim[j];
+    W pos = pos_mul[j] * u + pos_add[j];
+    pos = pos < lo ? lo : (pos > hi ? hi : pos);
+    W ng = neg_mul[j] * u + neg_add[j];
+    ng = ng < lo ? lo : (ng > hi ? hi : ng);
+    W out = fired ? pos : (neg ? ng : u);
+    v[j] = static_cast<int32_t>(out);
+    return fired;
+}
+
+/** One batched update with the widest-safe arithmetic type. */
+inline bool
+batchUpdateOne(const UpdateLanes &L, int32_t *v, size_t j)
+{
+    return L.narrow ? batchUpdateOneT<int32_t>(L, v, j)
+                    : batchUpdateOneT<int64_t>(L, v, j);
+}
+
+/**
+ * Flat batched update of neurons [begin, end) — all of which must be
+ * in the deterministic cohort.  Fired neurons are OR-ed into
+ * @p fired_bits (sized to the neuron count) 64 lanes per word.
+ */
+void batchUpdateRange(const UpdateLanes &lanes, int32_t *v,
+                      uint32_t begin, uint32_t end, BitVec &fired_bits);
+
+/**
+ * Masked batched update: update exactly the set bits of @p mask
+ * (which must already be restricted to the deterministic cohort), in
+ * ascending index order; full words take the flat kernel.
+ * @return the number of neurons updated.
+ */
+uint64_t batchUpdateMasked(const UpdateLanes &lanes, int32_t *v,
+                           const BitVec &mask, BitVec &fired_bits);
+
+} // namespace nscs
+
+#endif // NSCS_NEURON_BATCH_HH

@@ -1,0 +1,468 @@
+/**
+ * @file
+ * Differential suite for the batched (word-parallel) end-of-tick
+ * update path and the self-event heap compaction.
+ *
+ * Every differential test drives two cores (or chips) built from the
+ * same configuration — the batched SoA update kernel enabled on one
+ * side and the scalar endOfTickUpdate reference on the other — over
+ * identical spike streams, asserting bit-identical fired sets (in
+ * ascending order), membrane potentials, and PRNG draw counts.
+ *
+ * The fuzz generator is biased toward the update phase: every
+ * ResetMode, both negative-threshold modes, leak reversal, stochastic
+ * leak and threshold masks, so all UpdateClass values and both update
+ * cohorts (deterministic / stochastic) appear, through both the dense
+ * and sparse evaluation strategies.  A long sparse run asserts that
+ * lazy compaction keeps the self-event heap bounded.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "chip/chip.hh"
+#include "core/core.hh"
+#include "neuron/batch.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace nscs {
+namespace {
+
+/** Multi-word geometry with a partial tail word. */
+CoreGeometry
+fuzzGeom()
+{
+    CoreGeometry g;
+    g.numAxons = 96;
+    g.numNeurons = 80;
+    g.delaySlots = 16;
+    return g;
+}
+
+/**
+ * Random configuration biased toward update-phase features: leak of
+ * every sign with reversal and stochastic variants, every ResetMode,
+ * both negative-threshold modes, threshold masks, and reset
+ * potentials that exercise the negative-rule rebound.
+ */
+CoreConfig
+updateFuzzConfig(uint64_t seed, double stoch_rate = 0.25)
+{
+    Xoshiro256 rng(seed);
+    CoreGeometry g = fuzzGeom();
+    CoreConfig cfg = CoreConfig::make(g);
+    cfg.rngSeed = static_cast<uint16_t>(rng.below(65536));
+
+    for (uint32_t a = 0; a < g.numAxons; ++a) {
+        cfg.axonType[a] = static_cast<uint8_t>(rng.below(4));
+        for (uint32_t n = 0; n < g.numNeurons; ++n)
+            if (rng.chance(0.2))
+                cfg.connect(a, n);
+    }
+    for (uint32_t n = 0; n < g.numNeurons; ++n) {
+        NeuronParams &p = cfg.neurons[n];
+        p.potentialBits = static_cast<uint8_t>(rng.range(8, 14));
+        for (unsigned w = 0; w < kNumAxonTypes; ++w) {
+            p.synWeight[w] = static_cast<int16_t>(rng.range(-30, 30));
+            p.synStochastic[w] = rng.chance(0.1);
+        }
+        p.leak = static_cast<int16_t>(rng.range(-9, 9));
+        p.leakReversal = rng.chance(0.2);
+        p.leakStochastic = rng.chance(stoch_rate * 0.5);
+        p.threshold = static_cast<int32_t>(rng.range(2, 40));
+        p.negThreshold = static_cast<int32_t>(rng.below(80));
+        p.negSaturate = rng.chance(0.5);
+        p.thresholdMaskBits = rng.chance(stoch_rate * 0.5)
+            ? static_cast<uint8_t>(rng.below(4)) : 0;
+        p.resetMode = static_cast<ResetMode>(rng.below(3));
+        p.resetPotential = static_cast<int32_t>(rng.range(-50, 10));
+        p.initialPotential = static_cast<int32_t>(rng.range(-80, 80));
+    }
+    validateCoreConfig(cfg, "updateFuzzConfig");
+    return cfg;
+}
+
+std::map<uint64_t, std::vector<std::pair<uint64_t, uint32_t>>>
+fuzzInputs(uint64_t seed, const CoreGeometry &g, uint64_t ticks,
+           double rate)
+{
+    Xoshiro256 rng(seed ^ 0xD15EA5Eull);
+    std::map<uint64_t, std::vector<std::pair<uint64_t, uint32_t>>> in;
+    for (uint64_t t = 0; t < ticks; ++t)
+        for (uint32_t a = 0; a < g.numAxons; ++a)
+            if (rng.chance(rate)) {
+                uint64_t delivery =
+                    t + (rng.chance(0.2) ? rng.below(4) : 0);
+                if (delivery < ticks)
+                    in[t].emplace_back(delivery, a);
+            }
+    return in;
+}
+
+/** Drive a sparse core per its contract (mirrors test_core.cc). */
+void
+sparseContractTick(Core &core, uint64_t t, std::vector<uint32_t> &fired)
+{
+    bool must = core.hasDenseNeurons() || !core.slotEmpty(t);
+    auto se = core.nextSelfEvent();
+    if (se && *se <= t)
+        must = true;
+    if (must)
+        core.tickSparse(t, fired);
+}
+
+enum class Drive { Dense, Sparse };
+
+/**
+ * Run @p fast (batched update) and @p scalar (reference) in lockstep
+ * and assert identical observable state each tick, including the
+ * ascending order of the fired vector.
+ */
+void
+runDifferential(Core &fast, Core &scalar, Drive drive, uint64_t seed,
+                uint64_t ticks, double rate)
+{
+    const CoreGeometry &g = fast.config().geom;
+    auto inputs = fuzzInputs(seed, g, ticks, rate);
+
+    std::vector<uint32_t> fired_f, fired_s;
+    for (uint64_t t = 0; t < ticks; ++t) {
+        auto it = inputs.find(t);
+        if (it != inputs.end()) {
+            for (auto [delivery, a] : it->second) {
+                fast.deposit(delivery, a);
+                scalar.deposit(delivery, a);
+            }
+        }
+        fired_f.clear();
+        fired_s.clear();
+        if (drive == Drive::Dense) {
+            fast.tickDense(t, fired_f);
+            scalar.tickDense(t, fired_s);
+        } else {
+            sparseContractTick(fast, t, fired_f);
+            sparseContractTick(scalar, t, fired_s);
+        }
+        ASSERT_TRUE(std::is_sorted(fired_f.begin(), fired_f.end()))
+            << "fired order at tick " << t << " seed " << seed;
+        ASSERT_EQ(fired_f, fired_s) << "tick " << t << " seed " << seed;
+        ASSERT_EQ(fast.counters().rngDraws, scalar.counters().rngDraws)
+            << "draw-order divergence at tick " << t << " seed " << seed;
+        for (uint32_t n = 0; n < g.numNeurons; ++n)
+            ASSERT_EQ(fast.settledPotential(n, t + 1),
+                      scalar.settledPotential(n, t + 1))
+                << "neuron " << n << " tick " << t << " seed " << seed;
+    }
+    EXPECT_EQ(fast.counters().evals, scalar.counters().evals);
+    EXPECT_EQ(fast.counters().spikes, scalar.counters().spikes);
+    EXPECT_EQ(fast.counters().sops, scalar.counters().sops);
+    // The scalar reference never batches updates.
+    EXPECT_EQ(scalar.counters().evalsBatched, 0u);
+    EXPECT_LE(fast.counters().evalsBatched, fast.counters().evals);
+}
+
+class UpdateFastFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(UpdateFastFuzz, DenseStrategyMatchesScalar)
+{
+    setQuiet(true);
+    uint64_t seed = static_cast<uint64_t>(GetParam()) * 2246822519 + 11;
+    CoreConfig cfg = updateFuzzConfig(seed);
+    Core fast(cfg);
+    Core scalar(cfg);
+    scalar.setWordParallelUpdate(false);
+    runDifferential(fast, scalar, Drive::Dense, seed, 200, 0.06);
+    EXPECT_GT(fast.counters().evalsBatched, 0u);
+    setQuiet(false);
+}
+
+TEST_P(UpdateFastFuzz, SparseStrategyMatchesScalar)
+{
+    setQuiet(true);
+    uint64_t seed = static_cast<uint64_t>(GetParam()) * 2654435761 + 13;
+    CoreConfig cfg = updateFuzzConfig(seed);
+    Core fast(cfg);
+    Core scalar(cfg);
+    scalar.setWordParallelUpdate(false);
+    runDifferential(fast, scalar, Drive::Sparse, seed, 200, 0.04);
+    setQuiet(false);
+}
+
+TEST_P(UpdateFastFuzz, FullyScalarVsFullyBatched)
+{
+    // Both toggles differ on the two sides: word-parallel integrate +
+    // batched update vs all-scalar everything.
+    setQuiet(true);
+    uint64_t seed = static_cast<uint64_t>(GetParam()) * 15485863 + 17;
+    CoreConfig cfg = updateFuzzConfig(seed);
+    Core fast(cfg);
+    Core scalar(cfg);
+    fast.setWordParallelMinActive(0);
+    scalar.setWordParallel(false);
+    scalar.setWordParallelUpdate(false);
+    runDifferential(fast, scalar, Drive::Dense, seed, 150, 0.1);
+    setQuiet(false);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UpdateFastFuzz,
+                         ::testing::Range(0, 20));
+
+// --- targeted cases ----------------------------------------------------------
+
+/**
+ * Every (ResetMode, negSaturate, leakReversal, leak sign) combination
+ * through a two-tick trajectory that crosses both thresholds: kernel
+ * and scalar must agree exactly.
+ */
+TEST(UpdateFast, AllResetCombinationsMatchScalar)
+{
+    for (int mode = 0; mode < 3; ++mode)
+        for (bool sat : {false, true})
+            for (bool rev : {false, true})
+                for (int leak : {-3, 0, 2}) {
+                    NeuronParams p;
+                    p.potentialBits = 8;
+                    p.resetMode = static_cast<ResetMode>(mode);
+                    p.negSaturate = sat;
+                    p.leakReversal = rev;
+                    p.leak = static_cast<int16_t>(leak);
+                    p.threshold = 5;
+                    p.negThreshold = 6;
+                    p.resetPotential = -10;
+                    validateNeuronParams(p, "combo");
+                    ASSERT_FALSE(drawsPerTick(p));
+
+                    UpdateLanes lanes;
+                    lanes.build({p});
+                    ASSERT_TRUE(lanes.deterministic.test(0));
+                    for (int32_t v0 = -128; v0 <= 127; ++v0) {
+                        int32_t vs = v0;
+                        bool fs =
+                            endOfTickUpdate(vs, p, nullptr);
+                        int32_t vb = v0;
+                        BitVec fired(1);
+                        batchUpdateRange(lanes, &vb, 0, 1, fired);
+                        ASSERT_EQ(vb, vs)
+                            << "mode=" << mode << " sat=" << sat
+                            << " rev=" << rev << " leak=" << leak
+                            << " v0=" << v0;
+                        ASSERT_EQ(fired.test(0), fs);
+                    }
+                }
+}
+
+TEST(UpdateFast, CohortSplitMatchesDrawsPerTick)
+{
+    CoreConfig cfg = updateFuzzConfig(99);
+    UpdateLanes lanes;
+    lanes.build(cfg.neurons);
+    size_t det = 0;
+    for (uint32_t n = 0; n < cfg.geom.numNeurons; ++n) {
+        EXPECT_EQ(lanes.deterministic.test(n),
+                  !drawsPerTick(cfg.neurons[n]));
+        det += lanes.deterministic.test(n);
+    }
+    // The generator must produce both cohorts or the differential
+    // sweeps above lose coverage.
+    EXPECT_GT(det, 0u);
+    EXPECT_LT(det, static_cast<size_t>(cfg.geom.numNeurons));
+}
+
+TEST(UpdateFast, ToggleMidRunStaysConsistent)
+{
+    uint64_t seed = 4242;
+    CoreConfig cfg = updateFuzzConfig(seed);
+    Core mixed(cfg);
+    Core scalar(cfg);
+    scalar.setWordParallel(false);
+    scalar.setWordParallelUpdate(false);
+    auto inputs = fuzzInputs(seed, cfg.geom, 120, 0.08);
+    std::vector<uint32_t> fired_m, fired_s;
+    for (uint64_t t = 0; t < 120; ++t) {
+        mixed.setWordParallelUpdate(t % 2 == 0);
+        auto it = inputs.find(t);
+        if (it != inputs.end()) {
+            for (auto [delivery, a] : it->second) {
+                mixed.deposit(delivery, a);
+                scalar.deposit(delivery, a);
+            }
+        }
+        fired_m.clear();
+        fired_s.clear();
+        mixed.tickDense(t, fired_m);
+        scalar.tickDense(t, fired_s);
+        ASSERT_EQ(fired_m, fired_s) << "tick " << t;
+    }
+    EXPECT_EQ(mixed.counters().spikes, scalar.counters().spikes);
+    EXPECT_EQ(mixed.counters().rngDraws, scalar.counters().rngDraws);
+}
+
+// --- self-event heap ---------------------------------------------------------
+
+/**
+ * A population of LazyLeak neurons whose spontaneous-fire predictions
+ * move *earlier* with every input spike (+200 toward a distant
+ * threshold): each re-prediction leaves a stale pair dated later
+ * than every live prediction, so the stale mass hides deep in the
+ * heap where the top-popping in nextSelfEvent can never reach it.
+ * Without compaction the heap grows linearly with ticks; with it, it
+ * stays bounded by ~2x the live prediction count plus the rebuild
+ * floor.
+ */
+TEST(UpdateFast, SelfEventHeapStaysBoundedInLongSparseRuns)
+{
+    CoreGeometry g;
+    g.numAxons = 16;
+    g.numNeurons = 64;
+    g.delaySlots = 16;
+    CoreConfig cfg = CoreConfig::make(g);
+    for (uint32_t n = 0; n < g.numNeurons; ++n) {
+        NeuronParams &p = cfg.neurons[n];
+        p.potentialBits = 20;
+        p.leak = 1;                   // rising: always predicts a fire
+        p.threshold = 500000;         // ...far in the future
+        p.synWeight = {200, 200, 200, 200};
+        cfg.connect(n % g.numAxons, n);
+    }
+
+    Core core(cfg);
+    Core scalar(cfg);
+    scalar.setWordParallelUpdate(false);
+    const uint64_t ticks = 20000;
+    std::vector<uint32_t> fired_f, fired_s;
+    size_t max_depth = 0;
+    for (uint64_t t = 0; t < ticks; ++t) {
+        if (t % 3 == 0) {
+            // Ratchet potentials upward: every touched neuron
+            // re-predicts ~200 ticks earlier, staling its previous
+            // (later-dated) heap pair.
+            for (uint32_t a = 0; a < g.numAxons; ++a) {
+                core.deposit(t, a);
+                scalar.deposit(t, a);
+            }
+        }
+        fired_f.clear();
+        fired_s.clear();
+        sparseContractTick(core, t, fired_f);
+        sparseContractTick(scalar, t, fired_s);
+        ASSERT_EQ(fired_f, fired_s) << "tick " << t;
+        max_depth = std::max(max_depth, core.selfEventQueueDepth());
+    }
+    // Bound: live predictions (<= numNeurons) plus stale pairs, which
+    // compaction caps at half the heap, plus the 64-entry floor.
+    EXPECT_LE(max_depth, 3u * g.numNeurons + 64u);
+    EXPECT_GT(core.counters().selfEventCompactions, 0u);
+    // Compaction is invisible to the scalar side too.
+    EXPECT_GT(scalar.counters().selfEventCompactions, 0u);
+}
+
+TEST(UpdateFast, FootprintAccountsForSelfEventHeap)
+{
+    CoreGeometry g;
+    g.numAxons = 8;
+    g.numNeurons = 128;
+    g.delaySlots = 16;
+
+    // A: every neuron holds a live self-event prediction.
+    CoreConfig with = CoreConfig::make(g);
+    for (uint32_t n = 0; n < g.numNeurons; ++n) {
+        with.neurons[n].leak = 1;
+        with.neurons[n].threshold = 1000;
+    }
+    // B: identical shape, but Pure neurons predict nothing.
+    CoreConfig without = CoreConfig::make(g);
+    for (uint32_t n = 0; n < g.numNeurons; ++n)
+        without.neurons[n].threshold = 1000;
+
+    Core a(with);
+    Core b(without);
+    ASSERT_EQ(a.selfEventQueueDepth(), g.numNeurons);
+    ASSERT_EQ(b.selfEventQueueDepth(), 0u);
+    EXPECT_GE(a.footprintBytes(),
+              b.footprintBytes() +
+                  g.numNeurons *
+                      sizeof(std::pair<uint64_t, uint32_t>));
+}
+
+// --- chip-level engine equivalence ------------------------------------------
+
+/** Spike traces across {Clock, Event} x {serial, parallel} engines x
+ *  {scalar, batched} update paths must be bit-identical. */
+TEST(UpdateFast, EnginesAgreeAcrossUpdatePaths)
+{
+    setQuiet(true);
+    CoreGeometry g;
+    g.numAxons = 32;
+    g.numNeurons = 32;
+    g.delaySlots = 16;
+
+    // A 2x2 chip of mutually recurrent cores with mixed update
+    // cohorts.
+    Xoshiro256 rng(7);
+    std::vector<CoreConfig> cfgs;
+    for (uint32_t c = 0; c < 4; ++c) {
+        CoreConfig cfg = CoreConfig::make(g);
+        cfg.rngSeed = static_cast<uint16_t>(0xACE1 + c);
+        for (uint32_t a = 0; a < g.numAxons; ++a) {
+            cfg.axonType[a] = static_cast<uint8_t>(rng.below(4));
+            for (uint32_t n = 0; n < g.numNeurons; ++n)
+                if (rng.chance(0.3))
+                    cfg.connect(a, n);
+        }
+        for (uint32_t n = 0; n < g.numNeurons; ++n) {
+            NeuronParams &p = cfg.neurons[n];
+            p.synWeight = {3, -2, 2, 1};
+            p.leak = static_cast<int16_t>(rng.range(-2, 2));
+            p.leakStochastic = rng.chance(0.2);
+            p.threshold = static_cast<int32_t>(rng.range(4, 12));
+            p.negThreshold = 30;
+            NeuronDest &d = cfg.dests[n];
+            if (n % 5 == 0) {
+                d.kind = NeuronDest::Kind::Output;
+                d.line = n;
+            } else {
+                d.kind = NeuronDest::Kind::Core;
+                d.dx = static_cast<int16_t>((c % 2 == 0) ? 1 : -1);
+                d.dy = 0;
+                d.axon = static_cast<uint16_t>(n % g.numAxons);
+                d.delay = static_cast<uint8_t>(1 + n % 4);
+            }
+        }
+        cfgs.push_back(cfg);
+    }
+
+    auto run = [&](EngineKind ek, uint32_t threads, bool batched) {
+        ChipParams p;
+        p.width = 2;
+        p.height = 2;
+        p.coreGeom = g;
+        p.engine = ek;
+        p.threads = threads;
+        Chip chip(p, cfgs);
+        for (uint32_t c = 0; c < 4; ++c)
+            chip.core(c).setWordParallelUpdate(batched);
+        for (uint32_t a = 0; a < g.numAxons; a += 3)
+            chip.injectInput(a % 4, a, a % 8);
+        chip.run(120);
+        return chip.outputs();
+    };
+
+    auto reference = run(EngineKind::Clock, 0, false);
+    ASSERT_FALSE(reference.empty());
+    for (EngineKind ek : {EngineKind::Clock, EngineKind::Event})
+        for (uint32_t threads : {0u, 3u})
+            for (bool batched : {false, true})
+                EXPECT_EQ(run(ek, threads, batched), reference)
+                    << "engine=" << static_cast<int>(ek)
+                    << " threads=" << threads
+                    << " batched=" << batched;
+    setQuiet(false);
+}
+
+} // anonymous namespace
+} // namespace nscs

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * nscs_bench_diff — compare a BENCH_core.json produced by the current
+ * build against a committed baseline and flag throughput regressions.
+ *
+ * Usage:
+ *   nscs_bench_diff BASELINE.json CURRENT.json [--tolerance F]
+ *
+ * For every workload present in both files (matched by name, across
+ * both the "workloads" and "updateWorkloads" arrays) the tool prints
+ * baseline vs current fast-path ticks/s and speedup, and flags a
+ * REGRESSION when the current fast-over-scalar *speedup* falls below
+ * (1 - tolerance) x the baseline speedup.  The speedup ratio is
+ * machine-independent (both paths ran on the same host in the same
+ * process), so a committed baseline from one machine remains a valid
+ * reference on a differently-sized CI runner; absolute ticks/s are
+ * printed for context only.  Workloads without a speedup field fall
+ * back to the ticks/s ratio.  The default tolerance is 0.30: CI
+ * shared-runner timings are noisy, so only gross regressions flag.
+ *
+ * Exit status: 0 when clean, 1 when any regression flagged, 2 on
+ * usage/parse errors.  The CI perf-smoke step runs this non-gating;
+ * the exit status and table are the per-commit record of the bench
+ * trajectory (see ROADMAP).
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/json.hh"
+#include "util/table.hh"
+
+using namespace nscs;
+
+namespace {
+
+struct Row
+{
+    std::string name;
+    double baseTps = 0.0;
+    double curTps = 0.0;
+    double baseSpeedup = 0.0;
+    double curSpeedup = 0.0;
+};
+
+JsonValue
+loadDoc(const char *path)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        std::cerr << "cannot read '" << path << "'\n";
+        std::exit(2);
+    }
+    JsonParseResult r = parseJson(text);
+    if (!r.ok) {
+        std::cerr << path << ": parse error: " << r.error << "\n";
+        std::exit(2);
+    }
+    return r.value;
+}
+
+/** Collect (name -> row side) from one array of workload objects. */
+void
+collect(const JsonValue &doc, const char *key, bool current,
+        std::vector<Row> &rows)
+{
+    if (!doc.has(key))
+        return;
+    const JsonValue &arr = doc.at(key);
+    for (size_t i = 0; i < arr.size(); ++i) {
+        const JsonValue &w = arr.at(i);
+        if (!w.has("name") || !w.has("fastTicksPerSec"))
+            continue;
+        std::string name = w.at("name").asString();
+        Row *row = nullptr;
+        for (Row &r : rows)
+            if (r.name == name)
+                row = &r;
+        if (!row) {
+            if (current)
+                continue;  // only compare what the baseline has
+            rows.push_back(Row{name, 0, 0, 0, 0});
+            row = &rows.back();
+        }
+        double tps = w.at("fastTicksPerSec").asDouble();
+        double sp = w.has("speedup") ? w.at("speedup").asDouble() : 0.0;
+        if (current) {
+            row->curTps = tps;
+            row->curSpeedup = sp;
+        } else {
+            row->baseTps = tps;
+            row->baseSpeedup = sp;
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::cerr << "usage: nscs_bench_diff BASELINE.json CURRENT.json"
+                     " [--tolerance F]\n";
+        return 2;
+    }
+    double tolerance = 0.30;
+    for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+            const char *arg = argv[++i];
+            char *end = nullptr;
+            tolerance = std::strtod(arg, &end);
+            if (end == arg || *end != '\0' || tolerance < 0.0 ||
+                tolerance >= 1.0) {
+                std::cerr << "bad --tolerance '" << arg
+                          << "' (want a fraction in [0, 1))\n";
+                return 2;
+            }
+        } else {
+            std::cerr << "unknown option '" << argv[i] << "'\n";
+            return 2;
+        }
+    }
+
+    JsonValue base = loadDoc(argv[1]);
+    JsonValue cur = loadDoc(argv[2]);
+
+    std::vector<Row> rows;
+    for (const char *key : {"workloads", "updateWorkloads"}) {
+        collect(base, key, false, rows);
+        collect(cur, key, true, rows);
+    }
+    if (rows.empty()) {
+        std::cerr << "no comparable workloads found\n";
+        return 2;
+    }
+
+    TextTable t({"workload", "base ticks/s", "cur ticks/s", "ratio",
+                 "base x", "cur x", "verdict"});
+    int regressions = 0;
+    for (const Row &r : rows) {
+        if (r.curTps == 0.0) {
+            t.addRow({r.name, fmtF(r.baseTps, 0), "-", "-",
+                      fmtF(r.baseSpeedup, 2), "-", "MISSING"});
+            ++regressions;
+            continue;
+        }
+        // Speedup (fast path over scalar, same host and process) is
+        // the machine-independent signal; ticks/s only when absent.
+        double ratio;
+        if (r.baseSpeedup > 0 && r.curSpeedup > 0)
+            ratio = r.curSpeedup / r.baseSpeedup;
+        else
+            ratio = r.baseTps > 0 ? r.curTps / r.baseTps : 1.0;
+        bool bad = ratio < 1.0 - tolerance;
+        if (bad)
+            ++regressions;
+        t.addRow({r.name, fmtF(r.baseTps, 0), fmtF(r.curTps, 0),
+                  fmtF(ratio, 2), fmtF(r.baseSpeedup, 2),
+                  fmtF(r.curSpeedup, 2),
+                  bad ? "REGRESSION" : "ok"});
+    }
+    std::cout << t.str();
+    if (regressions) {
+        std::cout << regressions << " workload(s) regressed beyond "
+                  << fmtF(tolerance * 100, 0) << "% tolerance\n";
+        return 1;
+    }
+    std::cout << "no regressions beyond "
+              << fmtF(tolerance * 100, 0) << "% tolerance\n";
+    return 0;
+}

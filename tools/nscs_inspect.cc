@@ -13,6 +13,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "neuron/neuron.hh"
 #include "prog/compiled.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
@@ -34,6 +35,11 @@ main(int argc, char **argv)
 
     uint64_t synapses = 0, used_cores = 0, neurons_used = 0;
     uint64_t axons_used = 0, core_dests = 0, output_dests = 0;
+    // Engine-scheduling cohorts: which update path and evaluation
+    // class each neuron lands in (see neuron/batch.hh and
+    // neuron/neuron.hh).
+    uint64_t det_update = 0, stoch_update = 0;
+    uint64_t cls_count[3] = {0, 0, 0};
     for (const CoreConfig &cfg : model.cores) {
         uint64_t core_syn = 0;
         uint32_t axons = 0;
@@ -51,6 +57,12 @@ main(int argc, char **argv)
                 ++output_dests;
                 ++active;
             }
+            if (drawsPerTick(cfg.neurons[n]))
+                ++stoch_update;
+            else
+                ++det_update;
+            ++cls_count[static_cast<int>(
+                classifyNeuron(cfg.neurons[n]))];
         }
         if (core_syn || active)
             ++used_cores;
@@ -75,6 +87,11 @@ main(int argc, char **argv)
     t.addRow({"output dests", fmtInt(output_dests)});
     t.addRow({"input lines", fmtInt(model.inputs.size())});
     t.addRow({"output lines", fmtInt(model.numOutputs)});
+    t.addRow({"det-update neurons", fmtInt(det_update)});
+    t.addRow({"stoch-update neurons", fmtInt(stoch_update)});
+    t.addRow({"class Pure/Lazy/Dense",
+              fmtInt(cls_count[0]) + " / " + fmtInt(cls_count[1]) +
+                  " / " + fmtInt(cls_count[2])});
     std::cout << t.str();
 
     if (per_core) {

@@ -2,20 +2,35 @@
  * @file
  * Experiment F4 — simulator throughput scaling (SC'14 shape).
  *
- * Sweeps the chip size at a fixed sparse per-core workload (2 Hz,
- * 128 density) and reports wall-clock throughput (ticks/s, MSOPs/s) for
- * the clock-driven engine, the event-driven engine, and the
- * conventional clock-driven IR-level baseline (DenseSim).
+ * Default mode sweeps the chip size at a fixed sparse per-core
+ * workload (2 Hz, 128 density) and reports wall-clock throughput
+ * (ticks/s, MSOPs/s) for the clock-driven engine, the event-driven
+ * engine, and the conventional clock-driven IR-level baseline
+ * (DenseSim).
  *
  * Expected shape: near-linear slowdown in core count for all three;
  * the event-driven engine leads at this activity level, and the
  * architecture-aware simulators stay within a small factor of the
  * IR-level baseline while additionally modelling cores, schedulers
  * and the interconnect.
+ *
+ * Board mode (--board WxH [--side N] [--ticks N]) measures multi-chip
+ * scale-out instead: one chip of side x side cores versus a WxH board
+ * of identical chips running the dense 20 Hz cortical workload, with
+ * the board's chips evaluated across worker lanes.  The figure of
+ * merit is *aggregate* throughput (MSOPs/s across the whole fabric):
+ * with >= W*H hardware threads a board sustains near-linear aggregate
+ * throughput in chip count while per-board ticks/s holds near the
+ * single-chip rate — the sharding story of the ROADMAP's north star.
+ * Near 1 hardware thread the board rows degenerate to ~1x: the
+ * printed hardware-lane count is part of the record.
  */
 
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <string>
 #include <thread>
 
 #include "baseline/dense_sim.hh"
@@ -27,6 +42,75 @@ using namespace nscs;
 using namespace nscs::bench;
 
 namespace {
+
+/** Board scale-out comparison (see file comment). */
+int
+runBoardMode(uint32_t board_w, uint32_t board_h, uint32_t side,
+             uint64_t ticks)
+{
+    const uint32_t hw = std::max(1u,
+                                 std::thread::hardware_concurrency());
+    const uint32_t chips = board_w * board_h;
+    std::cout << "== F4b: board scale-out, " << board_w << "x"
+              << board_h << " chips of " << side << "x" << side
+              << " cores (dense 20 Hz workload, " << hw
+              << " hardware lanes) ==\n"
+              << "(figure of merit: aggregate MSOPs/s across the "
+                 "fabric; near-linear in\n chips when hardware "
+                 "lanes >= chips)\n\n";
+
+    auto dense = [&](uint32_t grid_w, uint32_t grid_h,
+                     uint64_t seed) {
+        CorticalParams wp;
+        wp.gridW = grid_w;
+        wp.gridH = grid_h;
+        wp.density = 128;
+        wp.ratePerTick = 0.02;
+        wp.seed = seed;
+        return makeCortical(wp);
+    };
+
+    TextTable t({"target", "cores", "ticks/s", "MSOPs/s",
+                 "aggregate x"});
+    double base_msops = 0.0;
+
+    // Single chip of the board's per-chip geometry: the baseline.
+    {
+        CorticalWorkload w = dense(side, side, 11);
+        auto sim = makeCorticalSim(w, EngineKind::Clock);
+        RunPerf perf = sim->run(ticks);
+        EnergyEvents e = sim->chip().energyEvents();
+        base_msops = static_cast<double>(e.sops) / perf.seconds / 1e6;
+        t.addRow({"1 chip (serial)", fmtInt(side * side),
+                  fmtF(perf.ticksPerSecond(), 1),
+                  fmtF(base_msops, 1), "1.00x"});
+    }
+
+    struct Row { const char *name; uint32_t threads; };
+    const Row rows[] = {
+        {"board (serial)", 0},
+        {"board (parallel)", 0xFFFFFFFFu},  // resolved to hw below
+    };
+    CorticalWorkload w = dense(board_w * side, board_h * side, 11);
+    for (const Row &row : rows) {
+        uint32_t threads = row.threads == 0xFFFFFFFFu
+            ? std::min(hw, chips) : row.threads;
+        auto sim = makeCorticalBoardSim(w, EngineKind::Clock,
+                                        board_w, board_h, threads);
+        RunPerf perf = sim->run(ticks);
+        EnergyEvents e = sim->board().energyEvents();
+        double msops = static_cast<double>(e.sops) /
+            perf.seconds / 1e6;
+        t.addRow({row.name, fmtInt(chips * side * side),
+                  fmtF(perf.ticksPerSecond(), 1), fmtF(msops, 1),
+                  fmtF(msops / base_msops, 2) + "x"});
+    }
+    std::cout << t.str();
+    std::cout << "\n(board rows carry " << chips
+              << "x the neurons of the single chip; aggregate x"
+              << " is total-SOPs/s relative to it)\n";
+    return 0;
+}
 
 /**
  * IR-level equivalent of the cortical workload for DenseSim: the
@@ -71,8 +155,38 @@ makeIrWorkload(uint32_t cores, uint32_t density, uint32_t period)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    uint32_t board_w = 0, board_h = 0, side = 8;
+    uint64_t bticks = 40;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "usage: bench_scaling [--board WxH] "
+                             "[--side N] [--ticks N]\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--board") {
+            std::string v = next();
+            if (!parseGridSpec(v, board_w, board_h)) {
+                std::cerr << "bad --board '" << v << "'\n";
+                return 2;
+            }
+        } else if (arg == "--side") {
+            side = static_cast<uint32_t>(std::atoi(next()));
+        } else if (arg == "--ticks") {
+            bticks = static_cast<uint64_t>(std::atoll(next()));
+        } else {
+            std::cerr << "unknown option '" << arg << "'\n";
+            return 2;
+        }
+    }
+    if (board_w != 0)
+        return runBoardMode(board_w, board_h, side, bticks);
+
     std::cout <<
         "== F4: simulator throughput vs chip size ==\n"
         "(shape target: SC'14 — near-linear cost in cores; the\n"

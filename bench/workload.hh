@@ -18,8 +18,10 @@
 #include <memory>
 #include <vector>
 
+#include "board/board.hh"
 #include "chip/chip.hh"
 #include "runtime/simulator.hh"
+#include "util/logging.hh"
 #include "util/rng.hh"
 
 namespace nscs {
@@ -104,6 +106,43 @@ makeCorticalSim(const CorticalWorkload &w, EngineKind engine,
     cp.noc = noc;
     cp.threads = threads;
     auto sim = std::make_unique<Simulator>(cp, w.cores);
+    if (w.params.ratePerTick > 0.0) {
+        sim->addSource(std::make_unique<PoissonSource>(
+            w.drivenAxons, w.params.ratePerTick,
+            w.params.seed ^ 0xD1CEull));
+    }
+    return sim;
+}
+
+/**
+ * Board simulator over the same global workload: the core grid is
+ * sharded across a @p board_w x @p board_h grid of chips (gridW/gridH
+ * must divide evenly).  The input source targets global core ids, so
+ * the identical workload drives both framings — the basis of the
+ * chip-vs-board differential tests.
+ */
+inline std::unique_ptr<Simulator>
+makeCorticalBoardSim(const CorticalWorkload &w, EngineKind engine,
+                     uint32_t board_w, uint32_t board_h,
+                     uint32_t board_threads = 0,
+                     LinkParams link = LinkParams{},
+                     uint32_t chip_threads = 0)
+{
+    if (w.params.gridW % board_w != 0 ||
+        w.params.gridH % board_h != 0)
+        fatal("board %ux%u does not tile the %ux%u workload grid",
+              board_w, board_h, w.params.gridW, w.params.gridH);
+    BoardParams bp;
+    bp.width = board_w;
+    bp.height = board_h;
+    bp.chip.width = w.params.gridW / board_w;
+    bp.chip.height = w.params.gridH / board_h;
+    bp.chip.coreGeom = CoreGeometry{};
+    bp.chip.engine = engine;
+    bp.chip.threads = chip_threads;
+    bp.link = link;
+    bp.threads = board_threads;
+    auto sim = std::make_unique<Simulator>(bp, w.cores);
     if (w.params.ratePerTick > 0.0) {
         sim->addSource(std::make_unique<PoissonSource>(
             w.drivenAxons, w.params.ratePerTick,

@@ -7,7 +7,10 @@
  * drives it with a schedule of input spikes and prints the output
  * raster plus the chip's statistics.
  *
- *   build/examples/quickstart
+ *   build/examples/quickstart [MODEL_OUT.json]
+ *
+ * With an argument, additionally saves the compiled model file for
+ * the nscs_run / nscs_inspect tools.
  */
 
 #include <iostream>
@@ -21,7 +24,7 @@
 using namespace nscs;
 
 int
-main()
+main(int argc, char **argv)
 {
     // 1. Describe the logical network. --------------------------------
 
@@ -64,6 +67,13 @@ main()
     std::cout << "compiled onto " << model.gridWidth << "x"
               << model.gridHeight << " core(s), "
               << model.stats.synapses << " synapses\n\n";
+    if (argc > 1) {
+        if (!saveCompiledModel(argv[1], model)) {
+            std::cerr << "cannot write model '" << argv[1] << "'\n";
+            return 1;
+        }
+        std::cout << "model saved to " << argv[1] << "\n\n";
+    }
 
     // 3. Simulate with a spike schedule. -------------------------------
 

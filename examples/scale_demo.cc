@@ -1,13 +1,20 @@
 /**
  * @file
- * Scale demonstration: a 32x32-core chip (262,144 neurons, ~8.4M
+ * Scale demonstration: a 32x32-core fabric (262,144 neurons, ~8.4M
  * populated synapses) running the synthetic cortical workload at
  * 20 Hz, with throughput, activity and energy reporting.
  *
- *   build/examples/scale_demo [gridSide] [ticks]
+ *   build/examples/scale_demo [gridSide] [ticks] [--board WxH]
+ *                             [--threads N]
+ *
+ * With --board the same global core grid is sharded across a WxH
+ * grid of chips joined by inter-chip links (gridSide must divide
+ * evenly); --threads evaluates chips across worker lanes.  Output is
+ * bit-identical to the single-chip run in every configuration.
  */
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "bench/workload.hh"
@@ -21,10 +28,37 @@ main(int argc, char **argv)
 {
     uint32_t side = 32;
     uint64_t ticks = 100;
-    if (argc > 1)
-        side = static_cast<uint32_t>(std::atoi(argv[1]));
-    if (argc > 2)
-        ticks = static_cast<uint64_t>(std::atoll(argv[2]));
+    uint32_t board_w = 1, board_h = 1;
+    uint32_t threads = 0;
+    int pos = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--board") == 0 && i + 1 < argc) {
+            if (!parseGridSpec(argv[++i], board_w, board_h)) {
+                std::cerr << "bad --board\n";
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            threads = static_cast<uint32_t>(std::atoi(argv[++i]));
+        } else if (pos == 0) {
+            side = static_cast<uint32_t>(std::atoi(argv[i]));
+            ++pos;
+        } else if (pos == 1) {
+            ticks = static_cast<uint64_t>(std::atoll(argv[i]));
+            ++pos;
+        } else {
+            std::cerr << "unexpected argument '" << argv[i] << "'\n"
+                      << "usage: scale_demo [gridSide] [ticks] "
+                         "[--board WxH] [--threads N]\n";
+            return 2;
+        }
+    }
+    const bool board_mode = board_w * board_h > 1;
+    if (board_mode && (side % board_w || side % board_h)) {
+        std::cerr << "grid side " << side << " does not tile a "
+                  << board_w << "x" << board_h << " board\n";
+        return 2;
+    }
 
     CorticalParams wp;
     wp.gridW = wp.gridH = side;
@@ -32,20 +66,38 @@ main(int argc, char **argv)
     wp.ratePerTick = 0.02;
     wp.seed = 2025;
 
-    std::cout << "building " << side << "x" << side << " chip ("
-              << side * side * 256 << " neurons)...\n";
+    std::cout << "building " << side << "x" << side << " core grid ("
+              << side * side * 256 << " neurons)";
+    if (board_mode)
+        std::cout << " sharded across " << board_w << "x" << board_h
+                  << " chips";
+    std::cout << "...\n";
     CorticalWorkload w = makeCortical(wp);
-    auto sim = makeCorticalSim(w, EngineKind::Event);
-    std::cout << "model footprint: "
-              << fmtBytes(sim->chip().footprintBytes()) << "\n";
+    auto sim = board_mode
+        ? makeCorticalBoardSim(w, EngineKind::Event, board_w, board_h,
+                               threads)
+        : makeCorticalSim(w, EngineKind::Event,
+                          NocModel::Functional, threads);
+    size_t footprint = board_mode ? sim->board().footprintBytes()
+                                  : sim->chip().footprintBytes();
+    std::cout << "model footprint: " << fmtBytes(footprint) << "\n";
 
     std::cout << "running " << ticks << " ticks...\n\n";
     RunPerf perf = sim->run(ticks);
 
-    EnergyEvents e = sim->chip().energyEvents();
-    EnergyBreakdown b = sim->chip().energy();
+    EnergyEvents e = board_mode ? sim->board().energyEvents()
+                                : sim->chip().energyEvents();
+    EnergyBreakdown b = board_mode ? sim->board().energy()
+                                   : sim->chip().energy();
+    const EnergyParams &ep = board_mode
+        ? sim->board().params().chip.energy
+        : sim->chip().params().energy;
 
     TextTable t({"metric", "value"});
+    if (board_mode) {
+        t.addRow({"chips", fmtInt(sim->board().numChips())});
+        t.addRow({"worker lanes", fmtInt(threads)});
+    }
     t.addRow({"cores", fmtInt(e.cores)});
     t.addRow({"neurons", fmtInt(e.neurons)});
     t.addRow({"ticks simulated", fmtInt(ticks)});
@@ -59,10 +111,14 @@ main(int argc, char **argv)
               fmtSi(static_cast<double>(e.sops) / perf.seconds,
                     "SOPs/s")});
     t.addRow({"spikes", fmtInt(e.spikes)});
+    if (board_mode) {
+        const BoardCounters &bc = sim->board().counters();
+        t.addRow({"inter-chip spikes", fmtInt(bc.egressSpikes)});
+        t.addRow({"link traversals", fmtInt(bc.linkPackets)});
+        t.addRow({"link stalls", fmtInt(bc.linkStalls)});
+    }
     t.addRow({"modelled chip power",
-              fmtF(averagePowerW(b, e,
-                                 sim->chip().params().energy) * 1e3,
-                   2) + " mW"});
+              fmtF(averagePowerW(b, e, ep) * 1e3, 2) + " mW"});
     t.addRow({"modelled energy/SOP",
               fmtF(energyPerSopJ(b, e) * 1e12, 1) + " pJ"});
     std::cout << t.str();

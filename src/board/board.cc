@@ -1,0 +1,417 @@
+#include "board/board.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "runtime/parallel.hh"
+#include "util/logging.hh"
+
+namespace nscs {
+
+bool
+parseGridSpec(const std::string &spec, uint32_t &w, uint32_t &h)
+{
+    size_t x = spec.find('x');
+    if (x == std::string::npos || x == 0 || x + 1 >= spec.size())
+        return false;
+    auto parse = [](const std::string &s, uint32_t &out) {
+        if (s.empty() ||
+            s.find_first_not_of("0123456789") != std::string::npos)
+            return false;
+        unsigned long v = std::strtoul(s.c_str(), nullptr, 10);
+        if (v == 0 || v > 256)
+            return false;
+        out = static_cast<uint32_t>(v);
+        return true;
+    };
+    return parse(spec.substr(0, x), w) && parse(spec.substr(x + 1), h);
+}
+
+const char *
+linkDirName(uint32_t dir)
+{
+    static const char *kNames[4] = {"east", "west", "north", "south"};
+    return dir < 4 ? kNames[dir] : "?";
+}
+
+std::pair<uint32_t, uint32_t>
+xyRouteStep(uint32_t at, uint32_t dst, uint32_t bw)
+{
+    uint32_t ax = at % bw, ay = at / bw;
+    uint32_t tx = dst % bw, ty = dst / bw;
+    if (tx != ax) {
+        return {tx > ax ? Board::East : Board::West,
+                ay * bw + (tx > ax ? ax + 1 : ax - 1)};
+    }
+    return {ty > ay ? Board::North : Board::South,
+            (ty > ay ? ay + 1 : ay - 1) * bw + ax};
+}
+
+Board::Board(const BoardParams &params, std::vector<CoreConfig> configs)
+    : params_(params)
+{
+    const uint32_t bw = params_.width;
+    const uint32_t bh = params_.height;
+    if (bw == 0 || bh == 0)
+        fatal("board grid %ux%u is empty", bw, bh);
+    if (params_.chip.noc != NocModel::Functional)
+        fatal("board requires the functional on-chip transport "
+              "(egress packets bypass the mesh)");
+    chipW_ = params_.chip.width;
+    chipH_ = params_.chip.height;
+    if (chipW_ == 0 || chipH_ == 0)
+        fatal("board chip grid %ux%u is empty", chipW_, chipH_);
+    gw_ = bw * chipW_;
+    gh_ = bh * chipH_;
+    if (configs.size() != static_cast<size_t>(gw_) * gh_)
+        fatal("board expects %u core configs (global %ux%u grid), "
+              "got %zu", gw_ * gh_, gw_, gh_, configs.size());
+
+    // Every destination must land on the global core grid; the chips
+    // themselves skip this check under allowEgress.
+    for (uint32_t gy = 0; gy < gh_; ++gy) {
+        for (uint32_t gx = 0; gx < gw_; ++gx) {
+            const CoreConfig &cfg = configs[gy * gw_ + gx];
+            for (uint32_t n = 0; n < cfg.geom.numNeurons; ++n) {
+                const NeuronDest &d = cfg.dests[n];
+                if (d.kind != NeuronDest::Kind::Core)
+                    continue;
+                int64_t tx = static_cast<int64_t>(gx) + d.dx;
+                int64_t ty = static_cast<int64_t>(gy) + d.dy;
+                if (tx < 0 || tx >= static_cast<int64_t>(gw_) ||
+                    ty < 0 || ty >= static_cast<int64_t>(gh_))
+                    fatal("core (%u, %u) neuron %u targets "
+                          "(%lld, %lld) outside the %ux%u global "
+                          "grid", gx, gy, n,
+                          static_cast<long long>(tx),
+                          static_cast<long long>(ty), gw_, gh_);
+            }
+        }
+    }
+
+    // Partition the global grid into per-chip config slices.  The
+    // relative destination offsets survive re-partition untouched:
+    // they are offsets from the source core, which sits at the same
+    // global coordinate in both framings.
+    ChipParams cp = params_.chip;
+    cp.allowEgress = true;
+    chips_.reserve(static_cast<size_t>(bw) * bh);
+    for (uint32_t cy = 0; cy < bh; ++cy) {
+        for (uint32_t cx = 0; cx < bw; ++cx) {
+            std::vector<CoreConfig> slice;
+            slice.reserve(static_cast<size_t>(chipW_) * chipH_);
+            for (uint32_t ly = 0; ly < chipH_; ++ly) {
+                for (uint32_t lx = 0; lx < chipW_; ++lx) {
+                    uint32_t gx = cx * chipW_ + lx;
+                    uint32_t gy = cy * chipH_ + ly;
+                    // Each global cell feeds exactly one chip slice,
+                    // so moving keeps peak memory at one model copy.
+                    slice.push_back(std::move(configs[gy * gw_ + gx]));
+                }
+            }
+            chips_.push_back(
+                std::make_unique<Chip>(cp, std::move(slice)));
+        }
+    }
+
+    linkStats_.assign(static_cast<size_t>(numChips()) * 4,
+                      LinkCounters{});
+    linkBudget_.assign(linkStats_.size(), 0);
+    linkQueued_.assign(linkStats_.size(), 0);
+
+    if (params_.threads >= 2) {
+        pool_ = std::make_unique<ThreadPool>(params_.threads);
+    }
+}
+
+Board::Board(Board &&) = default;
+Board &Board::operator=(Board &&) = default;
+Board::~Board() = default;
+
+void
+Board::reset()
+{
+    for (auto &chip : chips_)
+        chip->reset();
+    outputs_.clear();
+    counters_ = BoardCounters{};
+    std::fill(linkStats_.begin(), linkStats_.end(), LinkCounters{});
+    std::fill(linkQueued_.begin(), linkQueued_.end(), 0u);
+    pending_.clear();
+    now_ = 0;
+}
+
+void
+Board::injectInput(uint32_t core, uint32_t axon,
+                   uint64_t delivery_tick)
+{
+    NSCS_ASSERT(core < numCores(), "injectInput core %u of %u",
+                core, numCores());
+    uint32_t gx = core % gw_, gy = core / gw_;
+    uint32_t ci = (gy / chipH_) * params_.width + gx / chipW_;
+    uint32_t li = (gy % chipH_) * chipW_ + gx % chipW_;
+    chips_[ci]->injectInput(li, axon, delivery_tick);
+}
+
+/**
+ * Advance @p p toward its destination chip, consuming link budget
+ * per hop.  Cut-through: with zero transit delay a packet crosses as
+ * many links as budgets allow within one merge phase.  A nonzero
+ * transit delay parks the packet after each hop and resumes it
+ * delay ticks later; an exhausted budget parks it in the link's
+ * stall queue for the next tick (without moving its delivery tick,
+ * so congestion surfaces as the late-delivery hazard).
+ */
+void
+Board::walkPacket(BoardPacket p, uint64_t t)
+{
+    const uint32_t bw = params_.width;
+    const LinkParams &lp = params_.link;
+    while (p.atChip != p.dstChip) {
+        auto [dir, next] = xyRouteStep(p.atChip, p.dstChip, bw);
+        uint32_t link = p.atChip * 4 + dir;
+        LinkCounters &lc = linkStats_[link];
+        if (lp.packetsPerTick != 0 && linkBudget_[link] == 0) {
+            if (lp.queueCapacity != 0 &&
+                linkQueued_[link] >= lp.queueCapacity) {
+                ++lc.drops;
+                ++counters_.linkDrops;
+                return;
+            }
+            ++lc.stalls;
+            ++counters_.linkStalls;
+            ++linkQueued_[link];
+            lc.peakQueue = std::max<uint64_t>(lc.peakQueue,
+                                              linkQueued_[link]);
+            p.queuedLink = static_cast<int32_t>(link);
+            pending_[t + 1].push_back(p);
+            return;
+        }
+        if (lp.packetsPerTick != 0)
+            --linkBudget_[link];
+        ++lc.packets;
+        ++counters_.linkPackets;
+        p.atChip = next;
+        p.deliveryTick += lp.extraDelay;
+        if (lp.extraDelay != 0) {
+            pending_[t + lp.extraDelay].push_back(p);
+            return;
+        }
+    }
+    chips_[p.dstChip]->depositRouted(p.dstCore, p.axon,
+                                     p.deliveryTick);
+}
+
+void
+Board::mergePhase(uint64_t t)
+{
+    const LinkParams &lp = params_.link;
+    if (lp.packetsPerTick != 0)
+        std::fill(linkBudget_.begin(), linkBudget_.end(),
+                  lp.packetsPerTick);
+
+    // In-flight packets due now resume first, in the order they
+    // parked (deterministic: parking happens in the serial merge).
+    while (!pending_.empty() && pending_.begin()->first <= t) {
+        NSCS_ASSERT(pending_.begin()->first == t,
+                    "in-transit packet missed its resume tick %llu "
+                    "(now %llu)",
+                    static_cast<unsigned long long>(
+                        pending_.begin()->first),
+                    static_cast<unsigned long long>(t));
+        std::vector<BoardPacket> due =
+            std::move(pending_.begin()->second);
+        pending_.erase(pending_.begin());
+        for (BoardPacket &p : due) {
+            if (p.queuedLink >= 0) {
+                --linkQueued_[p.queuedLink];
+                p.queuedLink = -1;
+            }
+            walkPacket(p, t);
+        }
+    }
+
+    // Fresh egress, chips ascending, each buffer in routing order.
+    const uint32_t bw = params_.width;
+    for (uint32_t ci = 0; ci < numChips(); ++ci) {
+        Chip &chip = *chips_[ci];
+        if (chip.egress().empty())
+            continue;
+        uint32_t ox = (ci % bw) * chipW_;       // chip origin, cores
+        uint32_t oy = (ci / bw) * chipH_;
+        for (const EgressSpike &e : chip.egress()) {
+            uint32_t sx = ox + e.srcCore % chipW_;
+            uint32_t sy = oy + e.srcCore / chipW_;
+            auto gx = static_cast<uint32_t>(
+                static_cast<int32_t>(sx) + e.dx);
+            auto gy = static_cast<uint32_t>(
+                static_cast<int32_t>(sy) + e.dy);
+            NSCS_ASSERT(gx < gw_ && gy < gh_,
+                        "egress target (%u, %u) off the %ux%u grid",
+                        gx, gy, gw_, gh_);
+            ++counters_.egressSpikes;
+            counters_.hops +=
+                static_cast<uint64_t>(std::abs(e.dx)) +
+                static_cast<uint64_t>(std::abs(e.dy));
+            BoardPacket p;
+            p.atChip = ci;
+            p.dstChip = (gy / chipH_) * bw + gx / chipW_;
+            p.dstCore = (gy % chipH_) * chipW_ + gx % chipW_;
+            p.axon = e.axon;
+            p.deliveryTick = e.deliveryTick;
+            walkPacket(p, t);
+        }
+        chip.clearEgress();
+    }
+
+    // Drain chip outputs in ascending chip order.
+    for (auto &chip : chips_) {
+        if (chip->outputs().empty())
+            continue;
+        outputs_.insert(outputs_.end(), chip->outputs().begin(),
+                        chip->outputs().end());
+        chip->clearOutputs();
+    }
+}
+
+void
+Board::tick()
+{
+    const uint64_t t = now_;
+
+    // Evaluation phase: chips only mutate their own state (egress is
+    // buffered locally), so they evaluate concurrently.
+    if (pool_) {
+        pool_->parallelFor(numChips(),
+                           [this](uint32_t i) { chips_[i]->tick(); });
+    } else {
+        for (auto &chip : chips_)
+            chip->tick();
+    }
+
+    mergePhase(t);
+
+    ++now_;
+    ++counters_.ticks;
+}
+
+void
+Board::run(uint64_t n)
+{
+    for (uint64_t i = 0; i < n; ++i)
+        tick();
+}
+
+EnergyEvents
+Board::energyEvents() const
+{
+    EnergyEvents e;
+    e.ticks = counters_.ticks;
+    for (const auto &chip : chips_) {
+        EnergyEvents ce = chip->energyEvents();
+        e.cores += ce.cores;
+        e.neurons += ce.neurons;
+        e.sops += ce.sops;
+        e.spikes += ce.spikes;
+        e.hops += ce.hops;
+    }
+    // Board-level hops: the core-grid distance of egress spikes, so
+    // the aggregate matches what one large chip would have counted.
+    e.hops += counters_.hops;
+    return e;
+}
+
+EnergyBreakdown
+Board::energy() const
+{
+    return computeEnergy(energyEvents(), params_.chip.energy);
+}
+
+std::string
+Board::linkName(uint32_t link) const
+{
+    uint32_t chip = link / 4;
+    return "chip(" + std::to_string(chip % params_.width) + "," +
+        std::to_string(chip / params_.width) + ")." +
+        linkDirName(link % 4);
+}
+
+void
+Board::dumpStats(const char *prefix, StatGroup &group) const
+{
+    std::string pre(prefix);
+    EnergyEvents e = energyEvents();
+    group.add(pre + ".ticks", static_cast<double>(counters_.ticks),
+              "board ticks executed");
+    group.add(pre + ".chips", static_cast<double>(numChips()),
+              "chips on board");
+    group.add(pre + ".cores", static_cast<double>(e.cores),
+              "cores across chips");
+    group.add(pre + ".neurons", static_cast<double>(e.neurons),
+              "neurons across chips");
+    group.add(pre + ".sops", static_cast<double>(e.sops),
+              "synaptic events");
+    group.add(pre + ".spikes", static_cast<double>(e.spikes),
+              "neuron fires");
+    group.add(pre + ".egressSpikes",
+              static_cast<double>(counters_.egressSpikes),
+              "spikes routed between chips");
+    group.add(pre + ".linkPackets",
+              static_cast<double>(counters_.linkPackets),
+              "inter-chip link traversals");
+    group.add(pre + ".linkStalls",
+              static_cast<double>(counters_.linkStalls),
+              "packets stalled on link bandwidth");
+    group.add(pre + ".linkDrops",
+              static_cast<double>(counters_.linkDrops),
+              "packets dropped at full link queues");
+    group.add(pre + ".hops", static_cast<double>(e.hops),
+              "router traversals (on-chip + board)");
+    uint64_t routed = 0, late = 0, out = 0;
+    for (const auto &chip : chips_) {
+        routed += chip->counters().spikesRouted;
+        late += chip->counters().lateDeliveries;
+        out += chip->counters().spikesOut;
+    }
+    group.add(pre + ".spikesRouted", static_cast<double>(routed),
+              "intra-chip core-to-core spikes");
+    group.add(pre + ".spikesOut", static_cast<double>(out),
+              "off-board output spikes");
+    group.add(pre + ".lateDeliveries", static_cast<double>(late),
+              "packets that missed their delivery slot");
+    for (uint32_t l = 0; l < linkStats_.size(); ++l) {
+        const LinkCounters &lc = linkStats_[l];
+        if (lc.packets == 0 && lc.stalls == 0 && lc.drops == 0)
+            continue;
+        std::string lp = pre + ".link." + linkName(l);
+        group.add(lp + ".packets", static_cast<double>(lc.packets),
+                  "packets transferred");
+        group.add(lp + ".stalls", static_cast<double>(lc.stalls),
+                  "bandwidth stalls");
+        group.add(lp + ".drops", static_cast<double>(lc.drops),
+                  "queue-full drops");
+        group.add(lp + ".peakQueue",
+                  static_cast<double>(lc.peakQueue),
+                  "stall queue high-water mark");
+    }
+    EnergyBreakdown b = computeEnergy(e, params_.chip.energy);
+    energyStats(b, e, params_.chip.energy, (pre + ".energy").c_str(),
+                group);
+}
+
+size_t
+Board::footprintBytes() const
+{
+    size_t bytes = sizeof(Board);
+    for (const auto &chip : chips_)
+        bytes += chip->footprintBytes();
+    bytes += linkStats_.capacity() * sizeof(LinkCounters);
+    bytes += linkBudget_.capacity() * sizeof(uint32_t);
+    bytes += linkQueued_.capacity() * sizeof(uint32_t);
+    bytes += outputs_.capacity() * sizeof(OutputSpike);
+    for (const auto &kv : pending_)
+        bytes += kv.second.capacity() * sizeof(BoardPacket);
+    return bytes;
+}
+
+} // namespace nscs

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * The board: a grid of chips joined by inter-chip links, running one
+ * simulation under a global tick discipline.
+ *
+ * Boards compose chips exactly the way chips compose cores: a
+ * W×H grid of identical chips spans a global core grid of
+ * (W·chipW)×(H·chipH) cores, and a neuron destination is still a
+ * relative core offset — offsets that leave the owning chip surface
+ * as EgressSpikes (see chip/chip.hh) and travel over links instead
+ * of the on-chip mesh.  Following the scaling argument of the
+ * source architecture (and Mehonic & Kenyon's observation that
+ * neuromorphic scale-out is a *communication* problem), links are
+ * the scarce resource: each directed link between adjacent chips
+ * carries a bounded number of packets per tick, adds a fixed transit
+ * delay per hop, and counts stalls and drops.
+ *
+ * Tick semantics:
+ *
+ *  1. Evaluation phase: every chip executes its own tick t.  Chips
+ *     touch only their own state (cross-chip spikes are buffered as
+ *     egress), so chips evaluate concurrently across the board's
+ *     ThreadPool lanes; each chip may additionally run its own
+ *     parallel tick engine.
+ *  2. Merge phase (serial, deterministic): in-transit packets due
+ *     this tick resume first, then each chip's egress buffer drains
+ *     in ascending chip order.  A packet follows X-then-Y
+ *     dimension-order routing over the chip grid; every link
+ *     traversal consumes one unit of that link's per-tick budget and
+ *     adds the link's transit delay to both the packet's progress
+ *     and its delivery tick.  A packet meeting an exhausted link
+ *     parks in that link's queue (a stall) and retries next tick; a
+ *     full queue drops the packet.  Stall ticks do *not* move the
+ *     delivery tick, so a congested packet can miss its scheduler
+ *     slot and is then handled by the chip's late-delivery wrap rule
+ *     — the same architectural hazard the on-chip mesh models.
+ *
+ * Determinism contract: the merge phase is serial and ordered, so
+ * output spikes, counters and link statistics are bit-identical
+ * regardless of the board's (or any chip's) thread count — the same
+ * contract Chip::tickParallel honors.  With an unconstrained link
+ * (budget 0 = unlimited, transit delay 0) a board is architecturally
+ * equivalent to one large chip over the same global core grid: every
+ * spike integrates at the same target on the same tick.
+ */
+
+#ifndef NSCS_BOARD_BOARD_HH
+#define NSCS_BOARD_BOARD_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chip/chip.hh"
+
+namespace nscs {
+
+class ThreadPool;
+
+/** Parse a "WxH" grid spec; false on malformed or zero dimensions. */
+bool parseGridSpec(const std::string &spec, uint32_t &w, uint32_t &h);
+
+/** Lowercase name of a link direction (Board::Dir). */
+const char *linkDirName(uint32_t dir);
+
+/**
+ * One step of the X-then-Y dimension-order route between chips on a
+ * width-@p bw grid: returns {direction, next chip index}.  This is
+ * the routing function the runtime walk uses; static traffic
+ * analysis (nscs_inspect) shares it so the two cannot diverge.
+ * @p at must differ from @p dst.
+ */
+std::pair<uint32_t, uint32_t> xyRouteStep(uint32_t at, uint32_t dst,
+                                          uint32_t bw);
+
+/** Inter-chip link model. */
+struct LinkParams
+{
+    /** Packets one link can transfer per tick; 0 = unlimited. */
+    uint32_t packetsPerTick = 0;
+
+    /** Transit ticks added per link hop (0 = same-tick cut-through,
+     *  matching the functional on-chip transport). */
+    uint32_t extraDelay = 0;
+
+    /** Stalled packets one link can queue; 0 = unlimited.  Packets
+     *  arriving at a full queue are dropped. */
+    uint32_t queueCapacity = 0;
+};
+
+/** Board construction parameters. */
+struct BoardParams
+{
+    uint32_t width = 1;   //!< chips in x
+    uint32_t height = 1;  //!< chips in y
+
+    /** Per-chip parameters; chip.width/height are cores per chip and
+     *  chip.noc must be Functional.  chip.allowEgress is forced on.
+     *  chip.threads may select a per-chip parallel engine on top of
+     *  the board's own lanes. */
+    ChipParams chip;
+
+    LinkParams link;      //!< model of every inter-chip link
+
+    /** Worker lanes for the board-level evaluation phase; 0 or 1
+     *  evaluates chips serially.  Output is bit-identical either
+     *  way. */
+    uint32_t threads = 0;
+};
+
+/** Per-link event counters. */
+struct LinkCounters
+{
+    uint64_t packets = 0;   //!< successful transfers
+    uint64_t stalls = 0;    //!< packets parked on an exhausted budget
+    uint64_t drops = 0;     //!< packets lost to a full queue
+    uint64_t peakQueue = 0; //!< high-water mark of the stall queue
+};
+
+/** Board-level aggregate counters (beyond per-chip counters). */
+struct BoardCounters
+{
+    uint64_t ticks = 0;        //!< board ticks executed
+    uint64_t egressSpikes = 0; //!< spikes that left their chip
+    uint64_t linkPackets = 0;  //!< link traversals (all links)
+    uint64_t linkStalls = 0;   //!< stall events (all links)
+    uint64_t linkDrops = 0;    //!< dropped packets (all links)
+    uint64_t hops = 0;         //!< core-grid manhattan of egress spikes
+};
+
+/** The simulated board. */
+class Board
+{
+  public:
+    /** Direction of a link leaving a chip. */
+    enum Dir : uint32_t { East = 0, West = 1, North = 2, South = 3 };
+
+    /**
+     * Build a board.  @p configs holds one CoreConfig per core of
+     * the *global* core grid in row-major order (index =
+     * gy * globalWidth() + gx) — the same layout a single chip over
+     * the whole grid would take, which is what makes chip-vs-board
+     * differential testing a pure re-partition.
+     */
+    Board(const BoardParams &params, std::vector<CoreConfig> configs);
+
+    Board(Board &&);
+    Board &operator=(Board &&);
+    ~Board();
+
+    /** Return every chip and all links to the initial state. */
+    void reset();
+
+    /**
+     * Deposit an external input spike into global core @p core's
+     * axon @p axon for delivery at absolute tick @p delivery_tick.
+     * Host I/O is functional: no link bandwidth is consumed.
+     */
+    void injectInput(uint32_t core, uint32_t axon,
+                     uint64_t delivery_tick);
+
+    /** Execute one global tick (see the file comment). */
+    void tick();
+
+    /** Execute @p n ticks. */
+    void run(uint64_t n);
+
+    /** Next tick to execute (== ticks executed so far). */
+    uint64_t now() const { return now_; }
+
+    /**
+     * Output spikes accumulated since the last drain, in
+     * deterministic (tick, then chip-major) order.
+     */
+    const std::vector<OutputSpike> &outputs() const { return outputs_; }
+
+    /** Drop drained output spikes. */
+    void clearOutputs() { outputs_.clear(); }
+
+    /** Number of chips. */
+    uint32_t numChips() const
+    {
+        return static_cast<uint32_t>(chips_.size());
+    }
+
+    /** Chip access. */
+    const Chip &chip(uint32_t idx) const { return *chips_[idx]; }
+
+    /** Mutable chip access (diagnostics/tests). */
+    Chip &chip(uint32_t idx) { return *chips_[idx]; }
+
+    /** Global core grid width (cores). */
+    uint32_t globalWidth() const { return gw_; }
+
+    /** Global core grid height (cores). */
+    uint32_t globalHeight() const { return gh_; }
+
+    /** Total cores across all chips. */
+    uint32_t numCores() const { return gw_ * gh_; }
+
+    /** Board-level counters. */
+    const BoardCounters &counters() const { return counters_; }
+
+    /**
+     * Per-link counters, indexed chip * 4 + Dir.  Links leading off
+     * the board exist in the table but never carry traffic.
+     */
+    const std::vector<LinkCounters> &linkCounters() const
+    {
+        return linkStats_;
+    }
+
+    /** Aggregate energy inputs over every chip plus link traffic. */
+    EnergyEvents energyEvents() const;
+
+    /** Energy decomposition since reset (per-chip constants). */
+    EnergyBreakdown energy() const;
+
+    /** Construction parameters. */
+    const BoardParams &params() const { return params_; }
+
+    /** Append board + aggregate chip stats under @p prefix. */
+    void dumpStats(const char *prefix, StatGroup &group) const;
+
+    /** Total heap footprint of chips + fabric in bytes. */
+    size_t footprintBytes() const;
+
+    /** Human-readable name of a link, e.g. "chip(1,0).east". */
+    std::string linkName(uint32_t link) const;
+
+  private:
+    /** A cross-chip spike in flight. */
+    struct BoardPacket
+    {
+        uint32_t atChip = 0;        //!< current chip index
+        uint32_t dstChip = 0;       //!< destination chip index
+        uint32_t dstCore = 0;       //!< local core on dstChip
+        uint16_t axon = 0;          //!< target axon
+        int32_t queuedLink = -1;    //!< stall queue membership
+        uint64_t deliveryTick = 0;  //!< scheduler delivery tick
+    };
+
+    void walkPacket(BoardPacket p, uint64_t t);
+    void mergePhase(uint64_t t);
+
+    BoardParams params_;
+    uint32_t chipW_ = 0, chipH_ = 0;  //!< cores per chip
+    uint32_t gw_ = 0, gh_ = 0;        //!< global core grid
+    std::vector<std::unique_ptr<Chip>> chips_;
+    std::unique_ptr<ThreadPool> pool_;
+    std::vector<OutputSpike> outputs_;
+    BoardCounters counters_;
+    std::vector<LinkCounters> linkStats_;   //!< chip * 4 + Dir
+    std::vector<uint32_t> linkBudget_;      //!< remaining this tick
+    std::vector<uint32_t> linkQueued_;      //!< stalled per link
+    /** In-transit packets keyed by resume tick; FIFO within a tick.
+     *  Holds both transit-delayed and stalled packets. */
+    std::map<uint64_t, std::vector<BoardPacket>> pending_;
+    uint64_t now_ = 0;
+};
+
+} // namespace nscs
+
+#endif // NSCS_BOARD_BOARD_HH

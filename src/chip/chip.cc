@@ -30,7 +30,14 @@ Chip::Chip(const ChipParams &params, std::vector<CoreConfig> configs)
         cores_.push_back(std::make_unique<Core>(std::move(configs[i])));
     }
 
-    // Destinations must stay on the grid.
+    if (params_.allowEgress && params_.noc == NocModel::Cycle)
+        fatal("edge egress requires the functional transport model "
+              "(egress packets bypass the on-chip mesh)");
+
+    // Destinations must stay on the grid — unless the chip sits in a
+    // board fabric (allowEgress), where out-of-grid targets surface
+    // as egress packets and the board validates them against the
+    // global core grid instead.
     for (uint32_t c = 0; c < numCores(); ++c) {
         uint32_t x = c % w, y = c / w;
         const CoreConfig &cfg = cores_[c]->config();
@@ -40,8 +47,9 @@ Chip::Chip(const ChipParams &params, std::vector<CoreConfig> configs)
                 continue;
             int64_t tx = static_cast<int64_t>(x) + d.dx;
             int64_t ty = static_cast<int64_t>(y) + d.dy;
-            if (tx < 0 || tx >= static_cast<int64_t>(w) ||
-                ty < 0 || ty >= static_cast<int64_t>(h))
+            if (!params_.allowEgress &&
+                (tx < 0 || tx >= static_cast<int64_t>(w) ||
+                 ty < 0 || ty >= static_cast<int64_t>(h)))
                 fatal("core (%u, %u) neuron %u targets (%lld, %lld) "
                       "outside %ux%u grid", x, y, n,
                       static_cast<long long>(tx),
@@ -91,6 +99,7 @@ Chip::reset()
     if (mesh_)
         mesh_->reset();
     outputs_.clear();
+    egress_.clear();
     counters_ = ChipCounters{};
     now_ = 0;
     agenda_ = {};
@@ -159,6 +168,15 @@ Chip::injectInput(uint32_t core, uint32_t axon, uint64_t delivery_tick)
 }
 
 void
+Chip::depositRouted(uint32_t core, uint32_t axon,
+                    uint64_t delivery_tick)
+{
+    NSCS_ASSERT(core < numCores(), "depositRouted core %u of %u",
+                core, numCores());
+    depositAndWake(core, axon, delivery_tick, now_);
+}
+
+void
 Chip::routeSpike(uint32_t src_core, uint32_t neuron,
                  const NeuronDest &dest, uint64_t t)
 {
@@ -174,12 +192,21 @@ Chip::routeSpike(uint32_t src_core, uint32_t neuron,
         break;
     }
     (void)neuron;
-    ++counters_.spikesRouted;
     const uint32_t w = params_.width;
     uint32_t sx = src_core % w, sy = src_core / w;
     auto tx = static_cast<uint32_t>(static_cast<int32_t>(sx) + dest.dx);
     auto ty = static_cast<uint32_t>(static_cast<int32_t>(sy) + dest.dy);
     uint64_t delivery = t + dest.delay;
+
+    if (params_.allowEgress && (tx >= w || ty >= params_.height)) {
+        // Off-chip target: surface as an egress packet for the board
+        // to route (tx/ty wrapped negative reads as >= w/h here).
+        egress_.push_back({src_core, dest.dx, dest.dy, dest.axon,
+                           delivery});
+        ++counters_.spikesEgress;
+        return;
+    }
+    ++counters_.spikesRouted;
 
     if (params_.noc == NocModel::Functional) {
         counters_.hops += static_cast<uint64_t>(std::abs(dest.dx)) +
@@ -417,6 +444,10 @@ Chip::dumpStats(const char *prefix, StatGroup &group) const
     group.add(pre + ".spikesOut",
               static_cast<double>(counters_.spikesOut),
               "off-chip spikes");
+    if (params_.allowEgress)
+        group.add(pre + ".spikesEgress",
+                  static_cast<double>(counters_.spikesEgress),
+                  "spikes surfaced as edge egress");
     group.add(pre + ".hops", static_cast<double>(e.hops),
               "router traversals");
     group.add(pre + ".lateDeliveries",
@@ -426,11 +457,13 @@ Chip::dumpStats(const char *prefix, StatGroup &group) const
               static_cast<double>(counters_.coreActivations),
               "core tick evaluations (simulation effort)");
     uint64_t evals = 0, evals_batched = 0, sops_batched = 0;
+    uint64_t evals_stoch_batched = 0;
     uint64_t compactions = 0;
     for (const auto &core : cores_) {
         const CoreCounters &cc = core->counters();
         evals += cc.evals;
         evals_batched += cc.evalsBatched;
+        evals_stoch_batched += cc.evalsStochBatched;
         sops_batched += cc.sopsBatched;
         compactions += cc.selfEventCompactions;
     }
@@ -439,6 +472,10 @@ Chip::dumpStats(const char *prefix, StatGroup &group) const
     group.add(pre + ".evalsBatched",
               static_cast<double>(evals_batched),
               "of evals, via the batched SoA update kernel");
+    group.add(pre + ".evalsStochBatched",
+              static_cast<double>(evals_stoch_batched),
+              "of evalsBatched, stochastic cohort via "
+              "precomputed draws");
     group.add(pre + ".sopsBatched",
               static_cast<double>(sops_batched),
               "of sops, via the word-parallel integrate path");
@@ -455,6 +492,7 @@ Chip::footprintBytes() const
     size_t bytes = sizeof(Chip);
     for (const auto &core : cores_)
         bytes += core->footprintBytes();
+    bytes += egress_.capacity() * sizeof(EgressSpike);
     return bytes;
 }
 

@@ -81,6 +81,16 @@ struct ChipParams
      * spikes are then routed serially in the serial engine's order.
      */
     uint32_t threads = 0;
+
+    /**
+     * Permit neuron destinations that land outside this chip's core
+     * grid.  Such spikes surface as EgressSpikes instead of being a
+     * configuration error; the containing Board routes them over
+     * inter-chip links.  Requires the Functional transport model
+     * (egress packets bypass the on-chip mesh).  Off by default: a
+     * standalone chip treats out-of-grid targets as fatal.
+     */
+    bool allowEgress = false;
 };
 
 /** An output spike that left the chip. */
@@ -92,6 +102,25 @@ struct OutputSpike
     bool operator==(const OutputSpike &other) const = default;
 };
 
+/**
+ * A spike whose destination lies beyond this chip's core grid
+ * (ChipParams::allowEgress).  Offsets are relative to the source
+ * core in core units, exactly as configured in the NeuronDest; the
+ * board resolves them against the chip's position in the global core
+ * grid.  Egress spikes accumulate during a tick in routing order and
+ * are drained by the board's serial merge phase.
+ */
+struct EgressSpike
+{
+    uint32_t srcCore = 0;      //!< source core (local row-major index)
+    int32_t dx = 0;            //!< relative core hops in x
+    int32_t dy = 0;            //!< relative core hops in y
+    uint16_t axon = 0;         //!< target axon index
+    uint64_t deliveryTick = 0; //!< fire tick + configured delay
+
+    bool operator==(const EgressSpike &other) const = default;
+};
+
 /** Chip-level aggregate counters (beyond per-core counters). */
 struct ChipCounters
 {
@@ -99,6 +128,7 @@ struct ChipCounters
     uint64_t coreActivations = 0; //!< core tick evaluations
     uint64_t spikesRouted = 0;    //!< core-to-core spikes
     uint64_t spikesOut = 0;       //!< off-chip spikes
+    uint64_t spikesEgress = 0;    //!< spikes surfaced as edge egress
     uint64_t spikesDropped = 0;   //!< fired with Kind::None dest
     uint64_t hops = 0;            //!< router traversals (both models)
     uint64_t lateDeliveries = 0;  //!< arrived after their slot drained
@@ -163,6 +193,23 @@ class Chip
     /** Drop drained output spikes. */
     void clearOutputs() { outputs_.clear(); }
 
+    /** Egress spikes accumulated since the last drain (allowEgress). */
+    const std::vector<EgressSpike> &egress() const { return egress_; }
+
+    /** Drop drained egress spikes. */
+    void clearEgress() { egress_.clear(); }
+
+    /**
+     * Deposit a spike routed in from outside the chip (board merge
+     * phase) for delivery at absolute tick @p delivery_tick.  Unlike
+     * injectInput, a delivery tick already in the past is handled
+     * with the late-delivery wrap rule (the packet waits a full
+     * scheduler revolution and is counted) rather than asserted:
+     * link contention legitimately delays packets past their slot.
+     */
+    void depositRouted(uint32_t core, uint32_t axon,
+                       uint64_t delivery_tick);
+
     /** Number of cores. */
     uint32_t numCores() const { return static_cast<uint32_t>(cores_.size()); }
 
@@ -211,6 +258,7 @@ class Chip
     std::vector<std::unique_ptr<Core>> cores_;
     std::unique_ptr<Mesh> mesh_;          //!< Cycle model only
     std::vector<OutputSpike> outputs_;
+    std::vector<EgressSpike> egress_;     //!< allowEgress only
     ChipCounters counters_;
     uint64_t now_ = 0;
 

@@ -482,16 +482,33 @@ Core::tickDense(uint64_t t, std::vector<uint32_t> &fired)
     }
     // Batched: the deterministic cohort consumes no draws, so running
     // its runs through the SoA kernel first and the stochastic cohort
-    // scalar (ascending) after preserves the reference LFSR stream;
-    // emitFired then merges both cohorts' fires in ascending order.
+    // after (ascending) preserves the reference LFSR stream; the
+    // stochastic cohort itself batches through precomputed draw
+    // outcomes — the draws are position-only, so drawing them all up
+    // front in the per-neuron scalar order leaves the stream
+    // untouched.  emitFired then merges both cohorts' fires in
+    // ascending order.
     for (const auto &[b, e] : detRuns_)
         batchUpdateRange(update_, v_.data(), b, e, firedBits_);
-    for (uint32_t j : stochUpdList_) {
-        if (endOfTickUpdate(v_[j], cfg_.neurons[j], &rng_))
-            firedBits_.set(j);
+    const auto stoch_n = static_cast<uint64_t>(stochUpdList_.size());
+    if (stochUpdateBatch_ && stoch_n != 0) {
+        precomputeStochDraws(update_, stochUpdList_, rng_,
+                             stochDraws_);
+        for (uint32_t j : stochUpdList_) {
+            if (batchUpdateStochOne(update_, stochDraws_, v_.data(),
+                                    j))
+                firedBits_.set(j);
+        }
+        counters_.evalsBatched += stoch_n;
+        counters_.evalsStochBatched += stoch_n;
+    } else {
+        for (uint32_t j : stochUpdList_) {
+            if (endOfTickUpdate(v_[j], cfg_.neurons[j], &rng_))
+                firedBits_.set(j);
+        }
     }
     counters_.evals += n;
-    counters_.evalsBatched += n - stochUpdList_.size();
+    counters_.evalsBatched += n - stoch_n;
     emitFired(fired);
 }
 
@@ -654,15 +671,33 @@ Core::tickSparse(uint64_t t, std::vector<uint32_t> &fired)
     });
 
     // The remainder is exactly the drawsPerTick neurons, which
-    // always classify Dense: never skipped (no catch-up) and never
-    // self-predicted.
-    evalMask_.forEachSetMasked(update_.stochastic, [this, t](size_t j) {
-        auto n = static_cast<uint32_t>(j);
-        if (endOfTickUpdate(v_[n], cfg_.neurons[n], &rng_))
-            firedBits_.set(n);
-        ++counters_.evals;
-        doneThrough_[n] = t + 1;
-    });
+    // always classify Dense: never skipped (no catch-up), never
+    // self-predicted, and in evalMask_ every tick — so it equals
+    // stochUpdList_ and batches through precomputed draws exactly as
+    // in tickDense.
+    const auto stoch_n = static_cast<uint64_t>(stochUpdList_.size());
+    if (stochUpdateBatch_ && stoch_n != 0) {
+        precomputeStochDraws(update_, stochUpdList_, rng_,
+                             stochDraws_);
+        for (uint32_t j : stochUpdList_) {
+            if (batchUpdateStochOne(update_, stochDraws_, v_.data(),
+                                    j))
+                firedBits_.set(j);
+            doneThrough_[j] = t + 1;
+        }
+        counters_.evals += stoch_n;
+        counters_.evalsBatched += stoch_n;
+        counters_.evalsStochBatched += stoch_n;
+    } else {
+        evalMask_.forEachSetMasked(update_.stochastic,
+                                   [this, t](size_t j) {
+            auto n = static_cast<uint32_t>(j);
+            if (endOfTickUpdate(v_[n], cfg_.neurons[n], &rng_))
+                firedBits_.set(n);
+            ++counters_.evals;
+            doneThrough_[n] = t + 1;
+        });
+    }
     emitFired(fired);
 }
 
@@ -731,6 +766,7 @@ Core::footprintBytes() const
     bytes += detRuns_.capacity() *
         sizeof(std::pair<uint32_t, uint32_t>);
     bytes += stochUpdList_.capacity() * sizeof(uint32_t);
+    bytes += stochDraws_.footprintBytes();
     bytes += firedBits_.footprintBytes();
     bytes += detEvalScratch_.footprintBytes();
     // The self-event heap was previously omitted, under-reporting

@@ -112,6 +112,12 @@ struct CoreCounters
      */
     uint64_t evalsBatched = 0;
 
+    /**
+     * Of evalsBatched, stochastic-cohort updates applied through the
+     * precomputed-draw kernel (see neuron/batch.hh).
+     */
+    uint64_t evalsStochBatched = 0;
+
     /** Lazy compactions of the self-event heap (see tickSparse). */
     uint64_t selfEventCompactions = 0;
 };
@@ -217,6 +223,19 @@ class Core
     bool wordParallelUpdate() const { return wordParallelUpdate_; }
 
     /**
+     * Toggle the precomputed-draw batched update of the stochastic
+     * cohort (default on; only effective while the batched update
+     * path itself is enabled).  Results are bit-identical either
+     * way — the LFSR outcomes are position-only — so the toggle
+     * exists for differential testing and benchmarking.
+     */
+    void setStochasticUpdateBatch(bool on) { stochUpdateBatch_ = on; }
+
+    /** True when the stochastic cohort updates via precomputed
+     *  draws. */
+    bool stochasticUpdateBatch() const { return stochUpdateBatch_; }
+
+    /**
      * Entries currently held by the self-event heap, stale ones
      * included (diagnostics: lazy compaction keeps this bounded by
      * roughly twice the live prediction count).
@@ -285,6 +304,7 @@ class Core
     uint32_t wpMinActive_ = 0;           //!< engagement threshold
     bool wordParallel_ = true;
     bool wordParallelUpdate_ = true;
+    bool stochUpdateBatch_ = true;
 
     // Batched update-phase state (see neuron/batch.hh).
     UpdateLanes update_;                 //!< SoA update projection
@@ -292,6 +312,7 @@ class Core
      *  (ascending); one run spanning the core when homogeneous. */
     std::vector<std::pair<uint32_t, uint32_t>> detRuns_;
     std::vector<uint32_t> stochUpdList_; //!< stochastic cohort, asc.
+    StochDraws stochDraws_;              //!< per-tick draw outcomes
     BitVec firedBits_;                   //!< scratch: per-tick fires
     BitVec detEvalScratch_;              //!< scratch: evalMask ∩ det
 

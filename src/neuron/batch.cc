@@ -23,9 +23,19 @@ UpdateLanes::build(const std::vector<NeuronParams> &params)
     hi.resize(n);
     deterministic = BitVec(n);
     stochastic = BitVec(n);
+    leakStochFlag.resize(n);
+    maskBits.resize(n);
+    posLinear.resize(n);
+    leakSgn.resize(n);
+    leakAbs.resize(n);
 
     for (size_t j = 0; j < n; ++j) {
         const NeuronParams &p = params[j];
+        leakStochFlag[j] = p.leakStochastic ? 1 : 0;
+        maskBits[j] = p.thresholdMaskBits;
+        posLinear[j] = p.resetMode == ResetMode::Linear ? 1 : 0;
+        leakSgn[j] = (p.leak > 0) - (p.leak < 0);
+        leakAbs[j] = p.leak < 0 ? -p.leak : p.leak;
         PotentialRange r = potentialRange(p);
         lo[j] = r.lo;
         hi[j] = r.hi;
@@ -77,6 +87,48 @@ UpdateLanes::build(const std::vector<NeuronParams> &params)
     for (const NeuronParams &p : params)
         if (p.potentialBits > 30)
             narrow = false;
+
+    // Homogeneous-core detection: when every neuron projects to the
+    // same lane values the kernel's per-lane loads are redundant.
+    // Lane-value equality (not NeuronParams equality) is the right
+    // test — only the update-relevant projection must agree.
+    auto constant = [](const std::vector<int32_t> &lane) {
+        for (int32_t x : lane)
+            if (x != lane.front())
+                return false;
+        return true;
+    };
+    uniform = n > 0 && constant(leak) && constant(revSel) &&
+        constant(thr) && constant(negLim) && constant(posMul) &&
+        constant(posAdd) && constant(negMul) && constant(negAdd) &&
+        constant(lo) && constant(hi);
+}
+
+void
+precomputeStochDraws(const UpdateLanes &lanes,
+                     const std::vector<uint32_t> &stoch_list,
+                     Lfsr16 &rng, StochDraws &out)
+{
+    out.resize(lanes.size());
+    for (uint32_t j : stoch_list) {
+        // Architectural draw order per neuron: leak byte first, then
+        // the threshold mask (see endOfTickUpdate).  Outcomes depend
+        // only on the draw position, never on the potential.
+        int32_t eff = lanes.leak[j];
+        if (lanes.leakStochFlag[j]) {
+            uint8_t rho = rng.nextByte();
+            eff = rho < lanes.leakAbs[j] ? lanes.leakSgn[j] : 0;
+        }
+        int32_t eta = 0;
+        if (lanes.maskBits[j])
+            eta = rng.nextMasked(lanes.maskBits[j]);
+        out.leak[j] = eff;
+        out.thr[j] = lanes.thr[j] + eta;
+        // Linear resets subtract (threshold + eta); Store and None
+        // adds are draw-independent.
+        out.posAdd[j] = lanes.posLinear[j] ? lanes.posAdd[j] - eta
+                                           : lanes.posAdd[j];
+    }
 }
 
 size_t
@@ -85,10 +137,15 @@ UpdateLanes::footprintBytes() const
     auto vec = [](const std::vector<int32_t> &v) {
         return v.capacity() * sizeof(int32_t);
     };
+    auto bvec = [](const std::vector<uint8_t> &v) {
+        return v.capacity();
+    };
     return vec(leak) + vec(revSel) + vec(thr) + vec(negLim) +
         vec(posMul) + vec(posAdd) + vec(negMul) + vec(negAdd) +
         vec(lo) + vec(hi) + deterministic.footprintBytes() +
-        stochastic.footprintBytes();
+        stochastic.footprintBytes() + bvec(leakStochFlag) +
+        bvec(maskBits) + bvec(posLinear) + vec(leakSgn) +
+        vec(leakAbs);
 }
 
 namespace {
@@ -119,12 +176,77 @@ batchUpdateRangeT(const UpdateLanes &lanes, int32_t *v,
     }
 }
 
+/**
+ * Homogeneous-core variant: every lane value is hoisted into a
+ * register before the strip loop, so the loop body reads nothing but
+ * the potential array — the memory-bound 10-lane kernel becomes a
+ * pure streaming pass (see ROADMAP: fused-lane follow-up).
+ * Arithmetic is identical to batchUpdateOneV, value for value.
+ */
+template <typename W>
+void
+batchUpdateUniformRangeT(const UpdateLanes &lanes, int32_t *v,
+                         uint32_t begin, uint32_t end,
+                         BitVec &fired_bits)
+{
+    const W leak = lanes.leak[0];
+    const W rev = lanes.revSel[0];
+    const W thr = lanes.thr[0];
+    const W neg_lim = lanes.negLim[0];
+    const W pos_mul = lanes.posMul[0];
+    const W pos_add = lanes.posAdd[0];
+    const W neg_mul = lanes.negMul[0];
+    const W neg_add = lanes.negAdd[0];
+    const W lo = lanes.lo[0];
+    const W hi = lanes.hi[0];
+
+    uint32_t j = begin;
+    while (j < end) {
+        const size_t word = j / 64;
+        const uint32_t base = j;
+        const uint32_t stop = std::min<uint32_t>(
+            end, static_cast<uint32_t>((word + 1) * 64));
+        uint8_t flags[64];
+        for (uint32_t k = 0; j < stop; ++j, ++k) {
+            W x = v[j];
+            W sg = (x > 0) - (x < 0);
+            W omega = 1 + rev * (sg - 1);
+            W u = x + omega * leak;
+            u = u < lo ? lo : (u > hi ? hi : u);
+            bool fired = u >= thr;
+            bool neg = u < neg_lim;
+            W pos = pos_mul * u + pos_add;
+            pos = pos < lo ? lo : (pos > hi ? hi : pos);
+            W ng = neg_mul * u + neg_add;
+            ng = ng < lo ? lo : (ng > hi ? hi : ng);
+            W out = fired ? pos : (neg ? ng : u);
+            v[j] = static_cast<int32_t>(out);
+            flags[k] = fired;
+        }
+        uint64_t bits = 0;
+        for (uint32_t k = 0; k < stop - base; ++k)
+            bits |= static_cast<uint64_t>(flags[k])
+                << ((base + k) % 64);
+        if (bits)
+            fired_bits.orWordAt(word, bits);
+    }
+}
+
 } // anonymous namespace
 
 void
 batchUpdateRange(const UpdateLanes &lanes, int32_t *v,
                  uint32_t begin, uint32_t end, BitVec &fired_bits)
 {
+    if (lanes.uniform) {
+        if (lanes.narrow)
+            batchUpdateUniformRangeT<int32_t>(lanes, v, begin, end,
+                                              fired_bits);
+        else
+            batchUpdateUniformRangeT<int64_t>(lanes, v, begin, end,
+                                              fired_bits);
+        return;
+    }
     if (lanes.narrow)
         batchUpdateRangeT<int32_t>(lanes, v, begin, end, fired_bits);
     else

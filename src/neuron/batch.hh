@@ -31,9 +31,28 @@
  * data-dependent branch from the kernel, so updating a neuron is a
  * handful of lane loads, two compares and three clamped selects —
  * identical arithmetic to the scalar path, evaluated in the same
- * per-neuron order, consuming zero PRNG draws.  Stochastic-cohort
- * neurons must keep using endOfTickUpdate; see core/core.cc for how
- * the cohorts are interleaved without perturbing the LFSR stream.
+ * per-neuron order, consuming zero PRNG draws.  See core/core.cc for
+ * how the cohorts are interleaved without perturbing the LFSR stream.
+ *
+ * Two extensions on top of the deterministic kernel:
+ *
+ *  - Uniform fast path: when every neuron projects to identical lane
+ *    values (a fully homogeneous core — the architectural common
+ *    case), the per-lane loads collapse to scalar constants hoisted
+ *    out of the loop, leaving a pure streaming pass over the
+ *    potential array (UpdateLanes::uniform).
+ *
+ *  - Stochastic cohort via precomputed draws: a drawsPerTick
+ *    neuron's PRNG outcomes are *position-only* — the stochastic
+ *    leak draw compares a byte against |leak| and the threshold mask
+ *    draw produces eta, neither of which depends on the membrane
+ *    potential.  Drawing all outcomes first (per neuron, leak draw
+ *    then mask draw, ascending index — exactly the scalar order)
+ *    yields per-tick effective lanes (leak', threshold + eta,
+ *    posAdd - eta for Linear resets) under which the update is the
+ *    same pure affine-select function as the deterministic kernel.
+ *    The draw stream is untouched: same draws, same order, same
+ *    count (see precomputeStochDraws).
  */
 
 #ifndef NSCS_NEURON_BATCH_HH
@@ -44,6 +63,7 @@
 
 #include "neuron/params.hh"
 #include "util/bitvec.hh"
+#include "util/rng.hh"
 
 namespace nscs {
 
@@ -68,8 +88,23 @@ struct UpdateLanes
     /** Zero-draw neurons (the batchable deterministic cohort). */
     BitVec deterministic;
 
-    /** Complement: neurons that draw per tick (scalar cohort). */
+    /** Complement: neurons that draw per tick. */
     BitVec stochastic;
+
+    // Static per-neuron facts the stochastic draw precompute needs
+    // (meaningful only for stochastic-cohort neurons).
+    std::vector<uint8_t> leakStochFlag; //!< stochastic leak enabled
+    std::vector<uint8_t> maskBits;      //!< threshold mask width
+    std::vector<uint8_t> posLinear;     //!< ResetMode::Linear
+    std::vector<int32_t> leakSgn;       //!< sgn(leak)
+    std::vector<int32_t> leakAbs;       //!< |leak| (vs. byte draw)
+
+    /**
+     * True when every neuron projects to identical lane values: the
+     * homogeneous-core fast path applies (scalar constants instead
+     * of per-lane loads).
+     */
+    bool uniform = false;
 
     /**
      * True when every neuron's potentialBits <= 30, in which case
@@ -91,8 +126,40 @@ struct UpdateLanes
 };
 
 /**
- * One batched end-of-tick update of neuron @p j.  @p j must be in the
- * deterministic cohort.  @return true if the neuron fired.
+ * Restrict-qualified pointer view of the update lanes: the potential
+ * array can never alias the const projection lanes, and telling the
+ * compiler so keeps the word loop in batchUpdateRange
+ * auto-vectorizable.  The stochastic-cohort kernel substitutes the
+ * three per-tick-varying lanes (leak, thr, posAdd) with precomputed
+ * draw outcomes and reuses the identical arithmetic.
+ */
+struct UpdateLaneView
+{
+    const int32_t *__restrict leak;
+    const int32_t *__restrict rev;
+    const int32_t *__restrict thr;
+    const int32_t *__restrict negLim;
+    const int32_t *__restrict posMul;
+    const int32_t *__restrict posAdd;
+    const int32_t *__restrict negMul;
+    const int32_t *__restrict negAdd;
+    const int32_t *__restrict lo;
+    const int32_t *__restrict hi;
+};
+
+/** View of the static (deterministic-cohort) lanes. */
+inline UpdateLaneView
+laneView(const UpdateLanes &L)
+{
+    return {L.leak.data(),   L.revSel.data(), L.thr.data(),
+            L.negLim.data(), L.posMul.data(), L.posAdd.data(),
+            L.negMul.data(), L.negAdd.data(), L.lo.data(),
+            L.hi.data()};
+}
+
+/**
+ * One batched end-of-tick update of neuron @p j under lane view
+ * @p V.  @return true if the neuron fired.
  *
  * Kept inline in the header so the flat range kernel, the masked
  * kernel and any caller-side loop all compile down to the same
@@ -100,39 +167,32 @@ struct UpdateLanes
  */
 template <typename W>
 inline bool
-batchUpdateOneT(const UpdateLanes &L, int32_t *v, size_t j)
+batchUpdateOneV(const UpdateLaneView &V, int32_t *v, size_t j)
 {
-    // Restrict-qualified lane views: the potential array can never
-    // alias the const projection lanes, and telling the compiler so
-    // keeps the word loop in batchUpdateRange auto-vectorizable.
-    const int32_t *__restrict leak = L.leak.data();
-    const int32_t *__restrict rev = L.revSel.data();
-    const int32_t *__restrict thr = L.thr.data();
-    const int32_t *__restrict neg_lim = L.negLim.data();
-    const int32_t *__restrict pos_mul = L.posMul.data();
-    const int32_t *__restrict pos_add = L.posAdd.data();
-    const int32_t *__restrict neg_mul = L.negMul.data();
-    const int32_t *__restrict neg_add = L.negAdd.data();
-    const int32_t *__restrict lo_l = L.lo.data();
-    const int32_t *__restrict hi_l = L.hi.data();
-
     W x = v[j];
     W sg = (x > 0) - (x < 0);
     // omega = reversal ? sgn(v) : 1, as an arithmetic select.
-    W omega = 1 + rev[j] * (sg - 1);
-    W lo = lo_l[j];
-    W hi = hi_l[j];
-    W u = x + omega * leak[j];
+    W omega = 1 + V.rev[j] * (sg - 1);
+    W lo = V.lo[j];
+    W hi = V.hi[j];
+    W u = x + omega * V.leak[j];
     u = u < lo ? lo : (u > hi ? hi : u);
-    bool fired = u >= thr[j];
-    bool neg = u < neg_lim[j];
-    W pos = pos_mul[j] * u + pos_add[j];
+    bool fired = u >= V.thr[j];
+    bool neg = u < V.negLim[j];
+    W pos = V.posMul[j] * u + V.posAdd[j];
     pos = pos < lo ? lo : (pos > hi ? hi : pos);
-    W ng = neg_mul[j] * u + neg_add[j];
+    W ng = V.negMul[j] * u + V.negAdd[j];
     ng = ng < lo ? lo : (ng > hi ? hi : ng);
     W out = fired ? pos : (neg ? ng : u);
     v[j] = static_cast<int32_t>(out);
     return fired;
+}
+
+template <typename W>
+inline bool
+batchUpdateOneT(const UpdateLanes &L, int32_t *v, size_t j)
+{
+    return batchUpdateOneV<W>(laneView(L), v, j);
 }
 
 /** One batched update with the widest-safe arithmetic type. */
@@ -141,6 +201,63 @@ batchUpdateOne(const UpdateLanes &L, int32_t *v, size_t j)
 {
     return L.narrow ? batchUpdateOneT<int32_t>(L, v, j)
                     : batchUpdateOneT<int64_t>(L, v, j);
+}
+
+/**
+ * Per-tick stochastic draw outcomes, projected into effective lanes
+ * indexed by neuron (only stochastic-cohort positions are written).
+ */
+struct StochDraws
+{
+    std::vector<int32_t> leak;    //!< effective leak this tick
+    std::vector<int32_t> thr;     //!< threshold + eta
+    std::vector<int32_t> posAdd;  //!< positive-reset add, eta folded
+
+    /** Size the scratch for @p n neurons. */
+    void
+    resize(size_t n)
+    {
+        leak.resize(n);
+        thr.resize(n);
+        posAdd.resize(n);
+    }
+
+    /** Heap footprint in bytes. */
+    size_t
+    footprintBytes() const
+    {
+        return (leak.capacity() + thr.capacity() +
+                posAdd.capacity()) * sizeof(int32_t);
+    }
+};
+
+/**
+ * Draw every per-tick PRNG outcome of the stochastic cohort
+ * @p stoch_list (ascending neuron indices) in the architectural
+ * order — per neuron: the stochastic leak byte, then the threshold
+ * mask — and fold the outcomes into effective lanes in @p out.
+ * After this call, batchUpdateStochOne applied per neuron in any
+ * order computes exactly what endOfTickUpdate would have, with the
+ * LFSR stream advanced identically.
+ */
+void precomputeStochDraws(const UpdateLanes &lanes,
+                          const std::vector<uint32_t> &stoch_list,
+                          Lfsr16 &rng, StochDraws &out);
+
+/**
+ * One stochastic-cohort update of neuron @p j using precomputed draw
+ * outcomes.  Always runs the wide kernel: eta widens the threshold
+ * and reset intermediates past the narrow-kernel headroom proof.
+ */
+inline bool
+batchUpdateStochOne(const UpdateLanes &L, const StochDraws &D,
+                    int32_t *v, size_t j)
+{
+    UpdateLaneView V = laneView(L);
+    V.leak = D.leak.data();
+    V.thr = D.thr.data();
+    V.posAdd = D.posAdd.data();
+    return batchUpdateOneV<int64_t>(V, v, j);
 }
 
 /**

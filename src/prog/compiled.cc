@@ -19,6 +19,10 @@ compiledModelToJson(const CompiledModel &model)
     JsonValue o = JsonValue::object();
     o.set("gridWidth", JsonValue::integer(model.gridWidth));
     o.set("gridHeight", JsonValue::integer(model.gridHeight));
+    if (model.boardWidth != 1 || model.boardHeight != 1) {
+        o.set("boardWidth", JsonValue::integer(model.boardWidth));
+        o.set("boardHeight", JsonValue::integer(model.boardHeight));
+    }
 
     JsonValue cores = JsonValue::array();
     for (const auto &cfg : model.cores)
@@ -47,6 +51,13 @@ compiledModelFromJson(const JsonValue &v)
     CompiledModel m;
     m.gridWidth = static_cast<uint32_t>(v.at("gridWidth").asInt());
     m.gridHeight = static_cast<uint32_t>(v.at("gridHeight").asInt());
+    m.boardWidth = static_cast<uint32_t>(v.getInt("boardWidth", 1));
+    m.boardHeight = static_cast<uint32_t>(v.getInt("boardHeight", 1));
+    if (m.boardWidth == 0 || m.boardHeight == 0 ||
+        m.gridWidth % m.boardWidth != 0 ||
+        m.gridHeight % m.boardHeight != 0)
+        fatal("model file: %ux%u board does not tile the %ux%u grid",
+              m.boardWidth, m.boardHeight, m.gridWidth, m.gridHeight);
     const auto &cores = v.at("cores");
     if (cores.size() !=
         static_cast<size_t>(m.gridWidth) * m.gridHeight)

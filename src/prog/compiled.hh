@@ -28,15 +28,23 @@ struct CompileStats
     uint64_t axonsUsed = 0;       //!< allocated axons across cores
     uint64_t synapses = 0;        //!< crossbar bits set
     double meanDestHops = 0.0;    //!< mean |dx|+|dy| over neuron dests
+    uint64_t interChipDests = 0;  //!< dests crossing a chip boundary
 };
 
-/** A chip-ready model. */
+/** A chip-ready (or board-ready) model. */
 struct CompiledModel
 {
-    uint32_t gridWidth = 0;        //!< chip grid width in cores
-    uint32_t gridHeight = 0;       //!< chip grid height in cores
+    uint32_t gridWidth = 0;        //!< global grid width in cores
+    uint32_t gridHeight = 0;       //!< global grid height in cores
     CoreGeometry geom;             //!< common core geometry
     std::vector<CoreConfig> cores; //!< one per grid cell, row-major
+
+    /** Board target this model was compiled for (1x1 = one chip).
+     *  The global grid divides evenly into boardWidth x boardHeight
+     *  chip tiles; runners may still deploy the model on any board
+     *  shape that divides the grid (or one big chip). */
+    uint32_t boardWidth = 1;
+    uint32_t boardHeight = 1;
 
     /** Input line name -> injection targets. */
     std::map<std::string, std::vector<InputSpike>> inputs;

@@ -366,9 +366,42 @@ Compilation::run()
             if (d.kind == NeuronDest::Kind::Core)
                 traffic[c][d.targetCore] += 1;
 
+    const uint32_t board_w = std::max(1u, opt_.boardWidth);
+    const uint32_t board_h = std::max(1u, opt_.boardHeight);
+    uint32_t grid_w = opt_.gridWidth, grid_h = opt_.gridHeight;
+    PlacerCostModel cost_model;
+    if (board_w * board_h > 1) {
+        // A board target must tile the grid evenly; auto-sized grids
+        // grow to the smallest square chip tile (or the smallest
+        // board-multiple of a partially specified dimension).
+        auto round_up = [](uint32_t v, uint32_t m) {
+            return (v + m - 1) / m * m;
+        };
+        if (grid_w == 0 && grid_h == 0) {
+            uint32_t s = 1;
+            while (static_cast<uint64_t>(board_w) * s * board_h * s <
+                   num_logical)
+                ++s;
+            grid_w = board_w * s;
+            grid_h = board_h * s;
+        } else if (grid_w == 0) {
+            grid_w = round_up((num_logical + grid_h - 1) / grid_h,
+                              board_w);
+        } else if (grid_h == 0) {
+            grid_h = round_up((num_logical + grid_w - 1) / grid_w,
+                              board_h);
+        }
+        if (grid_w % board_w != 0 || grid_h % board_h != 0)
+            fatal("board %ux%u does not tile the %ux%u core grid",
+                  board_w, board_h, grid_w, grid_h);
+        cost_model.chipW = grid_w / board_w;
+        cost_model.chipH = grid_h / board_h;
+        cost_model.linkWeight = opt_.linkCostWeight;
+    }
+
     Placement pl = placeCores(traffic, opt_.placement,
-                              opt_.gridWidth, opt_.gridHeight,
-                              opt_.placerSeed);
+                              grid_w, grid_h,
+                              opt_.placerSeed, cost_model);
     if (pl.width > 256 || pl.height > 256)
         fatal("placed grid %ux%u exceeds the 9-bit packet offset "
               "range", pl.width, pl.height);
@@ -377,6 +410,8 @@ Compilation::run()
     CompiledModel model;
     model.gridWidth = pl.width;
     model.gridHeight = pl.height;
+    model.boardWidth = board_w;
+    model.boardHeight = board_h;
     model.geom = geom;
     model.numOutputs = net_.numOutputs();
     model.cores.reserve(static_cast<size_t>(pl.width) * pl.height);
@@ -386,7 +421,7 @@ Compilation::run()
 
     uint64_t axons_used = 0, synapse_count = 0;
     double hops_sum = 0.0;
-    uint64_t hops_n = 0;
+    uint64_t hops_n = 0, inter_chip = 0;
 
     for (uint32_t c = 0; c < num_logical; ++c) {
         const BuildCore &bc = cores_[c];
@@ -420,6 +455,12 @@ Compilation::run()
                     static_cast<int32_t>(pl.y[c]));
                 hops_sum += std::abs(d.dx) + std::abs(d.dy);
                 ++hops_n;
+                if (cost_model.chipW != 0 &&
+                    (pl.x[ld.targetCore] / cost_model.chipW !=
+                         pl.x[c] / cost_model.chipW ||
+                     pl.y[ld.targetCore] / cost_model.chipH !=
+                         pl.y[c] / cost_model.chipH))
+                    ++inter_chip;
                 break;
               }
             }
@@ -444,6 +485,7 @@ Compilation::run()
     model.stats.synapses = synapse_count;
     model.stats.meanDestHops =
         hops_n ? hops_sum / static_cast<double>(hops_n) : 0.0;
+    model.stats.interChipDests = inter_chip;
     return model;
 }
 

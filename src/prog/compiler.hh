@@ -46,6 +46,17 @@ struct CompileOptions
     uint32_t gridHeight = 0;           //!< 0 = auto near-square
     uint16_t rngSeedBase = 0x1234;     //!< per-core PRNG seed base
     uint64_t placerSeed = 1;           //!< annealing seed
+
+    /**
+     * Board target in chips; 1x1 compiles for a single chip.  With a
+     * larger board the logical grid spans boardWidth x boardHeight
+     * identical chip tiles (explicit grid dimensions must divide
+     * evenly) and the placer weighs chip-boundary crossings with
+     * linkCostWeight, keeping talkative clusters on one chip.
+     */
+    uint32_t boardWidth = 1;
+    uint32_t boardHeight = 1;
+    double linkCostWeight = 4.0;       //!< placement cost per crossing
 };
 
 /** Relay neuron parameters used by splitter trees. */

@@ -90,22 +90,43 @@ greedyOrder(const TrafficMatrix &sym)
     return order;
 }
 
+/**
+ * Pairwise cost term: manhattan distance plus the weighted number of
+ * chip-boundary crossings on the X-then-Y route (which equals the
+ * chip-grid manhattan distance between the two chips).
+ */
+double
+pairCost(uint32_t xi, uint32_t yi, uint32_t xj, uint32_t yj,
+         const PlacerCostModel &model)
+{
+    double dist = static_cast<double>(
+        std::abs(static_cast<int64_t>(xi) - xj) +
+        std::abs(static_cast<int64_t>(yi) - yj));
+    if (model.chipW != 0 && model.chipH != 0) {
+        auto crossings =
+            std::abs(static_cast<int64_t>(xi / model.chipW) -
+                     xj / model.chipW) +
+            std::abs(static_cast<int64_t>(yi / model.chipH) -
+                     yj / model.chipH);
+        dist += model.linkWeight * static_cast<double>(crossings);
+    }
+    return dist;
+}
+
 } // anonymous namespace
 
 double
 placementCost(const TrafficMatrix &traffic,
               const std::vector<uint32_t> &x,
-              const std::vector<uint32_t> &y)
+              const std::vector<uint32_t> &y,
+              const PlacerCostModel &model)
 {
     double cost = 0.0;
     for (uint32_t i = 0; i < traffic.size(); ++i) {
         for (const auto &kv : traffic[i]) {
             uint32_t j = kv.first;
-            auto dist =
-                std::abs(static_cast<int64_t>(x[i]) - x[j]) +
-                std::abs(static_cast<int64_t>(y[i]) - y[j]);
             cost += static_cast<double>(kv.second) *
-                static_cast<double>(dist);
+                pairCost(x[i], y[i], x[j], y[j], model);
         }
     }
     return cost;
@@ -113,7 +134,8 @@ placementCost(const TrafficMatrix &traffic,
 
 Placement
 placeCores(const TrafficMatrix &traffic, PlacementPolicy policy,
-           uint32_t grid_w, uint32_t grid_h, uint64_t seed)
+           uint32_t grid_w, uint32_t grid_h, uint64_t seed,
+           const PlacerCostModel &model)
 {
     const uint32_t n = static_cast<uint32_t>(traffic.size());
     NSCS_ASSERT(n > 0, "placing zero cores");
@@ -174,11 +196,9 @@ placeCores(const TrafficMatrix &traffic, PlacementPolicy policy,
                 uint32_t j = kv.first;
                 if (j == i)
                     continue;
-                auto dist =
-                    std::abs(static_cast<int64_t>(pl.x[i]) - pl.x[j]) +
-                    std::abs(static_cast<int64_t>(pl.y[i]) - pl.y[j]);
                 c += static_cast<double>(kv.second) *
-                    static_cast<double>(dist);
+                    pairCost(pl.x[i], pl.y[i], pl.x[j], pl.y[j],
+                             model);
             }
             return c;
         };
@@ -207,7 +227,7 @@ placeCores(const TrafficMatrix &traffic, PlacementPolicy policy,
       }
     }
 
-    pl.cost = placementCost(traffic, pl.x, pl.y);
+    pl.cost = placementCost(traffic, pl.x, pl.y, model);
     return pl;
 }
 

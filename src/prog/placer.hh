@@ -13,6 +13,13 @@
  *               curve, keeping talkative neighbours adjacent;
  *  - Anneal:    simulated annealing of pairwise swaps on top of the
  *               greedy start.
+ *
+ * When the target is a board (a grid of chips), the cost model adds
+ * a penalty per chip-boundary crossing: inter-chip links are
+ * bandwidth-limited and higher-latency than the on-chip mesh, so a
+ * hop that crosses a chip edge costs linkWeight extra manhattan
+ * units.  This pulls talkative clusters inside one chip and reserves
+ * the links for genuinely global traffic.
  */
 
 #ifndef NSCS_PROG_PLACER_HH
@@ -37,6 +44,19 @@ const char *placementPolicyName(PlacementPolicy p);
 /** traffic[i][j] = packets per window from logical core i to j. */
 using TrafficMatrix = std::vector<std::map<uint32_t, uint64_t>>;
 
+/**
+ * Cost-model shape of the physical target.  chipW == 0 (the default)
+ * is a single chip: pure manhattan distance.  With a chip tile set,
+ * every chip-boundary crossing on the X-then-Y route adds linkWeight
+ * manhattan-equivalent units.
+ */
+struct PlacerCostModel
+{
+    uint32_t chipW = 0;       //!< cores per chip in x (0 = no board)
+    uint32_t chipH = 0;       //!< cores per chip in y
+    double linkWeight = 4.0;  //!< cost of one chip-boundary crossing
+};
+
 /** A computed placement. */
 struct Placement
 {
@@ -50,16 +70,19 @@ struct Placement
 /** Weighted manhattan cost of a placement. */
 double placementCost(const TrafficMatrix &traffic,
                      const std::vector<uint32_t> &x,
-                     const std::vector<uint32_t> &y);
+                     const std::vector<uint32_t> &y,
+                     const PlacerCostModel &model = PlacerCostModel{});
 
 /**
  * Place @p traffic.size() logical cores.  Grid dimensions of 0 choose
- * the smallest near-square grid that fits.  @p seed drives annealing.
+ * the smallest near-square grid that fits.  @p seed drives annealing;
+ * @p model weighs chip-boundary crossings for board targets.
  */
 Placement placeCores(const TrafficMatrix &traffic,
                      PlacementPolicy policy,
                      uint32_t grid_w = 0, uint32_t grid_h = 0,
-                     uint64_t seed = 1);
+                     uint64_t seed = 1,
+                     const PlacerCostModel &model = PlacerCostModel{});
 
 } // namespace nscs
 

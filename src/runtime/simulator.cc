@@ -10,6 +10,12 @@ Simulator::Simulator(const ChipParams &params,
 {
 }
 
+Simulator::Simulator(const BoardParams &params,
+                     std::vector<CoreConfig> configs)
+    : board_(std::make_unique<Board>(params, std::move(configs)))
+{
+}
+
 void
 Simulator::addSource(std::unique_ptr<SpikeSource> source)
 {
@@ -25,16 +31,26 @@ Simulator::run(uint64_t ticks)
     auto start = clock::now();
 
     for (uint64_t i = 0; i < ticks; ++i) {
-        uint64_t t = chip_->now();
+        uint64_t t = chip_ ? chip_->now() : board_->now();
         inputScratch_.clear();
         for (auto &src : sources_)
             src->spikesFor(t, inputScratch_);
-        for (const InputSpike &s : inputScratch_)
-            chip_->injectInput(s.core, s.axon, t);
-        chip_->tick();
-        if (!chip_->outputs().empty()) {
-            recorder_.recordAll(chip_->outputs());
-            chip_->clearOutputs();
+        if (chip_) {
+            for (const InputSpike &s : inputScratch_)
+                chip_->injectInput(s.core, s.axon, t);
+            chip_->tick();
+            if (!chip_->outputs().empty()) {
+                recorder_.recordAll(chip_->outputs());
+                chip_->clearOutputs();
+            }
+        } else {
+            for (const InputSpike &s : inputScratch_)
+                board_->injectInput(s.core, s.axon, t);
+            board_->tick();
+            if (!board_->outputs().empty()) {
+                recorder_.recordAll(board_->outputs());
+                board_->clearOutputs();
+            }
         }
     }
 
@@ -49,7 +65,10 @@ Simulator::run(uint64_t ticks)
 void
 Simulator::reset()
 {
-    chip_->reset();
+    if (chip_)
+        chip_->reset();
+    else
+        board_->reset();
     recorder_.clear();
 }
 

@@ -2,13 +2,18 @@
  * @file
  * Top-level simulation driver.
  *
- * The Simulator owns a Chip, a set of input sources and an output
- * recorder, and runs the per-tick loop:
+ * The Simulator owns a target device — a single Chip or a Board of
+ * chips — plus a set of input sources and an output recorder, and
+ * runs the per-tick loop:
  *
  *   1. poll every source for this tick's input spikes and inject
  *      them for same-tick delivery;
- *   2. execute the chip tick;
+ *   2. execute the device tick;
  *   3. drain output spikes into the recorder.
+ *
+ * Input spikes address cores by *global* row-major index in both
+ * modes (a board resolves the index to a (chip, local core) pair),
+ * so sources and compiled models are device-agnostic.
  *
  * It also keeps wall-clock statistics (ticks/second, real-time
  * headroom at the nominal 1 ms tick) used by the scaling and
@@ -21,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "board/board.hh"
 #include "chip/chip.hh"
 #include "runtime/sink.hh"
 #include "runtime/source.hh"
@@ -52,12 +58,17 @@ struct RunPerf
     }
 };
 
-/** Chip + I/O harness. */
+/** Device (chip or board) + I/O harness. */
 class Simulator
 {
   public:
-    /** Build the chip from params and configs. */
+    /** Build a single-chip target from params and configs. */
     Simulator(const ChipParams &params,
+              std::vector<CoreConfig> configs);
+
+    /** Build a board target; @p configs covers the global core grid
+     *  in row-major order (see Board). */
+    Simulator(const BoardParams &params,
               std::vector<CoreConfig> configs);
 
     /** Attach an input source (polled every tick, in order). */
@@ -66,11 +77,20 @@ class Simulator
     /** Run @p ticks ticks; returns wall-clock performance. */
     RunPerf run(uint64_t ticks);
 
-    /** The chip. */
+    /** True when the target is a board. */
+    bool isBoard() const { return board_ != nullptr; }
+
+    /** The chip (single-chip targets only). */
     Chip &chip() { return *chip_; }
 
-    /** The chip (const). */
+    /** The chip (const; single-chip targets only). */
     const Chip &chip() const { return *chip_; }
+
+    /** The board (board targets only). */
+    Board &board() { return *board_; }
+
+    /** The board (const; board targets only). */
+    const Board &board() const { return *board_; }
 
     /** Recorded output spikes. */
     SpikeRecorder &recorder() { return recorder_; }
@@ -78,12 +98,13 @@ class Simulator
     /** Recorded output spikes (const). */
     const SpikeRecorder &recorder() const { return recorder_; }
 
-    /** Reset chip, recorder and performance counters (sources keep
+    /** Reset device, recorder and performance counters (sources keep
      *  their own state and are not reset). */
     void reset();
 
   private:
-    std::unique_ptr<Chip> chip_;
+    std::unique_ptr<Chip> chip_;     //!< exactly one of chip_ /
+    std::unique_ptr<Board> board_;   //!< board_ is non-null
     std::vector<std::unique_ptr<SpikeSource>> sources_;
     SpikeRecorder recorder_;
     std::vector<InputSpike> inputScratch_;

@@ -89,6 +89,56 @@ TEST(ModelFile, SaveLoadPreservesBehaviour)
     EXPECT_EQ(orig.outputs(), back.outputs());
 }
 
+TEST(ModelFile, BoardTargetRoundTripAndDeploy)
+{
+    Network net = pipelineNetwork();
+    CompileOptions opt = smallOptions();
+    opt.boardWidth = 2;
+    opt.boardHeight = 1;
+    CompiledModel model = compile(net, opt);
+    EXPECT_EQ(model.boardWidth, 2u);
+    EXPECT_EQ(model.gridWidth % 2, 0u);
+
+    std::string path = ::testing::TempDir() + "/nscs_board.json";
+    ASSERT_TRUE(saveCompiledModel(path, model));
+    CompiledModel loaded;
+    ASSERT_TRUE(loadCompiledModel(path, loaded));
+    EXPECT_EQ(loaded.boardWidth, 2u);
+    EXPECT_EQ(loaded.boardHeight, 1u);
+
+    // Deploy the loaded model on its board target and on one chip:
+    // identical streams (the pipeline lives on one chip tile, so raw
+    // vector equality holds — no cross-chip interleaving).
+    ChipParams cp;
+    cp.width = loaded.gridWidth;
+    cp.height = loaded.gridHeight;
+    cp.coreGeom = loaded.geom;
+    Simulator chip_sim(cp, loaded.cores);
+    chip_sim.addSource(std::make_unique<RegularSource>(
+        loaded.inputTargets("in"), 2));
+    chip_sim.run(60);
+
+    BoardParams bp;
+    bp.width = loaded.boardWidth;
+    bp.height = loaded.boardHeight;
+    bp.chip.width = loaded.gridWidth / loaded.boardWidth;
+    bp.chip.height = loaded.gridHeight / loaded.boardHeight;
+    bp.chip.coreGeom = loaded.geom;
+    Simulator board_sim(bp, loaded.cores);
+    EXPECT_TRUE(board_sim.isBoard());
+    board_sim.addSource(std::make_unique<RegularSource>(
+        loaded.inputTargets("in"), 2));
+    board_sim.run(60);
+
+    ASSERT_FALSE(chip_sim.recorder().spikes().empty());
+    EXPECT_EQ(chip_sim.recorder().spikes(),
+              board_sim.recorder().spikes());
+
+    board_sim.reset();
+    EXPECT_EQ(board_sim.recorder().size(), 0u);
+    EXPECT_EQ(board_sim.board().now(), 0u);
+}
+
 TEST(SimulatorFacade, SourcesAndRecorder)
 {
     Network net = pipelineNetwork();

@@ -302,6 +302,147 @@ TEST(UpdateFast, ToggleMidRunStaysConsistent)
     EXPECT_EQ(mixed.counters().rngDraws, scalar.counters().rngDraws);
 }
 
+// --- stochastic cohort via precomputed draws -------------------------------
+
+/**
+ * The precomputed-draw batched update of the stochastic cohort must
+ * be invisible next to the scalar reference: identical fires,
+ * potentials, and — the load-bearing property — identical LFSR draw
+ * positions (drawing leak-then-mask per neuron up front is the same
+ * stream the scalar path consumes inline).
+ */
+TEST(UpdateFast, StochasticBatchMatchesScalarCohort)
+{
+    setQuiet(true);
+    for (uint64_t seed : {3ull, 77ull}) {
+        // All-stochastic bias so the cohort dominates the core.
+        CoreConfig cfg = updateFuzzConfig(seed, 2.0);
+        Core fast(cfg);
+        Core scalar(cfg);
+        scalar.setWordParallelUpdate(false);
+        runDifferential(fast, scalar, Drive::Dense, seed, 200, 0.06);
+        EXPECT_GT(fast.counters().evalsStochBatched, 0u);
+        EXPECT_EQ(scalar.counters().evalsStochBatched, 0u);
+    }
+    setQuiet(false);
+}
+
+TEST(UpdateFast, StochasticBatchMatchesScalarCohortSparse)
+{
+    setQuiet(true);
+    for (uint64_t seed : {5ull, 91ull}) {
+        CoreConfig cfg = updateFuzzConfig(seed, 2.0);
+        Core fast(cfg);
+        Core scalar(cfg);
+        scalar.setWordParallelUpdate(false);
+        runDifferential(fast, scalar, Drive::Sparse, seed, 200, 0.04);
+        EXPECT_GT(fast.counters().evalsStochBatched, 0u);
+    }
+    setQuiet(false);
+}
+
+TEST(UpdateFast, PrecomputedDrawsReproduceEta)
+{
+    // A single stochastic-threshold Linear-reset neuron: the kernel
+    // must subtract the *drawn* threshold + eta on fire, matching
+    // thresholdFireReset draw for draw from the same seed.
+    NeuronParams p;
+    p.potentialBits = 16;
+    p.threshold = 10;
+    p.thresholdMaskBits = 3;
+    p.resetMode = ResetMode::Linear;
+    validateNeuronParams(p, "eta");
+    ASSERT_TRUE(drawsPerTick(p));
+
+    UpdateLanes lanes;
+    lanes.build({p});
+    Lfsr16 rng_a(0xBEEF), rng_b(0xBEEF);
+    StochDraws draws;
+    std::vector<uint32_t> list = {0};
+    for (int t = 0; t < 64; ++t) {
+        int32_t va = 25, vb = 25;
+        precomputeStochDraws(lanes, list, rng_a, draws);
+        bool fa = batchUpdateStochOne(lanes, draws, &va, 0);
+        bool fb = endOfTickUpdate(vb, p, &rng_b);
+        ASSERT_EQ(fa, fb) << "round " << t;
+        ASSERT_EQ(va, vb) << "round " << t;
+        ASSERT_EQ(rng_a.draws(), rng_b.draws()) << "round " << t;
+    }
+}
+
+// --- uniform (homogeneous core) fast path ----------------------------------
+
+TEST(UpdateFast, UniformLaneDetection)
+{
+    NeuronParams p;
+    p.leak = -2;
+    p.threshold = 17;
+    p.negThreshold = 5;
+    p.resetMode = ResetMode::Linear;
+    std::vector<NeuronParams> homog(96, p);
+    UpdateLanes lanes;
+    lanes.build(homog);
+    EXPECT_TRUE(lanes.uniform);
+
+    // Any update-relevant divergence must defeat the fast path...
+    std::vector<NeuronParams> hetero = homog;
+    hetero[40].threshold = 18;
+    lanes.build(hetero);
+    EXPECT_FALSE(lanes.uniform);
+
+    // ...but update-irrelevant fields (synaptic weights) must not:
+    // lane-value equality, not NeuronParams equality, is the test.
+    std::vector<NeuronParams> syn_only = homog;
+    syn_only[7].synWeight[2] = 9;
+    lanes.build(syn_only);
+    EXPECT_TRUE(lanes.uniform);
+}
+
+TEST(UpdateFast, UniformKernelMatchesScalar)
+{
+    // A homogeneous core with a nontrivial parameter set (reversal
+    // leak + Linear reset + negative threshold) through both drive
+    // strategies: the hoisted-constant kernel must be value-for-value
+    // identical to the scalar reference.
+    setQuiet(true);
+    CoreGeometry g = fuzzGeom();
+    CoreConfig cfg = CoreConfig::make(g);
+    Xoshiro256 rng(1234);
+    for (uint32_t a = 0; a < g.numAxons; ++a) {
+        cfg.axonType[a] = static_cast<uint8_t>(rng.below(4));
+        for (uint32_t n = 0; n < g.numNeurons; ++n)
+            if (rng.chance(0.25))
+                cfg.connect(a, n);
+    }
+    NeuronParams p;
+    p.potentialBits = 12;
+    p.synWeight = {3, -2, 5, 1};
+    p.leak = -1;
+    p.leakReversal = true;
+    p.threshold = 9;
+    p.negThreshold = 11;
+    p.negSaturate = false;
+    p.resetMode = ResetMode::Linear;
+    for (uint32_t n = 0; n < g.numNeurons; ++n)
+        cfg.neurons[n] = p;
+    validateCoreConfig(cfg, "uniform");
+
+    {
+        Core fast(cfg);
+        Core scalar(cfg);
+        scalar.setWordParallelUpdate(false);
+        runDifferential(fast, scalar, Drive::Dense, 7, 150, 0.1);
+        EXPECT_GT(fast.counters().evalsBatched, 0u);
+    }
+    {
+        Core fast(cfg);
+        Core scalar(cfg);
+        scalar.setWordParallelUpdate(false);
+        runDifferential(fast, scalar, Drive::Sparse, 8, 150, 0.06);
+    }
+    setQuiet(false);
+}
+
 // --- self-event heap ---------------------------------------------------------
 
 /**

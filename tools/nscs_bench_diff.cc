@@ -1,10 +1,23 @@
 /**
  * @file
  * nscs_bench_diff — compare a BENCH_core.json produced by the current
- * build against a committed baseline and flag throughput regressions.
+ * build against a committed baseline and flag throughput regressions,
+ * optionally appending the current run to a per-commit history series.
  *
  * Usage:
  *   nscs_bench_diff BASELINE.json CURRENT.json [--tolerance F]
+ *                   [--series FILE] [--commit ID]
+ *
+ * --series FILE appends one entry per invocation to FILE (created on
+ * first use): {"commit": ID, "workloads": [{name, fastTicksPerSec,
+ * speedup}, ...]} drawn from CURRENT.json.  The series is the
+ * per-commit artifact trajectory the ROADMAP calls for — pairwise
+ * diffs answer "did this commit regress?", the series answers "how
+ * has throughput moved over the project's life?".  Entries are
+ * appended even when the diff flags regressions (the history must
+ * record bad commits too); the exit status is unaffected by series
+ * I/O problems (a warning is printed), since CI artifact bookkeeping
+ * must not mask a real regression verdict.
  *
  * For every workload present in both files (matched by name, across
  * both the "workloads" and "updateWorkloads" arrays) the tool prints
@@ -97,6 +110,65 @@ collect(const JsonValue &doc, const char *key, bool current,
     }
 }
 
+/**
+ * Append the current run's workload rows to the history series at
+ * @p path.  Returns false (with a warning) on I/O or parse trouble;
+ * the caller's verdict must not change either way.
+ */
+bool
+appendSeries(const char *path, const std::string &commit,
+             const JsonValue &cur)
+{
+    JsonValue entries = JsonValue::array();
+    std::string text;
+    if (readFile(path, text)) {
+        JsonParseResult r = parseJson(text);
+        if (!r.ok || !r.value.has("entries")) {
+            std::cerr << "warning: series '" << path
+                      << "' is unreadable or has no 'entries'; "
+                         "not appending\n";
+            return false;
+        }
+        const JsonValue &old = r.value.at("entries");
+        for (size_t i = 0; i < old.size(); ++i)
+            entries.append(old.at(i));
+    }
+
+    JsonValue entry = JsonValue::object();
+    entry.set("commit", JsonValue::string(commit));
+    JsonValue workloads = JsonValue::array();
+    for (const char *key : {"workloads", "updateWorkloads"}) {
+        if (!cur.has(key))
+            continue;
+        const JsonValue &arr = cur.at(key);
+        for (size_t i = 0; i < arr.size(); ++i) {
+            const JsonValue &w = arr.at(i);
+            if (!w.has("name") || !w.has("fastTicksPerSec"))
+                continue;
+            JsonValue row = JsonValue::object();
+            row.set("name", JsonValue::string(
+                w.at("name").asString()));
+            row.set("fastTicksPerSec", JsonValue::number(
+                w.at("fastTicksPerSec").asDouble()));
+            if (w.has("speedup"))
+                row.set("speedup", JsonValue::number(
+                    w.at("speedup").asDouble()));
+            workloads.append(std::move(row));
+        }
+    }
+    entry.set("workloads", std::move(workloads));
+    entries.append(std::move(entry));
+    JsonValue doc = JsonValue::object();
+    doc.set("entries", std::move(entries));
+
+    if (!writeFile(path, doc.dump(2))) {
+        std::cerr << "warning: cannot write series '" << path
+                  << "'\n";
+        return false;
+    }
+    return true;
+}
+
 } // namespace
 
 int
@@ -104,10 +176,14 @@ main(int argc, char **argv)
 {
     if (argc < 3) {
         std::cerr << "usage: nscs_bench_diff BASELINE.json CURRENT.json"
-                     " [--tolerance F]\n";
+                     " [--tolerance F]\n"
+                     "                       [--series FILE] "
+                     "[--commit ID]\n";
         return 2;
     }
     double tolerance = 0.30;
+    const char *series_path = nullptr;
+    std::string commit = "unknown";
     for (int i = 3; i < argc; ++i) {
         if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
             const char *arg = argv[++i];
@@ -119,6 +195,12 @@ main(int argc, char **argv)
                           << "' (want a fraction in [0, 1))\n";
                 return 2;
             }
+        } else if (std::strcmp(argv[i], "--series") == 0 &&
+                   i + 1 < argc) {
+            series_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--commit") == 0 &&
+                   i + 1 < argc) {
+            commit = argv[++i];
         } else {
             std::cerr << "unknown option '" << argv[i] << "'\n";
             return 2;
@@ -127,6 +209,9 @@ main(int argc, char **argv)
 
     JsonValue base = loadDoc(argv[1]);
     JsonValue cur = loadDoc(argv[2]);
+
+    if (series_path != nullptr)
+        appendSeries(series_path, commit, cur);
 
     std::vector<Row> rows;
     for (const char *key : {"workloads", "updateWorkloads"}) {

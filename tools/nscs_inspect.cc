@@ -1,18 +1,26 @@
 /**
  * @file
  * nscs_inspect — summarise a compiled model file: grid, per-core
- * utilisation, synapse counts, destinations, inputs and outputs.
+ * utilisation, synapse counts, destinations, inputs and outputs,
+ * and — for board targets — per-chip utilisation and the static
+ * inter-chip link traffic implied by the neuron destinations.
  *
  * Usage:
- *   nscs_inspect MODEL.json [--cores]
+ *   nscs_inspect MODEL.json [--cores] [--chips] [--board WxH]
  *
- * With --cores, prints a per-core utilisation table in addition to
- * the model summary.
+ * With --cores, prints a per-core utilisation table.  With --chips,
+ * prints per-chip and per-link tables for the model's board target
+ * (or the shape given by --board, which overrides the model's).
+ * Link traffic is computed statically by walking every inter-chip
+ * destination's X-then-Y route, the same route the runtime takes —
+ * the per-spike load each link carries if every neuron fired once.
  */
 
 #include <cstring>
 #include <iostream>
+#include <vector>
 
+#include "board/board.hh"
 #include "neuron/neuron.hh"
 #include "prog/compiled.hh"
 #include "util/logging.hh"
@@ -24,23 +32,69 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::cerr << "usage: nscs_inspect MODEL.json [--cores]\n";
+        std::cerr << "usage: nscs_inspect MODEL.json [--cores] "
+                     "[--chips] [--board WxH]\n";
         return 2;
     }
-    bool per_core = argc > 2 && std::strcmp(argv[2], "--cores") == 0;
+    bool per_core = false, per_chip = false;
+    uint32_t board_w = 0, board_h = 0;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--cores") == 0) {
+            per_core = true;
+        } else if (std::strcmp(argv[i], "--chips") == 0) {
+            per_chip = true;
+        } else if (std::strcmp(argv[i], "--board") == 0 &&
+                   i + 1 < argc) {
+            if (!parseGridSpec(argv[++i], board_w, board_h)) {
+                std::cerr << "bad --board '" << argv[i] << "'\n";
+                return 2;
+            }
+            per_chip = true;
+        } else {
+            std::cerr << "unknown option '" << argv[i] << "'\n";
+            return 2;
+        }
+    }
 
     CompiledModel model;
     if (!loadCompiledModel(argv[1], model))
         fatal("cannot load model file '%s'", argv[1]);
+    if (board_w == 0) {
+        board_w = model.boardWidth;
+        board_h = model.boardHeight;
+    }
+    // Grids that do not tile evenly are padded with empty cores at
+    // deploy time (see nscs_run); mirror that shape here.
+    const uint32_t pad_w = (model.gridWidth + board_w - 1) /
+        board_w * board_w;
+    const uint32_t pad_h = (model.gridHeight + board_h - 1) /
+        board_h * board_h;
+    const uint32_t chip_w = pad_w / board_w;
+    const uint32_t chip_h = pad_h / board_h;
 
     uint64_t synapses = 0, used_cores = 0, neurons_used = 0;
     uint64_t axons_used = 0, core_dests = 0, output_dests = 0;
+    uint64_t inter_chip = 0;
     // Engine-scheduling cohorts: which update path and evaluation
     // class each neuron lands in (see neuron/batch.hh and
     // neuron/neuron.hh).
     uint64_t det_update = 0, stoch_update = 0;
     uint64_t cls_count[3] = {0, 0, 0};
-    for (const CoreConfig &cfg : model.cores) {
+
+    // Per-chip utilisation and static per-link traffic.
+    const uint32_t chips = board_w * board_h;
+    struct ChipUse
+    {
+        uint64_t synapses = 0, neurons = 0, axons = 0, egress = 0;
+    };
+    std::vector<ChipUse> chip_use(chips);
+    std::vector<uint64_t> link_load(static_cast<size_t>(chips) * 4);
+
+    for (uint32_t c = 0; c < model.cores.size(); ++c) {
+        const CoreConfig &cfg = model.cores[c];
+        uint32_t x = c % model.gridWidth, y = c / model.gridWidth;
+        uint32_t cx = x / chip_w, cy = y / chip_h;
+        ChipUse &cu = chip_use[cy * board_w + cx];
         uint64_t core_syn = 0;
         uint32_t axons = 0;
         for (const auto &row : cfg.xbarRows) {
@@ -50,10 +104,41 @@ main(int argc, char **argv)
         }
         uint32_t active = 0;
         for (uint32_t n = 0; n < cfg.geom.numNeurons; ++n) {
-            if (cfg.dests[n].kind == NeuronDest::Kind::Core) {
+            const NeuronDest &d = cfg.dests[n];
+            if (d.kind == NeuronDest::Kind::Core) {
                 ++core_dests;
                 ++active;
-            } else if (cfg.dests[n].kind == NeuronDest::Kind::Output) {
+                // Inspect never builds a Chip/Board, so the grid
+                // bounds check their constructors perform must
+                // happen here before the link walk indexes by chip.
+                int64_t tx = static_cast<int64_t>(x) + d.dx;
+                int64_t ty = static_cast<int64_t>(y) + d.dy;
+                if (tx < 0 ||
+                    tx >= static_cast<int64_t>(model.gridWidth) ||
+                    ty < 0 ||
+                    ty >= static_cast<int64_t>(model.gridHeight))
+                    fatal("core (%u, %u) neuron %u targets "
+                          "(%lld, %lld) outside the %ux%u grid",
+                          x, y, n, static_cast<long long>(tx),
+                          static_cast<long long>(ty),
+                          model.gridWidth, model.gridHeight);
+                uint32_t tcx = static_cast<uint32_t>(tx) / chip_w;
+                uint32_t tcy = static_cast<uint32_t>(ty) / chip_h;
+                if (tcx != cx || tcy != cy) {
+                    ++inter_chip;
+                    ++cu.egress;
+                    // Walk the runtime's own routing function: one
+                    // load unit per traversed link.
+                    uint32_t at = cy * board_w + cx;
+                    uint32_t dst = tcy * board_w + tcx;
+                    while (at != dst) {
+                        auto [dir, next] = xyRouteStep(at, dst,
+                                                       board_w);
+                        link_load[at * 4 + dir] += 1;
+                        at = next;
+                    }
+                }
+            } else if (d.kind == NeuronDest::Kind::Output) {
                 ++output_dests;
                 ++active;
             }
@@ -69,11 +154,20 @@ main(int argc, char **argv)
         synapses += core_syn;
         axons_used += axons;
         neurons_used += active;
+        cu.synapses += core_syn;
+        cu.neurons += active;
+        cu.axons += axons;
     }
 
     TextTable t({"property", "value"});
     t.addRow({"grid", std::to_string(model.gridWidth) + "x" +
               std::to_string(model.gridHeight)});
+    if (chips > 1) {
+        t.addRow({"board", std::to_string(board_w) + "x" +
+                  std::to_string(board_h) + " chips of " +
+                  std::to_string(chip_w) + "x" +
+                  std::to_string(chip_h) + " cores"});
+    }
     t.addRow({"core geometry",
               std::to_string(model.geom.numAxons) + " axons x " +
               std::to_string(model.geom.numNeurons) + " neurons x " +
@@ -84,6 +178,8 @@ main(int argc, char **argv)
     t.addRow({"axons in use", fmtInt(axons_used)});
     t.addRow({"routed neurons", fmtInt(neurons_used)});
     t.addRow({"core->core dests", fmtInt(core_dests)});
+    if (chips > 1)
+        t.addRow({"inter-chip dests", fmtInt(inter_chip)});
     t.addRow({"output dests", fmtInt(output_dests)});
     t.addRow({"input lines", fmtInt(model.inputs.size())});
     t.addRow({"output lines", fmtInt(model.numOutputs)});
@@ -93,6 +189,37 @@ main(int argc, char **argv)
               fmtInt(cls_count[0]) + " / " + fmtInt(cls_count[1]) +
                   " / " + fmtInt(cls_count[2])});
     std::cout << t.str();
+
+    if (per_chip && chips > 1) {
+        std::cout << "\n";
+        TextTable ct({"chip", "x,y", "neurons", "axons", "synapses",
+                      "egress dests"});
+        for (uint32_t c = 0; c < chips; ++c) {
+            const ChipUse &cu = chip_use[c];
+            ct.addRow({std::to_string(c),
+                       std::to_string(c % board_w) + "," +
+                           std::to_string(c / board_w),
+                       fmtInt(cu.neurons), fmtInt(cu.axons),
+                       fmtInt(cu.synapses), fmtInt(cu.egress)});
+        }
+        std::cout << ct.str();
+
+        std::cout << "\n";
+        TextTable lt({"link", "static load (spikes/all-fire)"});
+        for (uint32_t l = 0;
+             l < static_cast<uint32_t>(link_load.size()); ++l) {
+            if (link_load[l] == 0)
+                continue;
+            uint32_t chip = l / 4;
+            lt.addRow({"chip(" + std::to_string(chip % board_w) +
+                           "," + std::to_string(chip / board_w) +
+                           ")." + linkDirName(l % 4),
+                       fmtInt(link_load[l])});
+        }
+        std::cout << lt.str();
+    } else if (per_chip) {
+        std::cout << "\n(single-chip model: no chip/link tables)\n";
+    }
 
     if (per_core) {
         std::cout << "\n";

@@ -8,13 +8,23 @@
  *
  * Options:
  *   --engine clock|event      execution engine (default event)
- *   --noc functional|cycle    spike transport (default functional)
- *   --threads N               parallel tick engine with N worker
- *                             lanes (default 0 = serial; output is
- *                             bit-identical either way)
+ *   --noc functional|cycle    spike transport (default functional;
+ *                             board targets require functional)
+ *   --threads N               worker lanes (default 0 = serial;
+ *                             board targets parallelise across
+ *                             chips, chip targets across cores;
+ *                             output is bit-identical either way)
+ *   --board WxH               deploy onto a WxH board of chips
+ *                             (default: the model's compiled board
+ *                             target; 1x1 = one chip).  Grids that
+ *                             do not tile evenly are padded with
+ *                             empty cores.
+ *   --link-budget N           link packets per tick (0 = unlimited)
+ *   --link-delay N            extra transit ticks per link hop
+ *   --link-queue N            stalled packets per link (0 = unlim.)
  *   --inputs FILE             input schedule: lines "tick inputName"
  *   --trace FILE              write the output trace here
- *   --stats                   dump chip statistics to stderr
+ *   --stats                   dump device statistics to stderr
  *
  * The input schedule fires the named input line (all its compiled
  * injection targets) at the given tick.  Exit status 0 on success.
@@ -41,8 +51,55 @@ usage()
     std::cerr <<
         "usage: nscs_run MODEL.json TICKS [--engine clock|event]\n"
         "                [--noc functional|cycle] [--threads N]\n"
+        "                [--board WxH] [--link-budget N]\n"
+        "                [--link-delay N] [--link-queue N]\n"
         "                [--inputs FILE] [--trace FILE] [--stats]\n";
     std::exit(2);
+}
+
+uint32_t
+parseCount(const std::string &v, uint32_t limit)
+{
+    char *end = nullptr;
+    unsigned long n = std::strtoul(v.c_str(), &end, 10);
+    if (v.empty() || end != v.c_str() + v.size() || n > limit)
+        usage();
+    return static_cast<uint32_t>(n);
+}
+
+/**
+ * Grow the model's grid to multiples of the board dimensions with
+ * empty cores, remapping the row-major input targets.  Relative
+ * destinations survive: every populated core keeps its (x, y).
+ */
+void
+padModelToBoard(CompiledModel &model, uint32_t bw, uint32_t bh)
+{
+    uint32_t nw = (model.gridWidth + bw - 1) / bw * bw;
+    uint32_t nh = (model.gridHeight + bh - 1) / bh * bh;
+    if (nw == model.gridWidth && nh == model.gridHeight)
+        return;
+    std::vector<CoreConfig> cells;
+    cells.reserve(static_cast<size_t>(nw) * nh);
+    for (uint32_t y = 0; y < nh; ++y) {
+        for (uint32_t x = 0; x < nw; ++x) {
+            if (x < model.gridWidth && y < model.gridHeight)
+                cells.push_back(std::move(
+                    model.cores[y * model.gridWidth + x]));
+            else
+                cells.push_back(CoreConfig::make(model.geom));
+        }
+    }
+    for (auto &kv : model.inputs) {
+        for (InputSpike &t : kv.second) {
+            uint32_t x = t.core % model.gridWidth;
+            uint32_t y = t.core / model.gridWidth;
+            t.core = y * nw + x;
+        }
+    }
+    model.cores = std::move(cells);
+    model.gridWidth = nw;
+    model.gridHeight = nh;
 }
 
 } // namespace
@@ -58,6 +115,8 @@ main(int argc, char **argv)
     EngineKind engine = EngineKind::Event;
     NocModel noc = NocModel::Functional;
     uint32_t threads = 0;
+    uint32_t board_w = 0, board_h = 0;  // 0 = model default
+    LinkParams link;
     std::string inputs_path, trace_path;
     bool stats = false;
 
@@ -85,12 +144,16 @@ main(int argc, char **argv)
             else
                 usage();
         } else if (arg == "--threads") {
-            std::string v = next();
-            char *end = nullptr;
-            unsigned long n = std::strtoul(v.c_str(), &end, 10);
-            if (v.empty() || end != v.c_str() + v.size() || n > 1024)
+            threads = parseCount(next(), 1024);
+        } else if (arg == "--board") {
+            if (!parseGridSpec(next(), board_w, board_h))
                 usage();
-            threads = static_cast<uint32_t>(n);
+        } else if (arg == "--link-budget") {
+            link.packetsPerTick = parseCount(next(), 1u << 30);
+        } else if (arg == "--link-delay") {
+            link.extraDelay = parseCount(next(), 1u << 20);
+        } else if (arg == "--link-queue") {
+            link.queueCapacity = parseCount(next(), 1u << 30);
         } else if (arg == "--inputs") {
             inputs_path = next();
         } else if (arg == "--trace") {
@@ -105,6 +168,16 @@ main(int argc, char **argv)
     CompiledModel model;
     if (!loadCompiledModel(model_path, model))
         fatal("cannot load model file '%s'", model_path.c_str());
+    if (board_w == 0) {
+        board_w = model.boardWidth;
+        board_h = model.boardHeight;
+    }
+    bool board_mode = board_w * board_h > 1;
+    if (board_mode) {
+        if (noc == NocModel::Cycle)
+            fatal("board targets require the functional transport");
+        padModelToBoard(model, board_w, board_h);
+    }
 
     // Parse the input schedule: "tick inputName" per line.
     std::map<uint64_t, std::vector<std::string>> schedule;
@@ -131,25 +204,39 @@ main(int argc, char **argv)
         }
     }
 
-    ChipParams cp;
-    cp.width = model.gridWidth;
-    cp.height = model.gridHeight;
-    cp.coreGeom = model.geom;
-    cp.engine = engine;
-    cp.noc = noc;
-    cp.threads = threads;
-    Simulator sim(cp, model.cores);
+    std::unique_ptr<Simulator> sim;
+    if (board_mode) {
+        BoardParams bp;
+        bp.width = board_w;
+        bp.height = board_h;
+        bp.chip.width = model.gridWidth / board_w;
+        bp.chip.height = model.gridHeight / board_h;
+        bp.chip.coreGeom = model.geom;
+        bp.chip.engine = engine;
+        bp.link = link;
+        bp.threads = threads;
+        sim = std::make_unique<Simulator>(bp, model.cores);
+    } else {
+        ChipParams cp;
+        cp.width = model.gridWidth;
+        cp.height = model.gridHeight;
+        cp.coreGeom = model.geom;
+        cp.engine = engine;
+        cp.noc = noc;
+        cp.threads = threads;
+        sim = std::make_unique<Simulator>(cp, model.cores);
+    }
 
     auto source = std::make_unique<ScheduleSource>();
     for (const auto &kv : schedule)
         for (const std::string &name : kv.second)
             for (const InputSpike &target : model.inputTargets(name))
                 source->add(kv.first, target);
-    sim.addSource(std::move(source));
+    sim->addSource(std::move(source));
 
-    RunPerf perf = sim.run(ticks);
+    RunPerf perf = sim->run(ticks);
 
-    const auto &spikes = sim.recorder().spikes();
+    const auto &spikes = sim->recorder().spikes();
     if (trace_path.empty()) {
         std::cout << formatSpikeTrace(spikes);
     } else if (!writeSpikeTrace(trace_path, spikes)) {
@@ -158,7 +245,10 @@ main(int argc, char **argv)
 
     if (stats) {
         StatGroup g;
-        sim.chip().dumpStats("chip", g);
+        if (board_mode)
+            sim->board().dumpStats("board", g);
+        else
+            sim->chip().dumpStats("chip", g);
         g.add("run.ticksPerSecond", perf.ticksPerSecond(),
               "wall-clock simulation speed");
         std::cerr << g.format();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <functional>
 
 #include "runtime/parallel.hh"
 #include "util/logging.hh"
@@ -102,7 +103,7 @@ Chip::reset()
     egress_.clear();
     counters_ = ChipCounters{};
     now_ = 0;
-    agenda_ = {};
+    agenda_.clear();
     pendingInject_.clear();
     std::fill(lastWake_.begin(), lastWake_.end(), kNever);
     if (params_.engine == EngineKind::Event) {
@@ -122,7 +123,8 @@ Chip::scheduleWake(uint32_t core, uint64_t tick)
     if (lastWake_[core] == tick)
         return;
     lastWake_[core] = tick;
-    agenda_.emplace(tick, core);
+    agenda_.emplace_back(tick, core);
+    std::push_heap(agenda_.begin(), agenda_.end(), std::greater<>{});
 }
 
 uint64_t
@@ -265,13 +267,15 @@ Chip::collectActive(uint64_t t)
     } else {
         for (uint32_t c : denseCores_)
             activeScratch_.push_back(c);
-        while (!agenda_.empty() && agenda_.top().first <= t) {
-            auto [tick, c] = agenda_.top();
+        while (!agenda_.empty() && agenda_.front().first <= t) {
+            auto [tick, c] = agenda_.front();
             NSCS_ASSERT(tick == t,
                         "agenda entry for past tick %llu (now %llu)",
                         static_cast<unsigned long long>(tick),
                         static_cast<unsigned long long>(t));
-            agenda_.pop();
+            std::pop_heap(agenda_.begin(), agenda_.end(),
+                          std::greater<>{});
+            agenda_.pop_back();
             if (lastWake_[c] == tick)
                 lastWake_[c] = kNever;
             activeScratch_.push_back(c);
@@ -493,6 +497,8 @@ Chip::footprintBytes() const
     for (const auto &core : cores_)
         bytes += core->footprintBytes();
     bytes += egress_.capacity() * sizeof(EgressSpike);
+    bytes += agenda_.capacity() * sizeof(std::pair<uint64_t, uint32_t>);
+    bytes += lastWake_.capacity() * sizeof(uint64_t);
     return bytes;
 }
 

@@ -35,9 +35,9 @@
 #define NSCS_CHIP_CHIP_HH
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "chip/energy.hh"
@@ -262,11 +262,13 @@ class Chip
     ChipCounters counters_;
     uint64_t now_ = 0;
 
-    // Event engine agenda.
+    // Event engine agenda: an explicit (tick, core) min-heap via
+    // std::push_heap/pop_heap rather than std::priority_queue, so
+    // footprintBytes() can account for its capacity (tick paths must
+    // not hold opaque heaps — see Core::selfEvents_ and nscs_lint's
+    // priority-queue rule).
     std::vector<uint32_t> denseCores_;
-    std::priority_queue<std::pair<uint64_t, uint32_t>,
-                        std::vector<std::pair<uint64_t, uint32_t>>,
-                        std::greater<>> agenda_;
+    std::vector<std::pair<uint64_t, uint32_t>> agenda_;
     std::vector<uint64_t> lastWake_;     //!< dedup helper per core
     std::vector<uint32_t> activeScratch_;
     std::vector<uint32_t> firedScratch_;

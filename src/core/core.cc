@@ -156,11 +156,16 @@ Core::calibrateWordParallelThreshold()
             // the rails and push later word-parallel reps onto the
             // fallback replay, biasing the crossover.
             std::fill(v_.begin(), v_.end(), 0);
+            // Construction-time perf calibration: picks between two
+            // bit-identical integrate paths, so host timing cannot
+            // change architectural output (see the method comment).
+            // nscs-lint: allow(wall-clock): calibration, output-neutral
             auto t0 = std::chrono::steady_clock::now();
             if (word_parallel)
                 integrateWordParallel(active, 0, false);
             else
                 integrateScalar(active, 0, false);
+            // nscs-lint: allow(wall-clock): see t0 above.
             auto t1 = std::chrono::steady_clock::now();
             best = std::min(
                 best, std::chrono::duration<double>(t1 - t0).count());

@@ -25,6 +25,10 @@ Simulator::addSource(std::unique_ptr<SpikeSource> source)
 RunPerf
 Simulator::run(uint64_t ticks)
 {
+    // RunPerf reports host ticks/sec for benches; the measured
+    // duration never feeds back into the simulation, so output
+    // stays deterministic.
+    // nscs-lint: allow(wall-clock): host-side perf reporting only
     using clock = std::chrono::steady_clock;
     RunPerf perf;
     uint64_t out_before = recorder_.size();

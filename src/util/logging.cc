@@ -1,5 +1,6 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -9,7 +10,9 @@ namespace nscs {
 
 namespace {
 
-bool quietFlag = false;
+// Atomic: warn()/inform() are legal from pool worker threads while a
+// test toggles setQuiet() on the main thread.
+std::atomic<bool> quietFlag{false};
 
 void
 report(const char *prefix, const char *fmt, std::va_list ap)

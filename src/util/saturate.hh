@@ -14,18 +14,32 @@
 
 namespace nscs {
 
-/** Maximum representable value of a signed @p bits-bit register. */
+/**
+ * Maximum representable value of a signed @p bits-bit register.
+ * Shifts stay in unsigned arithmetic and bits == 0 degenerates to an
+ * empty [0, 0] range instead of shifting by (unsigned)-1, so the
+ * helpers are total functions under UBSan even though configs
+ * validate potentialBits into [8, 31] long before arriving here.
+ */
 constexpr int32_t
 satMax(unsigned bits)
 {
-    return (bits >= 31) ? INT32_MAX : ((1 << (bits - 1)) - 1);
+    if (bits == 0)
+        return 0;
+    if (bits >= 31)
+        return INT32_MAX;
+    return static_cast<int32_t>((1u << (bits - 1)) - 1);
 }
 
 /** Minimum representable value of a signed @p bits-bit register. */
 constexpr int32_t
 satMin(unsigned bits)
 {
-    return (bits >= 31) ? INT32_MIN : -(1 << (bits - 1));
+    if (bits == 0)
+        return 0;
+    if (bits >= 31)
+        return INT32_MIN;
+    return -static_cast<int32_t>(1u << (bits - 1));
 }
 
 /** Clamp @p v into the signed @p bits-bit range. */

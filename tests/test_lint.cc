@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Self-tests for the nscs_lint rules engine (tools/lint): for every
+ * rule, fixture snippets that must flag and snippets that must stay
+ * clean, plus the lexer (comments/strings/raw strings), the
+ * allow-comment waiver machinery, and the file-scope-state
+ * classifier's declaration-vs-definition discrimination.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hh"
+
+using nscs::lint::Finding;
+using nscs::lint::lintSource;
+using nscs::lint::lintableFile;
+
+namespace {
+
+std::vector<std::string>
+rulesHit(const std::string &src)
+{
+    std::vector<std::string> rules;
+    for (const Finding &f : lintSource("fixture.cc", src))
+        rules.push_back(f.rule);
+    return rules;
+}
+
+bool
+hits(const std::string &src, const std::string &rule)
+{
+    auto rules = rulesHit(src);
+    return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+} // namespace
+
+TEST(LintWallClock, FlagsTimeSources)
+{
+    EXPECT_TRUE(hits("uint64_t t = time(nullptr);", "wall-clock"));
+    EXPECT_TRUE(hits("auto c = clock();", "wall-clock"));
+    EXPECT_TRUE(hits("auto t = std::time(nullptr);", "wall-clock"));
+    EXPECT_TRUE(hits("gettimeofday(&tv, nullptr);", "wall-clock"));
+    EXPECT_TRUE(hits("auto n = std::chrono::system_clock::now();",
+                     "wall-clock"));
+    EXPECT_TRUE(hits("auto n = std::chrono::steady_clock::now();",
+                     "wall-clock"));
+    EXPECT_TRUE(
+        hits("auto n = std::chrono::high_resolution_clock::now();",
+             "wall-clock"));
+}
+
+TEST(LintWallClock, IgnoresLookalikes)
+{
+    // Identifier-boundary discipline: members, other scopes, and
+    // longer identifiers must not trip the call rules.
+    EXPECT_FALSE(hits("uint64_t deliveryTime(uint32_t n);",
+                      "wall-clock"));
+    EXPECT_FALSE(hits("sim.time();", "wall-clock"));
+    EXPECT_FALSE(hits("obj->clock();", "wall-clock"));
+    EXPECT_FALSE(hits("Scheduler::time(slot);", "wall-clock"));
+    EXPECT_FALSE(hits("uint64_t time = 4;", "wall-clock"));
+    EXPECT_FALSE(hits("runtime(args);", "wall-clock"));
+}
+
+TEST(LintRawRandom, FlagsRawGenerators)
+{
+    EXPECT_TRUE(hits("int r = rand();", "raw-random"));
+    EXPECT_TRUE(hits("srand(42);", "raw-random"));
+    EXPECT_TRUE(hits("std::random_device rd;", "raw-random"));
+    EXPECT_TRUE(hits("std::mt19937 gen(rd());", "raw-random"));
+    EXPECT_TRUE(hits("std::mt19937_64 gen;", "raw-random"));
+    EXPECT_TRUE(hits("auto e = std::default_random_engine{};",
+                     "raw-random"));
+    EXPECT_TRUE(hits("double d = drand48();", "raw-random"));
+}
+
+TEST(LintRawRandom, AllowsUtilRng)
+{
+    EXPECT_FALSE(hits("Lfsr16 rng(seed);\n"
+                      "uint16_t v = rng.next();",
+                      "raw-random"));
+    EXPECT_FALSE(hits("Xoshiro256 host(7);\n"
+                      "double u = host.uniform();",
+                      "raw-random"));
+    // "random" as part of a longer identifier or member.
+    EXPECT_FALSE(hits("bool pseudorandom(int x);", "raw-random"));
+    EXPECT_FALSE(hits("cfg.random(rows);", "raw-random"));
+}
+
+TEST(LintRawIo, FlagsStdoutWriters)
+{
+    EXPECT_TRUE(hits("printf(\"%d\", x);", "raw-io"));
+    EXPECT_TRUE(hits("std::printf(\"hi\");", "raw-io"));
+    EXPECT_TRUE(hits("puts(\"hi\");", "raw-io"));
+    EXPECT_TRUE(hits("std::cout << x;", "raw-io"));
+    EXPECT_TRUE(hits("std::cerr << x;", "raw-io"));
+    EXPECT_TRUE(hits("fprintf(stdout, \"%d\", x);", "raw-io"));
+}
+
+TEST(LintRawIo, AllowsLoggingImplementation)
+{
+    // What util/logging.cc itself does must stay legal: formatted
+    // output to stderr and the snprintf family.
+    EXPECT_FALSE(hits("std::fprintf(stderr, \"%s\\n\", msg);",
+                      "raw-io"));
+    EXPECT_FALSE(hits("int n = std::vsnprintf(nullptr, 0, fmt, ap);",
+                      "raw-io"));
+    EXPECT_FALSE(hits("std::snprintf(buf, sizeof(buf), \"%d\", x);",
+                      "raw-io"));
+    EXPECT_FALSE(hits("sprintf_like(buf);", "raw-io"));
+}
+
+TEST(LintPriorityQueue, FlagsUsage)
+{
+    EXPECT_TRUE(hits(
+        "std::priority_queue<std::pair<uint64_t, uint32_t>> q;",
+        "priority-queue"));
+}
+
+TEST(LintPriorityQueue, AllowsExplicitHeap)
+{
+    EXPECT_FALSE(hits(
+        "std::vector<std::pair<uint64_t, uint32_t>> heap;\n"
+        "std::push_heap(heap.begin(), heap.end(), std::greater<>{});\n"
+        "std::pop_heap(heap.begin(), heap.end(), std::greater<>{});",
+        "priority-queue"));
+}
+
+TEST(LintFileScope, FlagsMutableGlobals)
+{
+    EXPECT_TRUE(hits("bool quietFlag = false;", "file-scope-state"));
+    EXPECT_TRUE(hits("namespace nscs {\n"
+                     "namespace {\n"
+                     "int counter = 0;\n"
+                     "}\n"
+                     "}\n",
+                     "file-scope-state"));
+    EXPECT_TRUE(hits("static uint64_t calls;", "file-scope-state"));
+    EXPECT_TRUE(hits("std::vector<int> registry = {1, 2};",
+                     "file-scope-state"));
+}
+
+TEST(LintFileScope, AllowsGuardedAndLocalState)
+{
+    EXPECT_FALSE(hits("const int kLimit = 4;", "file-scope-state"));
+    EXPECT_FALSE(hits("constexpr uint64_t kNever = ~0ull;",
+                      "file-scope-state"));
+    EXPECT_FALSE(hits("std::atomic<bool> quietFlag{false};",
+                      "file-scope-state"));
+    EXPECT_FALSE(hits("thread_local int scratch = 0;",
+                      "file-scope-state"));
+    EXPECT_FALSE(hits("static const char *kNames[4] = {\"a\"};",
+                      "file-scope-state"));
+    // Function-local state is out of scope for this rule.
+    EXPECT_FALSE(hits("void f()\n{\n    int local = 3;\n}\n",
+                      "file-scope-state"));
+    // Members live inside an opaque class brace.
+    EXPECT_FALSE(hits("class C\n{\n    int member_ = 0;\n};\n",
+                      "file-scope-state"));
+}
+
+TEST(LintFileScope, SkipsDeclarations)
+{
+    EXPECT_FALSE(hits("void warn(const char *fmt, ...);",
+                      "file-scope-state"));
+    EXPECT_FALSE(hits("std::string vstrprintf(const char *fmt, "
+                      "std::va_list ap);",
+                      "file-scope-state"));
+    EXPECT_FALSE(hits("using Pair = std::pair<int, int>;",
+                      "file-scope-state"));
+    EXPECT_FALSE(hits("typedef int Tick;", "file-scope-state"));
+    EXPECT_FALSE(hits("class Core;", "file-scope-state"));
+    EXPECT_FALSE(hits("struct Packet\n{\n    int x = 0;\n};\n",
+                      "file-scope-state"));
+    EXPECT_FALSE(hits("enum class Kind { A, B };",
+                      "file-scope-state"));
+    EXPECT_FALSE(hits("template <typename T> T max(T a, T b);",
+                      "file-scope-state"));
+    EXPECT_FALSE(hits("extern int externalKnob;",
+                      "file-scope-state"));
+}
+
+TEST(LintFileScope, GlobalAfterFunctionBodyStillFlags)
+{
+    // A function definition has no trailing ';' — its header must
+    // not glue onto the next statement and mask it.
+    EXPECT_TRUE(hits("void f()\n{\n    return;\n}\n"
+                     "bool leaked = false;\n",
+                     "file-scope-state"));
+}
+
+TEST(LintLexer, SkipsCommentsAndStrings)
+{
+    EXPECT_FALSE(hits("// rand() would be bad here\n", "raw-random"));
+    EXPECT_FALSE(hits("/* calls time(nullptr) in spirit */\n",
+                      "wall-clock"));
+    EXPECT_FALSE(hits("const char *kMsg = \"use std::cout here\";\n",
+                      "raw-io"));
+    EXPECT_FALSE(hits(
+        "const char *kDoc = R\"(std::priority_queue is banned)\";\n",
+        "priority-queue"));
+    // Digit separators must not open a character literal that then
+    // swallows real code.
+    EXPECT_TRUE(hits("uint64_t big = 1'000'000;\nint r = rand();\n",
+                     "raw-random"));
+    // Preprocessor directives are opaque to the rules.
+    EXPECT_FALSE(hits("#define CALL_PRINTF(x) printf(x)\n",
+                      "raw-io"));
+}
+
+TEST(LintAllow, WaivesSameAndNextLine)
+{
+    EXPECT_FALSE(hits(
+        "auto t0 = std::chrono::steady_clock::now(); "
+        "// nscs-lint: allow(wall-clock): perf calibration only\n",
+        "wall-clock"));
+    EXPECT_FALSE(hits(
+        "// nscs-lint: allow(wall-clock): perf calibration only\n"
+        "auto t0 = std::chrono::steady_clock::now();\n",
+        "wall-clock"));
+}
+
+TEST(LintAllow, ScopeIsTight)
+{
+    // An allow two lines up does not waive, and an allow for one rule
+    // does not waive another.
+    EXPECT_TRUE(hits(
+        "// nscs-lint: allow(wall-clock): calibration\n"
+        "int unrelated = 0;\n"
+        "auto t0 = std::chrono::steady_clock::now();\n",
+        "wall-clock"));
+    EXPECT_TRUE(hits(
+        "// nscs-lint: allow(raw-random): wrong rule\n"
+        "auto t0 = std::chrono::steady_clock::now();\n",
+        "wall-clock"));
+}
+
+TEST(LintAllow, MalformedAllowIsAFinding)
+{
+    EXPECT_TRUE(hits("// nscs-lint: allow(no-such-rule): reason\n",
+                     "bad-allow"));
+    EXPECT_TRUE(hits("// nscs-lint: allow(wall-clock)\n",
+                     "bad-allow"));
+    EXPECT_TRUE(hits("// nscs-lint: allow(wall-clock\n",
+                     "bad-allow"));
+    // A reasonless allow must not waive the finding either.
+    const std::string src =
+        "void f()\n{\n"
+        "    // nscs-lint: allow(wall-clock)\n"
+        "    auto t0 = std::chrono::steady_clock::now();\n"
+        "}\n";
+    auto rules = rulesHit(src);
+    EXPECT_EQ(2u, rules.size());
+    EXPECT_TRUE(hits(src, "bad-allow"));
+    EXPECT_TRUE(hits(src, "wall-clock"));
+}
+
+TEST(LintFindings, CarryFileLineAndOrder)
+{
+    auto findings = lintSource(
+        "src/foo.cc",
+        "int b = 0;\n"
+        "void f()\n{\n"
+        "    int a = rand();\n"
+        "    std::cout << a;\n"
+        "}\n");
+    ASSERT_EQ(3u, findings.size());
+    EXPECT_EQ("src/foo.cc", findings[0].file);
+    EXPECT_EQ(1u, findings[0].line);
+    EXPECT_EQ("file-scope-state", findings[0].rule);
+    EXPECT_EQ(4u, findings[1].line);
+    EXPECT_EQ("raw-random", findings[1].rule);
+    EXPECT_EQ(5u, findings[2].line);
+    EXPECT_EQ("raw-io", findings[2].rule);
+}
+
+TEST(LintFiles, OnlyCcAndHhAreLintable)
+{
+    EXPECT_TRUE(lintableFile("src/core/core.cc"));
+    EXPECT_TRUE(lintableFile("src/core/core.hh"));
+    EXPECT_FALSE(lintableFile("README.md"));
+    EXPECT_FALSE(lintableFile("BENCH_core.json"));
+    EXPECT_FALSE(lintableFile("script.cchh.txt"));
+}
+
+TEST(LintRules, CatalogueIsStable)
+{
+    const auto &ids = nscs::lint::ruleIds();
+    ASSERT_EQ(6u, ids.size());
+    EXPECT_EQ("wall-clock", ids[0]);
+    EXPECT_EQ("raw-random", ids[1]);
+    EXPECT_EQ("raw-io", ids[2]);
+    EXPECT_EQ("priority-queue", ids[3]);
+    EXPECT_EQ("file-scope-state", ids[4]);
+    EXPECT_EQ("bad-allow", ids[5]);
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Race-hunting stress tests, written for the TSan leg of the
+ * sanitizer matrix (NSCS_SANITIZE=thread) but valid — and still
+ * asserting bit-identity — in every build.
+ *
+ * The bit-identity suites in test_parallel.cc and test_board.cc
+ * cover correctness at modest thread counts; these tests instead
+ * maximise scheduling pressure where races hide: worker lanes far in
+ * excess of the core count (so the atomic claim cursor contends and
+ * stragglers cross job boundaries), rapid pool teardown/rebuild
+ * cycles (generation handshake), dense spike traffic (concurrent
+ * reads of shared core state during evaluation), and logging from
+ * worker context while another thread toggles the quiet flag.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench/workload.hh"
+#include "chip/chip.hh"
+#include "runtime/parallel.hh"
+#include "util/logging.hh"
+
+namespace nscs {
+namespace {
+
+/** Dense cortical workload: every axon driven hard. */
+bench::CorticalWorkload
+denseWorkload(uint32_t side, uint64_t seed)
+{
+    bench::CorticalParams wp;
+    wp.gridW = wp.gridH = side;
+    wp.density = 48;
+    wp.ratePerTick = 0.25;
+    wp.seed = seed;
+    return bench::makeCortical(wp);
+}
+
+std::vector<OutputSpike>
+runChip(const bench::CorticalWorkload &w, EngineKind ek,
+        uint32_t threads, uint64_t ticks)
+{
+    auto sim = bench::makeCorticalSim(w, ek, NocModel::Functional,
+                                      threads);
+    sim->run(ticks);
+    return sim->recorder().spikes();
+}
+
+TEST(RaceStress, ChipParallelOversubscribed)
+{
+    // 2x2 cores under 16 lanes: most lanes find the cursor already
+    // drained and race straight to the completion handshake, the
+    // exact window where a missed release/acquire pairing shows up.
+    bench::CorticalWorkload w = denseWorkload(2, 0xACE1);
+    for (EngineKind ek : {EngineKind::Clock, EngineKind::Event}) {
+        auto serial = runChip(w, ek, 0, 60);
+        auto parallel = runChip(w, ek, 16, 60);
+        EXPECT_EQ(serial, parallel);
+    }
+}
+
+TEST(RaceStress, ChipPoolTeardownChurn)
+{
+    // Build and destroy a threaded chip repeatedly: the pool spins
+    // up 8 workers, runs a handful of ticks and joins.  Destruction
+    // racing an in-flight straggler is the classic use-after-free.
+    bench::CorticalWorkload w = denseWorkload(2, 0xBEEF);
+    auto expect = runChip(w, EngineKind::Event, 0, 8);
+    for (int round = 0; round < 12; ++round)
+        EXPECT_EQ(expect, runChip(w, EngineKind::Event, 8, 8));
+}
+
+TEST(RaceStress, BoardNestedPools)
+{
+    // Board lanes over chip lanes: two pool layers hand work across
+    // threads every tick, then the serial merge reads every chip's
+    // egress buffers from the coordinating thread.
+    bench::CorticalWorkload w = denseWorkload(4, 0xF00D);
+    auto serial =
+        bench::makeCorticalBoardSim(w, EngineKind::Event, 2, 2);
+    serial->run(40);
+    auto threaded = bench::makeCorticalBoardSim(
+        w, EngineKind::Event, 2, 2, /*board_threads=*/8,
+        LinkParams{}, /*chip_threads=*/4);
+    threaded->run(40);
+    EXPECT_EQ(serial->recorder().spikes(),
+              threaded->recorder().spikes());
+}
+
+TEST(RaceStress, PoolSharedCounterHammer)
+{
+    // Raw ThreadPool pressure: tiny index spaces under heavy lane
+    // oversubscription, back to back, so job generations turn over
+    // as fast as the handshake allows.
+    ThreadPool pool(16);
+    std::atomic<uint64_t> sum{0};
+    for (int round = 0; round < 300; ++round) {
+        uint32_t count = 1 + (round % 7);
+        pool.parallelFor(count,
+                         [&](uint32_t i) { sum.fetch_add(i + 1); });
+    }
+    uint64_t expect = 0;
+    for (int round = 0; round < 300; ++round) {
+        uint32_t count = 1 + (round % 7);
+        expect += uint64_t(count) * (count + 1) / 2;
+    }
+    EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(RaceStress, LoggingQuietToggleVsWorkers)
+{
+    // warn()/inform() are documented as callable from worker lanes;
+    // the quiet flag is an atomic precisely so a test harness can
+    // flip it while workers log.  Keep output quiet for the run but
+    // exercise both orders.
+    bool was_quiet = true;
+    setQuiet(true);
+    ThreadPool pool(8);
+    std::atomic<int> rounds{0};
+    for (int round = 0; round < 50; ++round) {
+        pool.parallelFor(32, [&](uint32_t i) {
+            if (i == 31)
+                setQuiet(true);
+            rounds.fetch_add(1);
+        });
+    }
+    EXPECT_EQ(rounds.load(), 50 * 32);
+    setQuiet(was_quiet);
+}
+
+} // namespace
+} // namespace nscs

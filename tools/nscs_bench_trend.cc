@@ -1,0 +1,256 @@
+/**
+ * @file
+ * nscs_bench_trend — render the BENCH_series.json per-commit history
+ * (written by `nscs_bench_diff --series`) as a per-metric trend:
+ * first/last/delta per workload metric, an ASCII sparkline over the
+ * commit axis, and optionally the full matrix as CSV.
+ *
+ * Usage:
+ *   nscs_bench_trend SERIES.json [--metric speedup|ticks]
+ *                    [--last N] [--csv FILE]
+ *
+ * The series file holds {"entries": [{"commit": ID, "workloads":
+ * [{name, fastTicksPerSec, speedup}, ...]}, ...]} with one entry per
+ * recorded commit, oldest first.  For every workload name seen
+ * anywhere in the selected window the tool prints one row:
+ *
+ *   workload  metric  first  last  delta%  trend
+ *
+ * where trend is a sparkline (▁▂▃▄▅▆▇█) of the metric across the
+ * window, scaled per-row between its min and max; commits where the
+ * workload is missing render as a gap ('.').  `--metric speedup`
+ * (default) trends the machine-independent fast-over-scalar speedup,
+ * `--metric ticks` the absolute fastTicksPerSec.  `--last N` limits
+ * the window to the most recent N entries.  `--csv FILE` writes the
+ * full long-form matrix (commit, workload, fastTicksPerSec, speedup)
+ * for external plotting.
+ *
+ * Exit status: 0 on success (even for a flat or single-entry series —
+ * trend is a report, not a gate; regressions gate via
+ * nscs_bench_diff), 2 on usage/parse errors.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/csv.hh"
+#include "util/json.hh"
+#include "util/table.hh"
+
+using namespace nscs;
+
+namespace {
+
+struct Sample
+{
+    double value = 0.0;
+    bool present = false;
+};
+
+struct Series
+{
+    std::string name;             //!< workload name
+    std::vector<Sample> samples;  //!< one per commit, window order
+};
+
+/** Eight-step unicode sparkline; missing samples render as '.'. */
+std::string
+sparkline(const std::vector<Sample> &samples)
+{
+    static const char *kLevels[8] = {"▁", "▂", "▃",
+                                     "▄", "▅", "▆",
+                                     "▇", "█"};
+    double lo = 0.0, hi = 0.0;
+    bool first = true;
+    for (const Sample &s : samples) {
+        if (!s.present)
+            continue;
+        lo = first ? s.value : std::min(lo, s.value);
+        hi = first ? s.value : std::max(hi, s.value);
+        first = false;
+    }
+    std::string out;
+    for (const Sample &s : samples) {
+        if (!s.present) {
+            out += ".";
+            continue;
+        }
+        int level = 0;
+        if (hi > lo)
+            level = static_cast<int>((s.value - lo) / (hi - lo) * 7.0 +
+                                     0.5);
+        level = std::clamp(level, 0, 7);
+        out += kLevels[level];
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: nscs_bench_trend SERIES.json "
+                     "[--metric speedup|ticks] [--last N] "
+                     "[--csv FILE]\n";
+        return 2;
+    }
+    const char *series_path = argv[1];
+    std::string metric = "speedup";
+    const char *csv_path = nullptr;
+    long last = 0;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--metric") == 0 && i + 1 < argc) {
+            metric = argv[++i];
+            if (metric != "speedup" && metric != "ticks") {
+                std::cerr << "bad --metric '" << metric
+                          << "' (want speedup or ticks)\n";
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--last") == 0 &&
+                   i + 1 < argc) {
+            char *end = nullptr;
+            last = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || last < 1) {
+                std::cerr << "bad --last '" << argv[i]
+                          << "' (want a positive count)\n";
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--csv") == 0 &&
+                   i + 1 < argc) {
+            csv_path = argv[++i];
+        } else {
+            std::cerr << "unknown option '" << argv[i] << "'\n";
+            return 2;
+        }
+    }
+
+    std::string text;
+    if (!readFile(series_path, text)) {
+        std::cerr << "cannot read '" << series_path << "'\n";
+        return 2;
+    }
+    JsonParseResult parsed = parseJson(text);
+    if (!parsed.ok) {
+        std::cerr << series_path << ": parse error: " << parsed.error
+                  << "\n";
+        return 2;
+    }
+    if (!parsed.value.has("entries")) {
+        std::cerr << series_path << ": no 'entries' array (write one "
+                     "with nscs_bench_diff --series)\n";
+        return 2;
+    }
+    const JsonValue &entries = parsed.value.at("entries");
+    size_t n = entries.size();
+    if (n == 0) {
+        std::cerr << series_path << ": series is empty\n";
+        return 2;
+    }
+    size_t begin = 0;
+    if (last > 0 && static_cast<size_t>(last) < n)
+        begin = n - static_cast<size_t>(last);
+    size_t window = n - begin;
+
+    // Commit labels (short ids) and the per-workload sample matrix.
+    std::vector<std::string> commits;
+    std::vector<Series> series;
+    for (size_t i = begin; i < n; ++i) {
+        const JsonValue &entry = entries.at(i);
+        commits.push_back(
+            entry.getString("commit", "?").substr(0, 9));
+        if (!entry.has("workloads"))
+            continue;
+        const JsonValue &ws = entry.at("workloads");
+        for (size_t w = 0; w < ws.size(); ++w) {
+            const JsonValue &wl = ws.at(w);
+            if (!wl.has("name"))
+                continue;
+            std::string name = wl.at("name").asString();
+            double value = metric == "speedup"
+                ? wl.getDouble("speedup", 0.0)
+                : wl.getDouble("fastTicksPerSec", 0.0);
+            if (value <= 0.0)
+                continue;
+            Series *s = nullptr;
+            for (Series &cand : series)
+                if (cand.name == name)
+                    s = &cand;
+            if (!s) {
+                series.push_back({name, {}});
+                s = &series.back();
+            }
+            s->samples.resize(window);
+            s->samples[i - begin] = {value, true};
+        }
+    }
+    if (series.empty()) {
+        std::cerr << series_path << ": no workload samples with a '"
+                  << metric << "' metric\n";
+        return 2;
+    }
+    for (Series &s : series)
+        s.samples.resize(window);
+    std::sort(series.begin(), series.end(),
+              [](const Series &a, const Series &b) {
+                  return a.name < b.name;
+              });
+
+    std::cout << series_path << ": " << window << " of " << n
+              << " commit(s), metric " << metric << " ("
+              << commits.front() << " .. " << commits.back() << ")\n";
+    TextTable t({"workload", "first", "last", "delta", "trend"});
+    for (const Series &s : series) {
+        const Sample *first = nullptr;
+        const Sample *lastp = nullptr;
+        for (const Sample &smp : s.samples) {
+            if (!smp.present)
+                continue;
+            if (!first)
+                first = &smp;
+            lastp = &smp;
+        }
+        if (!first)
+            continue;
+        double delta = first->value > 0.0
+            ? (lastp->value / first->value - 1.0) * 100.0
+            : 0.0;
+        t.addRow({s.name, fmtF(first->value, 2),
+                  fmtF(lastp->value, 2),
+                  (delta >= 0 ? "+" : "") + fmtF(delta, 1) + "%",
+                  sparkline(s.samples)});
+    }
+    std::cout << t.str();
+
+    if (csv_path != nullptr) {
+        std::ofstream out(csv_path);
+        if (!out) {
+            std::cerr << "cannot write csv '" << csv_path << "'\n";
+            return 2;
+        }
+        CsvWriter csv(out);
+        csv.row({"commit", "workload", "fastTicksPerSec", "speedup"});
+        for (size_t i = begin; i < n; ++i) {
+            const JsonValue &entry = entries.at(i);
+            if (!entry.has("workloads"))
+                continue;
+            std::string commit = entry.getString("commit", "?");
+            const JsonValue &ws = entry.at("workloads");
+            for (size_t w = 0; w < ws.size(); ++w) {
+                const JsonValue &wl = ws.at(w);
+                if (!wl.has("name"))
+                    continue;
+                csv.row({commit, wl.at("name").asString(),
+                         fmtF(wl.getDouble("fastTicksPerSec", 0.0), 3),
+                         fmtF(wl.getDouble("speedup", 0.0), 4)});
+            }
+        }
+        std::cout << "wrote " << csv_path << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * nscs_lint CLI — walk source trees and enforce the repo-specific
+ * determinism/hygiene rules (see tools/lint/lint.hh for the rule
+ * catalogue and the allow-comment syntax).
+ *
+ * Usage:
+ *   nscs_lint [--list-rules] PATH...
+ *
+ * Each PATH is a file or a directory (recursed; only .hh/.cc files
+ * are linted).  Files are visited in sorted path order so output is
+ * stable.  Exit status: 0 clean, 1 findings, 2 usage/IO errors.
+ *
+ * Wired as a gating CTest case (`lint.src`) over src/ and as a CI
+ * step; tools/, tests/, bench/ and examples/ are host-side and not
+ * linted (they may print, time, and use host randomness freely).
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hh"
+
+namespace fs = std::filesystem;
+using nscs::lint::Finding;
+
+namespace {
+
+bool
+readWhole(const fs::path &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> roots;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--list-rules") == 0) {
+            for (const std::string &id : nscs::lint::ruleIds())
+                std::cout << id << "\n";
+            return 0;
+        }
+        if (argv[i][0] == '-') {
+            std::cerr << "unknown option '" << argv[i] << "'\n";
+            return 2;
+        }
+        roots.push_back(argv[i]);
+    }
+    if (roots.empty()) {
+        std::cerr << "usage: nscs_lint [--list-rules] PATH...\n";
+        return 2;
+    }
+
+    std::vector<std::string> files;
+    for (const std::string &root : roots) {
+        std::error_code ec;
+        if (fs::is_directory(root, ec)) {
+            for (const auto &e :
+                 fs::recursive_directory_iterator(root, ec)) {
+                if (e.is_regular_file() &&
+                    nscs::lint::lintableFile(e.path().string()))
+                    files.push_back(e.path().string());
+            }
+            if (ec) {
+                std::cerr << "cannot walk '" << root << "': "
+                          << ec.message() << "\n";
+                return 2;
+            }
+        } else if (fs::is_regular_file(root, ec)) {
+            files.push_back(root);
+        } else {
+            std::cerr << "no such file or directory: '" << root
+                      << "'\n";
+            return 2;
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    size_t total = 0;
+    for (const std::string &file : files) {
+        std::string content;
+        if (!readWhole(file, content)) {
+            std::cerr << "cannot read '" << file << "'\n";
+            return 2;
+        }
+        for (const Finding &f : nscs::lint::lintSource(file, content)) {
+            std::cout << f.file << ":" << f.line << ": [" << f.rule
+                      << "] " << f.message << "\n";
+            ++total;
+        }
+    }
+    if (total) {
+        std::cout << total << " finding(s) across " << files.size()
+                  << " file(s)\n";
+        return 1;
+    }
+    std::cout << "nscs_lint: " << files.size() << " file(s) clean\n";
+    return 0;
+}

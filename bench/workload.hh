@@ -96,7 +96,8 @@ makeCortical(const CorticalParams &wp)
 inline std::unique_ptr<Simulator>
 makeCorticalSim(const CorticalWorkload &w, EngineKind engine,
                 NocModel noc = NocModel::Functional,
-                uint32_t threads = 0)
+                uint32_t threads = 0,
+                std::shared_ptr<const FaultPlan> fault_plan = nullptr)
 {
     ChipParams cp;
     cp.width = w.params.gridW;
@@ -105,6 +106,7 @@ makeCorticalSim(const CorticalWorkload &w, EngineKind engine,
     cp.engine = engine;
     cp.noc = noc;
     cp.threads = threads;
+    cp.faultPlan = std::move(fault_plan);
     auto sim = std::make_unique<Simulator>(cp, w.cores);
     if (w.params.ratePerTick > 0.0) {
         sim->addSource(std::make_unique<PoissonSource>(
@@ -126,7 +128,9 @@ makeCorticalBoardSim(const CorticalWorkload &w, EngineKind engine,
                      uint32_t board_w, uint32_t board_h,
                      uint32_t board_threads = 0,
                      LinkParams link = LinkParams{},
-                     uint32_t chip_threads = 0)
+                     uint32_t chip_threads = 0,
+                     std::shared_ptr<const FaultPlan> fault_plan =
+                         nullptr)
 {
     if (w.params.gridW % board_w != 0 ||
         w.params.gridH % board_h != 0)
@@ -142,6 +146,7 @@ makeCorticalBoardSim(const CorticalWorkload &w, EngineKind engine,
     bp.chip.threads = chip_threads;
     bp.link = link;
     bp.threads = board_threads;
+    bp.faultPlan = std::move(fault_plan);
     auto sim = std::make_unique<Simulator>(bp, w.cores);
     if (w.params.ratePerTick > 0.0) {
         sim->addSource(std::make_unique<PoissonSource>(

@@ -89,6 +89,50 @@ Board::Board(const BoardParams &params, std::vector<CoreConfig> configs)
         }
     }
 
+    // Slice the board fault plan: core-targeted events translate
+    // their global core index into (chip, local core) and feed that
+    // chip's plan; link events stay board-owned.
+    if (params_.chip.faultPlan)
+        fatal("board fault plans belong in BoardParams::faultPlan "
+              "(chip.faultPlan would bypass global-index slicing)");
+    std::vector<std::shared_ptr<const FaultPlan>> chipPlans(
+        static_cast<size_t>(bw) * bh);
+    if (params_.faultPlan) {
+        std::vector<FaultPlan> slices(chipPlans.size());
+        for (const FaultEvent &ev : params_.faultPlan->events) {
+            if (isLinkFault(ev.kind)) {
+                if (ev.chip >= chipPlans.size() || ev.dir >= 4)
+                    fatal("link fault event %u targets link "
+                          "(chip %u, dir %u) off the %ux%u chip grid",
+                          ev.id, ev.chip, ev.dir, bw, bh);
+                if (ev.kind == FaultKind::DeadLink)
+                    deadLinkEvents_.push_back(ev);
+                else
+                    linkFaultWindows_.push_back(ev);
+                continue;
+            }
+            if (ev.core >= gw_ * gh_)
+                fatal("fault event %u targets global core %u of %u",
+                      ev.id, ev.core, gw_ * gh_);
+            uint32_t gx = ev.core % gw_, gy = ev.core / gw_;
+            uint32_t ci = (gy / chipH_) * bw + gx / chipW_;
+            FaultEvent local = ev;
+            local.core = (gy % chipH_) * chipW_ + gx % chipW_;
+            slices[ci].events.push_back(local);
+        }
+        std::stable_sort(deadLinkEvents_.begin(),
+                         deadLinkEvents_.end(),
+                         [](const FaultEvent &a, const FaultEvent &b) {
+                             return a.tick < b.tick;
+                         });
+        deadLinkSuppressed_.assign(deadLinkEvents_.size(), 0);
+        linkFaultSuppressed_.assign(linkFaultWindows_.size(), 0);
+        for (size_t i = 0; i < chipPlans.size(); ++i)
+            if (!slices[i].events.empty())
+                chipPlans[i] = std::make_shared<const FaultPlan>(
+                    std::move(slices[i]));
+    }
+
     // Partition the global grid into per-chip config slices.  The
     // relative destination offsets survive re-partition untouched:
     // they are offsets from the source core, which sits at the same
@@ -109,6 +153,7 @@ Board::Board(const BoardParams &params, std::vector<CoreConfig> configs)
                     slice.push_back(std::move(configs[gy * gw_ + gx]));
                 }
             }
+            cp.faultPlan = chipPlans[cy * bw + cx];
             chips_.push_back(
                 std::make_unique<Chip>(cp, std::move(slice)));
         }
@@ -118,6 +163,13 @@ Board::Board(const BoardParams &params, std::vector<CoreConfig> configs)
                       LinkCounters{});
     linkBudget_.assign(linkStats_.size(), 0);
     linkQueued_.assign(linkStats_.size(), 0);
+    linkDead_.assign(linkStats_.size(), 0);
+    if (params_.link.reliable && params_.link.dedupWindow != 0) {
+        dedupRing_.assign(numChips(),
+                          std::vector<uint32_t>(
+                              params_.link.dedupWindow, 0xffffffffu));
+        dedupPos_.assign(numChips(), 0);
+    }
 
     if (params_.threads >= 2) {
         pool_ = std::make_unique<ThreadPool>(params_.threads);
@@ -139,6 +191,19 @@ Board::reset()
     std::fill(linkQueued_.begin(), linkQueued_.end(), 0u);
     pending_.clear();
     now_ = 0;
+    deadLinkCursor_ = 0;
+    std::fill(deadLinkSuppressed_.begin(), deadLinkSuppressed_.end(),
+              0);
+    std::fill(linkFaultSuppressed_.begin(),
+              linkFaultSuppressed_.end(), 0);
+    std::fill(linkDead_.begin(), linkDead_.end(), 0);
+    detectedAlarms_.clear();
+    linkFaultStats_ = FaultStats{};
+    nextSeq_ = 0;
+    for (auto &ring : dedupRing_)
+        std::fill(ring.begin(), ring.end(), 0xffffffffu);
+    std::fill(dedupPos_.begin(), dedupPos_.end(), 0u);
+    cloneScratch_.clear();
 }
 
 void
@@ -162,14 +227,115 @@ Board::injectInput(uint32_t core, uint32_t axon,
  * stall queue for the next tick (without moving its delivery tick,
  * so congestion surfaces as the late-delivery hazard).
  */
+int
+Board::activeLinkFault(FaultKind kind, uint32_t link, uint64_t t) const
+{
+    for (size_t i = 0; i < linkFaultWindows_.size(); ++i) {
+        const FaultEvent &ev = linkFaultWindows_[i];
+        if (ev.kind != kind || linkFaultSuppressed_[i])
+            continue;
+        if (ev.chip * 4 + ev.dir != link)
+            continue;
+        if (t >= ev.tick && t < ev.windowEnd())
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+uint32_t
+Board::packetChecksum(const BoardPacket &p) const
+{
+    // Header checksum over the fields that survive transit unchanged
+    // (deliveryTick grows by extraDelay per hop, so it stays out).
+    uint64_t h = 0x9e3779b97f4a7c15ull;
+    auto mix = [&h](uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    };
+    mix(p.dstChip);
+    mix(p.dstCore);
+    mix(p.axon);
+    mix(p.seq);
+    return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
+void
+Board::deliverPacket(const BoardPacket &p)
+{
+    if (params_.link.reliable) {
+        if (packetChecksum(p) != p.checksum) {
+            ++linkFaultStats_.checksumErrors;
+            return;
+        }
+        if (!dedupRing_.empty()) {
+            std::vector<uint32_t> &ring = dedupRing_[p.dstChip];
+            for (uint32_t seen : ring) {
+                if (seen == p.seq) {
+                    ++linkFaultStats_.dupsDropped;
+                    return;
+                }
+            }
+            ring[dedupPos_[p.dstChip]] = p.seq;
+            dedupPos_[p.dstChip] =
+                (dedupPos_[p.dstChip] + 1) %
+                static_cast<uint32_t>(ring.size());
+        }
+    }
+    chips_[p.dstChip]->depositRouted(p.dstCore, p.axon,
+                                     p.deliveryTick);
+}
+
 void
 Board::walkPacket(BoardPacket p, uint64_t t)
 {
     const uint32_t bw = params_.width;
+    const uint32_t bh = params_.height;
     const LinkParams &lp = params_.link;
     while (p.atChip != p.dstChip) {
         auto [dir, next] = xyRouteStep(p.atChip, p.dstChip, bw);
         uint32_t link = p.atChip * 4 + dir;
+
+        if (!linkDead_.empty() && linkDead_[link]) {
+            // Reroute around the dead link: prefer a step that still
+            // makes progress in the other dimension, else a lateral
+            // step the next X-then-Y walk can recover from.
+            uint32_t ax = p.atChip % bw, ay = p.atChip / bw;
+            uint32_t ty = p.dstChip / bw;
+            bool xstep = dir == East || dir == West;
+            bool hasAlt = true;
+            uint32_t adir = 0, anext = 0;
+            if (xstep && ty != ay) {
+                adir = ty > ay ? North : South;
+                anext = (ty > ay ? ay + 1 : ay - 1) * bw + ax;
+            } else if (xstep) {
+                if (bh < 2)
+                    hasAlt = false;
+                else {
+                    adir = ay + 1 < bh ? North : South;
+                    anext = (ay + 1 < bh ? ay + 1 : ay - 1) * bw + ax;
+                }
+            } else {
+                // A Y step means x is already aligned; sidestep in x.
+                if (bw < 2)
+                    hasAlt = false;
+                else {
+                    adir = ax + 1 < bw ? East : West;
+                    anext = ay * bw + (ax + 1 < bw ? ax + 1 : ax - 1);
+                }
+            }
+            constexpr uint8_t kDetourCap = 8;
+            if (!hasAlt || p.detours >= kDetourCap ||
+                linkDead_[p.atChip * 4 + adir]) {
+                ++linkFaultStats_.detourDrops;
+                ++linkFaultStats_.unrecoveredDrops;
+                return;
+            }
+            ++p.detours;
+            ++linkFaultStats_.detours;
+            dir = adir;
+            next = anext;
+            link = p.atChip * 4 + adir;
+        }
+
         LinkCounters &lc = linkStats_[link];
         if (lp.packetsPerTick != 0 && linkBudget_[link] == 0) {
             if (lp.queueCapacity != 0 &&
@@ -187,19 +353,95 @@ Board::walkPacket(BoardPacket p, uint64_t t)
             pending_[t + 1].push_back(p);
             return;
         }
+
+        int drop = activeLinkFault(FaultKind::LinkDrop, link, t);
+        if (drop >= 0) {
+            const FaultEvent &ev = linkFaultWindows_[drop];
+            if (lp.packetsPerTick != 0)
+                --linkBudget_[link];  // the lost attempt used the slot
+            ++linkFaultStats_.linkDrops;
+            if (lp.reliable && p.retries < lp.maxRetries) {
+                // Retransmit next tick; the delivery tick stays put,
+                // so a recovered loss can still arrive late.
+                ++p.retries;
+                ++linkFaultStats_.retries;
+                pending_[t + 1].push_back(p);
+                return;
+            }
+            ++linkFaultStats_.unrecoveredDrops;
+            if (ev.transient) {
+                ++linkFaultStats_.alarms;
+                detectedAlarms_.push_back(ev.id);
+            }
+            return;
+        }
+
         if (lp.packetsPerTick != 0)
             --linkBudget_[link];
         ++lc.packets;
         ++counters_.linkPackets;
         p.atChip = next;
         p.deliveryTick += lp.extraDelay;
-        if (lp.extraDelay != 0) {
-            pending_[t + lp.extraDelay].push_back(p);
+
+        int dup = activeLinkFault(FaultKind::LinkDuplicate, link, t);
+        if (dup >= 0 && !p.dupClone) {
+            const FaultEvent &ev = linkFaultWindows_[dup];
+            ++linkFaultStats_.linkDups;
+            // A protected link dedups the clone at delivery; an
+            // unprotected one corrupts state, so a transient dup
+            // raises the recovery alarm instead.
+            if (!lp.reliable && ev.transient) {
+                ++linkFaultStats_.alarms;
+                detectedAlarms_.push_back(ev.id);
+            }
+            BoardPacket clone = p;
+            clone.dupClone = 1;
+            cloneScratch_.push_back(clone);
+        }
+
+        uint64_t transit = lp.extraDelay;
+        int slow = activeLinkFault(FaultKind::LinkDelay, link, t);
+        if (slow >= 0) {
+            ++linkFaultStats_.linkDelays;
+            transit += linkFaultWindows_[slow].delayTicks;
+        }
+        if (transit != 0) {
+            pending_[t + transit].push_back(p);
             return;
         }
     }
-    chips_[p.dstChip]->depositRouted(p.dstCore, p.axon,
-                                     p.deliveryTick);
+    deliverPacket(p);
+}
+
+void
+Board::walkWithClones(BoardPacket p, uint64_t t)
+{
+    walkPacket(std::move(p), t);
+    if (cloneScratch_.empty())
+        return;
+    // Clones cannot re-duplicate (dupClone), so one drain suffices.
+    for (size_t i = 0; i < cloneScratch_.size(); ++i) {
+        BoardPacket clone = cloneScratch_[i];
+        walkPacket(std::move(clone), t);
+    }
+    cloneScratch_.clear();
+}
+
+void
+Board::applyDueFaults(uint64_t t)
+{
+    while (deadLinkCursor_ < deadLinkEvents_.size() &&
+           deadLinkEvents_[deadLinkCursor_].tick <= t) {
+        const FaultEvent &ev = deadLinkEvents_[deadLinkCursor_];
+        if (!deadLinkSuppressed_[deadLinkCursor_]) {
+            uint32_t link = ev.chip * 4 + ev.dir;
+            if (!linkDead_[link]) {
+                linkDead_[link] = 1;
+                ++linkFaultStats_.deadLinks;
+            }
+        }
+        ++deadLinkCursor_;
+    }
 }
 
 void
@@ -227,7 +469,7 @@ Board::mergePhase(uint64_t t)
                 --linkQueued_[p.queuedLink];
                 p.queuedLink = -1;
             }
-            walkPacket(p, t);
+            walkWithClones(p, t);
         }
     }
 
@@ -259,7 +501,14 @@ Board::mergePhase(uint64_t t)
             p.dstCore = (gy % chipH_) * chipW_ + gx % chipW_;
             p.axon = e.axon;
             p.deliveryTick = e.deliveryTick;
-            walkPacket(p, t);
+            if (lp.reliable) {
+                // Sequence numbers issue in merge order (serial and
+                // deterministic), so retransmits and dedup replay
+                // bit-identically at any thread count.
+                p.seq = nextSeq_++;
+                p.checksum = packetChecksum(p);
+            }
+            walkWithClones(p, t);
         }
         chip.clearEgress();
     }
@@ -278,6 +527,7 @@ void
 Board::tick()
 {
     const uint64_t t = now_;
+    applyDueFaults(t);
 
     // Evaluation phase: chips only mutate their own state (egress is
     // buffered locally), so they evaluate concurrently.
@@ -300,6 +550,317 @@ Board::run(uint64_t n)
 {
     for (uint64_t i = 0; i < n; ++i)
         tick();
+}
+
+FaultStats
+Board::faultStats() const
+{
+    FaultStats s = linkFaultStats_;
+    for (const auto &chip : chips_) {
+        const FaultStats &cs = chip->faultStats();
+        s.deadCores += cs.deadCores;
+        s.stuckWords += cs.stuckWords;
+        s.seuFlips += cs.seuFlips;
+        s.alarms += cs.alarms;
+    }
+    return s;
+}
+
+void
+Board::suppressFault(uint32_t id)
+{
+    for (auto &chip : chips_)
+        chip->suppressFault(id);
+    for (size_t i = 0; i < linkFaultWindows_.size(); ++i)
+        if (linkFaultWindows_[i].id == id)
+            linkFaultSuppressed_[i] = 1;
+    for (size_t i = 0; i < deadLinkEvents_.size(); ++i)
+        if (deadLinkEvents_[i].id == id)
+            deadLinkSuppressed_[i] = 1;
+}
+
+void
+Board::drainDetectedFaults(std::vector<uint32_t> &out)
+{
+    for (auto &chip : chips_)
+        chip->drainDetectedFaults(out);
+    out.insert(out.end(), detectedAlarms_.begin(),
+               detectedAlarms_.end());
+    detectedAlarms_.clear();
+}
+
+void
+Board::saveState(JsonValue &out) const
+{
+    out = JsonValue::object();
+    out.set("now", JsonValue::string(u64ToHex(now_)));
+
+    JsonValue counters = JsonValue::object();
+    auto putCounter = [&counters](const char *key, uint64_t value) {
+        counters.set(key,
+                     JsonValue::integer(static_cast<int64_t>(value)));
+    };
+    putCounter("ticks", counters_.ticks);
+    putCounter("egressSpikes", counters_.egressSpikes);
+    putCounter("linkPackets", counters_.linkPackets);
+    putCounter("linkStalls", counters_.linkStalls);
+    putCounter("linkDrops", counters_.linkDrops);
+    putCounter("hops", counters_.hops);
+    out.set("counters", std::move(counters));
+
+    JsonValue outputs = JsonValue::array();
+    for (const OutputSpike &s : outputs_) {
+        outputs.append(JsonValue::integer(static_cast<int64_t>(s.tick)));
+        outputs.append(JsonValue::integer(s.line));
+    }
+    out.set("outputs", std::move(outputs));
+
+    JsonValue links = JsonValue::array();
+    for (const LinkCounters &lc : linkStats_) {
+        links.append(JsonValue::integer(static_cast<int64_t>(lc.packets)));
+        links.append(JsonValue::integer(static_cast<int64_t>(lc.stalls)));
+        links.append(JsonValue::integer(static_cast<int64_t>(lc.drops)));
+        links.append(
+            JsonValue::integer(static_cast<int64_t>(lc.peakQueue)));
+    }
+    out.set("linkStats", std::move(links));
+
+    JsonValue queued = JsonValue::array();
+    for (uint32_t q : linkQueued_)
+        queued.append(JsonValue::integer(q));
+    out.set("linkQueued", std::move(queued));
+
+    // In-flight packets, keyed by resume tick (map order is already
+    // sorted); each bucket keeps its FIFO order.
+    JsonValue pending = JsonValue::array();
+    for (const auto &[tick, packets] : pending_) {
+        JsonValue bucket = JsonValue::object();
+        bucket.set("tick",
+                   JsonValue::integer(static_cast<int64_t>(tick)));
+        JsonValue flat = JsonValue::array();
+        for (const BoardPacket &p : packets) {
+            flat.append(JsonValue::integer(p.atChip));
+            flat.append(JsonValue::integer(p.dstChip));
+            flat.append(JsonValue::integer(p.dstCore));
+            flat.append(JsonValue::integer(p.axon));
+            flat.append(JsonValue::integer(p.queuedLink));
+            flat.append(JsonValue::integer(
+                static_cast<int64_t>(p.deliveryTick)));
+            flat.append(JsonValue::integer(p.seq));
+            flat.append(JsonValue::integer(p.checksum));
+            flat.append(JsonValue::integer(p.retries));
+            flat.append(JsonValue::integer(p.detours));
+            flat.append(JsonValue::integer(p.dupClone));
+        }
+        bucket.set("packets", std::move(flat));
+        pending.append(std::move(bucket));
+    }
+    out.set("pending", std::move(pending));
+
+    out.set("nextSeq", JsonValue::integer(nextSeq_));
+    if (!dedupRing_.empty()) {
+        JsonValue rings = JsonValue::array();
+        for (const auto &ring : dedupRing_) {
+            JsonValue r = JsonValue::array();
+            for (uint32_t seen : ring)
+                r.append(JsonValue::integer(seen));
+            rings.append(std::move(r));
+        }
+        out.set("dedupRings", std::move(rings));
+        JsonValue pos = JsonValue::array();
+        for (uint32_t p : dedupPos_)
+            pos.append(JsonValue::integer(p));
+        out.set("dedupPos", std::move(pos));
+    }
+
+    JsonValue dead = JsonValue::array();
+    for (uint8_t d : linkDead_)
+        dead.append(JsonValue::integer(d));
+    out.set("linkDead", std::move(dead));
+    out.set("deadLinkCursor",
+            JsonValue::integer(
+                static_cast<int64_t>(deadLinkCursor_)));
+    JsonValue deadSup = JsonValue::array();
+    for (uint8_t f : deadLinkSuppressed_)
+        deadSup.append(JsonValue::integer(f));
+    out.set("deadLinkSuppressed", std::move(deadSup));
+    JsonValue winSup = JsonValue::array();
+    for (uint8_t f : linkFaultSuppressed_)
+        winSup.append(JsonValue::integer(f));
+    out.set("linkFaultSuppressed", std::move(winSup));
+    JsonValue alarms = JsonValue::array();
+    for (uint32_t id : detectedAlarms_)
+        alarms.append(JsonValue::integer(id));
+    out.set("alarms", std::move(alarms));
+    out.set("faultStats", faultStatsToJson(linkFaultStats_));
+
+    JsonValue chips = JsonValue::array();
+    for (const auto &chip : chips_) {
+        JsonValue cs;
+        chip->saveState(cs);
+        chips.append(std::move(cs));
+    }
+    out.set("chips", std::move(chips));
+}
+
+bool
+Board::restoreState(const JsonValue &in)
+{
+    if (in.type() != JsonValue::Type::Object)
+        return false;
+    for (const char *key : {"now", "counters", "outputs", "linkStats",
+                            "linkQueued", "pending", "chips"})
+        if (!in.has(key))
+            return false;
+    uint64_t now;
+    if (!u64FromHex(in.at("now").asString(), now))
+        return false;
+
+    const JsonValue &chips = in.at("chips");
+    if (chips.type() != JsonValue::Type::Array ||
+        chips.size() != numChips())
+        return false;
+    for (uint32_t c = 0; c < numChips(); ++c)
+        if (!chips_[c]->restoreState(chips.at(c)))
+            return false;
+
+    now_ = now;
+    const JsonValue &counters = in.at("counters");
+    auto getCounter = [&counters](const char *key) {
+        return static_cast<uint64_t>(counters.getInt(key, 0));
+    };
+    counters_.ticks = getCounter("ticks");
+    counters_.egressSpikes = getCounter("egressSpikes");
+    counters_.linkPackets = getCounter("linkPackets");
+    counters_.linkStalls = getCounter("linkStalls");
+    counters_.linkDrops = getCounter("linkDrops");
+    counters_.hops = getCounter("hops");
+
+    const JsonValue &outputs = in.at("outputs");
+    if (outputs.type() != JsonValue::Type::Array ||
+        outputs.size() % 2 != 0)
+        return false;
+    outputs_.clear();
+    for (size_t i = 0; i < outputs.size(); i += 2)
+        outputs_.push_back(
+            {static_cast<uint64_t>(outputs.at(i).asInt()),
+             static_cast<uint32_t>(outputs.at(i + 1).asInt())});
+
+    const JsonValue &links = in.at("linkStats");
+    if (links.type() != JsonValue::Type::Array ||
+        links.size() != linkStats_.size() * 4)
+        return false;
+    for (size_t i = 0; i < linkStats_.size(); ++i) {
+        LinkCounters &lc = linkStats_[i];
+        lc.packets = static_cast<uint64_t>(links.at(i * 4).asInt());
+        lc.stalls = static_cast<uint64_t>(links.at(i * 4 + 1).asInt());
+        lc.drops = static_cast<uint64_t>(links.at(i * 4 + 2).asInt());
+        lc.peakQueue =
+            static_cast<uint64_t>(links.at(i * 4 + 3).asInt());
+    }
+
+    const JsonValue &queued = in.at("linkQueued");
+    if (queued.type() != JsonValue::Type::Array ||
+        queued.size() != linkQueued_.size())
+        return false;
+    for (size_t i = 0; i < linkQueued_.size(); ++i)
+        linkQueued_[i] = static_cast<uint32_t>(queued.at(i).asInt());
+
+    const JsonValue &pending = in.at("pending");
+    if (pending.type() != JsonValue::Type::Array)
+        return false;
+    pending_.clear();
+    for (size_t b = 0; b < pending.size(); ++b) {
+        const JsonValue &bucket = pending.at(b);
+        if (bucket.type() != JsonValue::Type::Object ||
+            !bucket.has("tick") || !bucket.has("packets"))
+            return false;
+        const JsonValue &flat = bucket.at("packets");
+        if (flat.type() != JsonValue::Type::Array ||
+            flat.size() % 11 != 0)
+            return false;
+        std::vector<BoardPacket> &dst =
+            pending_[static_cast<uint64_t>(
+                bucket.at("tick").asInt())];
+        for (size_t i = 0; i < flat.size(); i += 11) {
+            BoardPacket p;
+            p.atChip = static_cast<uint32_t>(flat.at(i).asInt());
+            p.dstChip = static_cast<uint32_t>(flat.at(i + 1).asInt());
+            p.dstCore = static_cast<uint32_t>(flat.at(i + 2).asInt());
+            p.axon = static_cast<uint16_t>(flat.at(i + 3).asInt());
+            p.queuedLink =
+                static_cast<int32_t>(flat.at(i + 4).asInt());
+            p.deliveryTick =
+                static_cast<uint64_t>(flat.at(i + 5).asInt());
+            p.seq = static_cast<uint32_t>(flat.at(i + 6).asInt());
+            p.checksum =
+                static_cast<uint32_t>(flat.at(i + 7).asInt());
+            p.retries = static_cast<uint8_t>(flat.at(i + 8).asInt());
+            p.detours = static_cast<uint8_t>(flat.at(i + 9).asInt());
+            p.dupClone =
+                static_cast<uint8_t>(flat.at(i + 10).asInt());
+            if (p.atChip >= numChips() || p.dstChip >= numChips())
+                return false;
+            dst.push_back(p);
+        }
+    }
+
+    nextSeq_ = static_cast<uint32_t>(in.getInt("nextSeq", 0));
+    if (!dedupRing_.empty()) {
+        if (!in.has("dedupRings") || !in.has("dedupPos"))
+            return false;
+        const JsonValue &rings = in.at("dedupRings");
+        const JsonValue &pos = in.at("dedupPos");
+        if (rings.size() != dedupRing_.size() ||
+            pos.size() != dedupPos_.size())
+            return false;
+        for (size_t c = 0; c < dedupRing_.size(); ++c) {
+            const JsonValue &r = rings.at(c);
+            if (r.size() != dedupRing_[c].size())
+                return false;
+            for (size_t i = 0; i < dedupRing_[c].size(); ++i)
+                dedupRing_[c][i] =
+                    static_cast<uint32_t>(r.at(i).asInt());
+            dedupPos_[c] = static_cast<uint32_t>(pos.at(c).asInt());
+        }
+    }
+
+    if (in.has("linkDead")) {
+        const JsonValue &dead = in.at("linkDead");
+        if (dead.size() != linkDead_.size())
+            return false;
+        for (size_t i = 0; i < linkDead_.size(); ++i)
+            linkDead_[i] = dead.at(i).asInt() ? 1 : 0;
+    }
+    deadLinkCursor_ =
+        static_cast<size_t>(in.getInt("deadLinkCursor", 0));
+    if (deadLinkCursor_ > deadLinkEvents_.size())
+        return false;
+    if (in.has("deadLinkSuppressed")) {
+        const JsonValue &sup = in.at("deadLinkSuppressed");
+        if (sup.size() != deadLinkSuppressed_.size())
+            return false;
+        for (size_t i = 0; i < deadLinkSuppressed_.size(); ++i)
+            deadLinkSuppressed_[i] = sup.at(i).asInt() ? 1 : 0;
+    }
+    if (in.has("linkFaultSuppressed")) {
+        const JsonValue &sup = in.at("linkFaultSuppressed");
+        if (sup.size() != linkFaultSuppressed_.size())
+            return false;
+        for (size_t i = 0; i < linkFaultSuppressed_.size(); ++i)
+            linkFaultSuppressed_[i] = sup.at(i).asInt() ? 1 : 0;
+    }
+    detectedAlarms_.clear();
+    if (in.has("alarms")) {
+        const JsonValue &alarms = in.at("alarms");
+        for (size_t i = 0; i < alarms.size(); ++i)
+            detectedAlarms_.push_back(
+                static_cast<uint32_t>(alarms.at(i).asInt()));
+    }
+    if (in.has("faultStats"))
+        linkFaultStats_ = faultStatsFromJson(in.at("faultStats"));
+    cloneScratch_.clear();
+    return true;
 }
 
 EnergyEvents
@@ -394,6 +955,51 @@ Board::dumpStats(const char *prefix, StatGroup &group) const
                   static_cast<double>(lc.peakQueue),
                   "stall queue high-water mark");
     }
+    if (params_.faultPlan) {
+        FaultStats fs = faultStats();
+        group.add(pre + ".fault.deadCores",
+                  static_cast<double>(fs.deadCores),
+                  "cores killed by injected faults");
+        group.add(pre + ".fault.stuckWords",
+                  static_cast<double>(fs.stuckWords),
+                  "crossbar words stuck by injected faults");
+        group.add(pre + ".fault.seuFlips",
+                  static_cast<double>(fs.seuFlips),
+                  "injected potential bit flips");
+        group.add(pre + ".fault.deadLinks",
+                  static_cast<double>(fs.deadLinks),
+                  "links killed by injected faults");
+        group.add(pre + ".fault.linkDrops",
+                  static_cast<double>(fs.linkDrops),
+                  "packets hit by injected drop faults");
+        group.add(pre + ".fault.linkDups",
+                  static_cast<double>(fs.linkDups),
+                  "packets hit by injected duplicate faults");
+        group.add(pre + ".fault.linkDelays",
+                  static_cast<double>(fs.linkDelays),
+                  "packets hit by injected delay faults");
+        group.add(pre + ".fault.retries",
+                  static_cast<double>(fs.retries),
+                  "reliable-link retransmissions");
+        group.add(pre + ".fault.dupsDropped",
+                  static_cast<double>(fs.dupsDropped),
+                  "duplicates discarded by the dedup window");
+        group.add(pre + ".fault.detours",
+                  static_cast<double>(fs.detours),
+                  "dead-link reroute steps");
+        group.add(pre + ".fault.detourDrops",
+                  static_cast<double>(fs.detourDrops),
+                  "packets lost with no route around dead links");
+        group.add(pre + ".fault.unrecoveredDrops",
+                  static_cast<double>(fs.unrecoveredDrops),
+                  "packets lost for good to injected faults");
+        group.add(pre + ".fault.checksumErrors",
+                  static_cast<double>(fs.checksumErrors),
+                  "reliable-link checksum rejections");
+        group.add(pre + ".fault.alarms",
+                  static_cast<double>(fs.alarms),
+                  "detected-fault alarms raised");
+    }
     EnergyBreakdown b = computeEnergy(e, params_.chip.energy);
     energyStats(b, e, params_.chip.energy, (pre + ".energy").c_str(),
                 group);
@@ -411,6 +1017,17 @@ Board::footprintBytes() const
     bytes += outputs_.capacity() * sizeof(OutputSpike);
     for (const auto &kv : pending_)
         bytes += kv.second.capacity() * sizeof(BoardPacket);
+    bytes += linkFaultWindows_.capacity() * sizeof(FaultEvent);
+    bytes += deadLinkEvents_.capacity() * sizeof(FaultEvent);
+    bytes += linkFaultSuppressed_.capacity() +
+        deadLinkSuppressed_.capacity() + linkDead_.capacity();
+    bytes += detectedAlarms_.capacity() * sizeof(uint32_t);
+    bytes += cloneScratch_.capacity() * sizeof(BoardPacket);
+    for (const auto &ring : dedupRing_)
+        bytes += ring.capacity() * sizeof(uint32_t);
+    bytes += dedupPos_.capacity() * sizeof(uint32_t);
+    if (params_.faultPlan)
+        bytes += params_.faultPlan->footprintBytes();
     return bytes;
 }
 

@@ -89,6 +89,23 @@ struct LinkParams
     /** Stalled packets one link can queue; 0 = unlimited.  Packets
      *  arriving at a full queue are dropped. */
     uint32_t queueCapacity = 0;
+
+    /**
+     * Reliable link protocol: packets carry a sequence number and a
+     * checksum; a packet lost to an injected drop fault is
+     * retransmitted (up to maxRetries), and duplicated packets are
+     * discarded at the destination by a per-chip dedup window.
+     * Retransmission consumes fresh link budget on the retry tick
+     * and does not move the delivery tick, so recovered losses can
+     * still surface as the late-delivery hazard.
+     */
+    bool reliable = false;
+
+    /** Retransmissions before a drop-faulted packet is abandoned. */
+    uint32_t maxRetries = 3;
+
+    /** Sequence numbers each chip remembers for duplicate discard. */
+    uint32_t dedupWindow = 64;
 };
 
 /** Board construction parameters. */
@@ -109,6 +126,15 @@ struct BoardParams
      *  evaluates chips serially.  Output is bit-identical either
      *  way. */
     uint32_t threads = 0;
+
+    /**
+     * Optional fault plan for the whole board.  Core-targeted events
+     * use *global* core indices (the configs[] layout) and are sliced
+     * into per-chip plans; link events name a (chip, dir) pair.  Do
+     * not set chip.faultPlan directly on a board.  Events apply at
+     * the start of their scheduled tick.
+     */
+    std::shared_ptr<const FaultPlan> faultPlan;
 };
 
 /** Per-link event counters. */
@@ -231,6 +257,38 @@ class Board
     /** Human-readable name of a link, e.g. "chip(1,0).east". */
     std::string linkName(uint32_t link) const;
 
+    // --- fault injection -------------------------------------------------
+
+    /**
+     * Aggregate fault counters: the board's link-level stats plus
+     * every chip's core-level stats (all zero without a plan).
+     */
+    FaultStats faultStats() const;
+
+    /** True when fault injection has killed link @p link. */
+    bool linkDead(uint32_t link) const { return linkDead_[link] != 0; }
+
+    /** Suppress plan event @p id board-wide (see Chip::suppressFault). */
+    void suppressFault(uint32_t id);
+
+    /**
+     * Move the ids of transient faults detected since the last drain
+     * (chips in ascending order, then link faults) into @p out.
+     */
+    void drainDetectedFaults(std::vector<uint32_t> &out);
+
+    // --- snapshot --------------------------------------------------------
+
+    /** Serialize the full mutable board state into @p out (snapshot). */
+    void saveState(JsonValue &out) const;
+
+    /**
+     * Restore state saved by saveState().  Construction parameters
+     * must match the snapshot's origin; @return false on a
+     * structural mismatch (state is unspecified on failure).
+     */
+    bool restoreState(const JsonValue &in);
+
   private:
     /** A cross-chip spike in flight. */
     struct BoardPacket
@@ -241,10 +299,23 @@ class Board
         uint16_t axon = 0;          //!< target axon
         int32_t queuedLink = -1;    //!< stall queue membership
         uint64_t deliveryTick = 0;  //!< scheduler delivery tick
+
+        // Reliable-protocol / fault-model fields (LinkParams).
+        uint32_t seq = 0;           //!< merge-order sequence number
+        uint32_t checksum = 0;      //!< header checksum (reliable)
+        uint8_t retries = 0;        //!< retransmissions so far
+        uint8_t detours = 0;        //!< dead-link reroute steps taken
+        uint8_t dupClone = 0;       //!< spawned by a duplicate fault
     };
 
     void walkPacket(BoardPacket p, uint64_t t);
+    void walkWithClones(BoardPacket p, uint64_t t);
     void mergePhase(uint64_t t);
+    void applyDueFaults(uint64_t t);
+    void deliverPacket(const BoardPacket &p);
+    uint32_t packetChecksum(const BoardPacket &p) const;
+    int activeLinkFault(FaultKind kind, uint32_t link,
+                        uint64_t t) const;
 
     BoardParams params_;
     uint32_t chipW_ = 0, chipH_ = 0;  //!< cores per chip
@@ -260,6 +331,25 @@ class Board
      *  Holds both transit-delayed and stalled packets. */
     std::map<uint64_t, std::vector<BoardPacket>> pending_;
     uint64_t now_ = 0;
+
+    // Fault injection (BoardParams::faultPlan).  Window faults
+    // (drop/duplicate/delay) are matched per link traversal while
+    // [tick, windowEnd) is open; dead-link events are cursor-applied
+    // at tick start like chip faults.
+    std::vector<FaultEvent> linkFaultWindows_;
+    std::vector<uint8_t> linkFaultSuppressed_;
+    std::vector<FaultEvent> deadLinkEvents_;   //!< sorted by tick
+    size_t deadLinkCursor_ = 0;
+    std::vector<uint8_t> deadLinkSuppressed_;
+    std::vector<uint8_t> linkDead_;            //!< chip * 4 + Dir
+    std::vector<uint32_t> detectedAlarms_;
+    FaultStats linkFaultStats_;
+
+    // Reliable link protocol (LinkParams::reliable).
+    uint32_t nextSeq_ = 0;
+    std::vector<std::vector<uint32_t>> dedupRing_;  //!< per chip
+    std::vector<uint32_t> dedupPos_;
+    std::vector<BoardPacket> cloneScratch_;  //!< duplicate-fault spawn
 };
 
 } // namespace nscs

@@ -74,6 +74,32 @@ Chip::Chip(const ChipParams &params, std::vector<CoreConfig> configs)
         if (cores_[c]->hasDenseNeurons())
             denseCores_.push_back(c);
 
+    coreDead_.assign(numCores(), 0);
+    if (params_.faultPlan) {
+        faultEvents_ = params_.faultPlan->events;
+        for (const FaultEvent &ev : faultEvents_) {
+            if (isLinkFault(ev.kind))
+                fatal("chip fault plan carries link fault '%s'; link "
+                      "faults target Board plans",
+                      faultKindName(ev.kind));
+            if (ev.core >= numCores())
+                fatal("fault event %u targets core %u of %u",
+                      ev.id, ev.core, numCores());
+            if (ev.kind == FaultKind::StuckWord &&
+                (ev.axon >= params_.coreGeom.numAxons ||
+                 ev.word >= (params_.coreGeom.numNeurons + 63) / 64))
+                fatal("stuck-word event %u targets axon %u word %u "
+                      "outside the %ux%u crossbar", ev.id, ev.axon,
+                      ev.word, params_.coreGeom.numAxons,
+                      params_.coreGeom.numNeurons);
+        }
+        std::stable_sort(faultEvents_.begin(), faultEvents_.end(),
+                         [](const FaultEvent &a, const FaultEvent &b) {
+                             return a.tick < b.tick;
+                         });
+        faultSuppressed_.assign(faultEvents_.size(), 0);
+    }
+
     if (params_.engine == EngineKind::Event) {
         for (uint32_t c = 0; c < numCores(); ++c) {
             auto se = cores_[c]->nextSelfEvent();
@@ -106,6 +132,11 @@ Chip::reset()
     agenda_.clear();
     pendingInject_.clear();
     std::fill(lastWake_.begin(), lastWake_.end(), kNever);
+    faultCursor_ = 0;
+    std::fill(faultSuppressed_.begin(), faultSuppressed_.end(), 0);
+    std::fill(coreDead_.begin(), coreDead_.end(), 0);
+    detectedAlarms_.clear();
+    faultStats_ = FaultStats{};
     if (params_.engine == EngineKind::Event) {
         for (uint32_t c = 0; c < numCores(); ++c) {
             auto se = cores_[c]->nextSelfEvent();
@@ -258,15 +289,56 @@ Chip::runMesh(uint64_t t)
 }
 
 void
+Chip::applyDueFaults(uint64_t t)
+{
+    while (faultCursor_ < faultEvents_.size() &&
+           faultEvents_[faultCursor_].tick <= t) {
+        const FaultEvent &ev = faultEvents_[faultCursor_];
+        if (!faultSuppressed_[faultCursor_]) {
+            switch (ev.kind) {
+              case FaultKind::DeadCore:
+                if (!coreDead_[ev.core]) {
+                    coreDead_[ev.core] = 1;
+                    ++faultStats_.deadCores;
+                }
+                break;
+              case FaultKind::StuckWord:
+                cores_[ev.core]->applyStuckWord(ev.axon, ev.word,
+                                                ev.bits);
+                ++faultStats_.stuckWords;
+                break;
+              case FaultKind::PotentialFlip:
+                cores_[ev.core]->flipPotentialBit(ev.neuron, ev.bit);
+                ++faultStats_.seuFlips;
+                // Model an ECC/scrub alarm: a transient upset is
+                // detected the tick it lands, giving the recovery
+                // layer a rollback trigger.  Permanent flips model
+                // unprotected state and go unnoticed.
+                if (ev.transient) {
+                    ++faultStats_.alarms;
+                    detectedAlarms_.push_back(ev.id);
+                }
+                break;
+              default:
+                break; // link kinds rejected at construction
+            }
+        }
+        ++faultCursor_;
+    }
+}
+
+void
 Chip::collectActive(uint64_t t)
 {
     activeScratch_.clear();
     if (params_.engine == EngineKind::Clock) {
         for (uint32_t c = 0; c < numCores(); ++c)
-            activeScratch_.push_back(c);
+            if (!coreDead_[c])
+                activeScratch_.push_back(c);
     } else {
         for (uint32_t c : denseCores_)
-            activeScratch_.push_back(c);
+            if (!coreDead_[c])
+                activeScratch_.push_back(c);
         while (!agenda_.empty() && agenda_.front().first <= t) {
             auto [tick, c] = agenda_.front();
             NSCS_ASSERT(tick == t,
@@ -278,7 +350,8 @@ Chip::collectActive(uint64_t t)
             agenda_.pop_back();
             if (lastWake_[c] == tick)
                 lastWake_[c] = kNever;
-            activeScratch_.push_back(c);
+            if (!coreDead_[c])
+                activeScratch_.push_back(c);
         }
         std::sort(activeScratch_.begin(), activeScratch_.end());
         activeScratch_.erase(std::unique(activeScratch_.begin(),
@@ -328,6 +401,7 @@ void
 Chip::tickSerial()
 {
     const uint64_t t = now_;
+    applyDueFaults(t);
     collectActive(t);
 
     for (uint32_t c : activeScratch_) {
@@ -345,6 +419,7 @@ void
 Chip::tickParallel()
 {
     const uint64_t t = now_;
+    applyDueFaults(t);
     collectActive(t);
 
     // Evaluation phase: cores only mutate their own state (routing,
@@ -396,6 +471,220 @@ Chip::run(uint64_t n)
 {
     for (uint64_t i = 0; i < n; ++i)
         tick();
+}
+
+void
+Chip::suppressFault(uint32_t id)
+{
+    for (size_t i = 0; i < faultEvents_.size(); ++i)
+        if (faultEvents_[i].id == id)
+            faultSuppressed_[i] = 1;
+}
+
+void
+Chip::drainDetectedFaults(std::vector<uint32_t> &out)
+{
+    out.insert(out.end(), detectedAlarms_.begin(),
+               detectedAlarms_.end());
+    detectedAlarms_.clear();
+}
+
+void
+Chip::saveState(JsonValue &out) const
+{
+    out = JsonValue::object();
+    out.set("now", JsonValue::string(u64ToHex(now_)));
+
+    JsonValue counters = JsonValue::object();
+    auto putCounter = [&counters](const char *key, uint64_t value) {
+        counters.set(key,
+                     JsonValue::integer(static_cast<int64_t>(value)));
+    };
+    putCounter("ticks", counters_.ticks);
+    putCounter("coreActivations", counters_.coreActivations);
+    putCounter("spikesRouted", counters_.spikesRouted);
+    putCounter("spikesOut", counters_.spikesOut);
+    putCounter("spikesEgress", counters_.spikesEgress);
+    putCounter("spikesDropped", counters_.spikesDropped);
+    putCounter("hops", counters_.hops);
+    putCounter("lateDeliveries", counters_.lateDeliveries);
+    putCounter("meshCycles", counters_.meshCycles);
+    putCounter("injectRetries", counters_.injectRetries);
+    out.set("counters", std::move(counters));
+
+    JsonValue outputs = JsonValue::array();
+    for (const OutputSpike &s : outputs_) {
+        outputs.append(JsonValue::integer(static_cast<int64_t>(s.tick)));
+        outputs.append(JsonValue::integer(s.line));
+    }
+    out.set("outputs", std::move(outputs));
+
+    JsonValue egress = JsonValue::array();
+    for (const EgressSpike &s : egress_) {
+        egress.append(JsonValue::integer(s.srcCore));
+        egress.append(JsonValue::integer(s.dx));
+        egress.append(JsonValue::integer(s.dy));
+        egress.append(JsonValue::integer(s.axon));
+        egress.append(
+            JsonValue::integer(static_cast<int64_t>(s.deliveryTick)));
+    }
+    out.set("egress", std::move(egress));
+
+    // The raw agenda array, verbatim: pop_heap order depends on the
+    // array layout (see Core::saveState on selfEvents).
+    JsonValue agenda = JsonValue::array();
+    for (const auto &[tick, c] : agenda_) {
+        agenda.append(JsonValue::integer(static_cast<int64_t>(tick)));
+        agenda.append(JsonValue::integer(c));
+    }
+    out.set("agenda", std::move(agenda));
+
+    // kNever (~0ull) travels as -1.
+    JsonValue lastWake = JsonValue::array();
+    for (uint64_t w : lastWake_)
+        lastWake.append(JsonValue::integer(
+            w == kNever ? int64_t{-1} : static_cast<int64_t>(w)));
+    out.set("lastWake", std::move(lastWake));
+
+    out.set("faultCursor",
+            JsonValue::integer(static_cast<int64_t>(faultCursor_)));
+    JsonValue suppressed = JsonValue::array();
+    for (uint8_t f : faultSuppressed_)
+        suppressed.append(JsonValue::integer(f));
+    out.set("faultSuppressed", std::move(suppressed));
+    JsonValue dead = JsonValue::array();
+    for (uint8_t d : coreDead_)
+        dead.append(JsonValue::integer(d));
+    out.set("coreDead", std::move(dead));
+    JsonValue alarms = JsonValue::array();
+    for (uint32_t id : detectedAlarms_)
+        alarms.append(JsonValue::integer(id));
+    out.set("alarms", std::move(alarms));
+    out.set("faultStats", faultStatsToJson(faultStats_));
+
+    JsonValue cores = JsonValue::array();
+    for (const auto &core : cores_) {
+        JsonValue cs;
+        core->saveState(cs);
+        cores.append(std::move(cs));
+    }
+    out.set("cores", std::move(cores));
+}
+
+bool
+Chip::restoreState(const JsonValue &in)
+{
+    if (params_.noc != NocModel::Functional)
+        return false;
+    if (in.type() != JsonValue::Type::Object)
+        return false;
+    for (const char *key : {"now", "counters", "outputs", "egress",
+                            "agenda", "lastWake", "cores"})
+        if (!in.has(key))
+            return false;
+    uint64_t now;
+    if (!u64FromHex(in.at("now").asString(), now))
+        return false;
+
+    const JsonValue &cores = in.at("cores");
+    if (cores.type() != JsonValue::Type::Array ||
+        cores.size() != numCores())
+        return false;
+    for (uint32_t c = 0; c < numCores(); ++c)
+        if (!cores_[c]->restoreState(cores.at(c)))
+            return false;
+
+    now_ = now;
+    const JsonValue &counters = in.at("counters");
+    auto getCounter = [&counters](const char *key) {
+        return static_cast<uint64_t>(counters.getInt(key, 0));
+    };
+    counters_.ticks = getCounter("ticks");
+    counters_.coreActivations = getCounter("coreActivations");
+    counters_.spikesRouted = getCounter("spikesRouted");
+    counters_.spikesOut = getCounter("spikesOut");
+    counters_.spikesEgress = getCounter("spikesEgress");
+    counters_.spikesDropped = getCounter("spikesDropped");
+    counters_.hops = getCounter("hops");
+    counters_.lateDeliveries = getCounter("lateDeliveries");
+    counters_.meshCycles = getCounter("meshCycles");
+    counters_.injectRetries = getCounter("injectRetries");
+
+    const JsonValue &outputs = in.at("outputs");
+    if (outputs.type() != JsonValue::Type::Array ||
+        outputs.size() % 2 != 0)
+        return false;
+    outputs_.clear();
+    for (size_t i = 0; i < outputs.size(); i += 2)
+        outputs_.push_back(
+            {static_cast<uint64_t>(outputs.at(i).asInt()),
+             static_cast<uint32_t>(outputs.at(i + 1).asInt())});
+
+    const JsonValue &egress = in.at("egress");
+    if (egress.type() != JsonValue::Type::Array ||
+        egress.size() % 5 != 0)
+        return false;
+    egress_.clear();
+    for (size_t i = 0; i < egress.size(); i += 5)
+        egress_.push_back(
+            {static_cast<uint32_t>(egress.at(i).asInt()),
+             static_cast<int32_t>(egress.at(i + 1).asInt()),
+             static_cast<int32_t>(egress.at(i + 2).asInt()),
+             static_cast<uint16_t>(egress.at(i + 3).asInt()),
+             static_cast<uint64_t>(egress.at(i + 4).asInt())});
+
+    const JsonValue &agenda = in.at("agenda");
+    if (agenda.type() != JsonValue::Type::Array ||
+        agenda.size() % 2 != 0)
+        return false;
+    agenda_.clear();
+    for (size_t i = 0; i < agenda.size(); i += 2) {
+        uint32_t c = static_cast<uint32_t>(agenda.at(i + 1).asInt());
+        if (c >= numCores())
+            return false;
+        agenda_.emplace_back(
+            static_cast<uint64_t>(agenda.at(i).asInt()), c);
+    }
+
+    const JsonValue &lastWake = in.at("lastWake");
+    if (lastWake.type() != JsonValue::Type::Array ||
+        lastWake.size() != numCores())
+        return false;
+    for (uint32_t c = 0; c < numCores(); ++c) {
+        int64_t w = lastWake.at(c).asInt();
+        lastWake_[c] = w < 0 ? kNever : static_cast<uint64_t>(w);
+    }
+
+    faultCursor_ = static_cast<size_t>(in.getInt("faultCursor", 0));
+    if (faultCursor_ > faultEvents_.size())
+        return false;
+    if (in.has("faultSuppressed")) {
+        const JsonValue &suppressed = in.at("faultSuppressed");
+        if (suppressed.size() != faultSuppressed_.size())
+            return false;
+        for (size_t i = 0; i < faultSuppressed_.size(); ++i)
+            faultSuppressed_[i] =
+                suppressed.at(i).asInt() ? 1 : 0;
+    }
+    if (in.has("coreDead")) {
+        const JsonValue &dead = in.at("coreDead");
+        if (dead.size() != coreDead_.size())
+            return false;
+        for (size_t i = 0; i < coreDead_.size(); ++i)
+            coreDead_[i] = dead.at(i).asInt() ? 1 : 0;
+    }
+    detectedAlarms_.clear();
+    if (in.has("alarms")) {
+        const JsonValue &alarms = in.at("alarms");
+        for (size_t i = 0; i < alarms.size(); ++i)
+            detectedAlarms_.push_back(
+                static_cast<uint32_t>(alarms.at(i).asInt()));
+    }
+    if (in.has("faultStats"))
+        faultStats_ = faultStatsFromJson(in.at("faultStats"));
+
+    pendingInject_.clear();
+    return true;
 }
 
 const MeshStats *
@@ -486,6 +775,20 @@ Chip::dumpStats(const char *prefix, StatGroup &group) const
     group.add(pre + ".selfEventCompactions",
               static_cast<double>(compactions),
               "lazy self-event heap rebuilds");
+    if (params_.faultPlan) {
+        group.add(pre + ".fault.deadCores",
+                  static_cast<double>(faultStats_.deadCores),
+                  "cores killed by injected faults");
+        group.add(pre + ".fault.stuckWords",
+                  static_cast<double>(faultStats_.stuckWords),
+                  "crossbar words stuck by injected faults");
+        group.add(pre + ".fault.seuFlips",
+                  static_cast<double>(faultStats_.seuFlips),
+                  "injected potential bit flips");
+        group.add(pre + ".fault.alarms",
+                  static_cast<double>(faultStats_.alarms),
+                  "detected-fault alarms raised");
+    }
     EnergyBreakdown b = computeEnergy(e, params_.energy);
     energyStats(b, e, params_.energy, (pre + ".energy").c_str(), group);
 }
@@ -499,6 +802,11 @@ Chip::footprintBytes() const
     bytes += egress_.capacity() * sizeof(EgressSpike);
     bytes += agenda_.capacity() * sizeof(std::pair<uint64_t, uint32_t>);
     bytes += lastWake_.capacity() * sizeof(uint64_t);
+    bytes += faultEvents_.capacity() * sizeof(FaultEvent);
+    bytes += faultSuppressed_.capacity() + coreDead_.capacity();
+    bytes += detectedAlarms_.capacity() * sizeof(uint32_t);
+    if (params_.faultPlan)
+        bytes += params_.faultPlan->footprintBytes();
     return bytes;
 }
 

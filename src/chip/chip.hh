@@ -43,6 +43,7 @@
 #include "chip/energy.hh"
 #include "core/core.hh"
 #include "noc/mesh.hh"
+#include "runtime/fault.hh"
 #include "util/stats.hh"
 
 namespace nscs {
@@ -91,6 +92,16 @@ struct ChipParams
      * standalone chip treats out-of-grid targets as fatal.
      */
     bool allowEgress = false;
+
+    /**
+     * Optional fault plan.  A standalone chip accepts only the
+     * core-targeted kinds (dead core, stuck word, potential flip)
+     * with chip-local core indices; a Board slices its own plan into
+     * per-chip plans before constructing chips, so link kinds here
+     * are a configuration error.  Events apply at the start of their
+     * scheduled tick, before the cores evaluate.
+     */
+    std::shared_ptr<const FaultPlan> faultPlan;
 };
 
 /** An output spike that left the chip. */
@@ -240,6 +251,42 @@ class Chip
     /** Total heap footprint of cores + fabric in bytes. */
     size_t footprintBytes() const;
 
+    // --- fault injection -------------------------------------------------
+
+    /** Fault injection counters (all zero without a plan). */
+    const FaultStats &faultStats() const { return faultStats_; }
+
+    /** True when fault injection has killed core @p core. */
+    bool coreDead(uint32_t core) const { return coreDead_[core] != 0; }
+
+    /**
+     * Suppress the plan event with originating-plan id @p id: it will
+     * not (re-)apply on subsequent ticks.  The Simulator calls this
+     * after rolling back to a checkpoint so the deterministic replay
+     * runs clean of the transient fault it is recovering from.
+     */
+    void suppressFault(uint32_t id);
+
+    /**
+     * Move the ids of transient faults detected since the last drain
+     * (in detection order) into @p out.
+     */
+    void drainDetectedFaults(std::vector<uint32_t> &out);
+
+    // --- snapshot --------------------------------------------------------
+
+    /** Serialize the full mutable chip state into @p out (snapshot). */
+    void saveState(JsonValue &out) const;
+
+    /**
+     * Restore state saved by saveState().  Construction parameters
+     * (grid, geometry, engine, fault plan) must match the snapshot's
+     * origin; @return false on a structural mismatch (state is
+     * unspecified on failure).  Requires the Functional transport
+     * model — the Cycle mesh's in-flight flits are not serialized.
+     */
+    bool restoreState(const JsonValue &in);
+
   private:
     void routeSpike(uint32_t src_core, uint32_t neuron,
                     const NeuronDest &dest, uint64_t t);
@@ -253,6 +300,7 @@ class Chip
     void evaluateCore(uint32_t core, uint64_t t,
                       std::vector<uint32_t> &fired);
     void finishTick(uint64_t t);
+    void applyDueFaults(uint64_t t);
 
     ChipParams params_;
     std::vector<std::unique_ptr<Core>> cores_;
@@ -291,6 +339,18 @@ class Chip
         SpikePacket pkt;
     };
     std::deque<PendingInject> pendingInject_;
+
+    // Fault injection (ChipParams::faultPlan).  faultEvents_ is the
+    // chip-local slice, stable-sorted by tick; faultCursor_ advances
+    // past events whose tick has been reached, and faultSuppressed_
+    // (parallel to faultEvents_) marks events the recovery layer has
+    // neutralized.
+    std::vector<FaultEvent> faultEvents_;
+    size_t faultCursor_ = 0;
+    std::vector<uint8_t> faultSuppressed_;
+    std::vector<uint8_t> coreDead_;
+    std::vector<uint32_t> detectedAlarms_;
+    FaultStats faultStats_;
 };
 
 } // namespace nscs

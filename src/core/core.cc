@@ -215,6 +215,7 @@ void
 Core::reset()
 {
     const uint32_t n = cfg_.geom.numNeurons;
+    revertXbarOverrides();
     denseList_.clear();
     selfEvents_.clear();
     selfEventsStale_ = 0;
@@ -778,7 +779,201 @@ Core::footprintBytes() const
     // long sparse runs where stale predictions accumulate.
     bytes += selfEvents_.capacity() *
         sizeof(std::pair<uint64_t, uint32_t>);
+    bytes += xbarOverrides_.capacity() * sizeof(XbarOverride);
     return bytes;
+}
+
+void
+Core::applyStuckWord(uint32_t axon, uint32_t word, uint64_t bits)
+{
+    NSCS_ASSERT(axon < cfg_.geom.numAxons, "stuck word on axon %u of %u",
+                axon, cfg_.geom.numAxons);
+    NSCS_ASSERT(word < (cfg_.geom.numNeurons + 63) / 64,
+                "stuck word index %u out of range", word);
+    for (XbarOverride &ov : xbarOverrides_) {
+        if (ov.axon == axon && ov.word == word) {
+            ov.bits = bits;
+            xbar_.setRowWord(axon, word, bits);
+            return;
+        }
+    }
+    XbarOverride ov;
+    ov.axon = axon;
+    ov.word = word;
+    ov.bits = bits;
+    ov.original = xbar_.row(axon).words()[word];
+    xbarOverrides_.push_back(ov);
+    xbar_.setRowWord(axon, word, bits);
+}
+
+void
+Core::flipPotentialBit(uint32_t n, uint32_t bit)
+{
+    NSCS_ASSERT(n < v_.size(), "SEU on neuron %u of %zu", n, v_.size());
+    int32_t v = v_[n] ^ static_cast<int32_t>(1u << (bit & 31));
+    v_[n] = std::clamp(v, vLo_[n], vHi_[n]);
+}
+
+void
+Core::revertXbarOverrides()
+{
+    for (const XbarOverride &ov : xbarOverrides_)
+        xbar_.setRowWord(ov.axon, ov.word, ov.original);
+    xbarOverrides_.clear();
+}
+
+void
+Core::saveState(JsonValue &out) const
+{
+    out = JsonValue::object();
+    auto intArray = [](const auto &src, auto proj) {
+        JsonValue arr = JsonValue::array();
+        for (const auto &x : src)
+            arr.append(JsonValue::integer(proj(x)));
+        return arr;
+    };
+    out.set("v", intArray(v_, [](int32_t x) {
+        return static_cast<int64_t>(x);
+    }));
+    out.set("doneThrough", intArray(doneThrough_, [](uint64_t x) {
+        return static_cast<int64_t>(x);
+    }));
+    // kNoFire (~0ull) travels as -1: JSON integers are int64.
+    out.set("schedFire", intArray(scheduledFire_, [](uint64_t x) {
+        return x == kNoFire ? int64_t{-1} : static_cast<int64_t>(x);
+    }));
+    // The raw heap array, verbatim: pop_heap order depends on the
+    // array layout, so restoring a re-pushed heap would not replay
+    // bit-identically.
+    JsonValue selfEvents = JsonValue::array();
+    for (const auto &[tick, n] : selfEvents_) {
+        selfEvents.append(JsonValue::integer(static_cast<int64_t>(tick)));
+        selfEvents.append(JsonValue::integer(n));
+    }
+    out.set("selfEvents", std::move(selfEvents));
+    out.set("selfEventsStale",
+            JsonValue::integer(static_cast<int64_t>(selfEventsStale_)));
+    out.set("mode", JsonValue::integer(static_cast<int64_t>(mode_)));
+    JsonValue rng = JsonValue::object();
+    rng.set("state", JsonValue::integer(rng_.state()));
+    rng.set("draws",
+            JsonValue::integer(static_cast<int64_t>(rng_.draws())));
+    out.set("rng", std::move(rng));
+    JsonValue sched;
+    sched_.saveState(sched);
+    out.set("sched", std::move(sched));
+    JsonValue overrides = JsonValue::array();
+    for (const XbarOverride &ov : xbarOverrides_) {
+        JsonValue o = JsonValue::object();
+        o.set("axon", JsonValue::integer(ov.axon));
+        o.set("word", JsonValue::integer(ov.word));
+        o.set("bits", JsonValue::string(u64ToHex(ov.bits)));
+        o.set("original", JsonValue::string(u64ToHex(ov.original)));
+        overrides.append(std::move(o));
+    }
+    out.set("xbarOverrides", std::move(overrides));
+    const CoreCounters &c = counters();  // refreshes derived fields
+    JsonValue counters = JsonValue::object();
+    auto putCounter = [&counters](const char *key, uint64_t value) {
+        counters.set(key, JsonValue::integer(static_cast<int64_t>(value)));
+    };
+    putCounter("sops", c.sops);
+    putCounter("spikes", c.spikes);
+    putCounter("evals", c.evals);
+    putCounter("ticksRun", c.ticksRun);
+    putCounter("sopsBatched", c.sopsBatched);
+    putCounter("evalsBatched", c.evalsBatched);
+    putCounter("evalsStochBatched", c.evalsStochBatched);
+    putCounter("selfEventCompactions", c.selfEventCompactions);
+    out.set("counters", std::move(counters));
+}
+
+bool
+Core::restoreState(const JsonValue &in)
+{
+    if (in.type() != JsonValue::Type::Object)
+        return false;
+    const uint32_t n = cfg_.geom.numNeurons;
+    for (const char *key : {"v", "doneThrough", "schedFire", "selfEvents",
+                            "rng", "sched", "xbarOverrides", "counters"})
+        if (!in.has(key))
+            return false;
+    const JsonValue &v = in.at("v");
+    const JsonValue &done = in.at("doneThrough");
+    const JsonValue &fire = in.at("schedFire");
+    if (v.size() != n || done.size() != n || fire.size() != n)
+        return false;
+    for (uint32_t j = 0; j < n; ++j) {
+        v_[j] = static_cast<int32_t>(v.at(j).asInt());
+        doneThrough_[j] = static_cast<uint64_t>(done.at(j).asInt());
+        int64_t f = fire.at(j).asInt();
+        scheduledFire_[j] = f < 0 ? kNoFire : static_cast<uint64_t>(f);
+    }
+    const JsonValue &selfEvents = in.at("selfEvents");
+    if (selfEvents.size() % 2 != 0)
+        return false;
+    selfEvents_.clear();
+    selfEvents_.reserve(selfEvents.size() / 2);
+    for (size_t i = 0; i < selfEvents.size(); i += 2) {
+        auto tick = static_cast<uint64_t>(selfEvents.at(i).asInt());
+        auto neuron =
+            static_cast<uint32_t>(selfEvents.at(i + 1).asInt());
+        if (neuron >= n)
+            return false;
+        selfEvents_.emplace_back(tick, neuron);
+    }
+    selfEventsStale_ =
+        static_cast<uint64_t>(in.getInt("selfEventsStale", 0));
+    int64_t mode = in.getInt("mode", 0);
+    if (mode < 0 || mode > 2)
+        return false;
+    mode_ = static_cast<Mode>(mode);
+    const JsonValue &rng = in.at("rng");
+    rng_.restoreState(static_cast<uint16_t>(rng.getInt("state", 0)),
+                      static_cast<uint64_t>(rng.getInt("draws", 0)));
+    if (!sched_.restoreState(in.at("sched")))
+        return false;
+    revertXbarOverrides();
+    const JsonValue &overrides = in.at("xbarOverrides");
+    for (size_t i = 0; i < overrides.size(); ++i) {
+        const JsonValue &o = overrides.at(i);
+        auto axon = static_cast<uint32_t>(o.getInt("axon", 0));
+        auto word = static_cast<uint32_t>(o.getInt("word", 0));
+        uint64_t bits = 0;
+        if (axon >= cfg_.geom.numAxons ||
+            word >= (cfg_.geom.numNeurons + 63) / 64 ||
+            !u64FromHex(o.getString("bits", ""), bits))
+            return false;
+        applyStuckWord(axon, word, bits);
+    }
+    const JsonValue &counters = in.at("counters");
+    counters_ = CoreCounters{};
+    counters_.sops = static_cast<uint64_t>(counters.getInt("sops", 0));
+    counters_.spikes =
+        static_cast<uint64_t>(counters.getInt("spikes", 0));
+    counters_.evals = static_cast<uint64_t>(counters.getInt("evals", 0));
+    counters_.ticksRun =
+        static_cast<uint64_t>(counters.getInt("ticksRun", 0));
+    counters_.sopsBatched =
+        static_cast<uint64_t>(counters.getInt("sopsBatched", 0));
+    counters_.evalsBatched =
+        static_cast<uint64_t>(counters.getInt("evalsBatched", 0));
+    counters_.evalsStochBatched =
+        static_cast<uint64_t>(counters.getInt("evalsStochBatched", 0));
+    counters_.selfEventCompactions = static_cast<uint64_t>(
+        counters.getInt("selfEventCompactions", 0));
+    // Per-tick scratch is clean between ticks by invariant; make that
+    // true regardless of what state this core was in before restore.
+    denseList_.clear();
+    for (uint32_t j = 0; j < n; ++j)
+        if (cls_[j] == UpdateClass::Dense)
+            denseList_.push_back(j);
+    evalMask_.reset();
+    firedBits_.reset();
+    detEvalScratch_.reset();
+    touched_.reset();
+    fallback_.reset();
+    return true;
 }
 
 } // namespace nscs

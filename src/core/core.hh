@@ -245,6 +245,38 @@ class Core
     /** Heap footprint of the runtime core in bytes. */
     size_t footprintBytes() const;
 
+    // --- fault injection -------------------------------------------------
+
+    /**
+     * Freeze the 64-bit word @p word of crossbar row @p axon at
+     * @p bits (stuck-at fault).  The first application per (axon,
+     * word) records the configured value so reset() and snapshot
+     * restore can revert; re-applying overwrites in place.
+     */
+    void applyStuckWord(uint32_t axon, uint32_t word, uint64_t bits);
+
+    /**
+     * XOR bit @p bit into neuron @p n's membrane potential (SEU
+     * model), then clamp to the neuron's saturation rails so the
+     * corrupted value stays architecturally representable.
+     */
+    void flipPotentialBit(uint32_t n, uint32_t bit);
+
+    /** Number of crossbar words currently overridden by faults. */
+    size_t xbarOverrideCount() const { return xbarOverrides_.size(); }
+
+    // --- snapshot --------------------------------------------------------
+
+    /** Serialize the full mutable state into @p out (snapshot). */
+    void saveState(JsonValue &out) const;
+
+    /**
+     * Restore state saved by saveState().  The core's configuration
+     * must match the one the snapshot was taken from; @return false
+     * on a structural mismatch (state is unspecified on failure).
+     */
+    bool restoreState(const JsonValue &in);
+
   private:
     /** Strategy commitment guard. */
     enum class Mode : uint8_t { Unset, Dense, Sparse };
@@ -332,6 +364,20 @@ class Core
      */
     std::vector<std::pair<uint64_t, uint32_t>> selfEvents_;
     uint64_t selfEventsStale_ = 0;       //!< stale pairs in the heap
+
+    /** One fault-injected crossbar word, with the configured value it
+     *  displaced so reset()/restore can revert. */
+    struct XbarOverride {
+        uint32_t axon = 0;
+        uint32_t word = 0;
+        uint64_t bits = 0;      //!< frozen value
+        uint64_t original = 0;  //!< configured value it replaced
+    };
+
+    /** Revert all stuck-word overrides to the configured crossbar. */
+    void revertXbarOverrides();
+
+    std::vector<XbarOverride> xbarOverrides_;
 
     Mode mode_ = Mode::Unset;
     mutable CoreCounters counters_;

@@ -7,21 +7,39 @@ namespace nscs {
 Crossbar::Crossbar(std::vector<BitVec> rows, uint32_t num_neurons)
     : rows_(std::move(rows)), numNeurons_(num_neurons)
 {
-    // The crossbar is immutable after build, so the aggregate stats
-    // (total synapses, per-row degree, per-column fan-in) are
-    // computed once here instead of rescanning the bitmap per query.
-    axonDegree_.resize(rows_.size());
-    fanIn_.assign(numNeurons_, 0);
-    for (size_t a = 0; a < rows_.size(); ++a) {
-        const BitVec &row = rows_[a];
+    // The crossbar only mutates through setRowWord (fault injection,
+    // snapshot restore), so the aggregate stats (total synapses,
+    // per-row degree, per-column fan-in) are computed eagerly instead
+    // of rescanning the bitmap per query.
+    for (const BitVec &row : rows_)
         NSCS_ASSERT(row.size() == numNeurons_,
                     "crossbar row width %zu != %u neurons",
                     row.size(), numNeurons_);
+    recomputeAggregates();
+}
+
+void
+Crossbar::recomputeAggregates()
+{
+    axonDegree_.assign(rows_.size(), 0);
+    fanIn_.assign(numNeurons_, 0);
+    synapseCount_ = 0;
+    for (size_t a = 0; a < rows_.size(); ++a) {
+        const BitVec &row = rows_[a];
         size_t degree = row.count();
         axonDegree_[a] = static_cast<uint32_t>(degree);
         synapseCount_ += degree;
         row.forEachSet([this](size_t j) { ++fanIn_[j]; });
     }
+}
+
+void
+Crossbar::setRowWord(uint32_t axon, size_t word_index, uint64_t bits)
+{
+    NSCS_ASSERT(axon < rows_.size(), "setRowWord axon %u of %zu",
+                axon, rows_.size());
+    rows_[axon].setWord(word_index, bits);
+    recomputeAggregates();
 }
 
 size_t

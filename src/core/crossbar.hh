@@ -57,7 +57,18 @@ class Crossbar
     /** Heap footprint in bytes. */
     size_t footprintBytes() const;
 
+    /**
+     * Force the 64-bit backing word @p word_index of @p axon's row to
+     * @p bits (bits beyond numNeurons() are masked off) and refresh
+     * the cached degree/fan-in aggregates.  Fault injection
+     * (stuck-at word) and snapshot restore only — not a hot path.
+     */
+    void setRowWord(uint32_t axon, size_t word_index, uint64_t bits);
+
   private:
+    /** Rescan rows_ into the cached aggregates. */
+    void recomputeAggregates();
+
     std::vector<BitVec> rows_;
     std::vector<uint32_t> axonDegree_;   //!< per-row popcount
     std::vector<uint32_t> fanIn_;        //!< per-column popcount

@@ -65,6 +65,40 @@ Scheduler::reset()
     collisions_ = 0;
 }
 
+void
+Scheduler::saveState(JsonValue &out) const
+{
+    out = JsonValue::object();
+    JsonValue slots = JsonValue::array();
+    for (const BitVec &s : slots_)
+        slots.append(JsonValue::string(s.toHex()));
+    out.set("slots", std::move(slots));
+    out.set("deposits", JsonValue::integer(static_cast<int64_t>(deposits_)));
+    out.set("collisions",
+            JsonValue::integer(static_cast<int64_t>(collisions_)));
+}
+
+bool
+Scheduler::restoreState(const JsonValue &in)
+{
+    if (in.type() != JsonValue::Type::Object || !in.has("slots"))
+        return false;
+    const JsonValue &slots = in.at("slots");
+    if (slots.type() != JsonValue::Type::Array ||
+        slots.size() != slots_.size())
+        return false;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        if (slots.at(i).type() != JsonValue::Type::String)
+            return false;
+        if (!slots_[i].fromHex(slots.at(i).asString()))
+            return false;
+        slotCounts_[i] = static_cast<uint32_t>(slots_[i].count());
+    }
+    deposits_ = static_cast<uint64_t>(in.getInt("deposits", 0));
+    collisions_ = static_cast<uint64_t>(in.getInt("collisions", 0));
+    return true;
+}
+
 size_t
 Scheduler::footprintBytes() const
 {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "util/bitvec.hh"
+#include "util/json.hh"
 
 namespace nscs {
 
@@ -61,6 +62,16 @@ class Scheduler
 
     /** Heap footprint in bytes. */
     size_t footprintBytes() const;
+
+    /** Serialize the full scheduler state into @p out (snapshot). */
+    void saveState(JsonValue &out) const;
+
+    /**
+     * Restore state saved by saveState().  Slot geometry must match
+     * this scheduler's; @return false on any mismatch (the scheduler
+     * is left unspecified on failure).
+     */
+    bool restoreState(const JsonValue &in);
 
   private:
     uint32_t delaySlots_ = 0;

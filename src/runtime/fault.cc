@@ -1,0 +1,325 @@
+#include "runtime/fault.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace nscs {
+
+namespace {
+
+constexpr int kFaultPlanVersion = 1;
+constexpr const char *kFaultPlanFormat = "nscs-fault-plan";
+
+struct KindName {
+    FaultKind kind;
+    const char *name;
+};
+
+constexpr KindName kKindNames[] = {
+    { FaultKind::DeadCore, "dead-core" },
+    { FaultKind::StuckWord, "stuck-word" },
+    { FaultKind::PotentialFlip, "potential-flip" },
+    { FaultKind::LinkDrop, "link-drop" },
+    { FaultKind::LinkDuplicate, "link-duplicate" },
+    { FaultKind::LinkDelay, "link-delay" },
+    { FaultKind::DeadLink, "dead-link" },
+};
+
+} // anonymous namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    for (const KindName &kn : kKindNames)
+        if (kn.kind == kind)
+            return kn.name;
+    fatal("unknown FaultKind %d", static_cast<int>(kind));
+}
+
+bool
+faultKindFromName(const std::string &name, FaultKind &out)
+{
+    for (const KindName &kn : kKindNames) {
+        if (name == kn.name) {
+            out = kn.kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+isLinkFault(FaultKind kind)
+{
+    return kind == FaultKind::LinkDrop || kind == FaultKind::LinkDuplicate ||
+           kind == FaultKind::LinkDelay || kind == FaultKind::DeadLink;
+}
+
+JsonValue
+FaultPlan::toJson() const
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("format", JsonValue::string(kFaultPlanFormat));
+    doc.set("version", JsonValue::integer(kFaultPlanVersion));
+    JsonValue evs = JsonValue::array();
+    for (const FaultEvent &ev : events) {
+        JsonValue e = JsonValue::object();
+        e.set("kind", JsonValue::string(faultKindName(ev.kind)));
+        e.set("tick", JsonValue::integer(static_cast<int64_t>(ev.tick)));
+        if (ev.untilTick)
+            e.set("until",
+                  JsonValue::integer(static_cast<int64_t>(ev.untilTick)));
+        switch (ev.kind) {
+        case FaultKind::DeadCore:
+            e.set("core", JsonValue::integer(ev.core));
+            break;
+        case FaultKind::StuckWord:
+            e.set("core", JsonValue::integer(ev.core));
+            e.set("axon", JsonValue::integer(ev.axon));
+            e.set("word", JsonValue::integer(ev.word));
+            e.set("bits", JsonValue::string(u64ToHex(ev.bits)));
+            break;
+        case FaultKind::PotentialFlip:
+            e.set("core", JsonValue::integer(ev.core));
+            e.set("neuron", JsonValue::integer(ev.neuron));
+            e.set("bit", JsonValue::integer(ev.bit));
+            break;
+        case FaultKind::LinkDrop:
+        case FaultKind::LinkDuplicate:
+        case FaultKind::LinkDelay:
+        case FaultKind::DeadLink:
+            e.set("chip", JsonValue::integer(ev.chip));
+            e.set("dir", JsonValue::integer(ev.dir));
+            if (ev.kind == FaultKind::LinkDelay)
+                e.set("delayTicks", JsonValue::integer(ev.delayTicks));
+            break;
+        }
+        if (ev.transient)
+            e.set("transient", JsonValue::boolean(true));
+        evs.append(std::move(e));
+    }
+    doc.set("events", std::move(evs));
+    return doc;
+}
+
+bool
+FaultPlan::fromJson(const JsonValue &v, FaultPlan &out, std::string &err)
+{
+    if (v.type() != JsonValue::Type::Object) {
+        err = "fault plan: document is not an object";
+        return false;
+    }
+    if (v.getString("format", "") != kFaultPlanFormat) {
+        err = "fault plan: unrecognized format field";
+        return false;
+    }
+    int64_t version = v.getInt("version", -1);
+    if (version != kFaultPlanVersion) {
+        err = "fault plan: unsupported version " + std::to_string(version) +
+              " (expected " + std::to_string(kFaultPlanVersion) + ")";
+        return false;
+    }
+    if (!v.has("events") ||
+        v.at("events").type() != JsonValue::Type::Array) {
+        err = "fault plan: missing events array";
+        return false;
+    }
+    const JsonValue &evs = v.at("events");
+    out.events.clear();
+    out.events.reserve(evs.size());
+    for (size_t i = 0; i < evs.size(); ++i) {
+        const JsonValue &e = evs.at(i);
+        if (e.type() != JsonValue::Type::Object) {
+            err = "fault plan: event " + std::to_string(i) +
+                  " is not an object";
+            return false;
+        }
+        FaultEvent ev;
+        if (!faultKindFromName(e.getString("kind", ""), ev.kind)) {
+            err = "fault plan: event " + std::to_string(i) +
+                  " has unknown kind '" + e.getString("kind", "") + "'";
+            return false;
+        }
+        ev.id = static_cast<uint32_t>(out.events.size());
+        ev.tick = static_cast<uint64_t>(e.getInt("tick", 0));
+        ev.untilTick = static_cast<uint64_t>(e.getInt("until", 0));
+        ev.core = static_cast<uint32_t>(e.getInt("core", 0));
+        ev.axon = static_cast<uint32_t>(e.getInt("axon", 0));
+        ev.word = static_cast<uint32_t>(e.getInt("word", 0));
+        ev.neuron = static_cast<uint32_t>(e.getInt("neuron", 0));
+        ev.bit = static_cast<uint32_t>(e.getInt("bit", 0));
+        ev.chip = static_cast<uint32_t>(e.getInt("chip", 0));
+        ev.dir = static_cast<uint32_t>(e.getInt("dir", 0));
+        ev.delayTicks = static_cast<uint32_t>(e.getInt("delayTicks", 0));
+        ev.transient = e.getBool("transient", false);
+        if (ev.kind == FaultKind::StuckWord &&
+            !u64FromHex(e.getString("bits", ""), ev.bits)) {
+            err = "fault plan: event " + std::to_string(i) +
+                  " has malformed bits field";
+            return false;
+        }
+        out.events.push_back(ev);
+    }
+    err.clear();
+    return true;
+}
+
+size_t
+FaultPlan::footprintBytes() const
+{
+    return sizeof(FaultPlan) + events.capacity() * sizeof(FaultEvent);
+}
+
+bool
+loadFaultPlan(const std::string &path, FaultPlan &out, std::string &err)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        err = "cannot read fault plan file " + path;
+        return false;
+    }
+    JsonParseResult parsed = parseJson(text);
+    if (!parsed.ok) {
+        err = "fault plan " + path + ": " + parsed.error;
+        return false;
+    }
+    return FaultPlan::fromJson(parsed.value, out, err);
+}
+
+bool
+saveFaultPlan(const std::string &path, const FaultPlan &plan)
+{
+    return writeFile(path, plan.toJson().dump(2) + "\n");
+}
+
+FaultPlan
+makeRandomFaultPlan(const FaultCampaignSpec &spec, uint64_t seed)
+{
+    NSCS_ASSERT(spec.numCores > 0, "fault campaign needs cores");
+    NSCS_ASSERT(spec.ticks > 0, "fault campaign needs a horizon");
+    Xoshiro256 rng(seed);
+    FaultPlan plan;
+    uint32_t numChips = spec.boardW * spec.boardH;
+    auto randomTick = [&] { return rng.below(spec.ticks); };
+    auto randomLink = [&](FaultEvent &ev) {
+        ev.chip = static_cast<uint32_t>(rng.below(numChips ? numChips : 1));
+        ev.dir = static_cast<uint32_t>(rng.below(4));
+    };
+    for (uint32_t i = 0; i < spec.nDeadCore; ++i) {
+        FaultEvent ev;
+        ev.kind = FaultKind::DeadCore;
+        ev.tick = randomTick();
+        ev.core = static_cast<uint32_t>(rng.below(spec.numCores));
+        plan.events.push_back(ev);
+    }
+    for (uint32_t i = 0; i < spec.nStuckWord; ++i) {
+        FaultEvent ev;
+        ev.kind = FaultKind::StuckWord;
+        ev.tick = randomTick();
+        ev.core = static_cast<uint32_t>(rng.below(spec.numCores));
+        ev.axon = static_cast<uint32_t>(rng.below(spec.numAxons));
+        ev.word = static_cast<uint32_t>(
+            rng.below((spec.numNeurons + 63) / 64));
+        ev.bits = rng.next();
+        plan.events.push_back(ev);
+    }
+    for (uint32_t i = 0; i < spec.nSeu; ++i) {
+        FaultEvent ev;
+        ev.kind = FaultKind::PotentialFlip;
+        ev.tick = randomTick();
+        ev.core = static_cast<uint32_t>(rng.below(spec.numCores));
+        ev.neuron = static_cast<uint32_t>(rng.below(spec.numNeurons));
+        ev.bit = static_cast<uint32_t>(
+            rng.below(spec.potentialBits ? spec.potentialBits : 1));
+        ev.transient = spec.transientSeu;
+        plan.events.push_back(ev);
+    }
+    auto makeWindow = [&](FaultEvent &ev) {
+        ev.tick = randomTick();
+        ev.untilTick = ev.tick + (spec.linkWindow ? spec.linkWindow : 1);
+    };
+    for (uint32_t i = 0; i < spec.nLinkDrop; ++i) {
+        FaultEvent ev;
+        ev.kind = FaultKind::LinkDrop;
+        makeWindow(ev);
+        randomLink(ev);
+        ev.transient = spec.transientLinks;
+        plan.events.push_back(ev);
+    }
+    for (uint32_t i = 0; i < spec.nLinkDup; ++i) {
+        FaultEvent ev;
+        ev.kind = FaultKind::LinkDuplicate;
+        makeWindow(ev);
+        randomLink(ev);
+        ev.transient = spec.transientLinks;
+        plan.events.push_back(ev);
+    }
+    for (uint32_t i = 0; i < spec.nLinkDelay; ++i) {
+        FaultEvent ev;
+        ev.kind = FaultKind::LinkDelay;
+        makeWindow(ev);
+        randomLink(ev);
+        ev.delayTicks = spec.linkDelayTicks ? spec.linkDelayTicks : 1;
+        plan.events.push_back(ev);
+    }
+    for (uint32_t i = 0; i < spec.nDeadLink; ++i) {
+        FaultEvent ev;
+        ev.kind = FaultKind::DeadLink;
+        ev.tick = randomTick();
+        randomLink(ev);
+        plan.events.push_back(ev);
+    }
+    for (size_t i = 0; i < plan.events.size(); ++i)
+        plan.events[i].id = static_cast<uint32_t>(i);
+    return plan;
+}
+
+JsonValue
+faultStatsToJson(const FaultStats &stats)
+{
+    JsonValue v = JsonValue::object();
+    auto put = [&v](const char *key, uint64_t value) {
+        v.set(key, JsonValue::integer(static_cast<int64_t>(value)));
+    };
+    put("deadCores", stats.deadCores);
+    put("stuckWords", stats.stuckWords);
+    put("seuFlips", stats.seuFlips);
+    put("linkDrops", stats.linkDrops);
+    put("linkDups", stats.linkDups);
+    put("linkDelays", stats.linkDelays);
+    put("deadLinks", stats.deadLinks);
+    put("retries", stats.retries);
+    put("dupsDropped", stats.dupsDropped);
+    put("detours", stats.detours);
+    put("detourDrops", stats.detourDrops);
+    put("unrecoveredDrops", stats.unrecoveredDrops);
+    put("checksumErrors", stats.checksumErrors);
+    put("alarms", stats.alarms);
+    return v;
+}
+
+FaultStats
+faultStatsFromJson(const JsonValue &v)
+{
+    FaultStats stats;
+    auto get = [&v](const char *key) {
+        return static_cast<uint64_t>(v.getInt(key, 0));
+    };
+    stats.deadCores = get("deadCores");
+    stats.stuckWords = get("stuckWords");
+    stats.seuFlips = get("seuFlips");
+    stats.linkDrops = get("linkDrops");
+    stats.linkDups = get("linkDups");
+    stats.linkDelays = get("linkDelays");
+    stats.deadLinks = get("deadLinks");
+    stats.retries = get("retries");
+    stats.dupsDropped = get("dupsDropped");
+    stats.detours = get("detours");
+    stats.detourDrops = get("detourDrops");
+    stats.unrecoveredDrops = get("unrecoveredDrops");
+    stats.checksumErrors = get("checksumErrors");
+    stats.alarms = get("alarms");
+    return stats;
+}
+
+} // namespace nscs

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Deterministic fault injection for chips and boards.
+ *
+ * A FaultPlan is an ordered list of scheduled fault events — dead
+ * cores, stuck-at synapse words, SEU potential bit flips and
+ * inter-chip link degradation (drop / duplicate / extra delay /
+ * permanently dead links).  Plans are plain data: they serialize
+ * through util/json, are generated reproducibly from a seed, and are
+ * handed to Chip/Board through ChipParams/BoardParams.  The devices
+ * apply core-level events at the scheduled tick and consult link
+ * windows during packet walks, so a given (workload, plan) pair
+ * always produces the same degraded execution, bit for bit, at any
+ * thread count.
+ *
+ * Detection model: transient faults raise an *alarm* — immediately at
+ * injection for SEU flips and for link faults on unprotected links
+ * (modeling parity/ECC detection without correction), or on retry
+ * exhaustion when the link protocol is on.  The Simulator turns
+ * alarms into checkpoint rollback + deterministic replay (see
+ * runtime/simulator.hh).  Permanent faults never alarm; they degrade
+ * the computation, which tools/nscs_faultsim quantifies.
+ */
+
+#ifndef NSCS_RUNTIME_FAULT_HH
+#define NSCS_RUNTIME_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace nscs {
+
+/** Kind of injected fault. */
+enum class FaultKind : uint8_t {
+    DeadCore,       //!< core stops evaluating from the event tick on
+    StuckWord,      //!< one 64-bit crossbar row word frozen at a value
+    PotentialFlip,  //!< single-event upset: XOR one membrane potential bit
+    LinkDrop,       //!< link loses every packet inside the window
+    LinkDuplicate,  //!< link echoes every packet inside the window
+    LinkDelay,      //!< link parks packets for extra ticks in the window
+    DeadLink,       //!< link permanently down from the event tick on
+};
+
+/** Stable lowercase name for @p kind (JSON encoding). */
+const char *faultKindName(FaultKind kind);
+
+/** Decode faultKindName output; @return false on unknown name. */
+bool faultKindFromName(const std::string &name, FaultKind &out);
+
+/** @return true for the four link-targeted kinds. */
+bool isLinkFault(FaultKind kind);
+
+/**
+ * One scheduled fault.  Which fields matter depends on kind; unused
+ * fields stay zero.  Core indices are global (board-wide) when the
+ * plan is attached to a Board and chip-local when attached to a
+ * standalone Chip.
+ */
+struct FaultEvent {
+    FaultKind kind = FaultKind::DeadCore;
+    uint32_t id = 0;         //!< index in the originating plan
+    uint64_t tick = 0;       //!< injection tick / window start
+    uint64_t untilTick = 0;  //!< window end (exclusive) for link
+                             //!< drop/dup/delay; 0 means tick + 1
+    uint32_t core = 0;       //!< DeadCore / StuckWord / PotentialFlip
+    uint32_t axon = 0;       //!< StuckWord: crossbar row
+    uint32_t word = 0;       //!< StuckWord: 64-bit word index in the row
+    uint64_t bits = 0;       //!< StuckWord: frozen word value
+    uint32_t neuron = 0;     //!< PotentialFlip: neuron index
+    uint32_t bit = 0;        //!< PotentialFlip: bit position (0..30)
+    uint32_t chip = 0;       //!< link faults: chip index (y*width+x)
+    uint32_t dir = 0;        //!< link faults: Board::Dir of the link
+    uint32_t delayTicks = 0; //!< LinkDelay: extra park ticks
+    bool transient = false;  //!< raise a recovery alarm when detected
+
+    /** Window end (exclusive); events without untilTick last 1 tick. */
+    uint64_t windowEnd() const { return untilTick ? untilTick : tick + 1; }
+
+    /** Field-wise equality (plan round-trip tests). */
+    bool operator==(const FaultEvent &other) const = default;
+};
+
+/** An ordered, serializable set of fault events. */
+struct FaultPlan {
+    std::vector<FaultEvent> events;
+
+    /** Serialize to the versioned nscs-fault-plan JSON document. */
+    JsonValue toJson() const;
+
+    /**
+     * Parse a toJson() document.  @return false with @p err set on a
+     * malformed document or unsupported version.
+     */
+    static bool fromJson(const JsonValue &v, FaultPlan &out,
+                         std::string &err);
+
+    /** Heap footprint in bytes. */
+    size_t footprintBytes() const;
+};
+
+/** Load a fault plan file; false with @p err set on failure. */
+bool loadFaultPlan(const std::string &path, FaultPlan &out,
+                   std::string &err);
+
+/** Write @p plan to @p path; false on I/O failure. */
+bool saveFaultPlan(const std::string &path, const FaultPlan &plan);
+
+/**
+ * Shape of a randomly generated Monte-Carlo fault campaign: how many
+ * events of each kind to scatter over a tick horizon and a device
+ * geometry.  Counts, not probabilities, so a sweep's workload is
+ * identical across seeds.
+ */
+struct FaultCampaignSpec {
+    uint64_t ticks = 100;      //!< horizon events are scattered over
+    uint32_t numCores = 16;    //!< global core count (board-wide)
+    uint32_t boardW = 1;       //!< board grid width in chips
+    uint32_t boardH = 1;       //!< board grid height in chips
+    uint32_t numAxons = 256;   //!< per-core crossbar rows
+    uint32_t numNeurons = 256; //!< per-core crossbar columns
+    uint32_t potentialBits = 20; //!< SEU flips target bits below this
+    uint32_t nDeadCore = 0;
+    uint32_t nStuckWord = 0;
+    uint32_t nSeu = 0;
+    uint32_t nLinkDrop = 0;
+    uint32_t nLinkDup = 0;
+    uint32_t nLinkDelay = 0;
+    uint32_t nDeadLink = 0;
+    uint32_t linkWindow = 4;   //!< width of drop/dup/delay windows
+    uint32_t linkDelayTicks = 3; //!< extra park ticks for LinkDelay
+    bool transientLinks = true;  //!< mark link drop/dup events transient
+    bool transientSeu = true;    //!< mark SEU flips transient
+};
+
+/**
+ * Deterministically scatter @p spec's event counts over the horizon
+ * using a Xoshiro256 stream seeded with @p seed.  Same (spec, seed)
+ * always yields the same plan.
+ */
+FaultPlan makeRandomFaultPlan(const FaultCampaignSpec &spec, uint64_t seed);
+
+/**
+ * Injection/handling counters kept by a Chip (core-level fields) or
+ * Board (link-level fields; board dumpStats also aggregates its
+ * chips).  Restored verbatim by snapshots so dumpStats stays
+ * bit-identical across a save/restore boundary.
+ */
+struct FaultStats {
+    uint64_t deadCores = 0;       //!< cores killed
+    uint64_t stuckWords = 0;      //!< crossbar words frozen
+    uint64_t seuFlips = 0;        //!< potential bits flipped
+    uint64_t linkDrops = 0;       //!< packets lost to drop faults
+    uint64_t linkDups = 0;        //!< packets echoed by duplicate faults
+    uint64_t linkDelays = 0;      //!< packets parked by delay faults
+    uint64_t deadLinks = 0;       //!< links permanently killed
+    uint64_t retries = 0;         //!< protocol retransmissions
+    uint64_t dupsDropped = 0;     //!< duplicates masked by seq dedup
+    uint64_t detours = 0;         //!< hops rerouted around dead links
+    uint64_t detourDrops = 0;     //!< packets lost with no detour path
+    uint64_t unrecoveredDrops = 0; //!< packets lost for good
+    uint64_t checksumErrors = 0;  //!< packets failing checksum verify
+    uint64_t alarms = 0;          //!< detection alarms raised
+};
+
+/** Serialize @p stats (snapshot helper). */
+JsonValue faultStatsToJson(const FaultStats &stats);
+
+/** Restore faultStatsToJson output. */
+FaultStats faultStatsFromJson(const JsonValue &v);
+
+} // namespace nscs
+
+#endif // NSCS_RUNTIME_FAULT_HH

@@ -1,6 +1,10 @@
 #include "runtime/simulator.hh"
 
+#include <algorithm>
 #include <chrono>
+
+#include "runtime/snapshot.hh"
+#include "util/logging.hh"
 
 namespace nscs {
 
@@ -34,8 +38,13 @@ Simulator::run(uint64_t ticks)
     uint64_t out_before = recorder_.size();
     auto start = clock::now();
 
-    for (uint64_t i = 0; i < ticks; ++i) {
-        uint64_t t = chip_ ? chip_->now() : board_->now();
+    // The loop targets an end tick rather than counting iterations:
+    // a rollback rewinds now(), and the replayed ticks re-execute
+    // through the same loop until the target is reached again.
+    const uint64_t target = now() + ticks;
+    while (now() < target) {
+        maybeCheckpoint();
+        const uint64_t t = now();
         inputScratch_.clear();
         for (auto &src : sources_)
             src->spikesFor(t, inputScratch_);
@@ -56,6 +65,13 @@ Simulator::run(uint64_t ticks)
                 board_->clearOutputs();
             }
         }
+        alarmScratch_.clear();
+        if (chip_ && chip_->params().faultPlan)
+            chip_->drainDetectedFaults(alarmScratch_);
+        else if (board_ && board_->params().faultPlan)
+            board_->drainDetectedFaults(alarmScratch_);
+        if (!alarmScratch_.empty())
+            handleAlarms();
     }
 
     auto stop = clock::now();
@@ -67,6 +83,112 @@ Simulator::run(uint64_t ticks)
 }
 
 void
+Simulator::maybeCheckpoint()
+{
+    if (checkpointEvery_ == 0 || now() % checkpointEvery_ != 0)
+        return;
+    if (haveCheckpoint_ && checkpointTick_ == now())
+        return;  // just rolled back to this very tick
+    checkpointBlob_ = snapshot().dump();
+    checkpointTick_ = now();
+    haveCheckpoint_ = true;
+    ++recovery_.checkpoints;
+}
+
+void
+Simulator::handleAlarms()
+{
+    // Dedup against everything already handled: a window fault can
+    // alarm once per affected packet, and a rollback must suppress
+    // each plan event exactly once.
+    size_t fresh = 0;
+    for (uint32_t id : alarmScratch_) {
+        if (std::find(handled_.begin(), handled_.end(), id) ==
+            handled_.end()) {
+            handled_.push_back(id);
+            ++fresh;
+        }
+    }
+    if (fresh == 0)
+        return;
+    if (!autoRecover_ || !haveCheckpoint_) {
+        recovery_.unrecoveredAlarms += fresh;
+        return;
+    }
+
+    const uint64_t detectedAt = now();  // the faulty tick completed
+    JsonParseResult parsed = parseJson(checkpointBlob_);
+    NSCS_ASSERT(parsed.ok, "held checkpoint no longer parses: %s",
+                parsed.error.c_str());
+    std::string err;
+    bool ok = restore(parsed.value, &err);
+    NSCS_ASSERT(ok, "held checkpoint no longer restores: %s",
+                err.c_str());
+    // The checkpoint predates every suppression — re-apply the full
+    // handled history, not just this alarm's ids.
+    for (uint32_t id : handled_) {
+        if (chip_)
+            chip_->suppressFault(id);
+        else
+            board_->suppressFault(id);
+    }
+    ++recovery_.rollbacks;
+    uint64_t span = detectedAt - checkpointTick_;
+    recovery_.replayedTicks += span;
+    recovery_.lastRecoveryLatencyTicks = span;
+    recovery_.maxRecoveryLatencyTicks =
+        std::max(recovery_.maxRecoveryLatencyTicks, span);
+}
+
+JsonValue
+Simulator::snapshot() const
+{
+    return snapshotSimulator(*this);
+}
+
+bool
+Simulator::restore(const JsonValue &snap, std::string *err)
+{
+    SnapshotStatus status = restoreSimulator(*this, snap);
+    if (!status.ok && err)
+        *err = status.error;
+    return status.ok;
+}
+
+bool
+Simulator::saveStateFile(const std::string &path,
+                         std::string *err) const
+{
+    SnapshotStatus status = saveSnapshotFile(*this, path);
+    if (!status.ok && err)
+        *err = status.error;
+    return status.ok;
+}
+
+bool
+Simulator::restoreStateFile(const std::string &path, std::string *err)
+{
+    SnapshotStatus status = loadSnapshotFile(*this, path);
+    if (!status.ok && err)
+        *err = status.error;
+    return status.ok;
+}
+
+size_t
+Simulator::footprintBytes() const
+{
+    size_t bytes = sizeof(Simulator);
+    bytes += chip_ ? chip_->footprintBytes()
+                   : board_->footprintBytes();
+    bytes += recorder_.footprintBytes();
+    bytes += inputScratch_.capacity() * sizeof(InputSpike);
+    bytes += checkpointBlob_.capacity();
+    bytes += handled_.capacity() * sizeof(uint32_t);
+    bytes += alarmScratch_.capacity() * sizeof(uint32_t);
+    return bytes;
+}
+
+void
 Simulator::reset()
 {
     if (chip_)
@@ -74,6 +196,12 @@ Simulator::reset()
     else
         board_->reset();
     recorder_.clear();
+    haveCheckpoint_ = false;
+    checkpointTick_ = 0;
+    checkpointBlob_.clear();
+    handled_.clear();
+    alarmScratch_.clear();
+    recovery_ = RecoveryStats{};
 }
 
 } // namespace nscs

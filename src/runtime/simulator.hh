@@ -24,6 +24,7 @@
 #define NSCS_RUNTIME_SIMULATOR_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "board/board.hh"
@@ -32,6 +33,17 @@
 #include "runtime/source.hh"
 
 namespace nscs {
+
+/** Checkpoint/rollback bookkeeping (fault recovery). */
+struct RecoveryStats
+{
+    uint64_t checkpoints = 0;        //!< checkpoints taken
+    uint64_t rollbacks = 0;          //!< restores after an alarm
+    uint64_t replayedTicks = 0;      //!< ticks re-executed, total
+    uint64_t unrecoveredAlarms = 0;  //!< alarms with no checkpoint
+    uint64_t lastRecoveryLatencyTicks = 0; //!< replay span, last
+    uint64_t maxRecoveryLatencyTicks = 0;  //!< replay span, worst
+};
 
 /** Wall-clock performance of a run() call. */
 struct RunPerf
@@ -98,16 +110,88 @@ class Simulator
     /** Recorded output spikes (const). */
     const SpikeRecorder &recorder() const { return recorder_; }
 
-    /** Reset device, recorder and performance counters (sources keep
-     *  their own state and are not reset). */
+    /** Reset device, recorder and performance counters; drops the
+     *  held checkpoint and recovery stats (sources keep their own
+     *  state and are not reset). */
     void reset();
 
+    /** Next tick to execute, whichever device backs the run. */
+    uint64_t now() const { return chip_ ? chip_->now() : board_->now(); }
+
+    /** Number of attached sources. */
+    size_t numSources() const { return sources_.size(); }
+
+    /** Source access (snapshot machinery). */
+    SpikeSource &source(size_t i) { return *sources_[i]; }
+
+    /** Source access (const). */
+    const SpikeSource &source(size_t i) const { return *sources_[i]; }
+
+    // --- snapshot / checkpoint / recovery --------------------------------
+
+    /** Serialize device + sources + recorder (snapshotSimulator). */
+    JsonValue snapshot() const;
+
+    /**
+     * Restore a snapshot() document; on mismatch returns false and,
+     * when @p err is non-null, stores the reason.  See
+     * restoreSimulator for the validation contract.
+     */
+    bool restore(const JsonValue &snap, std::string *err = nullptr);
+
+    /** Snapshot to a file (saveSnapshotFile). */
+    bool saveStateFile(const std::string &path,
+                       std::string *err = nullptr) const;
+
+    /** Restore from a file (loadSnapshotFile). */
+    bool restoreStateFile(const std::string &path,
+                          std::string *err = nullptr);
+
+    /**
+     * Checkpoint every @p every ticks during run() (0 disables).  A
+     * checkpoint is an in-memory snapshot; with auto-recovery armed
+     * (the default) a detected-fault alarm rolls the simulation back
+     * to the last checkpoint, suppresses the faults that alarmed and
+     * replays deterministically, so transient upsets leave no trace
+     * in the spike record.
+     */
+    void setCheckpointInterval(uint64_t every)
+    {
+        checkpointEvery_ = every;
+    }
+
+    /** Arm or disarm rollback on detected-fault alarms. */
+    void setAutoRecover(bool on) { autoRecover_ = on; }
+
+    /** Checkpoint/rollback counters. */
+    const RecoveryStats &recoveryStats() const { return recovery_; }
+
+    /** Heap footprint: device + recorder + checkpoint buffers. */
+    size_t footprintBytes() const;
+
   private:
+    void maybeCheckpoint();
+    void handleAlarms();
+
     std::unique_ptr<Chip> chip_;     //!< exactly one of chip_ /
     std::unique_ptr<Board> board_;   //!< board_ is non-null
     std::vector<std::unique_ptr<SpikeSource>> sources_;
     SpikeRecorder recorder_;
     std::vector<InputSpike> inputScratch_;
+
+    // Checkpoint-rollback recovery.  The checkpoint is held as the
+    // dumped JSON text (cheap to keep, exact to restore); handled_
+    // remembers every suppressed fault id so a rollback to a
+    // checkpoint that predates an earlier recovery re-suppresses the
+    // whole history before replaying.
+    uint64_t checkpointEvery_ = 0;
+    bool autoRecover_ = true;
+    bool haveCheckpoint_ = false;
+    uint64_t checkpointTick_ = 0;
+    std::string checkpointBlob_;
+    std::vector<uint32_t> handled_;
+    std::vector<uint32_t> alarmScratch_;
+    RecoveryStats recovery_;
 };
 
 } // namespace nscs

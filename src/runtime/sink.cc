@@ -95,4 +95,13 @@ SpikeRecorder::clear()
     byLine_.clear();
 }
 
+size_t
+SpikeRecorder::footprintBytes() const
+{
+    size_t bytes = spikes_.capacity() * sizeof(OutputSpike);
+    for (const auto &kv : byLine_)
+        bytes += sizeof(kv) + kv.second.capacity() * sizeof(uint64_t);
+    return bytes;
+}
+
 } // namespace nscs

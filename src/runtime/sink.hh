@@ -60,6 +60,9 @@ class SpikeRecorder
     /** Forget everything. */
     void clear();
 
+    /** Heap footprint of the recorded spikes and per-line index. */
+    size_t footprintBytes() const;
+
   private:
     std::vector<OutputSpike> spikes_;
     std::unordered_map<uint32_t, std::vector<uint64_t>> byLine_;

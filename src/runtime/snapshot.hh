@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic simulator snapshots.
+ *
+ * A snapshot captures the complete mutable state of a Simulator —
+ * device (every neuron potential, scheduler slot, LFSR position,
+ * event agenda and in-flight board packet), attached sources and the
+ * output recorder — as a versioned JSON document.  Restoring a
+ * snapshot into a freshly constructed Simulator with the same model
+ * and parameters, then running on, is bit-identical to having run
+ * the original straight through: the restore point is invisible in
+ * the spike record.  The thread count is NOT part of the contract;
+ * a snapshot taken at threads=N restores into threads=M because the
+ * engines are bit-identical across thread counts.
+ *
+ * The same machinery backs the checkpoint/rollback recovery loop
+ * (Simulator::setCheckpointInterval): a checkpoint is a snapshot
+ * held in memory, and a rollback is a restore plus deterministic
+ * replay.
+ *
+ * Snapshots require the functional transport model; the cycle mesh's
+ * in-flight flits are not serialized.
+ */
+
+#ifndef NSCS_RUNTIME_SNAPSHOT_HH
+#define NSCS_RUNTIME_SNAPSHOT_HH
+
+#include <string>
+
+#include "util/json.hh"
+
+namespace nscs {
+
+class Simulator;
+
+/** Snapshot document version this build reads and writes. */
+inline constexpr int kSnapshotVersion = 1;
+
+/** Snapshot document format tag. */
+inline constexpr const char *kSnapshotFormat = "nscs-snapshot";
+
+/** Outcome of a snapshot restore/load. */
+struct SnapshotStatus
+{
+    bool ok = true;
+    std::string error;
+};
+
+/** Serialize @p sim's complete mutable state. */
+JsonValue snapshotSimulator(const Simulator &sim);
+
+/**
+ * Restore @p snap into @p sim.  The simulator must be built from the
+ * same model and parameters (target kind, engine, geometry and source
+ * count are validated; a mismatch is reported, not asserted).  On
+ * failure the simulator's state is unspecified — reset() it before
+ * further use.
+ */
+SnapshotStatus restoreSimulator(Simulator &sim, const JsonValue &snap);
+
+/** Snapshot @p sim and write it to @p path (pretty-printed JSON). */
+SnapshotStatus saveSnapshotFile(const Simulator &sim,
+                                const std::string &path);
+
+/** Read @p path and restore it into @p sim. */
+SnapshotStatus loadSnapshotFile(Simulator &sim,
+                                const std::string &path);
+
+} // namespace nscs
+
+#endif // NSCS_RUNTIME_SNAPSHOT_HH

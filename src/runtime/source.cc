@@ -35,6 +35,46 @@ PoissonSource::spikesFor(uint64_t, std::vector<InputSpike> &out)
             out.push_back(targets_[i]);
 }
 
+void
+PoissonSource::saveState(JsonValue &out) const
+{
+    out = JsonValue::object();
+    out.set("kind", JsonValue::string("poisson"));
+    Xoshiro256::State st = rng_.saveState();
+    JsonValue rng = JsonValue::object();
+    JsonValue words = JsonValue::array();
+    for (uint64_t w : st.s)
+        words.append(JsonValue::string(u64ToHex(w)));
+    rng.set("s", std::move(words));
+    rng.set("cachedNormalBits",
+            JsonValue::string(u64ToHex(st.cachedNormalBits)));
+    rng.set("hasCachedNormal",
+            JsonValue::boolean(st.hasCachedNormal));
+    out.set("rng", std::move(rng));
+}
+
+bool
+PoissonSource::restoreState(const JsonValue &in)
+{
+    if (in.type() != JsonValue::Type::Object || !in.has("rng") ||
+        in.getString("kind", "") != "poisson")
+        return false;
+    const JsonValue &rng = in.at("rng");
+    if (!rng.has("s") || rng.at("s").size() != 4)
+        return false;
+    Xoshiro256::State st;
+    for (size_t i = 0; i < 4; ++i)
+        if (!u64FromHex(rng.at("s").at(i).asString(), st.s[i]))
+            return false;
+    if (!u64FromHex(rng.getString("cachedNormalBits",
+                                  "0000000000000000"),
+                    st.cachedNormalBits))
+        return false;
+    st.hasCachedNormal = rng.getBool("hasCachedNormal", false);
+    rng_.restoreState(st);
+    return true;
+}
+
 RegularSource::RegularSource(std::vector<InputSpike> targets,
                              uint64_t period, uint64_t phase)
     : targets_(std::move(targets)), period_(period), phase_(phase)

@@ -19,6 +19,7 @@
 #include <map>
 #include <vector>
 
+#include "util/json.hh"
 #include "util/rng.hh"
 
 namespace nscs {
@@ -40,6 +41,24 @@ class SpikeSource
 
     /** Append this source's spikes for tick @p t to @p out. */
     virtual void spikesFor(uint64_t t, std::vector<InputSpike> &out) = 0;
+
+    /**
+     * Serialize the source's mutable state (snapshot).  Sources whose
+     * output is a pure function of the tick have none; the default
+     * marks the source stateless.
+     */
+    virtual void
+    saveState(JsonValue &out) const
+    {
+        out = JsonValue::object();
+        out.set("kind", JsonValue::string("stateless"));
+    }
+
+    /** Restore saveState() output; @return false on mismatch. */
+    virtual bool restoreState(const JsonValue &in)
+    {
+        return in.type() == JsonValue::Type::Object;
+    }
 };
 
 /**
@@ -58,6 +77,9 @@ class PoissonSource : public SpikeSource
                   std::vector<double> rates, uint64_t seed);
 
     void spikesFor(uint64_t t, std::vector<InputSpike> &out) override;
+
+    void saveState(JsonValue &out) const override;
+    bool restoreState(const JsonValue &in) override;
 
   private:
     std::vector<InputSpike> targets_;

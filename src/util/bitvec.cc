@@ -75,6 +75,75 @@ BitVec::operator&=(const BitVec &other)
 }
 
 void
+BitVec::setWord(size_t word_index, uint64_t bits)
+{
+    NSCS_ASSERT(word_index < words_.size(),
+                "BitVec::setWord(%zu) out of range %zu", word_index,
+                words_.size());
+    uint64_t mask = ~0ull;
+    if ((word_index + 1) * 64 > nbits_) {
+        size_t tail = nbits_ - word_index * 64;
+        mask = tail ? (~0ull >> (64 - tail)) : 0ull;
+    }
+    words_[word_index] = bits & mask;
+}
+
+namespace {
+
+const char kHexDigits[] = "0123456789abcdef";
+
+/** @return the value of hex digit @p c, or -1 if not a hex digit. */
+int
+hexValue(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+std::string
+BitVec::toHex() const
+{
+    std::string out;
+    out.reserve(words_.size() * 16);
+    for (uint64_t w : words_)
+        for (int shift = 60; shift >= 0; shift -= 4)
+            out.push_back(kHexDigits[(w >> shift) & 0xF]);
+    return out;
+}
+
+bool
+BitVec::fromHex(const std::string &hex)
+{
+    if (hex.size() != words_.size() * 16)
+        return false;
+    std::vector<uint64_t> decoded(words_.size(), 0);
+    for (size_t w = 0; w < decoded.size(); ++w) {
+        uint64_t value = 0;
+        for (size_t d = 0; d < 16; ++d) {
+            int v = hexValue(hex[w * 16 + d]);
+            if (v < 0)
+                return false;
+            value = (value << 4) | static_cast<uint64_t>(v);
+        }
+        decoded[w] = value;
+    }
+    if (!decoded.empty() && (nbits_ & 63) != 0) {
+        uint64_t mask = ~0ull >> (64 - (nbits_ & 63));
+        if (decoded.back() & ~mask)
+            return false;
+    }
+    words_ = std::move(decoded);
+    return true;
+}
+
+void
 BitVec::assertSameSize(const BitVec &other) const
 {
     NSCS_ASSERT(nbits_ == other.nbits_, "BitVec size mismatch %zu vs %zu",

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace nscs {
@@ -143,6 +144,28 @@ class BitVec
 
     /** Direct word access (serialization). */
     const std::vector<uint64_t> &words() const { return words_; }
+
+    /**
+     * Overwrite backing word @p word_index with @p bits.  Bits beyond
+     * size() are masked off, so the count()/none() invariants hold
+     * for any input.  Snapshot restore and fault injection only — not
+     * a hot path.
+     */
+    void setWord(size_t word_index, uint64_t bits);
+
+    /**
+     * Hex encoding of the backing words (16 lowercase digits per
+     * word, word 0 first) for snapshot serialization.
+     */
+    std::string toHex() const;
+
+    /**
+     * Decode a toHex() string into this vector.  The length must
+     * match this vector's word count exactly and no bit beyond
+     * size() may be set; @return false on any violation (the vector
+     * is unchanged on failure).
+     */
+    bool fromHex(const std::string &hex);
 
     /** Approximate heap footprint in bytes. */
     size_t footprintBytes() const { return words_.size() * 8; }

@@ -576,6 +576,40 @@ parseJson(const std::string &text)
     return Parser(text).run();
 }
 
+std::string
+u64ToHex(uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<size_t>(i)] = digits[v & 0xF];
+        v >>= 4;
+    }
+    return out;
+}
+
+bool
+u64FromHex(const std::string &s, uint64_t &out)
+{
+    if (s.size() != 16)
+        return false;
+    uint64_t v = 0;
+    for (char c : s) {
+        int d;
+        if (c >= '0' && c <= '9')
+            d = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            d = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F')
+            d = c - 'A' + 10;
+        else
+            return false;
+        v = (v << 4) | static_cast<uint64_t>(d);
+    }
+    out = v;
+    return true;
+}
+
 bool
 readFile(const std::string &path, std::string &out)
 {

@@ -142,6 +142,16 @@ struct JsonParseResult
 /** Parse a complete JSON document from @p text. */
 JsonParseResult parseJson(const std::string &text);
 
+/**
+ * Fixed-width (16 digit) lowercase hex encoding of @p v.  JSON
+ * integers only carry int64 losslessly, so full-range uint64 values
+ * (bit masks, xoshiro words) travel as hex strings in snapshots.
+ */
+std::string u64ToHex(uint64_t v);
+
+/** Decode u64ToHex output; @return false on malformed input. */
+bool u64FromHex(const std::string &s, uint64_t &out);
+
 /** Read a whole file; returns false on I/O failure. */
 bool readFile(const std::string &path, std::string &out);
 

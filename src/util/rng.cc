@@ -1,5 +1,6 @@
 #include "util/rng.hh"
 
+#include <bit>
 #include <cmath>
 
 #include "util/logging.hh"
@@ -84,6 +85,28 @@ Xoshiro256::normal()
     cachedNormal_ = v * m;
     hasCachedNormal_ = true;
     return u * m;
+}
+
+Xoshiro256::State
+Xoshiro256::saveState() const
+{
+    State st;
+    for (int i = 0; i < 4; ++i)
+        st.s[i] = s_[i];
+    st.cachedNormalBits = std::bit_cast<uint64_t>(cachedNormal_);
+    st.hasCachedNormal = hasCachedNormal_;
+    return st;
+}
+
+void
+Xoshiro256::restoreState(const State &st)
+{
+    for (int i = 0; i < 4; ++i)
+        s_[i] = st.s[i];
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 0x9E3779B97F4A7C15ull;
+    cachedNormal_ = std::bit_cast<double>(st.cachedNormalBits);
+    hasCachedNormal_ = st.hasCachedNormal;
 }
 
 uint64_t

@@ -87,6 +87,18 @@ class Lfsr16
     /** Number of draws since the last reset (equivalence checking). */
     uint64_t draws() const { return draws_; }
 
+    /**
+     * Restore a previously observed (state(), draws()) pair exactly
+     * (snapshot restore).  A zero state is remapped like a zero seed
+     * — it cannot legitimately appear in a snapshot.
+     */
+    void
+    restoreState(uint16_t state, uint64_t draws)
+    {
+        state_ = state ? state : 0xACE1;
+        draws_ = draws;
+    }
+
   private:
     uint16_t state_ = 0xACE1;
     uint64_t draws_ = 0;
@@ -150,6 +162,23 @@ class Xoshiro256
 
     /** Poisson draw (Knuth for small lambda, normal approx beyond). */
     uint64_t poisson(double lambda);
+
+    /**
+     * Full generator state, exposed for snapshot serialization.  The
+     * cached Box-Muller normal is carried as raw IEEE-754 bits so the
+     * round trip is exact.
+     */
+    struct State {
+        uint64_t s[4] = {};
+        uint64_t cachedNormalBits = 0;
+        bool hasCachedNormal = false;
+    };
+
+    /** Capture the full state for later restoreState(). */
+    State saveState() const;
+
+    /** Restore a state captured by saveState(). */
+    void restoreState(const State &st);
 
   private:
     uint64_t s_[4] = {};

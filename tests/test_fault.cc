@@ -1,0 +1,516 @@
+/**
+ * @file
+ * Fault injection and recovery tests.
+ *
+ * Three layers, one per tentpole claim:
+ *
+ *  - injection is deterministic: each fault class fires at its
+ *    scheduled tick with the documented effect and the same degraded
+ *    spike stream on Clock and Event engines;
+ *  - the reliable link protocol masks transient link faults in place
+ *    (retransmission recovers drops, sequence dedup discards echoes)
+ *    with a spike stream bit-identical to the fault-free run;
+ *  - checkpoint rollback masks transient faults that protocol can't
+ *    (SEUs, faults on unprotected links): the recovered run is
+ *    bit-identical to the fault-free run, and the recovery counters
+ *    account for every rollback and replayed tick.
+ *
+ * All workloads are deterministic, so every assertion — including
+ * "the degraded stream differs" — is exact, not statistical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "bench/workload.hh"
+#include "runtime/fault.hh"
+#include "runtime/simulator.hh"
+
+namespace nscs {
+namespace {
+
+/**
+ * The cortical workload with every third neuron re-aimed at an
+ * output line (as in test_board.cc).  Core-bound destinations keep a
+ * delay of at least @p min_delay ticks so a one-tick retransmission
+ * still lands before the delivery tick (late-delivery wrap would
+ * otherwise make "retry masks the drop" timing-dependent).
+ */
+bench::CorticalWorkload
+tappedWorkload(uint32_t grid_w, uint32_t grid_h, uint64_t seed,
+               uint8_t min_delay = 1)
+{
+    bench::CorticalParams wp;
+    wp.gridW = grid_w;
+    wp.gridH = grid_h;
+    wp.density = 32;
+    wp.ratePerTick = 0.05;
+    wp.seed = seed;
+    bench::CorticalWorkload w = bench::makeCortical(wp);
+    const uint32_t neurons = CoreGeometry{}.numNeurons;
+    for (uint32_t c = 0; c < w.cores.size(); ++c) {
+        for (uint32_t n = 0; n < neurons; ++n) {
+            NeuronDest &d = w.cores[c].dests[n];
+            if (n % 3 == 0) {
+                d = NeuronDest{};
+                d.kind = NeuronDest::Kind::Output;
+                d.line = c * neurons + n;
+            } else if (d.delay < min_delay) {
+                d.delay = min_delay;
+            }
+        }
+    }
+    return w;
+}
+
+std::shared_ptr<const FaultPlan>
+planOf(std::vector<FaultEvent> events)
+{
+    FaultPlan plan;
+    plan.events = std::move(events);
+    for (size_t i = 0; i < plan.events.size(); ++i)
+        plan.events[i].id = static_cast<uint32_t>(i);
+    return std::make_shared<const FaultPlan>(std::move(plan));
+}
+
+std::unique_ptr<Simulator>
+chipSim(const bench::CorticalWorkload &w, EngineKind engine,
+        std::shared_ptr<const FaultPlan> plan = nullptr)
+{
+    return bench::makeCorticalSim(w, engine, NocModel::Functional, 0,
+                                  std::move(plan));
+}
+
+std::unique_ptr<Simulator>
+boardSim(const bench::CorticalWorkload &w, uint32_t bw, uint32_t bh,
+         LinkParams link,
+         std::shared_ptr<const FaultPlan> plan = nullptr)
+{
+    return bench::makeCorticalBoardSim(w, EngineKind::Event, bw, bh, 0,
+                                       link, 0, std::move(plan));
+}
+
+// ---------------------------------------------------------------------------
+// Core-level fault classes
+// ---------------------------------------------------------------------------
+
+TEST(FaultInject, DeadCoreSilencesItsOutputsFromTheEventTick)
+{
+    const uint64_t ticks = 30, killAt = 5;
+    const uint32_t neurons = CoreGeometry{}.numNeurons;
+    bench::CorticalWorkload w = tappedWorkload(2, 2, 7);
+
+    auto ref = chipSim(w, EngineKind::Clock);
+    ref->run(ticks);
+
+    FaultEvent kill;
+    kill.kind = FaultKind::DeadCore;
+    kill.tick = killAt;
+    kill.core = 0;
+    auto faulty = chipSim(w, EngineKind::Clock, planOf({kill}));
+    faulty->run(ticks);
+
+    EXPECT_EQ(faulty->chip().faultStats().deadCores, 1u);
+    EXPECT_TRUE(faulty->chip().coreDead(0));
+
+    // Core 0's output lines live below `neurons`; the fault-free run
+    // keeps firing them past the kill tick, the faulty run goes
+    // silent from the kill tick on.
+    auto lateCore0 = [&](const Simulator &sim) {
+        uint64_t n = 0;
+        for (const OutputSpike &s : sim.recorder().spikes())
+            if (s.line < neurons && s.tick >= killAt)
+                ++n;
+        return n;
+    };
+    EXPECT_GT(lateCore0(*ref), 0u);
+    EXPECT_EQ(lateCore0(*faulty), 0u);
+
+    // The degraded run is still deterministic across engines.
+    auto faultyEvent = chipSim(w, EngineKind::Event, planOf({kill}));
+    faultyEvent->run(ticks);
+    EXPECT_EQ(faultyEvent->recorder().spikes(),
+              faulty->recorder().spikes());
+}
+
+TEST(FaultInject, StuckWordPerturbsTheCrossbar)
+{
+    const uint64_t ticks = 60;
+    bench::CorticalWorkload w = tappedWorkload(2, 2, 9);
+
+    auto ref = chipSim(w, EngineKind::Event);
+    ref->run(ticks);
+
+    // Freeze word 0 of driven axon 0's row on core 0 to all-ones:
+    // neurons 32..63 gain synapses the workload never configured.
+    FaultEvent stuck;
+    stuck.kind = FaultKind::StuckWord;
+    stuck.tick = 1;
+    stuck.core = 0;
+    stuck.axon = 0;
+    stuck.word = 0;
+    stuck.bits = ~0ull;
+    auto faulty = chipSim(w, EngineKind::Event, planOf({stuck}));
+    faulty->run(ticks);
+
+    EXPECT_EQ(faulty->chip().faultStats().stuckWords, 1u);
+    EXPECT_NE(faulty->chip().energyEvents().sops,
+              ref->chip().energyEvents().sops);
+}
+
+TEST(FaultInject, ChipPlanRejectsLinkFaults)
+{
+    bench::CorticalWorkload w = tappedWorkload(2, 2, 7);
+    FaultEvent drop;
+    drop.kind = FaultKind::LinkDrop;
+    drop.tick = 3;
+    EXPECT_DEATH((void)chipSim(w, EngineKind::Event, planOf({drop})),
+                 "link fault");
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint rollback (SEU recovery)
+// ---------------------------------------------------------------------------
+
+TEST(FaultRecovery, SeuRollbackIsBitIdenticalToFaultFree)
+{
+    const uint64_t ticks = 40;
+    bench::CorticalWorkload w = tappedWorkload(2, 2, 11);
+
+    auto ref = chipSim(w, EngineKind::Event);
+    ref->run(ticks);
+
+    FaultEvent seu;
+    seu.kind = FaultKind::PotentialFlip;
+    seu.tick = 17;
+    seu.core = 2;
+    seu.neuron = 5;
+    seu.bit = 12;
+    seu.transient = true;
+    auto faulty = chipSim(w, EngineKind::Event, planOf({seu}));
+    faulty->setCheckpointInterval(10);
+    faulty->run(ticks);
+
+    // The upset alarms after tick 17, rolls back to the tick-10
+    // checkpoint and replays with the flip suppressed: the transient
+    // leaves no trace in the spike record.
+    EXPECT_EQ(faulty->recorder().spikes(), ref->recorder().spikes());
+    const RecoveryStats &rs = faulty->recoveryStats();
+    EXPECT_EQ(rs.rollbacks, 1u);
+    EXPECT_EQ(rs.checkpoints, 4u);  // ticks 0, 10, 20, 30
+    EXPECT_EQ(rs.replayedTicks, 8u);  // detected at 18, rolled to 10
+    EXPECT_EQ(rs.lastRecoveryLatencyTicks, 8u);
+    EXPECT_EQ(rs.maxRecoveryLatencyTicks, 8u);
+    EXPECT_EQ(rs.unrecoveredAlarms, 0u);
+}
+
+TEST(FaultRecovery, SeuWithoutCheckpointGoesUnrecovered)
+{
+    const uint64_t ticks = 40;
+    bench::CorticalWorkload w = tappedWorkload(2, 2, 11);
+
+    FaultEvent seu;
+    seu.kind = FaultKind::PotentialFlip;
+    seu.tick = 17;
+    seu.core = 2;
+    seu.neuron = 5;
+    seu.bit = 12;
+    seu.transient = true;
+    auto faulty = chipSim(w, EngineKind::Event, planOf({seu}));
+    faulty->run(ticks);  // no checkpoint interval set
+
+    const RecoveryStats &rs = faulty->recoveryStats();
+    EXPECT_EQ(rs.rollbacks, 0u);
+    EXPECT_EQ(rs.unrecoveredAlarms, 1u);
+    EXPECT_EQ(faulty->chip().faultStats().seuFlips, 1u);
+    EXPECT_EQ(faulty->chip().faultStats().alarms, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Link protocol (reliable links mask faults without rollback)
+// ---------------------------------------------------------------------------
+
+TEST(FaultLink, ReliableLinkRetransmitsDroppedPackets)
+{
+    const uint64_t ticks = 30;
+    // min_delay 3: a one-tick retransmission still beats the
+    // delivery tick, so recovery is invisible in the spike record.
+    bench::CorticalWorkload w = tappedWorkload(4, 2, 13, 3);
+
+    LinkParams link;
+    link.reliable = true;
+    auto ref = boardSim(w, 2, 1, link);
+    ref->run(ticks);
+
+    // The integrators take ~16 ticks to reach threshold, so the
+    // window sits in steady state.  Width 2 < maxRetries keeps every
+    // retransmission chain within budget: a packet dropped at 20 and
+    // 21 passes on its second retry at 22, two ticks after its fire
+    // tick — still before its min_delay-3 delivery tick.
+    FaultEvent drop;
+    drop.kind = FaultKind::LinkDrop;
+    drop.tick = 20;
+    drop.untilTick = 22;
+    drop.chip = 0;
+    drop.dir = 0;  // East: the only chip0 -> chip1 link on a 2x1 board
+    drop.transient = true;
+    auto faulty = boardSim(w, 2, 1, link, planOf({drop}));
+    faulty->run(ticks);
+
+    const FaultStats &fs = faulty->board().faultStats();
+    EXPECT_GT(fs.linkDrops, 0u);
+    EXPECT_GT(fs.retries, 0u);
+    EXPECT_EQ(fs.unrecoveredDrops, 0u);
+    EXPECT_EQ(fs.alarms, 0u);  // protocol recovered; no rollback path
+    EXPECT_EQ(faulty->recoveryStats().rollbacks, 0u);
+    EXPECT_EQ(faulty->recorder().spikes(), ref->recorder().spikes());
+}
+
+TEST(FaultLink, ReliableLinkDedupsDuplicatedPackets)
+{
+    const uint64_t ticks = 30;
+    bench::CorticalWorkload w = tappedWorkload(4, 2, 15);
+
+    LinkParams link;
+    link.reliable = true;
+    auto ref = boardSim(w, 2, 1, link);
+    ref->run(ticks);
+
+    FaultEvent dup;
+    dup.kind = FaultKind::LinkDuplicate;
+    dup.tick = 6;
+    dup.untilTick = 10;
+    dup.chip = 0;
+    dup.dir = 0;
+    dup.transient = true;
+    auto faulty = boardSim(w, 2, 1, link, planOf({dup}));
+    faulty->run(ticks);
+
+    const FaultStats &fs = faulty->board().faultStats();
+    EXPECT_GT(fs.linkDups, 0u);
+    EXPECT_EQ(fs.dupsDropped, fs.linkDups);  // every echo discarded
+    EXPECT_EQ(faulty->recoveryStats().rollbacks, 0u);
+    EXPECT_EQ(faulty->recorder().spikes(), ref->recorder().spikes());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint rollback on unprotected links
+// ---------------------------------------------------------------------------
+
+TEST(FaultRecovery, UnprotectedLinkDropRollsBackBitIdentical)
+{
+    const uint64_t ticks = 30;
+    bench::CorticalWorkload w = tappedWorkload(4, 2, 17);
+
+    LinkParams link;  // unreliable: drops alarm instead of retrying
+    auto ref = boardSim(w, 2, 1, link);
+    ref->run(ticks);
+
+    FaultEvent drop;
+    drop.kind = FaultKind::LinkDrop;
+    drop.tick = 18;  // steady state: the link carries traffic by now
+    drop.untilTick = 20;
+    drop.chip = 0;
+    drop.dir = 0;
+    drop.transient = true;
+    auto faulty = boardSim(w, 2, 1, link, planOf({drop}));
+    faulty->setCheckpointInterval(5);
+    faulty->run(ticks);
+
+    EXPECT_GE(faulty->recoveryStats().rollbacks, 1u);
+    EXPECT_EQ(faulty->recoveryStats().unrecoveredAlarms, 0u);
+    EXPECT_EQ(faulty->recorder().spikes(), ref->recorder().spikes());
+}
+
+TEST(FaultRecovery, UnprotectedLinkDuplicateRollsBackBitIdentical)
+{
+    const uint64_t ticks = 30;
+    bench::CorticalWorkload w = tappedWorkload(4, 2, 19);
+
+    LinkParams link;
+    auto ref = boardSim(w, 2, 1, link);
+    ref->run(ticks);
+
+    FaultEvent dup;
+    dup.kind = FaultKind::LinkDuplicate;
+    dup.tick = 18;  // steady state: the link carries traffic by now
+    dup.untilTick = 21;
+    dup.chip = 0;
+    dup.dir = 0;
+    dup.transient = true;
+    auto faulty = boardSim(w, 2, 1, link, planOf({dup}));
+    faulty->setCheckpointInterval(5);
+    faulty->run(ticks);
+
+    EXPECT_GE(faulty->recoveryStats().rollbacks, 1u);
+    EXPECT_EQ(faulty->recorder().spikes(), ref->recorder().spikes());
+}
+
+// ---------------------------------------------------------------------------
+// Link degradation without recovery semantics
+// ---------------------------------------------------------------------------
+
+TEST(FaultLink, LinkDelayParksPackets)
+{
+    const uint64_t ticks = 30;
+    bench::CorticalWorkload w = tappedWorkload(4, 2, 21);
+
+    FaultEvent slow;
+    slow.kind = FaultKind::LinkDelay;
+    slow.tick = 5;
+    slow.untilTick = 12;
+    slow.chip = 0;
+    slow.dir = 0;
+    slow.delayTicks = 3;
+    auto faulty = boardSim(w, 2, 1, LinkParams{}, planOf({slow}));
+    faulty->run(ticks);
+
+    EXPECT_GT(faulty->board().faultStats().linkDelays, 0u);
+    EXPECT_EQ(faulty->board().faultStats().alarms, 0u);  // permanent
+}
+
+TEST(FaultLink, DeadLinkReroutesWithoutChangingTheSpikeStream)
+{
+    const uint64_t ticks = 30;
+    bench::CorticalWorkload w = tappedWorkload(4, 4, 23);
+
+    auto ref = boardSim(w, 2, 2, LinkParams{});
+    ref->run(ticks);
+
+    // Kill chip0's eastbound link before the first tick: chip0 ->
+    // chip1 traffic detours north, east, then south.  With an
+    // unconstrained link every hop stays cut-through, so the detour
+    // changes hop counts but not the spike stream.
+    FaultEvent dead;
+    dead.kind = FaultKind::DeadLink;
+    dead.tick = 0;
+    dead.chip = 0;
+    dead.dir = 0;
+    auto faulty = boardSim(w, 2, 2, LinkParams{}, planOf({dead}));
+    faulty->run(ticks);
+
+    const FaultStats &fs = faulty->board().faultStats();
+    EXPECT_EQ(fs.deadLinks, 1u);
+    EXPECT_TRUE(faulty->board().linkDead(0 * 4 + 0));
+    EXPECT_GT(fs.detours, 0u);
+    EXPECT_EQ(fs.detourDrops, 0u);
+    EXPECT_EQ(faulty->recorder().spikes(), ref->recorder().spikes());
+}
+
+TEST(FaultLink, DeadLinkWithNoAlternatePathDropsPackets)
+{
+    const uint64_t ticks = 30;
+    bench::CorticalWorkload w = tappedWorkload(4, 2, 25);
+
+    // On a 2x1 board there is no detour around the single east link.
+    FaultEvent dead;
+    dead.kind = FaultKind::DeadLink;
+    dead.tick = 0;
+    dead.chip = 0;
+    dead.dir = 0;
+    auto faulty = boardSim(w, 2, 1, LinkParams{}, planOf({dead}));
+    faulty->run(ticks);
+
+    const FaultStats &fs = faulty->board().faultStats();
+    EXPECT_GT(fs.detourDrops, 0u);
+    EXPECT_GT(fs.unrecoveredDrops, 0u);
+}
+
+TEST(FaultInject, BoardPlanSlicesGlobalCoreIndices)
+{
+    const uint64_t ticks = 20;
+    bench::CorticalWorkload w = tappedWorkload(4, 4, 27);
+
+    // Global core 9 on the 4x4 grid = (x 1, y 2) -> chip (0, 1) of a
+    // 2x2 board, local core (x 1, y 0).
+    FaultEvent kill;
+    kill.kind = FaultKind::DeadCore;
+    kill.tick = 2;
+    kill.core = 9;
+    auto faulty = boardSim(w, 2, 2, LinkParams{}, planOf({kill}));
+    faulty->run(ticks);
+
+    EXPECT_EQ(faulty->board().faultStats().deadCores, 1u);
+    EXPECT_TRUE(faulty->board().chip(2).coreDead(1));
+}
+
+// ---------------------------------------------------------------------------
+// Plans: serialization, generation, accounting
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanIo, JsonRoundTripPreservesEveryEvent)
+{
+    FaultCampaignSpec spec;
+    spec.ticks = 50;
+    spec.numCores = 16;
+    spec.boardW = 2;
+    spec.boardH = 2;
+    spec.nDeadCore = 2;
+    spec.nStuckWord = 2;
+    spec.nSeu = 3;
+    spec.nLinkDrop = 2;
+    spec.nLinkDup = 1;
+    spec.nLinkDelay = 1;
+    spec.nDeadLink = 1;
+    FaultPlan plan = makeRandomFaultPlan(spec, 31);
+    ASSERT_EQ(plan.events.size(), 12u);
+
+    FaultPlan back;
+    std::string err;
+    ASSERT_TRUE(FaultPlan::fromJson(plan.toJson(), back, err)) << err;
+    EXPECT_EQ(back.events, plan.events);
+
+    // Same (spec, seed) regenerates the identical plan.
+    EXPECT_EQ(makeRandomFaultPlan(spec, 31).events, plan.events);
+}
+
+TEST(FaultPlanIo, FileRoundTripAndRejection)
+{
+    FaultCampaignSpec spec;
+    spec.nSeu = 2;
+    spec.nLinkDrop = 1;
+    FaultPlan plan = makeRandomFaultPlan(spec, 5);
+    const std::string path = testing::TempDir() + "nscs_plan.json";
+    ASSERT_TRUE(saveFaultPlan(path, plan));
+
+    FaultPlan back;
+    std::string err;
+    ASSERT_TRUE(loadFaultPlan(path, back, err)) << err;
+    EXPECT_EQ(back.events, plan.events);
+
+    EXPECT_FALSE(loadFaultPlan(testing::TempDir() + "no_plan.json",
+                               back, err));
+    EXPECT_FALSE(err.empty());
+
+    JsonValue doc = plan.toJson();
+    doc.set("version", JsonValue::integer(99));
+    EXPECT_FALSE(FaultPlan::fromJson(doc, back, err));
+    EXPECT_NE(err.find("version"), std::string::npos) << err;
+}
+
+TEST(FaultFootprint, PlansAndCheckpointsAreAccounted)
+{
+    bench::CorticalWorkload w = tappedWorkload(2, 2, 29);
+
+    FaultCampaignSpec spec;
+    spec.numCores = 4;
+    spec.nSeu = 8;
+    auto plan = std::make_shared<const FaultPlan>(
+        makeRandomFaultPlan(spec, 3));
+    auto bare = chipSim(w, EngineKind::Event);
+    auto loaded = chipSim(w, EngineKind::Event, plan);
+    EXPECT_GT(loaded->chip().footprintBytes(),
+              bare->chip().footprintBytes());
+
+    // A checkpointed run holds the snapshot blob, and the footprint
+    // says so.
+    size_t before = bare->footprintBytes();
+    bare->setCheckpointInterval(5);
+    bare->run(10);
+    EXPECT_GT(bare->footprintBytes(), before);
+}
+
+} // anonymous namespace
+} // namespace nscs

@@ -288,14 +288,53 @@ TEST(LintFiles, OnlyCcAndHhAreLintable)
     EXPECT_FALSE(lintableFile("script.cchh.txt"));
 }
 
+TEST(LintRawSerialize, FlagsRawByteSerialization)
+{
+    EXPECT_TRUE(hits("auto *p = reinterpret_cast<char *>(&state);",
+                     "raw-serialize"));
+    EXPECT_TRUE(hits("memcpy(buf, &state, sizeof(state));",
+                     "raw-serialize"));
+    EXPECT_TRUE(hits("std::memcpy(buf, &state, sizeof(state));",
+                     "raw-serialize"));
+    EXPECT_TRUE(hits("memmove(dst, src, n);", "raw-serialize"));
+    EXPECT_TRUE(hits("fwrite(&state, sizeof(state), 1, f);",
+                     "raw-serialize"));
+    EXPECT_TRUE(hits("fread(&state, sizeof(state), 1, f);",
+                     "raw-serialize"));
+}
+
+TEST(LintRawSerialize, IgnoresLookalikesAndBitCast)
+{
+    // std::bit_cast is the sanctioned value-level reinterpretation.
+    EXPECT_FALSE(hits("auto b = std::bit_cast<uint64_t>(d);",
+                      "raw-serialize"));
+    // Names inside strings and comments are not code.
+    EXPECT_FALSE(hits("const char *s = \"memcpy\";",
+                      "raw-serialize"));
+    EXPECT_FALSE(hits("// reinterpret_cast is banned here\nint x;",
+                      "raw-serialize"));
+    // Identifier-boundary discipline.
+    EXPECT_FALSE(hits("my_memcpy(buf, src, n);", "raw-serialize"));
+    EXPECT_FALSE(hits("obj.fread(n);", "raw-serialize"));
+}
+
+TEST(LintRawSerialize, AllowCommentWaives)
+{
+    EXPECT_FALSE(hits(
+        "// nscs-lint: allow(raw-serialize): fixed-layout scratch\n"
+        "memcpy(buf, &state, sizeof(state));",
+        "raw-serialize"));
+}
+
 TEST(LintRules, CatalogueIsStable)
 {
     const auto &ids = nscs::lint::ruleIds();
-    ASSERT_EQ(6u, ids.size());
+    ASSERT_EQ(7u, ids.size());
     EXPECT_EQ("wall-clock", ids[0]);
     EXPECT_EQ("raw-random", ids[1]);
     EXPECT_EQ("raw-io", ids[2]);
     EXPECT_EQ("priority-queue", ids[3]);
-    EXPECT_EQ("file-scope-state", ids[4]);
-    EXPECT_EQ("bad-allow", ids[5]);
+    EXPECT_EQ("raw-serialize", ids[4]);
+    EXPECT_EQ("file-scope-state", ids[5]);
+    EXPECT_EQ("bad-allow", ids[6]);
 }

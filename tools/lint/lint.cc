@@ -315,6 +315,26 @@ const NameRule kNameRules[] = {
      "(std::push_heap/pop_heap, see Core::selfEvents_) so stale "
      "entries can be lazily compacted and footprintBytes() can "
      "account for it"},
+    // raw-serialize: persisted state must survive compilers,
+    // endianness and struct-layout changes, so byte-image tricks are
+    // banned; snapshots go through runtime/snapshot + util/json
+    // (std::bit_cast for value-level bit reinterpretation is fine).
+    {"raw-serialize", "reinterpret_cast", false,
+     "raw byte reinterpretation; persistence must go through the "
+     "snapshot API (runtime/snapshot + util/json), value punning "
+     "through std::bit_cast"},
+    {"raw-serialize", "memcpy", true,
+     "raw byte copy of object representation; persist through the "
+     "snapshot API (runtime/snapshot + util/json)"},
+    {"raw-serialize", "memmove", true,
+     "raw byte copy of object representation; persist through the "
+     "snapshot API (runtime/snapshot + util/json)"},
+    {"raw-serialize", "fread", true,
+     "raw byte deserialization; persist through the snapshot API "
+     "(runtime/snapshot + util/json)"},
+    {"raw-serialize", "fwrite", true,
+     "raw byte serialization; persist through the snapshot API "
+     "(runtime/snapshot + util/json)"},
 };
 
 void
@@ -548,8 +568,9 @@ const std::vector<std::string> &
 ruleIds()
 {
     static const std::vector<std::string> kIds = {
-        "wall-clock",    "raw-random",       "raw-io",
-        "priority-queue", "file-scope-state", "bad-allow",
+        "wall-clock",     "raw-random",       "raw-io",
+        "priority-queue", "raw-serialize",    "file-scope-state",
+        "bad-allow",
     };
     return kIds;
 }

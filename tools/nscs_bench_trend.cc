@@ -27,7 +27,10 @@
  *
  * Exit status: 0 on success (even for a flat or single-entry series —
  * trend is a report, not a gate; regressions gate via
- * nscs_bench_diff), 2 on usage/parse errors.
+ * nscs_bench_diff).  A missing or empty series file is also exit 0
+ * with a pointer to `nscs_bench_diff --series`: fresh checkouts have
+ * no history yet, and a reporting step must not fail CI over that.
+ * Exit 2 on usage errors and malformed JSON.
  */
 
 #include <algorithm>
@@ -132,8 +135,11 @@ main(int argc, char **argv)
 
     std::string text;
     if (!readFile(series_path, text)) {
-        std::cerr << "cannot read '" << series_path << "'\n";
-        return 2;
+        std::cout << series_path << ": no series recorded yet — "
+                     "nothing to trend.  Record one with "
+                     "`nscs_bench_diff --series " << series_path
+                  << "`.\n";
+        return 0;
     }
     JsonParseResult parsed = parseJson(text);
     if (!parsed.ok) {
@@ -149,8 +155,11 @@ main(int argc, char **argv)
     const JsonValue &entries = parsed.value.at("entries");
     size_t n = entries.size();
     if (n == 0) {
-        std::cerr << series_path << ": series is empty\n";
-        return 2;
+        std::cout << series_path << ": series is empty — nothing to "
+                     "trend.  Record an entry with "
+                     "`nscs_bench_diff --series " << series_path
+                  << "`.\n";
+        return 0;
     }
     size_t begin = 0;
     if (last > 0 && static_cast<size_t>(last) < n)

@@ -25,6 +25,12 @@
  *   --inputs FILE             input schedule: lines "tick inputName"
  *   --trace FILE              write the output trace here
  *   --stats                   dump device statistics to stderr
+ *   --fault-plan FILE         inject the nscs-fault-plan document
+ *   --checkpoint-every N      checkpoint every N ticks; detected
+ *                             transient faults roll back and replay
+ *   --save-state FILE         write a snapshot after the run
+ *   --restore FILE            restore a snapshot before the run
+ *                             (model/engine/board must match it)
  *
  * The input schedule fires the named input line (all its compiled
  * injection targets) at the given tick.  Exit status 0 on success.
@@ -37,6 +43,7 @@
 #include <sstream>
 
 #include "prog/compiled.hh"
+#include "runtime/fault.hh"
 #include "runtime/simulator.hh"
 #include "runtime/trace.hh"
 #include "util/logging.hh"
@@ -53,7 +60,9 @@ usage()
         "                [--noc functional|cycle] [--threads N]\n"
         "                [--board WxH] [--link-budget N]\n"
         "                [--link-delay N] [--link-queue N]\n"
-        "                [--inputs FILE] [--trace FILE] [--stats]\n";
+        "                [--inputs FILE] [--trace FILE] [--stats]\n"
+        "                [--fault-plan FILE] [--checkpoint-every N]\n"
+        "                [--save-state FILE] [--restore FILE]\n";
     std::exit(2);
 }
 
@@ -118,6 +127,8 @@ main(int argc, char **argv)
     uint32_t board_w = 0, board_h = 0;  // 0 = model default
     LinkParams link;
     std::string inputs_path, trace_path;
+    std::string plan_path, save_path, restore_path;
+    uint64_t checkpoint_every = 0;
     bool stats = false;
 
     for (int i = 3; i < argc; ++i) {
@@ -160,6 +171,14 @@ main(int argc, char **argv)
             trace_path = next();
         } else if (arg == "--stats") {
             stats = true;
+        } else if (arg == "--fault-plan") {
+            plan_path = next();
+        } else if (arg == "--checkpoint-every") {
+            checkpoint_every = parseCount(next(), 1u << 30);
+        } else if (arg == "--save-state") {
+            save_path = next();
+        } else if (arg == "--restore") {
+            restore_path = next();
         } else {
             usage();
         }
@@ -204,6 +223,15 @@ main(int argc, char **argv)
         }
     }
 
+    std::shared_ptr<const FaultPlan> plan;
+    if (!plan_path.empty()) {
+        FaultPlan loaded;
+        std::string err;
+        if (!loadFaultPlan(plan_path, loaded, err))
+            fatal("%s", err.c_str());
+        plan = std::make_shared<const FaultPlan>(std::move(loaded));
+    }
+
     std::unique_ptr<Simulator> sim;
     if (board_mode) {
         BoardParams bp;
@@ -215,6 +243,7 @@ main(int argc, char **argv)
         bp.chip.engine = engine;
         bp.link = link;
         bp.threads = threads;
+        bp.faultPlan = plan;
         sim = std::make_unique<Simulator>(bp, model.cores);
     } else {
         ChipParams cp;
@@ -224,6 +253,7 @@ main(int argc, char **argv)
         cp.engine = engine;
         cp.noc = noc;
         cp.threads = threads;
+        cp.faultPlan = plan;
         sim = std::make_unique<Simulator>(cp, model.cores);
     }
 
@@ -234,7 +264,22 @@ main(int argc, char **argv)
                 source->add(kv.first, target);
     sim->addSource(std::move(source));
 
+    sim->setCheckpointInterval(checkpoint_every);
+    if (!restore_path.empty()) {
+        std::string err;
+        if (!sim->restoreStateFile(restore_path, &err))
+            fatal("cannot restore '%s': %s", restore_path.c_str(),
+                  err.c_str());
+    }
+
     RunPerf perf = sim->run(ticks);
+
+    if (!save_path.empty()) {
+        std::string err;
+        if (!sim->saveStateFile(save_path, &err))
+            fatal("cannot save state to '%s': %s", save_path.c_str(),
+                  err.c_str());
+    }
 
     const auto &spikes = sim->recorder().spikes();
     if (trace_path.empty()) {
@@ -251,6 +296,21 @@ main(int argc, char **argv)
             sim->chip().dumpStats("chip", g);
         g.add("run.ticksPerSecond", perf.ticksPerSecond(),
               "wall-clock simulation speed");
+        if (checkpoint_every != 0) {
+            const RecoveryStats &rs = sim->recoveryStats();
+            g.add("recovery.checkpoints",
+                  static_cast<double>(rs.checkpoints),
+                  "checkpoints taken");
+            g.add("recovery.rollbacks",
+                  static_cast<double>(rs.rollbacks),
+                  "alarm-triggered rollbacks");
+            g.add("recovery.replayedTicks",
+                  static_cast<double>(rs.replayedTicks),
+                  "ticks re-executed after rollbacks");
+            g.add("recovery.unrecoveredAlarms",
+                  static_cast<double>(rs.unrecoveredAlarms),
+                  "alarms with no checkpoint to roll back to");
+        }
         std::cerr << g.format();
     }
     return 0;

@@ -60,12 +60,15 @@ SpikingClassifier::SpikingClassifier(const QuantizedModel &model,
          : std::max<uint32_t>(compiled_.geom.delaySlots,
                               static_cast<uint32_t>(threshold_) + 8);
 
+    NSCS_ASSERT(opt_.instances > 0,
+                "classifier needs at least one instance lane");
     ChipParams cp;
     cp.width = compiled_.gridWidth;
     cp.height = compiled_.gridHeight;
     cp.coreGeom = compiled_.geom;
     cp.engine = opt_.engine;
     cp.noc = opt_.noc;
+    cp.instances = opt_.instances;
     sim_ = std::make_unique<Simulator>(cp, compiled_.cores);
 
     auto sched = std::make_unique<ScheduleSource>();
@@ -81,29 +84,108 @@ SpikingClassifier::SpikingClassifier(const QuantizedModel &model,
     }
 }
 
-uint32_t
-SpikingClassifier::classify(const Sample &sample)
+void
+SpikingClassifier::beginPass(uint64_t t0)
+{
+    // Persistent serving: everything scheduled or recorded before
+    // this pass has been consumed (readout windows never look back
+    // past t0), so drop it — otherwise a long-lived server's
+    // schedule and spike log grow without bound and every request
+    // pays for the accumulated history.
+    schedule_->discardBefore(t0);
+    sim_->recorder().clear();
+}
+
+uint64_t
+SpikingClassifier::scheduleSample(const Sample &sample, uint64_t t0,
+                                  uint32_t inst)
 {
     NSCS_ASSERT(sample.features.size() == qm_.dim,
                 "sample dim %zu != model dim %u",
                 sample.features.size(), qm_.dim);
-
-    Chip &chip = sim_->chip();
-    uint64_t t0 = chip.now();
-    double energy0 = chip.energy().totalJ();
-
     uint64_t injected = 0;
     for (uint32_t f = 0; f < qm_.dim; ++f) {
         if (featureTargets_[f].empty())
             continue;
-        for (uint32_t off : encodeRate(sample.features[f],
-                                       opt_.window)) {
-            for (const InputSpike &target : featureTargets_[f]) {
+        encodeRate(sample.features[f], opt_.window, encodeScratch_);
+        for (uint32_t off : encodeScratch_) {
+            for (InputSpike target : featureTargets_[f]) {
+                target.instance = inst;
                 schedule_->add(t0 + off, target);
                 ++injected;
             }
         }
     }
+    return injected;
+}
+
+uint64_t
+SpikingClassifier::scheduleBatch(const Sample *samples, size_t n,
+                                 uint64_t t0)
+{
+    if (opt_.window > 64) {
+        // Offsets no longer fit one mask word; fall back to the
+        // per-lane path (the tail sort handles the ordering).
+        uint64_t injected = 0;
+        for (size_t i = 0; i < n; ++i)
+            injected += scheduleSample(samples[i], t0,
+                                       static_cast<uint32_t>(i));
+        return injected;
+    }
+
+    // Encode every (lane, feature) train into one offset mask, then
+    // emit offset-major: adds arrive in ascending tick order, so the
+    // schedule's sorted prefix never goes dirty and spikesFor never
+    // sorts.  Within a tick the lane-major, feature-major emit order
+    // below is exactly the stable-sorted order the per-lane path
+    // produces, so the delivered spike sequence — and therefore the
+    // run — is bit-identical.
+    encodeMasks_.assign(n * qm_.dim, 0);
+    uint64_t any = 0;
+    for (size_t i = 0; i < n; ++i) {
+        NSCS_ASSERT(samples[i].features.size() == qm_.dim,
+                    "sample dim %zu != model dim %u",
+                    samples[i].features.size(), qm_.dim);
+        for (uint32_t f = 0; f < qm_.dim; ++f) {
+            if (featureTargets_[f].empty())
+                continue;
+            uint64_t m = encodeRateMask(samples[i].features[f],
+                                        opt_.window);
+            encodeMasks_[i * qm_.dim + f] = m;
+            any |= m;
+        }
+    }
+
+    uint64_t injected = 0;
+    for (uint32_t off = 0; off < opt_.window; ++off) {
+        const uint64_t bit = 1ull << off;
+        if (!(any & bit))
+            continue;
+        for (size_t i = 0; i < n; ++i) {
+            const uint64_t *row = encodeMasks_.data() + i * qm_.dim;
+            for (uint32_t f = 0; f < qm_.dim; ++f) {
+                if (!(row[f] & bit))
+                    continue;
+                for (InputSpike target : featureTargets_[f]) {
+                    target.instance = static_cast<uint32_t>(i);
+                    schedule_->add(t0 + off, target);
+                    ++injected;
+                }
+            }
+        }
+    }
+    return injected;
+}
+
+uint32_t
+SpikingClassifier::classify(const Sample &sample)
+{
+    Chip &chip = sim_->chip();
+    uint64_t t0 = chip.now();
+    double energy0 = chip.energy().totalJ();
+
+    beginPass(t0);
+    uint64_t injected = scheduleBatch(&sample, 1, t0);
 
     uint64_t ticks = opt_.window + gap_;
     sim_->run(ticks);
@@ -121,6 +203,42 @@ SpikingClassifier::classify(const Sample &sample)
     return pred;
 }
 
+std::vector<uint32_t>
+SpikingClassifier::classifyBatch(const std::vector<Sample> &samples)
+{
+    NSCS_ASSERT(!samples.empty() &&
+                    samples.size() <= opt_.instances,
+                "batch of %zu samples on %u instance lanes",
+                samples.size(), opt_.instances);
+
+    Chip &chip = sim_->chip();
+    uint64_t t0 = chip.now();
+    double energy0 = chip.energy().totalJ();
+
+    beginPass(t0);
+    uint64_t injected =
+        scheduleBatch(samples.data(), samples.size(), t0);
+
+    uint64_t ticks = opt_.window + gap_;
+    sim_->run(ticks);
+
+    uint64_t t1 = chip.now();
+    const SpikeRecorder &rec = sim_->recorder();
+    std::vector<uint32_t> preds(samples.size());
+    lastStats_ = InferenceStats{};
+    lastStats_.inputSpikes = injected;
+    lastStats_.ticks = ticks;
+    for (uint32_t i = 0; i < samples.size(); ++i) {
+        preds[i] =
+            rec.argmaxLineInWindow(0, qm_.classes, t0, t1, i);
+        for (uint32_t c = 0; c < qm_.classes; ++c)
+            lastStats_.outputSpikes +=
+                rec.countInWindow(c, t0, t1, i);
+    }
+    lastStats_.energyJ = chip.energy().totalJ() - energy0;
+    return preds;
+}
+
 EvalResult
 SpikingClassifier::evaluate(const Dataset &data, uint32_t max_samples)
 {
@@ -133,14 +251,33 @@ SpikingClassifier::evaluate(const Dataset &data, uint32_t max_samples)
 
     uint32_t correct = 0;
     InferenceStats total;
-    for (uint32_t i = 0; i < n; ++i) {
-        const Sample &s = data.samples[i];
-        if (classify(s) == s.label)
-            ++correct;
-        total.inputSpikes += lastStats_.inputSpikes;
-        total.outputSpikes += lastStats_.outputSpikes;
-        total.ticks += lastStats_.ticks;
-        total.energyJ += lastStats_.energyJ;
+    if (opt_.instances > 1) {
+        // Throughput mode: fill the instance lanes, one sample per
+        // lane per pass; the tail pass runs short.
+        std::vector<Sample> batch;
+        for (uint32_t i = 0; i < n; i += opt_.instances) {
+            uint32_t m = std::min(opt_.instances, n - i);
+            batch.assign(data.samples.begin() + i,
+                         data.samples.begin() + i + m);
+            std::vector<uint32_t> preds = classifyBatch(batch);
+            for (uint32_t k = 0; k < m; ++k)
+                if (preds[k] == data.samples[i + k].label)
+                    ++correct;
+            total.inputSpikes += lastStats_.inputSpikes;
+            total.outputSpikes += lastStats_.outputSpikes;
+            total.ticks += lastStats_.ticks;
+            total.energyJ += lastStats_.energyJ;
+        }
+    } else {
+        for (uint32_t i = 0; i < n; ++i) {
+            const Sample &s = data.samples[i];
+            if (classify(s) == s.label)
+                ++correct;
+            total.inputSpikes += lastStats_.inputSpikes;
+            total.outputSpikes += lastStats_.outputSpikes;
+            total.ticks += lastStats_.ticks;
+            total.energyJ += lastStats_.energyJ;
+        }
     }
     res.accuracy = static_cast<double>(correct) /
         static_cast<double>(n);

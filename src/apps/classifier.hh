@@ -31,6 +31,7 @@ struct ClassifierOptions
     uint32_t window = 64;     //!< rate-code window in ticks
     uint32_t gap = 0;         //!< settle ticks between samples (0=auto)
     int32_t threshold = 0;    //!< class-neuron threshold (0 = auto)
+    uint32_t instances = 1;   //!< model replicas batched per pass
     CompileOptions compile;   //!< tool-flow options
     EngineKind engine = EngineKind::Event;
     NocModel noc = NocModel::Functional;
@@ -63,6 +64,17 @@ class SpikingClassifier
     /** Classify one sample; returns the predicted label. */
     uint32_t classify(const Sample &sample);
 
+    /**
+     * Classify up to ClassifierOptions::instances samples in one
+     * hardware pass, one sample per instance lane; a short batch
+     * (the uneven tail of a request stream) leaves the trailing
+     * lanes idle.  Returns one predicted label per sample.  Each
+     * prediction is bit-identical to a classify() of that sample on
+     * a single-instance deployment.
+     */
+    std::vector<uint32_t> classifyBatch(
+        const std::vector<Sample> &samples);
+
     /** Stats of the most recent classify() call. */
     const InferenceStats &lastStats() const { return lastStats_; }
 
@@ -93,6 +105,25 @@ class SpikingClassifier
     /** Injection targets per feature (cached from compiled_). */
     std::vector<std::vector<InputSpike>> featureTargets_;
     InferenceStats lastStats_;
+    /** Reused encodeRate output; avoids one alloc per feature. */
+    std::vector<uint32_t> encodeScratch_;
+    /** Per-(lane, feature) offset masks for scheduleBatch. */
+    std::vector<uint64_t> encodeMasks_;
+
+    /** Drop last pass's schedule and recordings, keeping a
+     *  long-lived server's memory bounded. */
+    void beginPass(uint64_t t0);
+    /** Schedule @p sample's rate-coded spikes on lane @p inst. */
+    uint64_t scheduleSample(const Sample &sample, uint64_t t0,
+                            uint32_t inst);
+    /**
+     * Schedule @p n samples (one per lane, lane i = samples[i]) in
+     * ascending tick order so the schedule's sorted prefix stays
+     * clean and no pass ever pays a sort.  Emits the same spikes in
+     * the same per-tick order as n scheduleSample calls.
+     */
+    uint64_t scheduleBatch(const Sample *samples, size_t n,
+                           uint64_t t0);
 };
 
 /**

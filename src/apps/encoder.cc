@@ -6,21 +6,50 @@
 
 namespace nscs {
 
-std::vector<uint32_t>
-encodeRate(double value, uint32_t window)
+void
+encodeRate(double value, uint32_t window,
+           std::vector<uint32_t> &out)
 {
     NSCS_ASSERT(value >= 0.0 && value <= 1.0,
                 "rate value %f outside [0, 1]", value);
-    std::vector<uint32_t> spikes;
+    out.clear();
     double acc = 0.0;
     for (uint32_t t = 0; t < window; ++t) {
         acc += value;
         if (acc >= 1.0 - 1e-12) {
-            spikes.push_back(t);
+            out.push_back(t);
             acc -= 1.0;
         }
     }
+}
+
+std::vector<uint32_t>
+encodeRate(double value, uint32_t window)
+{
+    std::vector<uint32_t> spikes;
+    encodeRate(value, window, spikes);
     return spikes;
+}
+
+uint64_t
+encodeRateMask(double value, uint32_t window)
+{
+    NSCS_ASSERT(window <= 64,
+                "encodeRateMask window %u exceeds one word", window);
+    NSCS_ASSERT(value >= 0.0 && value <= 1.0,
+                "rate value %f outside [0, 1]", value);
+    // Same error-diffusion recurrence as encodeRate: bit t set iff
+    // encodeRate would emit offset t.
+    uint64_t mask = 0;
+    double acc = 0.0;
+    for (uint32_t t = 0; t < window; ++t) {
+        acc += value;
+        if (acc >= 1.0 - 1e-12) {
+            mask |= 1ull << t;
+            acc -= 1.0;
+        }
+    }
+    return mask;
 }
 
 std::vector<uint32_t>

@@ -20,6 +20,19 @@ namespace nscs {
  */
 std::vector<uint32_t> encodeRate(double value, uint32_t window);
 
+/** Allocation-free variant: clears and refills @p out.  The serving
+ *  hot path calls this once per feature per request. */
+void encodeRate(double value, uint32_t window,
+                std::vector<uint32_t> &out);
+
+/**
+ * Bitmask variant for windows of at most 64 ticks: bit t is set iff
+ * encodeRate(value, window) would emit offset t.  Lets a batch
+ * scheduler walk offsets in ascending order across many trains
+ * without materialising them.
+ */
+uint64_t encodeRateMask(double value, uint32_t window);
+
 /** Bernoulli rate code: spike each tick with probability v. */
 std::vector<uint32_t> encodeRateStochastic(double value,
                                            uint32_t window,

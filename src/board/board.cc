@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "runtime/parallel.hh"
+#include "runtime/source.hh"
 #include "util/logging.hh"
 
 namespace nscs {
@@ -208,14 +209,22 @@ Board::reset()
 
 void
 Board::injectInput(uint32_t core, uint32_t axon,
-                   uint64_t delivery_tick)
+                   uint64_t delivery_tick, uint32_t inst)
 {
     NSCS_ASSERT(core < numCores(), "injectInput core %u of %u",
                 core, numCores());
     uint32_t gx = core % gw_, gy = core / gw_;
     uint32_t ci = (gy / chipH_) * params_.width + gx / chipW_;
     uint32_t li = (gy % chipH_) * chipW_ + gx % chipW_;
-    chips_[ci]->injectInput(li, axon, delivery_tick);
+    chips_[ci]->injectInput(li, axon, delivery_tick, inst);
+}
+
+void
+Board::injectInputs(const std::vector<InputSpike> &spikes,
+                    uint64_t delivery_tick)
+{
+    for (const InputSpike &s : spikes)
+        injectInput(s.core, s.axon, delivery_tick, s.instance);
 }
 
 /**
@@ -254,6 +263,7 @@ Board::packetChecksum(const BoardPacket &p) const
     mix(p.dstChip);
     mix(p.dstCore);
     mix(p.axon);
+    mix(p.instance);
     mix(p.seq);
     return static_cast<uint32_t>(h ^ (h >> 32));
 }
@@ -281,7 +291,7 @@ Board::deliverPacket(const BoardPacket &p)
         }
     }
     chips_[p.dstChip]->depositRouted(p.dstCore, p.axon,
-                                     p.deliveryTick);
+                                     p.deliveryTick, p.instance);
 }
 
 void
@@ -500,6 +510,7 @@ Board::mergePhase(uint64_t t)
             p.dstChip = (gy / chipH_) * bw + gx / chipW_;
             p.dstCore = (gy % chipH_) * chipW_ + gx % chipW_;
             p.axon = e.axon;
+            p.instance = static_cast<uint16_t>(e.instance);
             p.deliveryTick = e.deliveryTick;
             if (lp.reliable) {
                 // Sequence numbers issue in merge order (serial and
@@ -612,6 +623,7 @@ Board::saveState(JsonValue &out) const
     for (const OutputSpike &s : outputs_) {
         outputs.append(JsonValue::integer(static_cast<int64_t>(s.tick)));
         outputs.append(JsonValue::integer(s.line));
+        outputs.append(JsonValue::integer(s.instance));
     }
     out.set("outputs", std::move(outputs));
 
@@ -643,6 +655,7 @@ Board::saveState(JsonValue &out) const
             flat.append(JsonValue::integer(p.dstChip));
             flat.append(JsonValue::integer(p.dstCore));
             flat.append(JsonValue::integer(p.axon));
+            flat.append(JsonValue::integer(p.instance));
             flat.append(JsonValue::integer(p.queuedLink));
             flat.append(JsonValue::integer(
                 static_cast<int64_t>(p.deliveryTick)));
@@ -738,13 +751,14 @@ Board::restoreState(const JsonValue &in)
 
     const JsonValue &outputs = in.at("outputs");
     if (outputs.type() != JsonValue::Type::Array ||
-        outputs.size() % 2 != 0)
+        outputs.size() % 3 != 0)
         return false;
     outputs_.clear();
-    for (size_t i = 0; i < outputs.size(); i += 2)
+    for (size_t i = 0; i < outputs.size(); i += 3)
         outputs_.push_back(
             {static_cast<uint64_t>(outputs.at(i).asInt()),
-             static_cast<uint32_t>(outputs.at(i + 1).asInt())});
+             static_cast<uint32_t>(outputs.at(i + 1).asInt()),
+             static_cast<uint32_t>(outputs.at(i + 2).asInt())});
 
     const JsonValue &links = in.at("linkStats");
     if (links.type() != JsonValue::Type::Array ||
@@ -777,28 +791,31 @@ Board::restoreState(const JsonValue &in)
             return false;
         const JsonValue &flat = bucket.at("packets");
         if (flat.type() != JsonValue::Type::Array ||
-            flat.size() % 11 != 0)
+            flat.size() % 12 != 0)
             return false;
         std::vector<BoardPacket> &dst =
             pending_[static_cast<uint64_t>(
                 bucket.at("tick").asInt())];
-        for (size_t i = 0; i < flat.size(); i += 11) {
+        for (size_t i = 0; i < flat.size(); i += 12) {
             BoardPacket p;
             p.atChip = static_cast<uint32_t>(flat.at(i).asInt());
             p.dstChip = static_cast<uint32_t>(flat.at(i + 1).asInt());
             p.dstCore = static_cast<uint32_t>(flat.at(i + 2).asInt());
             p.axon = static_cast<uint16_t>(flat.at(i + 3).asInt());
+            p.instance =
+                static_cast<uint16_t>(flat.at(i + 4).asInt());
             p.queuedLink =
-                static_cast<int32_t>(flat.at(i + 4).asInt());
+                static_cast<int32_t>(flat.at(i + 5).asInt());
             p.deliveryTick =
-                static_cast<uint64_t>(flat.at(i + 5).asInt());
-            p.seq = static_cast<uint32_t>(flat.at(i + 6).asInt());
+                static_cast<uint64_t>(flat.at(i + 6).asInt());
+            p.seq = static_cast<uint32_t>(flat.at(i + 7).asInt());
             p.checksum =
-                static_cast<uint32_t>(flat.at(i + 7).asInt());
-            p.retries = static_cast<uint8_t>(flat.at(i + 8).asInt());
-            p.detours = static_cast<uint8_t>(flat.at(i + 9).asInt());
-            p.dupClone =
+                static_cast<uint32_t>(flat.at(i + 8).asInt());
+            p.retries = static_cast<uint8_t>(flat.at(i + 9).asInt());
+            p.detours =
                 static_cast<uint8_t>(flat.at(i + 10).asInt());
+            p.dupClone =
+                static_cast<uint8_t>(flat.at(i + 11).asInt());
             if (p.atChip >= numChips() || p.dstChip >= numChips())
                 return false;
             dst.push_back(p);

@@ -186,7 +186,12 @@ class Board
      * Host I/O is functional: no link bandwidth is consumed.
      */
     void injectInput(uint32_t core, uint32_t axon,
-                     uint64_t delivery_tick);
+                     uint64_t delivery_tick, uint32_t inst = 0);
+
+    /** Bulk injectInput: every spike delivers at @p delivery_tick
+     *  (see Chip::injectInputs). */
+    void injectInputs(const std::vector<InputSpike> &spikes,
+                      uint64_t delivery_tick);
 
     /** Execute one global tick (see the file comment). */
     void tick();
@@ -297,6 +302,7 @@ class Board
         uint32_t dstChip = 0;       //!< destination chip index
         uint32_t dstCore = 0;       //!< local core on dstChip
         uint16_t axon = 0;          //!< target axon
+        uint16_t instance = 0;      //!< destination instance lane
         int32_t queuedLink = -1;    //!< stall queue membership
         uint64_t deliveryTick = 0;  //!< scheduler delivery tick
 

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "runtime/parallel.hh"
+#include "runtime/source.hh"
 #include "util/logging.hh"
 
 namespace nscs {
@@ -24,11 +25,18 @@ Chip::Chip(const ChipParams &params, std::vector<CoreConfig> configs)
         fatal("chip expects %u core configs, got %zu",
               w * h, configs.size());
 
+    if (params_.instances == 0)
+        fatal("chip needs >= 1 instance lane");
+    if (params_.instances > 1 && params_.noc == NocModel::Cycle)
+        fatal("instance batching requires the functional transport "
+              "model (mesh packets do not carry a lane index)");
+
     cores_.reserve(configs.size());
     for (size_t i = 0; i < configs.size(); ++i) {
         if (!(configs[i].geom == params_.coreGeom))
             fatal("core %zu geometry differs from chip geometry", i);
-        cores_.push_back(std::make_unique<Core>(std::move(configs[i])));
+        cores_.push_back(std::make_unique<Core>(std::move(configs[i]),
+                                                params_.instances));
     }
 
     if (params_.allowEgress && params_.noc == NocModel::Cycle)
@@ -92,6 +100,10 @@ Chip::Chip(const ChipParams &params, std::vector<CoreConfig> configs)
                       "outside the %ux%u crossbar", ev.id, ev.axon,
                       ev.word, params_.coreGeom.numAxons,
                       params_.coreGeom.numNeurons);
+            if (ev.kind == FaultKind::PotentialFlip &&
+                ev.instance >= params_.instances)
+                fatal("potential-flip event %u targets instance %u "
+                      "of %u", ev.id, ev.instance, params_.instances);
         }
         std::stable_sort(faultEvents_.begin(), faultEvents_.end(),
                          [](const FaultEvent &a, const FaultEvent &b) {
@@ -172,21 +184,26 @@ Chip::effectiveDeliveryTick(uint64_t delivery_tick,
 
 void
 Chip::depositAndWake(uint32_t core, uint32_t axon,
-                     uint64_t delivery_tick, uint64_t first_available)
+                     uint64_t delivery_tick, uint64_t first_available,
+                     uint32_t inst)
 {
     uint64_t effective = effectiveDeliveryTick(delivery_tick,
                                                first_available);
     if (effective != delivery_tick)
         ++counters_.lateDeliveries;
-    cores_[core]->deposit(delivery_tick, axon);
+    cores_[core]->deposit(delivery_tick, axon, inst);
     scheduleWake(core, effective);
 }
 
 void
-Chip::injectInput(uint32_t core, uint32_t axon, uint64_t delivery_tick)
+Chip::injectInput(uint32_t core, uint32_t axon, uint64_t delivery_tick,
+                  uint32_t inst)
 {
     NSCS_ASSERT(core < numCores(), "injectInput core %u of %u",
                 core, numCores());
+    NSCS_ASSERT(inst < params_.instances,
+                "injectInput instance %u of %u", inst,
+                params_.instances);
     NSCS_ASSERT(delivery_tick >= now_,
                 "injectInput for past tick %llu (now %llu)",
                 static_cast<unsigned long long>(delivery_tick),
@@ -197,20 +214,65 @@ Chip::injectInput(uint32_t core, uint32_t axon, uint64_t delivery_tick)
                 static_cast<unsigned long long>(delivery_tick),
                 params_.coreGeom.delaySlots,
                 static_cast<unsigned long long>(now_));
-    depositAndWake(core, axon, delivery_tick, now_);
+    depositAndWake(core, axon, delivery_tick, now_, inst);
+}
+
+void
+Chip::injectInputs(const std::vector<InputSpike> &spikes,
+                   uint64_t delivery_tick)
+{
+    if (spikes.empty())
+        return;
+    NSCS_ASSERT(delivery_tick >= now_,
+                "injectInputs for past tick %llu (now %llu)",
+                static_cast<unsigned long long>(delivery_tick),
+                static_cast<unsigned long long>(now_));
+    NSCS_ASSERT(delivery_tick < now_ + params_.coreGeom.delaySlots,
+                "injectInputs for tick %llu overruns the %u-slot "
+                "scheduler (now %llu)",
+                static_cast<unsigned long long>(delivery_tick),
+                params_.coreGeom.delaySlots,
+                static_cast<unsigned long long>(now_));
+    const uint64_t effective = effectiveDeliveryTick(delivery_tick,
+                                                     now_);
+    if (effective != delivery_tick)
+        counters_.lateDeliveries +=
+            static_cast<uint64_t>(spikes.size());
+    // Runs of same-core spikes (the common shape: one compiled
+    // input line fans out, then the next) share one pointer chase
+    // and one wake-up; scheduleWake's own dedupe covers cores that
+    // reappear later in the batch.
+    Core *core = nullptr;
+    uint32_t core_idx = ~0u;
+    for (const InputSpike &s : spikes) {
+        NSCS_ASSERT(s.core < numCores(), "injectInputs core %u of %u",
+                    s.core, numCores());
+        NSCS_ASSERT(s.instance < params_.instances,
+                    "injectInputs instance %u of %u", s.instance,
+                    params_.instances);
+        if (s.core != core_idx) {
+            core_idx = s.core;
+            core = cores_[s.core].get();
+            scheduleWake(s.core, effective);
+        }
+        core->deposit(delivery_tick, s.axon, s.instance);
+    }
 }
 
 void
 Chip::depositRouted(uint32_t core, uint32_t axon,
-                    uint64_t delivery_tick)
+                    uint64_t delivery_tick, uint32_t inst)
 {
     NSCS_ASSERT(core < numCores(), "depositRouted core %u of %u",
                 core, numCores());
-    depositAndWake(core, axon, delivery_tick, now_);
+    NSCS_ASSERT(inst < params_.instances,
+                "depositRouted instance %u of %u", inst,
+                params_.instances);
+    depositAndWake(core, axon, delivery_tick, now_, inst);
 }
 
 void
-Chip::routeSpike(uint32_t src_core, uint32_t neuron,
+Chip::routeSpike(uint32_t src_core, const InstanceFire &fire,
                  const NeuronDest &dest, uint64_t t)
 {
     switch (dest.kind) {
@@ -218,13 +280,12 @@ Chip::routeSpike(uint32_t src_core, uint32_t neuron,
         ++counters_.spikesDropped;
         return;
       case NeuronDest::Kind::Output:
-        outputs_.push_back({t, dest.line});
+        outputs_.push_back({t, dest.line, fire.instance});
         ++counters_.spikesOut;
         return;
       case NeuronDest::Kind::Core:
         break;
     }
-    (void)neuron;
     const uint32_t w = params_.width;
     uint32_t sx = src_core % w, sy = src_core / w;
     auto tx = static_cast<uint32_t>(static_cast<int32_t>(sx) + dest.dx);
@@ -235,7 +296,7 @@ Chip::routeSpike(uint32_t src_core, uint32_t neuron,
         // Off-chip target: surface as an egress packet for the board
         // to route (tx/ty wrapped negative reads as >= w/h here).
         egress_.push_back({src_core, dest.dx, dest.dy, dest.axon,
-                           delivery});
+                           delivery, fire.instance});
         ++counters_.spikesEgress;
         return;
     }
@@ -244,7 +305,8 @@ Chip::routeSpike(uint32_t src_core, uint32_t neuron,
     if (params_.noc == NocModel::Functional) {
         counters_.hops += static_cast<uint64_t>(std::abs(dest.dx)) +
             static_cast<uint64_t>(std::abs(dest.dy));
-        depositAndWake(ty * w + tx, dest.axon, delivery, t + 1);
+        depositAndWake(ty * w + tx, dest.axon, delivery, t + 1,
+                       fire.instance);
         return;
     }
 
@@ -280,8 +342,10 @@ Chip::runMesh(uint64_t t)
         ++used;
         for (const MeshDelivery &d : mesh_->deliveries()) {
             uint32_t core = d.y * params_.width + d.x;
+            // Mesh transport implies a single instance lane (checked
+            // at construction).
             depositAndWake(core, d.packet.axon, d.packet.deliveryTick,
-                           t + 1);
+                           t + 1, 0);
         }
         mesh_->clearDeliveries();
     }
@@ -308,7 +372,8 @@ Chip::applyDueFaults(uint64_t t)
                 ++faultStats_.stuckWords;
                 break;
               case FaultKind::PotentialFlip:
-                cores_[ev.core]->flipPotentialBit(ev.neuron, ev.bit);
+                cores_[ev.core]->flipPotentialBit(ev.neuron, ev.bit,
+                                                  ev.instance);
                 ++faultStats_.seuFlips;
                 // Model an ECC/scrub alarm: a transient upset is
                 // detected the tick it lands, giving the recovery
@@ -362,7 +427,7 @@ Chip::collectActive(uint64_t t)
 
 void
 Chip::evaluateCore(uint32_t core, uint64_t t,
-                   std::vector<uint32_t> &fired)
+                   std::vector<InstanceFire> &fired)
 {
     if (params_.engine == EngineKind::Clock)
         cores_[core]->tickDense(t, fired);
@@ -408,8 +473,8 @@ Chip::tickSerial()
         firedScratch_.clear();
         evaluateCore(c, t, firedScratch_);
         ++counters_.coreActivations;
-        for (uint32_t n : firedScratch_)
-            routeSpike(c, n, cores_[c]->dest(n), t);
+        for (const InstanceFire &f : firedScratch_)
+            routeSpike(c, f, cores_[c]->dest(f.neuron), t);
     }
 
     finishTick(t);
@@ -441,7 +506,7 @@ Chip::tickParallel()
         for (uint32_t i = begin; i < end; ++i) {
             chunk.scratch.clear();
             evaluateCore(activeScratch_[i], t, chunk.scratch);
-            for (uint32_t fired : chunk.scratch)
+            for (const InstanceFire &fired : chunk.scratch)
                 chunk.fired.emplace_back(i, fired);
         }
     };
@@ -457,9 +522,9 @@ Chip::tickParallel()
     // the serial engine's order, so outputs, counters and mesh
     // injections are bit-identical.
     for (uint32_t k = 0; k < num_chunks; ++k) {
-        for (auto [i, neuron] : chunks_[k].fired) {
+        for (const auto &[i, fire] : chunks_[k].fired) {
             uint32_t c = activeScratch_[i];
-            routeSpike(c, neuron, cores_[c]->dest(neuron), t);
+            routeSpike(c, fire, cores_[c]->dest(fire.neuron), t);
         }
     }
 
@@ -516,6 +581,7 @@ Chip::saveState(JsonValue &out) const
     for (const OutputSpike &s : outputs_) {
         outputs.append(JsonValue::integer(static_cast<int64_t>(s.tick)));
         outputs.append(JsonValue::integer(s.line));
+        outputs.append(JsonValue::integer(s.instance));
     }
     out.set("outputs", std::move(outputs));
 
@@ -527,6 +593,7 @@ Chip::saveState(JsonValue &out) const
         egress.append(JsonValue::integer(s.axon));
         egress.append(
             JsonValue::integer(static_cast<int64_t>(s.deliveryTick)));
+        egress.append(JsonValue::integer(s.instance));
     }
     out.set("egress", std::move(egress));
 
@@ -612,26 +679,28 @@ Chip::restoreState(const JsonValue &in)
 
     const JsonValue &outputs = in.at("outputs");
     if (outputs.type() != JsonValue::Type::Array ||
-        outputs.size() % 2 != 0)
+        outputs.size() % 3 != 0)
         return false;
     outputs_.clear();
-    for (size_t i = 0; i < outputs.size(); i += 2)
+    for (size_t i = 0; i < outputs.size(); i += 3)
         outputs_.push_back(
             {static_cast<uint64_t>(outputs.at(i).asInt()),
-             static_cast<uint32_t>(outputs.at(i + 1).asInt())});
+             static_cast<uint32_t>(outputs.at(i + 1).asInt()),
+             static_cast<uint32_t>(outputs.at(i + 2).asInt())});
 
     const JsonValue &egress = in.at("egress");
     if (egress.type() != JsonValue::Type::Array ||
-        egress.size() % 5 != 0)
+        egress.size() % 6 != 0)
         return false;
     egress_.clear();
-    for (size_t i = 0; i < egress.size(); i += 5)
+    for (size_t i = 0; i < egress.size(); i += 6)
         egress_.push_back(
             {static_cast<uint32_t>(egress.at(i).asInt()),
              static_cast<int32_t>(egress.at(i + 1).asInt()),
              static_cast<int32_t>(egress.at(i + 2).asInt()),
              static_cast<uint16_t>(egress.at(i + 3).asInt()),
-             static_cast<uint64_t>(egress.at(i + 4).asInt())});
+             static_cast<uint64_t>(egress.at(i + 4).asInt()),
+             static_cast<uint32_t>(egress.at(i + 5).asInt())});
 
     const JsonValue &agenda = in.at("agenda");
     if (agenda.type() != JsonValue::Type::Array ||

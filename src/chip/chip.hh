@@ -47,6 +47,10 @@
 #include "util/stats.hh"
 
 namespace nscs {
+struct InputSpike;  // runtime/source.hh
+}
+
+namespace nscs {
 
 class ThreadPool;
 
@@ -84,6 +88,18 @@ struct ChipParams
     uint32_t threads = 0;
 
     /**
+     * Replica instance lanes per core (instance batching).  Every
+     * core executes this many replicas of its configured network in
+     * lockstep: configuration is shared read-only, mutable state is
+     * per-lane, and each lane's spike stream is bit-identical to a
+     * single-instance run fed the same inputs (see Core).  All spike
+     * I/O structs (OutputSpike, EgressSpike, InputSpike) carry the
+     * lane index.  Requires the Functional transport model when > 1:
+     * mesh SpikePackets do not carry a lane.
+     */
+    uint32_t instances = 1;
+
+    /**
      * Permit neuron destinations that land outside this chip's core
      * grid.  Such spikes surface as EgressSpikes instead of being a
      * configuration error; the containing Board routes them over
@@ -107,8 +123,9 @@ struct ChipParams
 /** An output spike that left the chip. */
 struct OutputSpike
 {
-    uint64_t tick = 0;   //!< generation tick
-    uint32_t line = 0;   //!< output line id
+    uint64_t tick = 0;     //!< generation tick
+    uint32_t line = 0;     //!< output line id
+    uint32_t instance = 0; //!< emitting instance lane
 
     bool operator==(const OutputSpike &other) const = default;
 };
@@ -128,6 +145,7 @@ struct EgressSpike
     int32_t dy = 0;            //!< relative core hops in y
     uint16_t axon = 0;         //!< target axon index
     uint64_t deliveryTick = 0; //!< fire tick + configured delay
+    uint32_t instance = 0;     //!< emitting/target instance lane
 
     bool operator==(const EgressSpike &other) const = default;
 };
@@ -172,7 +190,18 @@ class Chip
      * the next tick to execute).
      */
     void injectInput(uint32_t core, uint32_t axon,
-                     uint64_t delivery_tick);
+                     uint64_t delivery_tick, uint32_t inst = 0);
+
+    /**
+     * Deposit a batch of external spikes, all for delivery at tick
+     * @p delivery_tick.  Equivalent to calling injectInput per
+     * spike; the bulk path hoists the tick-range check, the
+     * effective-tick computation and the per-core wake-up out of
+     * the per-spike loop — the classifier front-end injects
+     * thousands of same-tick spikes per serving pass.
+     */
+    void injectInputs(const std::vector<InputSpike> &spikes,
+                      uint64_t delivery_tick);
 
     /**
      * Execute one tick.  Uses the parallel engine when
@@ -219,10 +248,13 @@ class Chip
      * link contention legitimately delays packets past their slot.
      */
     void depositRouted(uint32_t core, uint32_t axon,
-                       uint64_t delivery_tick);
+                       uint64_t delivery_tick, uint32_t inst = 0);
 
     /** Number of cores. */
     uint32_t numCores() const { return static_cast<uint32_t>(cores_.size()); }
+
+    /** Replica instance lanes per core. */
+    uint32_t instances() const { return params_.instances; }
 
     /** Core access. */
     const Core &core(uint32_t idx) const { return *cores_[idx]; }
@@ -288,17 +320,18 @@ class Chip
     bool restoreState(const JsonValue &in);
 
   private:
-    void routeSpike(uint32_t src_core, uint32_t neuron,
+    void routeSpike(uint32_t src_core, const InstanceFire &fire,
                     const NeuronDest &dest, uint64_t t);
     void depositAndWake(uint32_t core, uint32_t axon,
-                        uint64_t delivery_tick, uint64_t t);
+                        uint64_t delivery_tick, uint64_t t,
+                        uint32_t inst);
     void runMesh(uint64_t t);
     void scheduleWake(uint32_t core, uint64_t tick);
     uint64_t effectiveDeliveryTick(uint64_t delivery_tick,
                                    uint64_t t) const;
     void collectActive(uint64_t t);
     void evaluateCore(uint32_t core, uint64_t t,
-                      std::vector<uint32_t> &fired);
+                      std::vector<InstanceFire> &fired);
     void finishTick(uint64_t t);
     void applyDueFaults(uint64_t t);
 
@@ -319,16 +352,16 @@ class Chip
     std::vector<std::pair<uint64_t, uint32_t>> agenda_;
     std::vector<uint64_t> lastWake_;     //!< dedup helper per core
     std::vector<uint32_t> activeScratch_;
-    std::vector<uint32_t> firedScratch_;
+    std::vector<InstanceFire> firedScratch_;
 
     // Parallel engine (params.threads >= 2).
     std::unique_ptr<ThreadPool> pool_;
     /** Per-chunk reusable buffers for the parallel evaluation phase. */
     struct EvalChunk
     {
-        /** (index into activeScratch_, fired neuron), in eval order. */
-        std::vector<std::pair<uint32_t, uint32_t>> fired;
-        std::vector<uint32_t> scratch;   //!< per-core fired scratch
+        /** (index into activeScratch_, fire), in eval order. */
+        std::vector<std::pair<uint32_t, InstanceFire>> fired;
+        std::vector<InstanceFire> scratch; //!< per-core fired scratch
     };
     std::vector<EvalChunk> chunks_;
 

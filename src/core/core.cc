@@ -8,21 +8,21 @@
 
 namespace nscs {
 
-Core::Core(CoreConfig cfg)
+Core::Core(CoreConfig cfg, uint32_t instances)
     : cfg_(std::move(cfg)),
       xbar_(cfg_.xbarRows, cfg_.geom.numNeurons),
-      sched_(cfg_.geom.delaySlots, cfg_.geom.numAxons),
-      rng_(cfg_.rngSeed),
+      sched_(cfg_.geom.delaySlots, cfg_.geom.numAxons, instances),
       evalMask_(cfg_.geom.numNeurons)
 {
     validateCoreConfig(cfg_, "Core");
+    NSCS_ASSERT(instances >= 1, "core needs >= 1 instance");
     const uint32_t n = cfg_.geom.numNeurons;
-    v_.resize(n);
     cls_.resize(n);
-    doneThrough_.resize(n);
-    scheduledFire_.resize(n);
     for (uint32_t j = 0; j < n; ++j)
         cls_[j] = classifyNeuron(cfg_.neurons[j]);
+    // Lanes must exist before buildLanes(): threshold calibration
+    // probes the real integrate paths through lane 0.
+    inst_.init(instances, n);
     buildLanes();
     buildUpdateCohorts();
     reset();
@@ -41,7 +41,6 @@ Core::buildUpdateCohorts()
 {
     const uint32_t n = cfg_.geom.numNeurons;
     update_.build(cfg_.neurons);
-    firedBits_ = BitVec(n);
     detEvalScratch_ = BitVec(n);
     detRuns_.clear();
     stochUpdList_.clear();
@@ -83,10 +82,7 @@ Core::buildLanes()
         lane.axons = BitVec(num_axons);
         lane.stoch = BitVec(num_neurons);
         lane.weight.assign(num_neurons, 0);
-        lane.rowOr = BitVec(num_neurons);
-        lane.planes.assign(static_cast<size_t>(planeCount_) * words, 0);
         lane.present = false;
-        lane.activeAxons = 0;
         for (uint32_t j = 0; j < num_neurons; ++j) {
             lane.weight[j] = cfg_.neurons[j].synWeight[g];
             if (cfg_.neurons[j].synStochastic[g])
@@ -99,7 +95,19 @@ Core::buildLanes()
         lane.present = true;
     }
 
-    touched_ = BitVec(num_neurons);
+    folds_.resize(instances());
+    for (FoldScratch &f : folds_) {
+        for (unsigned g = 0; g < kNumAxonTypes; ++g) {
+            f.type[g].rowOr = BitVec(num_neurons);
+            f.type[g].planes.assign(
+                static_cast<size_t>(planeCount_) * words, 0);
+            f.type[g].activeAxons = 0;
+        }
+        f.touched = BitVec(num_neurons);
+        f.key = BitVec(num_axons);
+        f.live = false;
+    }
+    foldUnion_ = BitVec(num_axons);
     fallback_ = BitVec(num_neurons);
 
     wpMinActive_ = calibrateWordParallelThreshold();
@@ -115,7 +123,7 @@ Core::buildLanes()
  * micro-calibrated instead: synthetic active slots of doubling
  * activity are timed through the *real* scalar and word-parallel
  * integrate paths and the measured crossover wins.  Everything the
- * probes mutate (potentials, counters, PRNG, lane scratch) is
+ * probes mutate (lane-0 potentials, counters, PRNG, plane scratch) is
  * re-initialised by reset() immediately after construction, and the
  * threshold only selects between two bit-identical paths, so
  * calibration cannot perturb architectural results.
@@ -147,6 +155,7 @@ Core::calibrateWordParallelThreshold()
     if (rows.size() < 2)
         return std::min(model, num_axons + 1);
 
+    InstanceLane &L0 = inst_[0];
     BitVec active(num_axons);
     auto probe = [&](bool word_parallel) {
         double best = 1e300;
@@ -155,16 +164,22 @@ Core::calibrateWordParallelThreshold()
             // steady-state path: drifting values would saturate at
             // the rails and push later word-parallel reps onto the
             // fallback replay, biasing the crossover.
-            std::fill(v_.begin(), v_.end(), 0);
+            std::fill(L0.v.begin(), L0.v.end(), 0);
             // Construction-time perf calibration: picks between two
             // bit-identical integrate paths, so host timing cannot
             // change architectural output (see the method comment).
             // nscs-lint: allow(wall-clock): calibration, output-neutral
             auto t0 = std::chrono::steady_clock::now();
-            if (word_parallel)
-                integrateWordParallel(active, 0, false);
-            else
-                integrateScalar(active, 0, false);
+            if (word_parallel) {
+                integrateWordParallel(L0, 0, active, 0, false);
+                // Charge the fold-scratch teardown to the
+                // word-parallel probe: a per-tick run pays it once
+                // per distinct pattern, and letting reps 2..3 reuse
+                // the cached planes would measure apply-only cost.
+                clearIntegratePlanes();
+            } else {
+                integrateScalar(L0, active, 0, false);
+            }
             // nscs-lint: allow(wall-clock): see t0 above.
             auto t1 = std::chrono::steady_clock::now();
             best = std::min(
@@ -217,40 +232,47 @@ Core::reset()
     const uint32_t n = cfg_.geom.numNeurons;
     revertXbarOverrides();
     denseList_.clear();
-    selfEvents_.clear();
-    selfEventsStale_ = 0;
-    for (uint32_t j = 0; j < n; ++j) {
-        // Architectural reset contract: the negative-threshold rule
-        // is applied once to the configured initial potential.
-        v_[j] = applyNegativeRule(cfg_.neurons[j].initialPotential,
-                                  cfg_.neurons[j]);
-        doneThrough_[j] = 0;
-        scheduledFire_[j] = kNoFire;
-        if (cls_[j] == UpdateClass::Dense) {
+    for (uint32_t j = 0; j < n; ++j)
+        if (cls_[j] == UpdateClass::Dense)
             denseList_.push_back(j);
-        } else {
-            auto delta = nextFireDelta(v_[j], cfg_.neurons[j]);
-            if (delta) {
-                scheduledFire_[j] = *delta - 1;
-                pushSelfEvent(scheduledFire_[j], j);
+    for (InstanceLane &L : inst_.lanes) {
+        L.selfEvents.clear();
+        L.selfEventsStale = 0;
+        for (uint32_t j = 0; j < n; ++j) {
+            // Architectural reset contract: the negative-threshold
+            // rule is applied once to the configured initial
+            // potential.
+            L.v[j] = applyNegativeRule(
+                cfg_.neurons[j].initialPotential, cfg_.neurons[j]);
+            L.doneThrough[j] = 0;
+            L.scheduledFire[j] = kNoFire;
+            if (cls_[j] != UpdateClass::Dense) {
+                auto delta = nextFireDelta(L.v[j], cfg_.neurons[j]);
+                if (delta) {
+                    L.scheduledFire[j] = *delta - 1;
+                    pushSelfEvent(L, L.scheduledFire[j], j);
+                }
             }
         }
+        L.firedBits.reset();
+        L.rng.reset(cfg_.rngSeed);
     }
-    firedBits_.reset();
     detEvalScratch_.reset();
     sched_.reset();
-    rng_.reset(cfg_.rngSeed);
     evalMask_.reset();
+    clearIntegratePlanes();
     counters_ = CoreCounters{};
     mode_ = Mode::Unset;
 }
 
 void
-Core::deposit(uint64_t delivery_tick, uint32_t axon)
+Core::deposit(uint64_t delivery_tick, uint32_t axon, uint32_t inst)
 {
     NSCS_ASSERT(axon < cfg_.geom.numAxons,
                 "deposit to axon %u of %u", axon, cfg_.geom.numAxons);
-    sched_.deposit(delivery_tick, axon);
+    NSCS_ASSERT(inst < instances(),
+                "deposit to instance %u of %u", inst, instances());
+    sched_.deposit(delivery_tick, axon, inst);
 }
 
 void
@@ -263,30 +285,33 @@ Core::commitMode(Mode m)
 }
 
 void
-Core::catchUp(uint32_t n, uint64_t t)
+Core::catchUp(InstanceLane &L, uint32_t n, uint64_t t)
 {
-    uint64_t done = doneThrough_[n];
+    uint64_t done = L.doneThrough[n];
     if (done >= t)
         return;
     NSCS_ASSERT(cls_[n] != UpdateClass::Dense,
                 "Dense neuron %u fell behind (done %llu < t %llu)", n,
                 static_cast<unsigned long long>(done),
                 static_cast<unsigned long long>(t));
-    v_[n] = leakForward(v_[n], cfg_.neurons[n], t - done);
-    doneThrough_[n] = t;
+    L.v[n] = leakForward(L.v[n], cfg_.neurons[n], t - done);
+    L.doneThrough[n] = t;
 }
 
 void
-Core::integrateActiveAxons(uint64_t t, bool sparse)
+Core::integrateActiveAxons(InstanceLane &L, uint32_t inst, uint64_t t,
+                           bool sparse)
 {
-    if (sched_.slotEmpty(t))
+    if (sched_.slotEmpty(t, inst))
         return;
-    const BitVec &active = sched_.slot(t);
-    if (wordParallel_ && sched_.slotCount(t) >= wpMinActive_)
-        integrateWordParallel(active, t, sparse);
+    const BitVec &active = sched_.slot(t, inst);
+    if (wordParallel_ && sched_.slotCount(t, inst) >= wpMinActive_)
+        integrateWordParallel(L, inst, active, t, sparse);
     else
-        integrateScalar(active, t, sparse);
-    sched_.clearSlot(t);
+        integrateScalar(L, active, t, sparse);
+    // The slot is NOT cleared here: later instance lanes still read
+    // their slots this tick, so all of this tick's slot planes drop
+    // together in finishTickIntegrate().
 }
 
 /**
@@ -295,32 +320,205 @@ Core::integrateActiveAxons(uint64_t t, bool sparse)
  * row.  The word-parallel path below must match this bit for bit.
  */
 void
-Core::integrateScalar(const BitVec &active, uint64_t t, bool sparse)
+Core::integrateScalar(InstanceLane &L, const BitVec &active,
+                      uint64_t t, bool sparse)
 {
-    active.forEachSet([this, t, sparse](size_t a) {
+    active.forEachSet([this, &L, t, sparse](size_t a) {
         unsigned g = cfg_.axonType[a];
         const BitVec &row = xbar_.row(static_cast<uint32_t>(a));
-        row.forEachSet([this, t, sparse, g](size_t j) {
+        row.forEachSet([this, &L, t, sparse, g](size_t j) {
             auto n = static_cast<uint32_t>(j);
             if (sparse) {
                 if (cls_[n] != UpdateClass::Dense)
-                    catchUp(n, t);
+                    catchUp(L, n, t);
                 evalMask_.set(n);
             }
-            v_[n] = integrateSynapse(v_[n], cfg_.neurons[n], g, &rng_);
+            L.v[n] = integrateSynapse(L.v[n], cfg_.neurons[n], g,
+                                      &L.rng);
             ++counters_.sops;
         });
     });
 }
 
 /**
+ * Phase 1 of the word-parallel integrate: fold the active-axon
+ * pattern against each axon-type partition with 64-bit word
+ * operations.  The OR of active rows gives the touched-neuron mask,
+ * and carry-save bit-plane addition of the same rows gives per-neuron
+ * event counts per type (a column popcount computed 64 columns at a
+ * time).  The fold depends only on the pattern and the (shared)
+ * crossbar — never on lane state.  This is the single-lane builder;
+ * batched ticks fill every lane at once through foldTickPlanes.
+ */
+void
+Core::buildIntegratePlanes(FoldScratch &f, const BitVec &active)
+{
+    const size_t words = f.touched.words().size();
+    f.touched.reset();
+    for (unsigned g = 0; g < kNumAxonTypes; ++g) {
+        const TypeLane &lane = lanes_[g];
+        TypeFold &tf = f.type[g];
+        tf.activeAxons = 0;
+        if (!lane.present || !active.intersects(lane.axons))
+            continue;
+        active.forEachSetMasked(lane.axons, [this, &tf,
+                                             words](size_t a) {
+            const BitVec &row = xbar_.row(static_cast<uint32_t>(a));
+            ++tf.activeAxons;
+            row.forEachSetWord([&tf, words](size_t w, uint64_t bits) {
+                tf.rowOr.orWordAt(w, bits);
+                // Carry-save add: plane p holds bit p of every
+                // column's running count.
+                uint64_t carry = bits;
+                size_t idx = w;
+                while (carry) {
+                    uint64_t old = tf.planes[idx];
+                    tf.planes[idx] = old ^ carry;
+                    carry &= old;
+                    idx += words;
+                }
+            });
+        });
+        f.touched.orAccumulate(tf.rowOr);
+    }
+    f.key = active;
+    f.live = true;
+}
+
+/**
+ * Transposed fold for a batched tick: one pass over the union of
+ * every word-parallel lane's active axons, fetching each crossbar
+ * row once and carry-saving it into the fold of every lane whose
+ * slot carries that axon.  Produces, per lane, exactly the planes
+ * buildIntegratePlanes would (carry-save addition and the touched
+ * OR are order-independent), while the row traversal — the
+ * shared-read part of the integrate — is paid once per tick instead
+ * of once per lane.  Lanes below the word-parallel threshold are
+ * left un-folded; integrateActiveAxons routes them to the scalar
+ * path by the same test.  Lane chunks of 64 keep the per-axon lane
+ * set in one word without capping the instance count.
+ */
+void
+Core::foldTickPlanes(uint64_t t)
+{
+    if (!wordParallel_)
+        return;
+    const uint32_t total = instances();
+    for (uint32_t base = 0; base < total; base += 64) {
+        const uint32_t chunk = std::min<uint32_t>(64, total - base);
+        uint64_t wp_mask = 0;
+        const uint64_t *slots[64];
+        for (uint32_t k = 0; k < chunk; ++k) {
+            const uint32_t inst = base + k;
+            if (sched_.slotEmpty(t, inst) ||
+                sched_.slotCount(t, inst) < wpMinActive_)
+                continue;
+            wp_mask |= 1ull << k;
+            slots[k] = sched_.slot(t, inst).words().data();
+            FoldScratch &f = folds_[inst];
+            f.touched.reset();
+            for (unsigned g = 0; g < kNumAxonTypes; ++g)
+                f.type[g].activeAxons = 0;
+            f.key = sched_.slot(t, inst);
+            f.live = true;
+        }
+        if (!wp_mask)
+            continue;
+        if (std::popcount(wp_mask) > 1)
+            counters_.planeReuses +=
+                static_cast<uint64_t>(std::popcount(wp_mask)) - 1;
+
+        foldUnion_.reset();
+        for (uint64_t m = wp_mask; m;) {
+            const auto k = static_cast<unsigned>(__builtin_ctzll(m));
+            m &= m - 1;
+            foldUnion_.orAccumulate(sched_.slot(t, base + k));
+        }
+
+        const size_t words = evalMask_.words().size();
+        foldUnion_.forEachSet([&](size_t a) {
+            const size_t aw = a >> 6;
+            const uint64_t abit = 1ull << (a & 63);
+            uint64_t present = 0;
+            for (uint64_t m = wp_mask; m;) {
+                const auto k =
+                    static_cast<unsigned>(__builtin_ctzll(m));
+                m &= m - 1;
+                if (slots[k][aw] & abit)
+                    present |= 1ull << k;
+            }
+            const unsigned g = cfg_.axonType[a];
+            const BitVec &row = xbar_.row(static_cast<uint32_t>(a));
+            row.forEachSetWord([&](size_t w, uint64_t bits) {
+                for (uint64_t m = present; m;) {
+                    const auto k =
+                        static_cast<unsigned>(__builtin_ctzll(m));
+                    m &= m - 1;
+                    FoldScratch &f = folds_[base + k];
+                    TypeFold &tf = f.type[g];
+                    tf.rowOr.orWordAt(w, bits);
+                    f.touched.orWordAt(w, bits);
+                    uint64_t carry = bits;
+                    size_t idx = w;
+                    while (carry) {
+                        uint64_t old = tf.planes[idx];
+                        tf.planes[idx] = old ^ carry;
+                        carry &= old;
+                        idx += words;
+                    }
+                }
+            });
+            for (uint64_t m = present; m;) {
+                const auto k =
+                    static_cast<unsigned>(__builtin_ctzll(m));
+                m &= m - 1;
+                ++folds_[base + k].type[g].activeAxons;
+            }
+        });
+    }
+}
+
+/** Drop one lane's fold scratch, word-wise over the words it
+ *  touched. */
+void
+Core::clearFold(FoldScratch &f)
+{
+    if (!f.live)
+        return;
+    const size_t words = f.touched.words().size();
+    for (unsigned g = 0; g < kNumAxonTypes; ++g) {
+        TypeFold &tf = f.type[g];
+        if (!tf.activeAxons)
+            continue;
+        const auto planes_used = static_cast<unsigned>(
+            std::bit_width(tf.activeAxons));
+        tf.rowOr.forEachSetWord([&tf, words,
+                                 planes_used](size_t w, uint64_t) {
+            size_t idx = w;
+            for (unsigned p = 0; p < planes_used; ++p, idx += words)
+                tf.planes[idx] = 0;
+        });
+        tf.rowOr.reset();
+        tf.activeAxons = 0;
+    }
+    f.touched.reset();
+    f.live = false;
+}
+
+/** Drop every lane's fold scratch. */
+void
+Core::clearIntegratePlanes()
+{
+    for (FoldScratch &f : folds_)
+        clearFold(f);
+}
+
+/**
  * Word-parallel synaptic integration.
  *
- * Phase 1 folds the active-axon slot against each axon-type
- * partition with 64-bit word operations: the OR of active rows
- * gives the touched-neuron mask, and carry-save bit-plane addition
- * of the same rows gives per-neuron event counts per type (a column
- * popcount computed 64 columns at a time).
+ * Phase 1 (buildIntegratePlanes above) folds the active-axon slot
+ * into (touched mask, count planes) — or reuses the lane's fold when
+ * the batched per-tick pass (foldTickPlanes) already built it.
  *
  * Phase 2 applies deterministic synapses as one batched
  * v += count * weight add per type.  Equivalence argument: the
@@ -339,70 +537,48 @@ Core::integrateScalar(const BitVec &active, uint64_t t, bool sparse)
  * which is the cross-engine equivalence contract.
  */
 void
-Core::integrateWordParallel(const BitVec &active, uint64_t t,
+Core::integrateWordParallel(InstanceLane &L, uint32_t inst,
+                            const BitVec &active, uint64_t t,
                             bool sparse)
 {
-    const size_t words = touched_.words().size();
+    FoldScratch &f = folds_[inst];
+    const size_t words = f.touched.words().size();
 
-    // Phase 1: partition the active slot by axon type and fold each
-    // partition's crossbar rows into (touched mask, count planes).
-    touched_.reset();
-    for (unsigned g = 0; g < kNumAxonTypes; ++g) {
-        TypeLane &lane = lanes_[g];
-        lane.activeAxons = 0;
-        if (!lane.present || !active.intersects(lane.axons))
-            continue;
-        active.forEachSetMasked(lane.axons, [this, &lane,
-                                             words](size_t a) {
-            const BitVec &row = xbar_.row(static_cast<uint32_t>(a));
-            ++lane.activeAxons;
-            row.forEachSetWord([&lane, words](size_t w, uint64_t bits) {
-                lane.rowOr.orWordAt(w, bits);
-                // Carry-save add: plane p holds bit p of every
-                // column's running count.
-                uint64_t carry = bits;
-                size_t idx = w;
-                while (carry) {
-                    uint64_t old = lane.planes[idx];
-                    lane.planes[idx] = old ^ carry;
-                    carry &= old;
-                    idx += words;
-                }
-            });
-        });
-        touched_.orAccumulate(lane.rowOr);
+    if (!f.live || !(f.key == active)) {
+        clearFold(f);
+        buildIntegratePlanes(f, active);
     }
     if (sparse)
-        evalMask_.orAccumulate(touched_);
+        evalMask_.orAccumulate(f.touched);
 
-    // Plane p of lane g can be nonzero only once 2^p rows were
-    // folded; bound extraction and cleanup accordingly.
+    // Plane p of type g can be nonzero only once 2^p rows were
+    // folded; bound extraction accordingly.
     unsigned planes_used[kNumAxonTypes];
     for (unsigned g = 0; g < kNumAxonTypes; ++g)
         planes_used[g] = static_cast<unsigned>(
-            std::bit_width(lanes_[g].activeAxons));
+            std::bit_width(f.type[g].activeAxons));
 
     // Phase 2: batch-apply deterministic events per touched neuron;
     // divert saturation-risk and stochastic targets to the fallback
     // set.
     bool any_fallback = false;
-    touched_.forEachSetWord([&](size_t w, uint64_t word) {
+    f.touched.forEachSetWord([&](size_t w, uint64_t word) {
         uint64_t bits = word;
         while (bits) {
             unsigned b = static_cast<unsigned>(__builtin_ctzll(bits));
             bits &= bits - 1;
             auto n = static_cast<uint32_t>(w * 64 + b);
             if (sparse && cls_[n] != UpdateClass::Dense)
-                catchUp(n, t);
+                catchUp(L, n, t);
             int64_t delta = 0, pos = 0, neg = 0;
             uint64_t events = 0;
             bool stochastic = false;
             for (unsigned g = 0; g < kNumAxonTypes; ++g) {
-                const TypeLane &lane = lanes_[g];
-                if (!lane.activeAxons ||
-                    !((lane.rowOr.words()[w] >> b) & 1))
+                const TypeFold &tf = f.type[g];
+                if (!tf.activeAxons ||
+                    !((tf.rowOr.words()[w] >> b) & 1))
                     continue;
-                if ((lane.stoch.words()[w] >> b) & 1) {
+                if ((lanes_[g].stoch.words()[w] >> b) & 1) {
                     stochastic = true;
                     break;
                 }
@@ -410,9 +586,10 @@ Core::integrateWordParallel(const BitVec &active, uint64_t t,
                 size_t idx = w;
                 for (unsigned p = 0; p < planes_used[g];
                      ++p, idx += words)
-                    cnt |= ((lane.planes[idx] >> b) & 1) << p;
+                    cnt |= ((tf.planes[idx] >> b) & 1) << p;
                 events += cnt;
-                int64_t d = static_cast<int64_t>(cnt) * lane.weight[n];
+                int64_t d = static_cast<int64_t>(cnt) *
+                    lanes_[g].weight[n];
                 delta += d;
                 if (d > 0)
                     pos += d;
@@ -424,9 +601,9 @@ Core::integrateWordParallel(const BitVec &active, uint64_t t,
                 any_fallback = true;
                 continue;
             }
-            int64_t v0 = v_[n];
+            int64_t v0 = L.v[n];
             if (v0 + pos <= vHi_[n] && v0 + neg >= vLo_[n]) {
-                v_[n] = static_cast<int32_t>(v0 + delta);
+                L.v[n] = static_cast<int32_t>(v0 + delta);
                 counters_.sops += events;
                 counters_.sopsBatched += events;
             } else {
@@ -439,50 +616,45 @@ Core::integrateWordParallel(const BitVec &active, uint64_t t,
     // Phase 3: event-by-event replay of the fallback neurons in the
     // architectural (axon-major) order; the only PRNG consumer.
     if (any_fallback) {
-        active.forEachSet([this](size_t a) {
+        active.forEachSet([this, &L](size_t a) {
             unsigned g = cfg_.axonType[a];
             xbar_.row(static_cast<uint32_t>(a)).forEachSetMasked(
-                fallback_, [this, g](size_t j) {
+                fallback_, [this, &L, g](size_t j) {
                     auto n = static_cast<uint32_t>(j);
-                    v_[n] = integrateSynapse(v_[n], cfg_.neurons[n], g,
-                                             &rng_);
+                    L.v[n] = integrateSynapse(L.v[n], cfg_.neurons[n],
+                                              g, &L.rng);
                     ++counters_.sops;
                 });
         });
         fallback_.reset();
     }
-
-    // Scratch cleanup, word-wise over the words each lane touched.
-    for (unsigned g = 0; g < kNumAxonTypes; ++g) {
-        TypeLane &lane = lanes_[g];
-        if (!lane.activeAxons)
-            continue;
-        lane.rowOr.forEachSetWord([&lane, words,
-                                   &planes_used, g](size_t w, uint64_t) {
-            size_t idx = w;
-            for (unsigned p = 0; p < planes_used[g]; ++p, idx += words)
-                lane.planes[idx] = 0;
-        });
-        lane.rowOr.reset();
-    }
+    // The lane's fold stays live until finishTickIntegrate() drops
+    // every lane's scratch at end of tick.
 }
 
+/** End-of-tick teardown after every instance lane has evaluated:
+ *  drop the cached fold scratch and this tick's slot planes. */
 void
-Core::tickDense(uint64_t t, std::vector<uint32_t> &fired)
+Core::finishTickIntegrate(uint64_t t)
 {
-    commitMode(Mode::Dense);
-    ++counters_.ticksRun;
-    integrateActiveAxons(t, false);
+    clearIntegratePlanes();
+    sched_.clearTickSlots(t);
+}
+
+/** Dense (every-neuron) evaluation of one instance lane: integrate
+ *  its slot, then update all neurons, leaving fires in L.firedBits
+ *  for emitFired. */
+void
+Core::evalDenseLane(InstanceLane &L, uint32_t inst, uint64_t t)
+{
+    integrateActiveAxons(L, inst, t, false);
     const uint32_t n = cfg_.geom.numNeurons;
     if (!wordParallelUpdate_) {
         // Scalar reference: one endOfTickUpdate per neuron, ascending.
         for (uint32_t j = 0; j < n; ++j) {
-            bool f = endOfTickUpdate(v_[j], cfg_.neurons[j], &rng_);
+            if (endOfTickUpdate(L.v[j], cfg_.neurons[j], &L.rng))
+                L.firedBits.set(j);
             ++counters_.evals;
-            if (f) {
-                fired.push_back(j);
-                ++counters_.spikes;
-            }
         }
         return;
     }
@@ -495,54 +667,94 @@ Core::tickDense(uint64_t t, std::vector<uint32_t> &fired)
     // untouched.  emitFired then merges both cohorts' fires in
     // ascending order.
     for (const auto &[b, e] : detRuns_)
-        batchUpdateRange(update_, v_.data(), b, e, firedBits_);
+        batchUpdateRange(update_, L.v.data(), b, e, L.firedBits);
     const auto stoch_n = static_cast<uint64_t>(stochUpdList_.size());
     if (stochUpdateBatch_ && stoch_n != 0) {
-        precomputeStochDraws(update_, stochUpdList_, rng_,
+        precomputeStochDraws(update_, stochUpdList_, L.rng,
                              stochDraws_);
         for (uint32_t j : stochUpdList_) {
-            if (batchUpdateStochOne(update_, stochDraws_, v_.data(),
+            if (batchUpdateStochOne(update_, stochDraws_, L.v.data(),
                                     j))
-                firedBits_.set(j);
+                L.firedBits.set(j);
         }
         counters_.evalsBatched += stoch_n;
         counters_.evalsStochBatched += stoch_n;
     } else {
         for (uint32_t j : stochUpdList_) {
-            if (endOfTickUpdate(v_[j], cfg_.neurons[j], &rng_))
-                firedBits_.set(j);
+            if (endOfTickUpdate(L.v[j], cfg_.neurons[j], &L.rng))
+                L.firedBits.set(j);
         }
     }
     counters_.evals += n;
     counters_.evalsBatched += n - stoch_n;
-    emitFired(fired);
 }
 
-/** Drain firedBits_ into @p fired in ascending index order. */
 void
-Core::emitFired(std::vector<uint32_t> &fired)
+Core::tickDense(uint64_t t, std::vector<uint32_t> &fired)
 {
-    firedBits_.forEachSet([this, &fired](size_t j) {
+    NSCS_ASSERT(instances() == 1,
+                "plain tickDense on a %u-instance core; use the "
+                "InstanceFire overload", instances());
+    commitMode(Mode::Dense);
+    ++counters_.ticksRun;
+    InstanceLane &L = inst_[0];
+    evalDenseLane(L, 0, t);
+    finishTickIntegrate(t);
+    emitFired(L, fired);
+}
+
+void
+Core::tickDense(uint64_t t, std::vector<InstanceFire> &fired)
+{
+    commitMode(Mode::Dense);
+    ++counters_.ticksRun;
+    if (instances() > 1)
+        foldTickPlanes(t);
+    for (uint32_t i = 0; i < instances(); ++i) {
+        InstanceLane &L = inst_[i];
+        evalDenseLane(L, i, t);
+        emitFired(L, i, fired);
+    }
+    finishTickIntegrate(t);
+}
+
+/** Drain L.firedBits into @p fired in ascending index order. */
+void
+Core::emitFired(InstanceLane &L, std::vector<uint32_t> &fired)
+{
+    L.firedBits.forEachSet([this, &fired](size_t j) {
         fired.push_back(static_cast<uint32_t>(j));
         ++counters_.spikes;
     });
-    firedBits_.reset();
+    L.firedBits.reset();
+}
+
+/** Drain L.firedBits as (instance, neuron) fires, ascending. */
+void
+Core::emitFired(InstanceLane &L, uint32_t inst,
+                std::vector<InstanceFire> &fired)
+{
+    L.firedBits.forEachSet([this, inst, &fired](size_t j) {
+        fired.push_back({inst, static_cast<uint32_t>(j)});
+        ++counters_.spikes;
+    });
+    L.firedBits.reset();
 }
 
 void
-Core::pushSelfEvent(uint64_t tick, uint32_t n)
+Core::pushSelfEvent(InstanceLane &L, uint64_t tick, uint32_t n)
 {
-    selfEvents_.emplace_back(tick, n);
-    std::push_heap(selfEvents_.begin(), selfEvents_.end(),
+    L.selfEvents.emplace_back(tick, n);
+    std::push_heap(L.selfEvents.begin(), L.selfEvents.end(),
                    std::greater<>{});
 }
 
 void
-Core::popSelfEventTop()
+Core::popSelfEventTop(InstanceLane &L)
 {
-    std::pop_heap(selfEvents_.begin(), selfEvents_.end(),
+    std::pop_heap(L.selfEvents.begin(), L.selfEvents.end(),
                   std::greater<>{});
-    selfEvents_.pop_back();
+    L.selfEvents.pop_back();
 }
 
 /**
@@ -554,11 +766,11 @@ Core::popSelfEventTop()
  * rebuild floor).
  */
 void
-Core::noteStaleSelfEvent()
+Core::noteStaleSelfEvent(InstanceLane &L)
 {
-    ++selfEventsStale_;
-    if (selfEvents_.size() < 64 ||
-        selfEventsStale_ * 2 <= selfEvents_.size())
+    ++L.selfEventsStale;
+    if (L.selfEvents.size() < 64 ||
+        L.selfEventsStale * 2 <= L.selfEvents.size())
         return;
     // Drop pairs that no longer match their neuron's prediction.  A
     // neuron re-predicted away from and then back to the same tick
@@ -567,56 +779,56 @@ Core::noteStaleSelfEvent()
     // outstanding prediction and the stale counter restarts from a
     // clean slate.  A sorted ascending range already satisfies the
     // min-heap property, so no make_heap is needed.
-    std::erase_if(selfEvents_, [this](const auto &e) {
-        return scheduledFire_[e.second] != e.first;
+    std::erase_if(L.selfEvents, [&L](const auto &e) {
+        return L.scheduledFire[e.second] != e.first;
     });
-    std::sort(selfEvents_.begin(), selfEvents_.end());
-    selfEvents_.erase(
-        std::unique(selfEvents_.begin(), selfEvents_.end()),
-        selfEvents_.end());
-    selfEventsStale_ = 0;
+    std::sort(L.selfEvents.begin(), L.selfEvents.end());
+    L.selfEvents.erase(
+        std::unique(L.selfEvents.begin(), L.selfEvents.end()),
+        L.selfEvents.end());
+    L.selfEventsStale = 0;
     ++counters_.selfEventCompactions;
 }
 
 void
-Core::scheduleSelfEvent(uint32_t n)
+Core::scheduleSelfEvent(InstanceLane &L, uint32_t n)
 {
-    auto delta = nextFireDelta(v_[n], cfg_.neurons[n]);
-    uint64_t sf = delta ? doneThrough_[n] + *delta - 1 : kNoFire;
-    uint64_t old = scheduledFire_[n];
+    auto delta = nextFireDelta(L.v[n], cfg_.neurons[n]);
+    uint64_t sf = delta ? L.doneThrough[n] + *delta - 1 : kNoFire;
+    uint64_t old = L.scheduledFire[n];
     if (sf == old)
         return;
-    scheduledFire_[n] = sf;
+    L.scheduledFire[n] = sf;
     if (sf != kNoFire)
-        pushSelfEvent(sf, n);
+        pushSelfEvent(L, sf, n);
     // The previous prediction's pair (old, n) is still in the heap
     // and now reads stale; account for it after the push so a
     // triggered compaction sees the fresh pair as live.
     if (old != kNoFire)
-        noteStaleSelfEvent();
+        noteStaleSelfEvent(L);
 }
 
+/** Sparse evaluation of one instance lane: drain its due
+ *  self-events, integrate its slot, update the evaluation set,
+ *  leaving fires in L.firedBits for emitFired. */
 void
-Core::tickSparse(uint64_t t, std::vector<uint32_t> &fired)
+Core::evalSparseLane(InstanceLane &L, uint32_t inst, uint64_t t)
 {
-    commitMode(Mode::Sparse);
-    ++counters_.ticksRun;
-
     evalMask_.reset();
 
     // Due self-events join the evaluation set.  A popped live pair is
-    // consumed: clearing scheduledFire_ keeps the near-invariant
+    // consumed: clearing scheduledFire keeps the near-invariant
     // that a non-kNoFire prediction has one live pair in the heap
     // (re-predicting back to a previously-staled tick can transiently
     // duplicate a live pair; the duplicate drains here as stale and
     // compaction collapses it, so the stale accounting only defers,
     // never corrupts).
-    while (!selfEvents_.empty() && selfEvents_.front().first <= t) {
-        auto [tick, n] = selfEvents_.front();
-        if (scheduledFire_[n] != tick) {
-            popSelfEventTop();  // stale prediction
-            if (selfEventsStale_ > 0)
-                --selfEventsStale_;
+    while (!L.selfEvents.empty() && L.selfEvents.front().first <= t) {
+        auto [tick, n] = L.selfEvents.front();
+        if (L.scheduledFire[n] != tick) {
+            popSelfEventTop(L);  // stale prediction
+            if (L.selfEventsStale > 0)
+                --L.selfEventsStale;
             continue;
         }
         NSCS_ASSERT(tick == t,
@@ -624,31 +836,28 @@ Core::tickSparse(uint64_t t, std::vector<uint32_t> &fired)
                     "(now %llu)", n,
                     static_cast<unsigned long long>(tick),
                     static_cast<unsigned long long>(t));
-        popSelfEventTop();
-        scheduledFire_[n] = kNoFire;
+        popSelfEventTop(L);
+        L.scheduledFire[n] = kNoFire;
         evalMask_.set(n);
     }
 
-    integrateActiveAxons(t, true);
+    integrateActiveAxons(L, inst, t, true);
 
     for (uint32_t n : denseList_)
         evalMask_.set(n);
 
     if (!wordParallelUpdate_) {
         // Scalar reference: ascending over the full evaluation set.
-        evalMask_.forEachSet([this, t, &fired](size_t j) {
+        evalMask_.forEachSet([this, &L, t](size_t j) {
             auto n = static_cast<uint32_t>(j);
             if (cls_[n] != UpdateClass::Dense)
-                catchUp(n, t);
-            bool f = endOfTickUpdate(v_[n], cfg_.neurons[n], &rng_);
+                catchUp(L, n, t);
+            if (endOfTickUpdate(L.v[n], cfg_.neurons[n], &L.rng))
+                L.firedBits.set(n);
             ++counters_.evals;
-            doneThrough_[n] = t + 1;
-            if (f) {
-                fired.push_back(n);
-                ++counters_.spikes;
-            }
+            L.doneThrough[n] = t + 1;
             if (cls_[n] != UpdateClass::Dense)
-                scheduleSelfEvent(n);
+                scheduleSelfEvent(L, n);
         });
         return;
     }
@@ -659,89 +868,137 @@ Core::tickSparse(uint64_t t, std::vector<uint32_t> &fired)
     // never draw.  Fired bits from both cohorts merge ascending.
     detEvalScratch_ = evalMask_;
     detEvalScratch_ &= update_.deterministic;
-    detEvalScratch_.forEachSet([this, t](size_t j) {
+    detEvalScratch_.forEachSet([this, &L, t](size_t j) {
         auto n = static_cast<uint32_t>(j);
         if (cls_[n] != UpdateClass::Dense)
-            catchUp(n, t);
+            catchUp(L, n, t);
     });
     uint64_t batched =
-        batchUpdateMasked(update_, v_.data(), detEvalScratch_,
-                          firedBits_);
+        batchUpdateMasked(update_, L.v.data(), detEvalScratch_,
+                          L.firedBits);
     counters_.evals += batched;
     counters_.evalsBatched += batched;
-    detEvalScratch_.forEachSet([this, t](size_t j) {
+    detEvalScratch_.forEachSet([this, &L, t](size_t j) {
         auto n = static_cast<uint32_t>(j);
-        doneThrough_[n] = t + 1;
+        L.doneThrough[n] = t + 1;
         if (cls_[n] != UpdateClass::Dense)
-            scheduleSelfEvent(n);
+            scheduleSelfEvent(L, n);
     });
 
     // The remainder is exactly the drawsPerTick neurons, which
     // always classify Dense: never skipped (no catch-up), never
     // self-predicted, and in evalMask_ every tick — so it equals
     // stochUpdList_ and batches through precomputed draws exactly as
-    // in tickDense.
+    // in the dense strategy.
     const auto stoch_n = static_cast<uint64_t>(stochUpdList_.size());
     if (stochUpdateBatch_ && stoch_n != 0) {
-        precomputeStochDraws(update_, stochUpdList_, rng_,
+        precomputeStochDraws(update_, stochUpdList_, L.rng,
                              stochDraws_);
         for (uint32_t j : stochUpdList_) {
-            if (batchUpdateStochOne(update_, stochDraws_, v_.data(),
+            if (batchUpdateStochOne(update_, stochDraws_, L.v.data(),
                                     j))
-                firedBits_.set(j);
-            doneThrough_[j] = t + 1;
+                L.firedBits.set(j);
+            L.doneThrough[j] = t + 1;
         }
         counters_.evals += stoch_n;
         counters_.evalsBatched += stoch_n;
         counters_.evalsStochBatched += stoch_n;
     } else {
         evalMask_.forEachSetMasked(update_.stochastic,
-                                   [this, t](size_t j) {
+                                   [this, &L, t](size_t j) {
             auto n = static_cast<uint32_t>(j);
-            if (endOfTickUpdate(v_[n], cfg_.neurons[n], &rng_))
-                firedBits_.set(n);
+            if (endOfTickUpdate(L.v[n], cfg_.neurons[n], &L.rng))
+                L.firedBits.set(n);
             ++counters_.evals;
-            doneThrough_[n] = t + 1;
+            L.doneThrough[n] = t + 1;
         });
     }
-    emitFired(fired);
+}
+
+void
+Core::tickSparse(uint64_t t, std::vector<uint32_t> &fired)
+{
+    NSCS_ASSERT(instances() == 1,
+                "plain tickSparse on a %u-instance core; use the "
+                "InstanceFire overload", instances());
+    commitMode(Mode::Sparse);
+    ++counters_.ticksRun;
+    InstanceLane &L = inst_[0];
+    evalSparseLane(L, 0, t);
+    finishTickIntegrate(t);
+    emitFired(L, fired);
+}
+
+void
+Core::tickSparse(uint64_t t, std::vector<InstanceFire> &fired)
+{
+    commitMode(Mode::Sparse);
+    ++counters_.ticksRun;
+    if (instances() > 1)
+        foldTickPlanes(t);
+    for (uint32_t i = 0; i < instances(); ++i) {
+        InstanceLane &L = inst_[i];
+        evalSparseLane(L, i, t);
+        emitFired(L, i, fired);
+    }
+    finishTickIntegrate(t);
 }
 
 std::optional<uint64_t>
 Core::nextSelfEvent()
 {
-    while (!selfEvents_.empty()) {
-        auto [tick, n] = selfEvents_.front();
-        if (scheduledFire_[n] != tick) {
-            popSelfEventTop();
-            if (selfEventsStale_ > 0)
-                --selfEventsStale_;
-            continue;
+    std::optional<uint64_t> best;
+    for (InstanceLane &L : inst_.lanes) {
+        while (!L.selfEvents.empty()) {
+            auto [tick, n] = L.selfEvents.front();
+            if (L.scheduledFire[n] != tick) {
+                popSelfEventTop(L);
+                if (L.selfEventsStale > 0)
+                    --L.selfEventsStale;
+                continue;
+            }
+            if (!best || tick < *best)
+                best = tick;
+            break;
         }
-        return tick;
     }
-    return std::nullopt;
+    return best;
+}
+
+size_t
+Core::selfEventQueueDepth() const
+{
+    size_t depth = 0;
+    for (const InstanceLane &L : inst_.lanes)
+        depth += L.selfEvents.size();
+    return depth;
 }
 
 const CoreCounters &
 Core::counters() const
 {
-    counters_.rngDraws = rng_.draws();
+    uint64_t draws = 0;
+    for (const InstanceLane &L : inst_.lanes)
+        draws += L.rng.draws();
+    counters_.rngDraws = draws;
     counters_.deposits = sched_.deposits();
     counters_.collisions = sched_.collisions();
     return counters_;
 }
 
 int32_t
-Core::settledPotential(uint32_t n, uint64_t t) const
+Core::settledPotential(uint32_t n, uint64_t t, uint32_t inst) const
 {
-    NSCS_ASSERT(n < v_.size(), "neuron %u out of range", n);
+    NSCS_ASSERT(n < cfg_.geom.numNeurons, "neuron %u out of range", n);
+    NSCS_ASSERT(inst < instances(), "instance %u of %u", inst,
+                instances());
+    const InstanceLane &L = inst_[inst];
     if (mode_ != Mode::Sparse)
-        return v_[n];
-    uint64_t done = doneThrough_[n];
+        return L.v[n];
+    uint64_t done = L.doneThrough[n];
     if (done >= t || cls_[n] == UpdateClass::Dense)
-        return v_[n];
-    return leakForward(v_[n], cfg_.neurons[n], t - done);
+        return L.v[n];
+    return leakForward(L.v[n], cfg_.neurons[n], t - done);
 }
 
 size_t
@@ -751,34 +1008,34 @@ Core::footprintBytes() const
     bytes += cfg_.footprintBytes();
     bytes += xbar_.footprintBytes();
     bytes += sched_.footprintBytes();
-    bytes += v_.capacity() * sizeof(int32_t);
+    bytes += inst_.footprintBytes();
     bytes += cls_.capacity() * sizeof(UpdateClass);
     bytes += denseList_.capacity() * sizeof(uint32_t);
-    bytes += doneThrough_.capacity() * sizeof(uint64_t);
-    bytes += scheduledFire_.capacity() * sizeof(uint64_t);
     bytes += evalMask_.footprintBytes();
     for (const TypeLane &lane : lanes_) {
         bytes += lane.axons.footprintBytes();
         bytes += lane.stoch.footprintBytes();
         bytes += lane.weight.capacity() * sizeof(int32_t);
-        bytes += lane.rowOr.footprintBytes();
-        bytes += lane.planes.capacity() * sizeof(uint64_t);
     }
+    for (const FoldScratch &f : folds_) {
+        for (const TypeFold &tf : f.type) {
+            bytes += tf.rowOr.footprintBytes();
+            bytes += tf.planes.capacity() * sizeof(uint64_t);
+        }
+        bytes += f.touched.footprintBytes();
+        bytes += f.key.footprintBytes();
+    }
+    bytes += folds_.capacity() * sizeof(FoldScratch);
+    bytes += foldUnion_.footprintBytes();
     bytes += vLo_.capacity() * sizeof(int32_t);
     bytes += vHi_.capacity() * sizeof(int32_t);
-    bytes += touched_.footprintBytes();
     bytes += fallback_.footprintBytes();
     bytes += update_.footprintBytes();
     bytes += detRuns_.capacity() *
         sizeof(std::pair<uint32_t, uint32_t>);
     bytes += stochUpdList_.capacity() * sizeof(uint32_t);
     bytes += stochDraws_.footprintBytes();
-    bytes += firedBits_.footprintBytes();
     bytes += detEvalScratch_.footprintBytes();
-    // The self-event heap was previously omitted, under-reporting
-    // long sparse runs where stale predictions accumulate.
-    bytes += selfEvents_.capacity() *
-        sizeof(std::pair<uint64_t, uint32_t>);
     bytes += xbarOverrides_.capacity() * sizeof(XbarOverride);
     return bytes;
 }
@@ -807,11 +1064,15 @@ Core::applyStuckWord(uint32_t axon, uint32_t word, uint64_t bits)
 }
 
 void
-Core::flipPotentialBit(uint32_t n, uint32_t bit)
+Core::flipPotentialBit(uint32_t n, uint32_t bit, uint32_t inst)
 {
-    NSCS_ASSERT(n < v_.size(), "SEU on neuron %u of %zu", n, v_.size());
-    int32_t v = v_[n] ^ static_cast<int32_t>(1u << (bit & 31));
-    v_[n] = std::clamp(v, vLo_[n], vHi_[n]);
+    NSCS_ASSERT(n < cfg_.geom.numNeurons, "SEU on neuron %u of %u", n,
+                cfg_.geom.numNeurons);
+    NSCS_ASSERT(inst < instances(), "SEU on instance %u of %u", inst,
+                instances());
+    InstanceLane &L = inst_[inst];
+    int32_t v = L.v[n] ^ static_cast<int32_t>(1u << (bit & 31));
+    L.v[n] = std::clamp(v, vLo_[n], vHi_[n]);
 }
 
 void
@@ -832,33 +1093,44 @@ Core::saveState(JsonValue &out) const
             arr.append(JsonValue::integer(proj(x)));
         return arr;
     };
-    out.set("v", intArray(v_, [](int32_t x) {
-        return static_cast<int64_t>(x);
-    }));
-    out.set("doneThrough", intArray(doneThrough_, [](uint64_t x) {
-        return static_cast<int64_t>(x);
-    }));
-    // kNoFire (~0ull) travels as -1: JSON integers are int64.
-    out.set("schedFire", intArray(scheduledFire_, [](uint64_t x) {
-        return x == kNoFire ? int64_t{-1} : static_cast<int64_t>(x);
-    }));
-    // The raw heap array, verbatim: pop_heap order depends on the
-    // array layout, so restoring a re-pushed heap would not replay
-    // bit-identically.
-    JsonValue selfEvents = JsonValue::array();
-    for (const auto &[tick, n] : selfEvents_) {
-        selfEvents.append(JsonValue::integer(static_cast<int64_t>(tick)));
-        selfEvents.append(JsonValue::integer(n));
+    out.set("instances", JsonValue::integer(instances()));
+    JsonValue lanes = JsonValue::array();
+    for (const InstanceLane &L : inst_.lanes) {
+        JsonValue lj = JsonValue::object();
+        lj.set("v", intArray(L.v, [](int32_t x) {
+            return static_cast<int64_t>(x);
+        }));
+        lj.set("doneThrough", intArray(L.doneThrough, [](uint64_t x) {
+            return static_cast<int64_t>(x);
+        }));
+        // kNoFire (~0ull) travels as -1: JSON integers are int64.
+        lj.set("schedFire", intArray(L.scheduledFire, [](uint64_t x) {
+            return x == kNoFire ? int64_t{-1}
+                                : static_cast<int64_t>(x);
+        }));
+        // The raw heap array, verbatim: pop_heap order depends on the
+        // array layout, so restoring a re-pushed heap would not
+        // replay bit-identically.
+        JsonValue selfEvents = JsonValue::array();
+        for (const auto &[tick, n] : L.selfEvents) {
+            selfEvents.append(
+                JsonValue::integer(static_cast<int64_t>(tick)));
+            selfEvents.append(JsonValue::integer(n));
+        }
+        lj.set("selfEvents", std::move(selfEvents));
+        lj.set("selfEventsStale",
+               JsonValue::integer(
+                   static_cast<int64_t>(L.selfEventsStale)));
+        JsonValue rng = JsonValue::object();
+        rng.set("state", JsonValue::integer(L.rng.state()));
+        rng.set("draws",
+                JsonValue::integer(
+                    static_cast<int64_t>(L.rng.draws())));
+        lj.set("rng", std::move(rng));
+        lanes.append(std::move(lj));
     }
-    out.set("selfEvents", std::move(selfEvents));
-    out.set("selfEventsStale",
-            JsonValue::integer(static_cast<int64_t>(selfEventsStale_)));
+    out.set("lanes", std::move(lanes));
     out.set("mode", JsonValue::integer(static_cast<int64_t>(mode_)));
-    JsonValue rng = JsonValue::object();
-    rng.set("state", JsonValue::integer(rng_.state()));
-    rng.set("draws",
-            JsonValue::integer(static_cast<int64_t>(rng_.draws())));
-    out.set("rng", std::move(rng));
     JsonValue sched;
     sched_.saveState(sched);
     out.set("sched", std::move(sched));
@@ -885,6 +1157,7 @@ Core::saveState(JsonValue &out) const
     putCounter("evalsBatched", c.evalsBatched);
     putCounter("evalsStochBatched", c.evalsStochBatched);
     putCounter("selfEventCompactions", c.selfEventCompactions);
+    putCounter("planeReuses", c.planeReuses);
     out.set("counters", std::move(counters));
 }
 
@@ -894,43 +1167,60 @@ Core::restoreState(const JsonValue &in)
     if (in.type() != JsonValue::Type::Object)
         return false;
     const uint32_t n = cfg_.geom.numNeurons;
-    for (const char *key : {"v", "doneThrough", "schedFire", "selfEvents",
-                            "rng", "sched", "xbarOverrides", "counters"})
+    for (const char *key : {"lanes", "sched", "xbarOverrides",
+                            "counters"})
         if (!in.has(key))
             return false;
-    const JsonValue &v = in.at("v");
-    const JsonValue &done = in.at("doneThrough");
-    const JsonValue &fire = in.at("schedFire");
-    if (v.size() != n || done.size() != n || fire.size() != n)
+    const JsonValue &lanes = in.at("lanes");
+    if (lanes.type() != JsonValue::Type::Array ||
+        lanes.size() != instances())
         return false;
-    for (uint32_t j = 0; j < n; ++j) {
-        v_[j] = static_cast<int32_t>(v.at(j).asInt());
-        doneThrough_[j] = static_cast<uint64_t>(done.at(j).asInt());
-        int64_t f = fire.at(j).asInt();
-        scheduledFire_[j] = f < 0 ? kNoFire : static_cast<uint64_t>(f);
-    }
-    const JsonValue &selfEvents = in.at("selfEvents");
-    if (selfEvents.size() % 2 != 0)
-        return false;
-    selfEvents_.clear();
-    selfEvents_.reserve(selfEvents.size() / 2);
-    for (size_t i = 0; i < selfEvents.size(); i += 2) {
-        auto tick = static_cast<uint64_t>(selfEvents.at(i).asInt());
-        auto neuron =
-            static_cast<uint32_t>(selfEvents.at(i + 1).asInt());
-        if (neuron >= n)
+    for (uint32_t i = 0; i < instances(); ++i) {
+        const JsonValue &lj = lanes.at(i);
+        InstanceLane &L = inst_[i];
+        for (const char *key : {"v", "doneThrough", "schedFire",
+                                "selfEvents", "rng"})
+            if (!lj.has(key))
+                return false;
+        const JsonValue &v = lj.at("v");
+        const JsonValue &done = lj.at("doneThrough");
+        const JsonValue &fire = lj.at("schedFire");
+        if (v.size() != n || done.size() != n || fire.size() != n)
             return false;
-        selfEvents_.emplace_back(tick, neuron);
+        for (uint32_t j = 0; j < n; ++j) {
+            L.v[j] = static_cast<int32_t>(v.at(j).asInt());
+            L.doneThrough[j] =
+                static_cast<uint64_t>(done.at(j).asInt());
+            int64_t f = fire.at(j).asInt();
+            L.scheduledFire[j] =
+                f < 0 ? kNoFire : static_cast<uint64_t>(f);
+        }
+        const JsonValue &selfEvents = lj.at("selfEvents");
+        if (selfEvents.size() % 2 != 0)
+            return false;
+        L.selfEvents.clear();
+        L.selfEvents.reserve(selfEvents.size() / 2);
+        for (size_t k = 0; k < selfEvents.size(); k += 2) {
+            auto tick =
+                static_cast<uint64_t>(selfEvents.at(k).asInt());
+            auto neuron =
+                static_cast<uint32_t>(selfEvents.at(k + 1).asInt());
+            if (neuron >= n)
+                return false;
+            L.selfEvents.emplace_back(tick, neuron);
+        }
+        L.selfEventsStale =
+            static_cast<uint64_t>(lj.getInt("selfEventsStale", 0));
+        const JsonValue &rng = lj.at("rng");
+        L.rng.restoreState(
+            static_cast<uint16_t>(rng.getInt("state", 0)),
+            static_cast<uint64_t>(rng.getInt("draws", 0)));
+        L.firedBits.reset();
     }
-    selfEventsStale_ =
-        static_cast<uint64_t>(in.getInt("selfEventsStale", 0));
     int64_t mode = in.getInt("mode", 0);
     if (mode < 0 || mode > 2)
         return false;
     mode_ = static_cast<Mode>(mode);
-    const JsonValue &rng = in.at("rng");
-    rng_.restoreState(static_cast<uint16_t>(rng.getInt("state", 0)),
-                      static_cast<uint64_t>(rng.getInt("draws", 0)));
     if (!sched_.restoreState(in.at("sched")))
         return false;
     revertXbarOverrides();
@@ -962,6 +1252,8 @@ Core::restoreState(const JsonValue &in)
         static_cast<uint64_t>(counters.getInt("evalsStochBatched", 0));
     counters_.selfEventCompactions = static_cast<uint64_t>(
         counters.getInt("selfEventCompactions", 0));
+    counters_.planeReuses =
+        static_cast<uint64_t>(counters.getInt("planeReuses", 0));
     // Per-tick scratch is clean between ticks by invariant; make that
     // true regardless of what state this core was in before restore.
     denseList_.clear();
@@ -969,9 +1261,8 @@ Core::restoreState(const JsonValue &in)
         if (cls_[j] == UpdateClass::Dense)
             denseList_.push_back(j);
     evalMask_.reset();
-    firedBits_.reset();
     detEvalScratch_.reset();
-    touched_.reset();
+    clearIntegratePlanes();
     fallback_.reset();
     return true;
 }

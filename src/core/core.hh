@@ -120,27 +120,65 @@ struct CoreCounters
 
     /** Lazy compactions of the self-event heap (see tickSparse). */
     uint64_t selfEventCompactions = 0;
+
+    /**
+     * Word-parallel integrate plane folds skipped because a later
+     * instance lane received the identical active-axon pattern this
+     * tick and reused the cached bit-plane counts (see
+     * integrateWordParallel; only meaningful with instances > 1).
+     */
+    uint64_t planeReuses = 0;
 };
 
-/** One core's runtime state. */
+/**
+ * One fired neuron of one instance lane, as reported by the batched
+ * tick entry points.  Emission order is instance-major: all of lane
+ * 0's fires in ascending neuron order, then lane 1's, and so on —
+ * the order a sequential per-instance run would produce.
+ */
+struct InstanceFire
+{
+    uint32_t instance = 0;
+    uint32_t neuron = 0;
+
+    bool operator==(const InstanceFire &other) const = default;
+};
+
+/** One core's runtime state, executing @c instances replica lanes. */
 class Core
 {
   public:
-    /** Build from a validated configuration (copied in). */
-    explicit Core(CoreConfig cfg);
+    /**
+     * Build from a validated configuration (copied in), running
+     * @p instances replicas of the configured network.  The crossbar,
+     * axon types, neuron parameters and all SoA projections are
+     * shared read-only across replicas; each replica owns an
+     * InstanceLane of mutable state (neuron/batch.hh) plus a private
+     * scheduler slot plane, and every lane's LFSR is seeded with the
+     * same configured seed.  Lanes evaluate strictly one after the
+     * other within a tick, so each lane's spike stream is
+     * bit-identical to a single-instance run fed the same inputs.
+     */
+    explicit Core(CoreConfig cfg, uint32_t instances = 1);
 
-    /** Return to the configured initial state. */
+    /** Return to the configured initial state (all lanes). */
     void reset();
 
-    /** Park an incoming spike; collisions are counted internally. */
-    void deposit(uint64_t delivery_tick, uint32_t axon);
+    /** Number of replica instance lanes. */
+    uint32_t instances() const { return static_cast<uint32_t>(inst_.size()); }
 
-    /** True when no spike is parked for @p tick. */
+    /** Park an incoming spike for instance @p inst; collisions are
+     *  counted internally. */
+    void deposit(uint64_t delivery_tick, uint32_t axon,
+                 uint32_t inst = 0);
+
+    /** True when no spike is parked for @p tick in any instance. */
     bool slotEmpty(uint64_t tick) const { return sched_.slotEmpty(tick); }
 
     /**
      * Full evaluation of tick @p t; appends fired neuron indices (in
-     * ascending order) to @p fired.
+     * ascending order) to @p fired.  Single-instance cores only
+     * (panics when instances() > 1 — use the InstanceFire overload).
      */
     void tickDense(uint64_t t, std::vector<uint32_t> &fired);
 
@@ -149,9 +187,21 @@ class Core
      * set.  The caller (event-driven engine) must invoke this for
      * every tick at which the core has work: a non-empty scheduler
      * slot, any dense neuron, or a due self-event (see
-     * nextSelfEvent).
+     * nextSelfEvent).  Single-instance cores only.
      */
     void tickSparse(uint64_t t, std::vector<uint32_t> &fired);
+
+    /**
+     * Batched full evaluation of tick @p t across every instance
+     * lane; appends (instance, neuron) fires in instance-major
+     * ascending order to @p fired.
+     */
+    void tickDense(uint64_t t, std::vector<InstanceFire> &fired);
+
+    /** Batched sparse evaluation of tick @p t across every instance
+     *  lane (see the single-instance overload for the caller
+     *  contract, which applies per lane). */
+    void tickSparse(uint64_t t, std::vector<InstanceFire> &fired);
 
     /** True if any neuron draws from the PRNG every tick. */
     bool hasDenseNeurons() const { return !denseList_.empty(); }
@@ -176,14 +226,20 @@ class Core
     const CoreCounters &counters() const;
 
     /**
-     * Raw membrane potential of neuron @p n as of its last
-     * evaluation (see settledPotential for a projected value).
+     * Raw membrane potential of neuron @p n in instance @p inst as
+     * of its last evaluation (see settledPotential for a projected
+     * value).
      */
-    int32_t potential(uint32_t n) const { return v_[n]; }
+    int32_t
+    potential(uint32_t n, uint32_t inst = 0) const
+    {
+        return inst_[inst].v[n];
+    }
 
     /** Membrane potential projected to the beginning of tick @p t
      *  without mutating state (valid for non-Dense neurons). */
-    int32_t settledPotential(uint32_t n, uint64_t t) const;
+    int32_t settledPotential(uint32_t n, uint64_t t,
+                             uint32_t inst = 0) const;
 
     /**
      * Toggle the word-parallel integrate fast path (default on).
@@ -236,11 +292,12 @@ class Core
     bool stochasticUpdateBatch() const { return stochUpdateBatch_; }
 
     /**
-     * Entries currently held by the self-event heap, stale ones
-     * included (diagnostics: lazy compaction keeps this bounded by
-     * roughly twice the live prediction count).
+     * Entries currently held by the self-event heaps across all
+     * instance lanes, stale ones included (diagnostics: lazy
+     * compaction keeps each lane bounded by roughly twice its live
+     * prediction count).
      */
-    size_t selfEventQueueDepth() const { return selfEvents_.size(); }
+    size_t selfEventQueueDepth() const;
 
     /** Heap footprint of the runtime core in bytes. */
     size_t footprintBytes() const;
@@ -256,11 +313,12 @@ class Core
     void applyStuckWord(uint32_t axon, uint32_t word, uint64_t bits);
 
     /**
-     * XOR bit @p bit into neuron @p n's membrane potential (SEU
-     * model), then clamp to the neuron's saturation rails so the
-     * corrupted value stays architecturally representable.
+     * XOR bit @p bit into neuron @p n's membrane potential in
+     * instance lane @p inst (SEU model), then clamp to the neuron's
+     * saturation rails so the corrupted value stays architecturally
+     * representable.
      */
-    void flipPotentialBit(uint32_t n, uint32_t bit);
+    void flipPotentialBit(uint32_t n, uint32_t bit, uint32_t inst = 0);
 
     /** Number of crossbar words currently overridden by faults. */
     size_t xbarOverrideCount() const { return xbarOverrides_.size(); }
@@ -295,34 +353,76 @@ class Core
         BitVec stoch;                 //!< neurons with stochastic syn
         std::vector<int32_t> weight;  //!< per-neuron weight lane
         bool present = false;         //!< any axon carries this type
+    };
 
-        // Per-tick scratch, cleared word-wise after each drain.
+    /** One axon type's fold output (per-tick scratch, cleared
+     *  word-wise after each drain). */
+    struct TypeFold
+    {
         BitVec rowOr;                 //!< OR of active crossbar rows
         std::vector<uint64_t> planes; //!< carry-save count bit-planes
         uint32_t activeAxons = 0;     //!< active axons this tick
     };
 
+    /**
+     * One instance lane's folded integrate scratch: per-type count
+     * planes plus the touched-neuron union.  When live, key holds
+     * the active-axon pattern the fold was built from; the fold
+     * depends only on that pattern and the (shared) crossbar, never
+     * on lane state.  Filled either lazily per lane
+     * (buildIntegratePlanes) or for all word-parallel lanes at once
+     * by the transposed per-tick pass (foldTickPlanes), and dropped
+     * unconditionally at end of tick.
+     */
+    struct FoldScratch
+    {
+        std::array<TypeFold, kNumAxonTypes> type;
+        BitVec touched;  //!< union of rowOr across types
+        BitVec key;      //!< pattern the fold was built from
+        bool live = false;
+    };
+
     void buildLanes();
     void buildUpdateCohorts();
     uint32_t calibrateWordParallelThreshold();
-    void integrateActiveAxons(uint64_t t, bool sparse);
-    void integrateScalar(const BitVec &active, uint64_t t, bool sparse);
-    void integrateWordParallel(const BitVec &active, uint64_t t,
+    void integrateActiveAxons(InstanceLane &L, uint32_t inst,
+                              uint64_t t, bool sparse);
+    void integrateScalar(InstanceLane &L, const BitVec &active,
+                         uint64_t t, bool sparse);
+    void integrateWordParallel(InstanceLane &L, uint32_t inst,
+                               const BitVec &active, uint64_t t,
                                bool sparse);
-    void emitFired(std::vector<uint32_t> &fired);
-    void catchUp(uint32_t n, uint64_t t);
-    void scheduleSelfEvent(uint32_t n);
-    void pushSelfEvent(uint64_t tick, uint32_t n);
-    void popSelfEventTop();
-    void noteStaleSelfEvent();
+    void buildIntegratePlanes(FoldScratch &f, const BitVec &active);
+    void foldTickPlanes(uint64_t t);
+    void clearFold(FoldScratch &f);
+    void clearIntegratePlanes();
+    void evalDenseLane(InstanceLane &L, uint32_t inst, uint64_t t);
+    void evalSparseLane(InstanceLane &L, uint32_t inst, uint64_t t);
+    void finishTickIntegrate(uint64_t t);
+    void emitFired(InstanceLane &L, std::vector<uint32_t> &fired);
+    void emitFired(InstanceLane &L, uint32_t inst,
+                   std::vector<InstanceFire> &fired);
+    void catchUp(InstanceLane &L, uint32_t n, uint64_t t);
+    void scheduleSelfEvent(InstanceLane &L, uint32_t n);
+    void pushSelfEvent(InstanceLane &L, uint64_t tick, uint32_t n);
+    void popSelfEventTop(InstanceLane &L);
+    void noteStaleSelfEvent(InstanceLane &L);
     void commitMode(Mode m);
 
     CoreConfig cfg_;
     Crossbar xbar_;
     Scheduler sched_;
-    Lfsr16 rng_;
 
-    std::vector<int32_t> v_;             //!< membrane potentials
+    /**
+     * Per-replica mutable state: potentials, event-engine
+     * bookkeeping, LFSR stream and fired mask, one lane per instance
+     * (neuron/batch.hh).  Everything below this member is either
+     * configuration shared read-only across lanes or per-tick
+     * scratch that each lane consumes in turn (lanes evaluate
+     * sequentially within a tick, never concurrently).
+     */
+    InstanceLanes inst_;
+
     std::vector<UpdateClass> cls_;       //!< per-neuron class
     std::vector<uint32_t> denseList_;    //!< Dense neurons, ascending
 
@@ -330,13 +430,24 @@ class Core
     std::array<TypeLane, kNumAxonTypes> lanes_;
     std::vector<int32_t> vLo_;           //!< per-neuron lower rail
     std::vector<int32_t> vHi_;           //!< per-neuron upper rail
-    BitVec touched_;                     //!< scratch: event targets
     BitVec fallback_;                    //!< scratch: scalar replays
     uint32_t planeCount_ = 0;            //!< carry-save plane budget
     uint32_t wpMinActive_ = 0;           //!< engagement threshold
     bool wordParallel_ = true;
     bool wordParallelUpdate_ = true;
     bool stochUpdateBatch_ = true;
+
+    /**
+     * One fold scratch per instance lane.  Batched ticks fill every
+     * word-parallel lane's fold in one transposed crossbar pass
+     * (foldTickPlanes): each active row is fetched once and
+     * carry-saved into the fold of every lane whose slot carries
+     * that axon, so the row traversal — the shared-read part of the
+     * integrate — is paid once per tick instead of once per lane.
+     * All folds drop unconditionally at end of tick.
+     */
+    std::vector<FoldScratch> folds_;
+    BitVec foldUnion_;  //!< scratch: union of lane slots per tick
 
     // Batched update-phase state (see neuron/batch.hh).
     UpdateLanes update_;                 //!< SoA update projection
@@ -345,25 +456,9 @@ class Core
     std::vector<std::pair<uint32_t, uint32_t>> detRuns_;
     std::vector<uint32_t> stochUpdList_; //!< stochastic cohort, asc.
     StochDraws stochDraws_;              //!< per-tick draw outcomes
-    BitVec firedBits_;                   //!< scratch: per-tick fires
     BitVec detEvalScratch_;              //!< scratch: evalMask ∩ det
 
-    /** End-of-tick updates applied for all ticks < doneThrough_[n]. */
-    std::vector<uint64_t> doneThrough_;
-
     BitVec evalMask_;                    //!< per-tick evaluation set
-
-    /** Predicted spontaneous fire tick per neuron (kNoFire if none). */
-    std::vector<uint64_t> scheduledFire_;
-    /**
-     * Min-heap (std::push_heap/pop_heap with std::greater) of
-     * (tick, neuron) predictions.  Re-predictions leave stale pairs
-     * behind; selfEventsStale_ counts them and the heap is rebuilt
-     * lazily once stale pairs outnumber live ones (see
-     * noteStaleSelfEvent), which bounds the heap in long sparse runs.
-     */
-    std::vector<std::pair<uint64_t, uint32_t>> selfEvents_;
-    uint64_t selfEventsStale_ = 0;       //!< stale pairs in the heap
 
     /** One fault-injected crossbar word, with the configured value it
      *  displaced so reset()/restore can revert. */

@@ -6,53 +6,76 @@
 
 namespace nscs {
 
-Scheduler::Scheduler(uint32_t delay_slots, uint32_t num_axons)
+Scheduler::Scheduler(uint32_t delay_slots, uint32_t num_axons,
+                     uint32_t instances)
     : delaySlots_(delay_slots),
-      slots_(delay_slots, BitVec(num_axons)),
-      slotCounts_(delay_slots, 0)
+      instances_(instances),
+      slots_(static_cast<size_t>(delay_slots) * instances,
+             BitVec(num_axons)),
+      slotCounts_(static_cast<size_t>(delay_slots) * instances, 0),
+      tickCounts_(delay_slots, 0)
 {
     NSCS_ASSERT(delay_slots >= 2, "scheduler needs >= 2 slots");
+    NSCS_ASSERT(instances >= 1, "scheduler needs >= 1 instance");
 }
 
 bool
-Scheduler::deposit(uint64_t delivery_tick, uint32_t axon)
+Scheduler::deposit(uint64_t delivery_tick, uint32_t axon, uint32_t inst)
 {
-    uint32_t idx = static_cast<uint32_t>(delivery_tick % delaySlots_);
+    size_t idx = planeIndex(delivery_tick, inst);
     BitVec &s = slots_[idx];
     bool collision = s.test(axon);
     s.set(axon);
     ++deposits_;
-    if (collision)
+    if (collision) {
         ++collisions_;
-    else
+    } else {
         ++slotCounts_[idx];
+        ++tickCounts_[delivery_tick % delaySlots_];
+    }
     return collision;
 }
 
 const BitVec &
-Scheduler::slot(uint64_t tick) const
+Scheduler::slot(uint64_t tick, uint32_t inst) const
 {
-    return slots_[tick % delaySlots_];
+    return slots_[planeIndex(tick, inst)];
 }
 
 bool
 Scheduler::slotEmpty(uint64_t tick) const
 {
-    return slotCounts_[tick % delaySlots_] == 0;
+    return tickCounts_[tick % delaySlots_] == 0;
+}
+
+bool
+Scheduler::slotEmpty(uint64_t tick, uint32_t inst) const
+{
+    return slotCounts_[planeIndex(tick, inst)] == 0;
 }
 
 uint32_t
-Scheduler::slotCount(uint64_t tick) const
+Scheduler::slotCount(uint64_t tick, uint32_t inst) const
 {
-    return slotCounts_[tick % delaySlots_];
+    return slotCounts_[planeIndex(tick, inst)];
 }
 
 void
-Scheduler::clearSlot(uint64_t tick)
+Scheduler::clearSlot(uint64_t tick, uint32_t inst)
 {
-    uint32_t idx = static_cast<uint32_t>(tick % delaySlots_);
+    size_t idx = planeIndex(tick, inst);
+    if (slotCounts_[idx] == 0)
+        return;
     slots_[idx].reset();
+    tickCounts_[tick % delaySlots_] -= slotCounts_[idx];
     slotCounts_[idx] = 0;
+}
+
+void
+Scheduler::clearTickSlots(uint64_t tick)
+{
+    for (uint32_t inst = 0; inst < instances_; ++inst)
+        clearSlot(tick, inst);
 }
 
 void
@@ -61,6 +84,7 @@ Scheduler::reset()
     for (auto &s : slots_)
         s.reset();
     std::fill(slotCounts_.begin(), slotCounts_.end(), 0);
+    std::fill(tickCounts_.begin(), tickCounts_.end(), 0);
     deposits_ = 0;
     collisions_ = 0;
 }
@@ -87,12 +111,14 @@ Scheduler::restoreState(const JsonValue &in)
     if (slots.type() != JsonValue::Type::Array ||
         slots.size() != slots_.size())
         return false;
+    std::fill(tickCounts_.begin(), tickCounts_.end(), 0);
     for (size_t i = 0; i < slots_.size(); ++i) {
         if (slots.at(i).type() != JsonValue::Type::String)
             return false;
         if (!slots_[i].fromHex(slots.at(i).asString()))
             return false;
         slotCounts_[i] = static_cast<uint32_t>(slots_[i].count());
+        tickCounts_[i / instances_] += slotCounts_[i];
     }
     deposits_ = static_cast<uint64_t>(in.getInt("deposits", 0));
     collisions_ = static_cast<uint64_t>(in.getInt("collisions", 0));
@@ -106,6 +132,7 @@ Scheduler::footprintBytes() const
     for (const auto &s : slots_)
         bytes += s.footprintBytes();
     bytes += slotCounts_.capacity() * sizeof(uint32_t);
+    bytes += tickCounts_.capacity() * sizeof(uint32_t);
     return bytes;
 }
 

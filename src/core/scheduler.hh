@@ -1,12 +1,18 @@
 /**
  * @file
- * The core's delay scheduler: a delaySlots x numAxons bit SRAM.
+ * The core's delay scheduler: a delaySlots x numAxons bit SRAM,
+ * replicated per model instance.
  *
  * Incoming spike packets carry a delivery tick; the scheduler parks
  * the spike in slot (deliveryTick mod delaySlots) until the core
  * drains that slot at the start of the corresponding tick.  Two
  * packets addressing the same (slot, axon) merge into one event; the
  * hardware behaves the same way and the collision is counted.
+ *
+ * Instance batching adds a third dimension: each of the B replica
+ * instances owns a private slot plane, so spikes addressed to
+ * different replicas never merge.  An aggregate per-tick count keeps
+ * the any-instance slotEmpty(tick) probe O(1).
  */
 
 #ifndef NSCS_CORE_SCHEDULER_HH
@@ -20,39 +26,54 @@
 
 namespace nscs {
 
-/** Tick-indexed axon event buffer. */
+/** Tick-indexed axon event buffer with per-instance slot planes. */
 class Scheduler
 {
   public:
     Scheduler() = default;
 
-    /** @p delay_slots slots of @p num_axons bits each. */
-    Scheduler(uint32_t delay_slots, uint32_t num_axons);
+    /** @p delay_slots slots of @p num_axons bits each, replicated
+     *  for @p instances replica lanes. */
+    Scheduler(uint32_t delay_slots, uint32_t num_axons,
+              uint32_t instances = 1);
 
     /**
-     * Park a spike for @p axon at @p delivery_tick.
+     * Park a spike for @p axon of instance @p inst at
+     * @p delivery_tick.
      * @return true if the bit was already set (collision/merge).
      */
-    bool deposit(uint64_t delivery_tick, uint32_t axon);
+    bool deposit(uint64_t delivery_tick, uint32_t axon,
+                 uint32_t inst = 0);
 
-    /** Slot contents for @p tick (does not clear). */
-    const BitVec &slot(uint64_t tick) const;
+    /** Slot contents of instance @p inst for @p tick (no clear). */
+    const BitVec &slot(uint64_t tick, uint32_t inst = 0) const;
 
-    /** True when no spike is parked for @p tick.  O(1): backed by a
-     *  per-slot population count, not a word scan. */
+    /** True when no spike is parked for @p tick in *any* instance.
+     *  O(1): backed by a per-tick population count, not a scan. */
     bool slotEmpty(uint64_t tick) const;
 
-    /** Number of distinct axons parked for @p tick (O(1)). */
-    uint32_t slotCount(uint64_t tick) const;
+    /** True when instance @p inst has no spike parked for @p tick. */
+    bool slotEmpty(uint64_t tick, uint32_t inst) const;
 
-    /** Clear the slot for @p tick (after draining). */
-    void clearSlot(uint64_t tick);
+    /** Number of distinct axons parked for @p tick in instance
+     *  @p inst (O(1)). */
+    uint32_t slotCount(uint64_t tick, uint32_t inst = 0) const;
+
+    /** Clear the slot of instance @p inst for @p tick. */
+    void clearSlot(uint64_t tick, uint32_t inst = 0);
+
+    /** Clear @p tick's slot across all instances (end of tick, after
+     *  every instance lane has drained). */
+    void clearTickSlots(uint64_t tick);
 
     /** Clear all slots. */
     void reset();
 
     /** Number of slots. */
     uint32_t delaySlots() const { return delaySlots_; }
+
+    /** Number of instance planes. */
+    uint32_t instances() const { return instances_; }
 
     /** Total deposits since construction/reset. */
     uint64_t deposits() const { return deposits_; }
@@ -67,16 +88,26 @@ class Scheduler
     void saveState(JsonValue &out) const;
 
     /**
-     * Restore state saved by saveState().  Slot geometry must match
-     * this scheduler's; @return false on any mismatch (the scheduler
-     * is left unspecified on failure).
+     * Restore state saved by saveState().  Slot geometry (including
+     * the instance count) must match this scheduler's; @return false
+     * on any mismatch (the scheduler is left unspecified on failure).
      */
     bool restoreState(const JsonValue &in);
 
   private:
+    /** Backing index of (slot, instance). */
+    size_t
+    planeIndex(uint64_t tick, uint32_t inst) const
+    {
+        return static_cast<size_t>(tick % delaySlots_) * instances_ +
+               inst;
+    }
+
     uint32_t delaySlots_ = 0;
-    std::vector<BitVec> slots_;
-    std::vector<uint32_t> slotCounts_;   //!< set bits per slot
+    uint32_t instances_ = 1;
+    std::vector<BitVec> slots_;          //!< [slot * instances + inst]
+    std::vector<uint32_t> slotCounts_;   //!< set bits per (slot, inst)
+    std::vector<uint32_t> tickCounts_;   //!< set bits per slot, all inst
     uint64_t deposits_ = 0;
     uint64_t collisions_ = 0;
 };

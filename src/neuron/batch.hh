@@ -277,6 +277,78 @@ void batchUpdateRange(const UpdateLanes &lanes, int32_t *v,
 uint64_t batchUpdateMasked(const UpdateLanes &lanes, int32_t *v,
                            const BitVec &mask, BitVec &fired_bits);
 
+/**
+ * All mutable per-replica state of one model instance running on a
+ * core: membrane potentials, event-engine bookkeeping, the private
+ * LFSR stream and the fired mask.  Everything *configured* (crossbar,
+ * axon types, neuron parameters, update-lane projections) stays on
+ * the core, shared read-only across instances.
+ *
+ * The determinism contract of instance batching hangs off this
+ * split: a lane holds exactly the state a single-instance core
+ * holds, each lane's LFSR is seeded with the same core seed, and the
+ * core evaluates lanes strictly one after the other within a tick —
+ * so lane i's trajectory is bit-identical to an independent
+ * sequential run of the same model with the same inputs.
+ */
+struct InstanceLane
+{
+    /** Membrane potential per neuron. */
+    std::vector<int32_t> v;
+
+    /** Event engine: tick each neuron's updates are settled through. */
+    std::vector<uint64_t> doneThrough;
+
+    /** Predicted unstimulated self-fire tick per neuron (the core's
+     *  kNoFire sentinel when none). */
+    std::vector<uint64_t> scheduledFire;
+
+    /** Min-heap (std::push_heap/pop_heap with std::greater) of
+     *  pending (tick, neuron) self-fire events. */
+    std::vector<std::pair<uint64_t, uint32_t>> selfEvents;
+
+    /** Lazily-compacted stale entries in selfEvents. */
+    uint64_t selfEventsStale = 0;
+
+    /** This replica's private hardware PRNG stream. */
+    Lfsr16 rng;
+
+    /** Neurons that fired in the lane's last evaluated tick. */
+    BitVec firedBits;
+
+    /** Size all per-neuron state for @p neurons neurons. */
+    void init(uint32_t neurons);
+
+    /** Heap footprint of this lane in bytes. */
+    size_t footprintBytes() const;
+};
+
+/**
+ * The per-instance lanes of one core: lane i carries replica i.
+ * B == 1 is the degenerate (classic single-instance) case; the core
+ * always runs through lanes so there is exactly one code path.
+ */
+struct InstanceLanes
+{
+    std::vector<InstanceLane> lanes;
+
+    /** Create @p instances lanes of @p neurons neurons each. */
+    void init(uint32_t instances, uint32_t neurons);
+
+    /** Number of instance lanes. */
+    uint32_t
+    size() const
+    {
+        return static_cast<uint32_t>(lanes.size());
+    }
+
+    InstanceLane &operator[](size_t i) { return lanes[i]; }
+    const InstanceLane &operator[](size_t i) const { return lanes[i]; }
+
+    /** Heap footprint of all lanes in bytes. */
+    size_t footprintBytes() const;
+};
+
 } // namespace nscs
 
 #endif // NSCS_NEURON_BATCH_HH

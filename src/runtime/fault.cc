@@ -83,6 +83,8 @@ FaultPlan::toJson() const
             e.set("core", JsonValue::integer(ev.core));
             e.set("neuron", JsonValue::integer(ev.neuron));
             e.set("bit", JsonValue::integer(ev.bit));
+            if (ev.instance)
+                e.set("instance", JsonValue::integer(ev.instance));
             break;
         case FaultKind::LinkDrop:
         case FaultKind::LinkDuplicate:
@@ -148,6 +150,7 @@ FaultPlan::fromJson(const JsonValue &v, FaultPlan &out, std::string &err)
         ev.word = static_cast<uint32_t>(e.getInt("word", 0));
         ev.neuron = static_cast<uint32_t>(e.getInt("neuron", 0));
         ev.bit = static_cast<uint32_t>(e.getInt("bit", 0));
+        ev.instance = static_cast<uint32_t>(e.getInt("instance", 0));
         ev.chip = static_cast<uint32_t>(e.getInt("chip", 0));
         ev.dir = static_cast<uint32_t>(e.getInt("dir", 0));
         ev.delayTicks = static_cast<uint32_t>(e.getInt("delayTicks", 0));

@@ -71,6 +71,7 @@ struct FaultEvent {
     uint64_t bits = 0;       //!< StuckWord: frozen word value
     uint32_t neuron = 0;     //!< PotentialFlip: neuron index
     uint32_t bit = 0;        //!< PotentialFlip: bit position (0..30)
+    uint32_t instance = 0;   //!< PotentialFlip: instance lane
     uint32_t chip = 0;       //!< link faults: chip index (y*width+x)
     uint32_t dir = 0;        //!< link faults: Board::Dir of the link
     uint32_t delayTicks = 0; //!< LinkDelay: extra park ticks

@@ -21,9 +21,14 @@ Simulator::Simulator(const BoardParams &params,
 }
 
 void
-Simulator::addSource(std::unique_ptr<SpikeSource> source)
+Simulator::addSource(std::unique_ptr<SpikeSource> source,
+                     uint32_t instance)
 {
+    NSCS_ASSERT(instance < instances(),
+                "source bound to instance %u of %u", instance,
+                instances());
     sources_.push_back(std::move(source));
+    sourceInstances_.push_back(instance);
 }
 
 RunPerf
@@ -46,19 +51,22 @@ Simulator::run(uint64_t ticks)
         maybeCheckpoint();
         const uint64_t t = now();
         inputScratch_.clear();
-        for (auto &src : sources_)
-            src->spikesFor(t, inputScratch_);
+        for (size_t si = 0; si < sources_.size(); ++si) {
+            const size_t before = inputScratch_.size();
+            sources_[si]->spikesFor(t, inputScratch_);
+            if (sourceInstances_[si] != 0)
+                for (size_t k = before; k < inputScratch_.size(); ++k)
+                    inputScratch_[k].instance = sourceInstances_[si];
+        }
         if (chip_) {
-            for (const InputSpike &s : inputScratch_)
-                chip_->injectInput(s.core, s.axon, t);
+            chip_->injectInputs(inputScratch_, t);
             chip_->tick();
             if (!chip_->outputs().empty()) {
                 recorder_.recordAll(chip_->outputs());
                 chip_->clearOutputs();
             }
         } else {
-            for (const InputSpike &s : inputScratch_)
-                board_->injectInput(s.core, s.axon, t);
+            board_->injectInputs(inputScratch_, t);
             board_->tick();
             if (!board_->outputs().empty()) {
                 recorder_.recordAll(board_->outputs());
@@ -182,6 +190,7 @@ Simulator::footprintBytes() const
                    : board_->footprintBytes();
     bytes += recorder_.footprintBytes();
     bytes += inputScratch_.capacity() * sizeof(InputSpike);
+    bytes += sourceInstances_.capacity() * sizeof(uint32_t);
     bytes += checkpointBlob_.capacity();
     bytes += handled_.capacity() * sizeof(uint32_t);
     bytes += alarmScratch_.capacity() * sizeof(uint32_t);

@@ -83,8 +83,15 @@ class Simulator
     Simulator(const BoardParams &params,
               std::vector<CoreConfig> configs);
 
-    /** Attach an input source (polled every tick, in order). */
-    void addSource(std::unique_ptr<SpikeSource> source);
+    /**
+     * Attach an input source (polled every tick, in order).  With
+     * @p instance nonzero the source's spikes are stamped onto that
+     * instance lane of a batched device; spikes whose InputSpike
+     * already names a lane (instance binding 0) pass through
+     * untouched.
+     */
+    void addSource(std::unique_ptr<SpikeSource> source,
+                   uint32_t instance = 0);
 
     /** Run @p ticks ticks; returns wall-clock performance. */
     RunPerf run(uint64_t ticks);
@@ -126,6 +133,19 @@ class Simulator
 
     /** Source access (const). */
     const SpikeSource &source(size_t i) const { return *sources_[i]; }
+
+    /** Instance lane source @p i is bound to (0 = pass-through). */
+    uint32_t sourceInstance(size_t i) const
+    {
+        return sourceInstances_[i];
+    }
+
+    /** Instance lanes of the backing device. */
+    uint32_t instances() const
+    {
+        return chip_ ? chip_->instances()
+                     : board_->params().chip.instances;
+    }
 
     // --- snapshot / checkpoint / recovery --------------------------------
 
@@ -176,6 +196,7 @@ class Simulator
     std::unique_ptr<Chip> chip_;     //!< exactly one of chip_ /
     std::unique_ptr<Board> board_;   //!< board_ is non-null
     std::vector<std::unique_ptr<SpikeSource>> sources_;
+    std::vector<uint32_t> sourceInstances_;  //!< lane per source
     SpikeRecorder recorder_;
     std::vector<InputSpike> inputScratch_;
 

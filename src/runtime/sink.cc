@@ -8,7 +8,7 @@ void
 SpikeRecorder::record(const OutputSpike &s)
 {
     spikes_.push_back(s);
-    byLine_[s.line].push_back(s.tick);
+    byLine_[key(s.line, s.instance)].push_back(s.tick);
 }
 
 void
@@ -19,17 +19,17 @@ SpikeRecorder::recordAll(const std::vector<OutputSpike> &batch)
 }
 
 uint64_t
-SpikeRecorder::count(uint32_t line) const
+SpikeRecorder::count(uint32_t line, uint32_t instance) const
 {
-    auto it = byLine_.find(line);
+    auto it = byLine_.find(key(line, instance));
     return it == byLine_.end() ? 0 : it->second.size();
 }
 
 uint64_t
-SpikeRecorder::countInWindow(uint32_t line, uint64_t t0,
-                             uint64_t t1) const
+SpikeRecorder::countInWindow(uint32_t line, uint64_t t0, uint64_t t1,
+                             uint32_t instance) const
 {
-    auto it = byLine_.find(line);
+    auto it = byLine_.find(key(line, instance));
     if (it == byLine_.end())
         return 0;
     const auto &ticks = it->second;
@@ -40,30 +40,31 @@ SpikeRecorder::countInWindow(uint32_t line, uint64_t t0,
 }
 
 std::optional<uint64_t>
-SpikeRecorder::firstSpike(uint32_t line) const
+SpikeRecorder::firstSpike(uint32_t line, uint32_t instance) const
 {
-    auto it = byLine_.find(line);
+    auto it = byLine_.find(key(line, instance));
     if (it == byLine_.end() || it->second.empty())
         return std::nullopt;
     return it->second.front();
 }
 
 std::vector<uint64_t>
-SpikeRecorder::ticksOf(uint32_t line) const
+SpikeRecorder::ticksOf(uint32_t line, uint32_t instance) const
 {
-    auto it = byLine_.find(line);
+    auto it = byLine_.find(key(line, instance));
     if (it == byLine_.end())
         return {};
     return it->second;
 }
 
 uint32_t
-SpikeRecorder::argmaxLine(uint32_t line0, uint32_t n) const
+SpikeRecorder::argmaxLine(uint32_t line0, uint32_t n,
+                          uint32_t instance) const
 {
     uint32_t best = line0;
     uint64_t best_count = 0;
     for (uint32_t i = 0; i < n; ++i) {
-        uint64_t c = count(line0 + i);
+        uint64_t c = count(line0 + i, instance);
         if (c > best_count) {
             best_count = c;
             best = line0 + i;
@@ -74,12 +75,13 @@ SpikeRecorder::argmaxLine(uint32_t line0, uint32_t n) const
 
 uint32_t
 SpikeRecorder::argmaxLineInWindow(uint32_t line0, uint32_t n,
-                                  uint64_t t0, uint64_t t1) const
+                                  uint64_t t0, uint64_t t1,
+                                  uint32_t instance) const
 {
     uint32_t best = line0;
     uint64_t best_count = 0;
     for (uint32_t i = 0; i < n; ++i) {
-        uint64_t c = countInWindow(line0 + i, t0, t1);
+        uint64_t c = countInWindow(line0 + i, t0, t1, instance);
         if (c > best_count) {
             best_count = c;
             best = line0 + i;

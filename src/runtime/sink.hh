@@ -34,28 +34,33 @@ class SpikeRecorder
     /** Total recorded spikes. */
     size_t size() const { return spikes_.size(); }
 
-    /** Spike count of @p line. */
-    uint64_t count(uint32_t line) const;
+    /** Spike count of @p line on instance lane @p instance. */
+    uint64_t count(uint32_t line, uint32_t instance = 0) const;
 
     /** Spike count of @p line within [t0, t1). */
-    uint64_t countInWindow(uint32_t line, uint64_t t0, uint64_t t1) const;
+    uint64_t countInWindow(uint32_t line, uint64_t t0, uint64_t t1,
+                           uint32_t instance = 0) const;
 
     /** First spike tick of @p line, or nullopt. */
-    std::optional<uint64_t> firstSpike(uint32_t line) const;
+    std::optional<uint64_t> firstSpike(uint32_t line,
+                                       uint32_t instance = 0) const;
 
     /** Spike ticks of @p line in order. */
-    std::vector<uint64_t> ticksOf(uint32_t line) const;
+    std::vector<uint64_t> ticksOf(uint32_t line,
+                                  uint32_t instance = 0) const;
 
     /**
      * Line with the highest count among lines [line0, line0 + n);
      * ties resolve to the lowest line.  Returns line0 when all are
      * silent.
      */
-    uint32_t argmaxLine(uint32_t line0, uint32_t n) const;
+    uint32_t argmaxLine(uint32_t line0, uint32_t n,
+                        uint32_t instance = 0) const;
 
     /** As argmaxLine, but counting only within [t0, t1). */
     uint32_t argmaxLineInWindow(uint32_t line0, uint32_t n,
-                                uint64_t t0, uint64_t t1) const;
+                                uint64_t t0, uint64_t t1,
+                                uint32_t instance = 0) const;
 
     /** Forget everything. */
     void clear();
@@ -64,8 +69,14 @@ class SpikeRecorder
     size_t footprintBytes() const;
 
   private:
+    /** Index key: instance lane in the high word, line in the low. */
+    static uint64_t key(uint32_t line, uint32_t instance)
+    {
+        return (static_cast<uint64_t>(instance) << 32) | line;
+    }
+
     std::vector<OutputSpike> spikes_;
-    std::unordered_map<uint32_t, std::vector<uint64_t>> byLine_;
+    std::unordered_map<uint64_t, std::vector<uint64_t>> byLine_;
 };
 
 } // namespace nscs

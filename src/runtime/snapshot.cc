@@ -42,6 +42,7 @@ geometryJson(const Simulator &sim)
     g.set("numAxons", JsonValue::integer(geom.numAxons));
     g.set("numNeurons", JsonValue::integer(geom.numNeurons));
     g.set("delaySlots", JsonValue::integer(geom.delaySlots));
+    g.set("instances", JsonValue::integer(sim.instances()));
     return g;
 }
 
@@ -73,6 +74,7 @@ snapshotSimulator(const Simulator &sim)
         recorder.append(
             JsonValue::integer(static_cast<int64_t>(s.tick)));
         recorder.append(JsonValue::integer(s.line));
+        recorder.append(JsonValue::integer(s.instance));
     }
     doc.set("recorder", std::move(recorder));
 
@@ -148,12 +150,13 @@ restoreSimulator(Simulator &sim, const JsonValue &snap)
     if (snap.has("recorder")) {
         const JsonValue &recorder = snap.at("recorder");
         if (recorder.type() != JsonValue::Type::Array ||
-            recorder.size() % 2 != 0)
+            recorder.size() % 3 != 0)
             return failStatus("recorder state is malformed");
-        for (size_t i = 0; i < recorder.size(); i += 2)
+        for (size_t i = 0; i < recorder.size(); i += 3)
             sim.recorder().record(
                 {static_cast<uint64_t>(recorder.at(i).asInt()),
-                 static_cast<uint32_t>(recorder.at(i + 1).asInt())});
+                 static_cast<uint32_t>(recorder.at(i + 1).asInt()),
+                 static_cast<uint32_t>(recorder.at(i + 2).asInt())});
     }
 
     if (snap.has("sources")) {

@@ -33,8 +33,12 @@ namespace nscs {
 
 class Simulator;
 
-/** Snapshot document version this build reads and writes. */
-inline constexpr int kSnapshotVersion = 1;
+/** Snapshot document version this build reads and writes.
+ *  v2 (instance batching): geometry carries the instance-lane count,
+ *  core state splits into per-lane records, and recorder/output
+ *  entries carry the originating instance.  v1 documents are
+ *  rejected with a version diagnostic. */
+inline constexpr int kSnapshotVersion = 2;
 
 /** Snapshot document format tag. */
 inline constexpr const char *kSnapshotFormat = "nscs-snapshot";

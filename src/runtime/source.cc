@@ -93,17 +93,108 @@ RegularSource::spikesFor(uint64_t t, std::vector<InputSpike> &out)
 void
 ScheduleSource::add(uint64_t tick, InputSpike spike)
 {
-    schedule_[tick].push_back(spike);
-    ++count_;
+    // An add that lands below the sorted prefix's maximum lowers
+    // the prefix boundary to the first entry past the stray tick;
+    // the prefix stays sorted and never exceeds the tail's minimum,
+    // so the next query only has to sort the tail.
+    const bool clean = prefix_ == entries_.size();
+    if (clean && (entries_.empty() ||
+                  tick >= entries_.back().tick)) {
+        entries_.push_back(Entry{tick, spike});
+        ++prefix_;
+        return;
+    }
+    if (prefix_ > 0 && tick < entries_[prefix_ - 1].tick) {
+        auto end = entries_.begin() +
+            static_cast<ptrdiff_t>(prefix_);
+        auto it = std::upper_bound(entries_.begin(), end, tick,
+                                   [](uint64_t t, const Entry &e) {
+                                       return t < e.tick;
+                                   });
+        prefix_ = static_cast<size_t>(it - entries_.begin());
+    }
+    entries_.push_back(Entry{tick, spike});
+}
+
+/**
+ * Sort the dirty tail [prefix_, end) by tick, stably, and advance
+ * prefix_ past it.  A schedule built per serving pass concentrates
+ * its adds in one short tick window, so the tail is counting-sorted
+ * through persistent scratch (two linear passes, no allocation once
+ * warm) whenever its tick range is small; a stable scatter in scan
+ * order preserves per-tick insertion order exactly as stable_sort
+ * would, so the emitted spike order — the deterministic trace — is
+ * identical on both routes.  Wide-range tails fall back to
+ * stable_sort.
+ */
+void
+ScheduleSource::sortTail()
+{
+    const size_t n = entries_.size() - prefix_;
+    if (n == 0) {
+        prefix_ = entries_.size();
+        return;
+    }
+    Entry *tail = entries_.data() + prefix_;
+    uint64_t lo = tail[0].tick, hi = tail[0].tick;
+    for (size_t i = 1; i < n; ++i) {
+        lo = std::min(lo, tail[i].tick);
+        hi = std::max(hi, tail[i].tick);
+    }
+    const uint64_t range = hi - lo + 1;
+    // Beyond a few thousand distinct ticks the count array outgrows
+    // the tail itself; comparison sort wins there.
+    if (range > std::max<uint64_t>(4096, n)) {
+        std::stable_sort(entries_.begin() +
+                             static_cast<ptrdiff_t>(prefix_),
+                         entries_.end(),
+                         [](const Entry &a, const Entry &b) {
+                             return a.tick < b.tick;
+                         });
+        prefix_ = entries_.size();
+        return;
+    }
+    countScratch_.assign(static_cast<size_t>(range), 0);
+    for (size_t i = 0; i < n; ++i)
+        ++countScratch_[tail[i].tick - lo];
+    uint32_t sum = 0;
+    for (uint32_t &c : countScratch_) {
+        uint32_t here = c;
+        c = sum;
+        sum += here;
+    }
+    scatterScratch_.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        scatterScratch_[countScratch_[tail[i].tick - lo]++] = tail[i];
+    std::copy(scatterScratch_.begin(), scatterScratch_.end(), tail);
+    prefix_ = entries_.size();
+}
+
+void
+ScheduleSource::discardBefore(uint64_t tick)
+{
+    if (prefix_ != entries_.size())
+        sortTail();
+    auto it = std::lower_bound(entries_.begin(), entries_.end(),
+                               tick,
+                               [](const Entry &e, uint64_t t) {
+                                   return e.tick < t;
+                               });
+    entries_.erase(entries_.begin(), it);
+    prefix_ = entries_.size();
 }
 
 void
 ScheduleSource::spikesFor(uint64_t t, std::vector<InputSpike> &out)
 {
-    auto it = schedule_.find(t);
-    if (it == schedule_.end())
-        return;
-    out.insert(out.end(), it->second.begin(), it->second.end());
+    if (prefix_ != entries_.size())
+        sortTail();
+    auto it = std::lower_bound(entries_.begin(), entries_.end(), t,
+                               [](const Entry &e, uint64_t tick) {
+                                   return e.tick < tick;
+                               });
+    for (; it != entries_.end() && it->tick == t; ++it)
+        out.push_back(it->spike);
 }
 
 } // namespace nscs

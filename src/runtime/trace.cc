@@ -10,9 +10,13 @@ std::string
 formatSpikeTrace(const std::vector<OutputSpike> &spikes)
 {
     std::ostringstream os;
-    os << "# nscs spike trace: tick line\n";
-    for (const auto &s : spikes)
-        os << s.tick << ' ' << s.line << '\n';
+    os << "# nscs spike trace: tick line [instance]\n";
+    for (const auto &s : spikes) {
+        os << s.tick << ' ' << s.line;
+        if (s.instance != 0)
+            os << ' ' << s.instance;
+        os << '\n';
+    }
     return os.str();
 }
 
@@ -29,6 +33,9 @@ parseSpikeTrace(const std::string &text, std::vector<OutputSpike> &out)
         OutputSpike s;
         if (!(ls >> s.tick >> s.line))
             return false;
+        // Optional third column: instance lane (batched runs).
+        if (!(ls >> s.instance))
+            s.instance = 0;
         out.push_back(s);
     }
     return true;

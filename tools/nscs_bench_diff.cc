@@ -20,10 +20,15 @@
  * must not mask a real regression verdict.
  *
  * For every workload present in both files (matched by name, across
- * both the "workloads" and "updateWorkloads" arrays) the tool prints
- * baseline vs current fast-path ticks/s and speedup, and flags a
- * REGRESSION when the current fast-over-scalar *speedup* falls below
- * (1 - tolerance) x the baseline speedup.  The speedup ratio is
+ * the "workloads", "updateWorkloads" and "classifierWorkloads"
+ * arrays) the tool prints baseline vs current fast-path ticks/s and
+ * speedup, and flags a REGRESSION when the current fast-over-scalar
+ * *speedup* falls below (1 - tolerance) x the baseline speedup.
+ * Workload-set differences are reported, never silently skipped: a
+ * baseline workload missing from the current run prints a REMOVED
+ * row (flagged — lost coverage is a regression), and a current
+ * workload absent from the baseline prints an informational ADDED
+ * row (a fresh workload has no reference to regress against).  The speedup ratio is
  * machine-independent (both paths ran on the same host in the same
  * process), so a committed baseline from one machine remains a valid
  * reference on a differently-sized CI runner; absolute ticks/s are
@@ -93,8 +98,8 @@ collect(const JsonValue &doc, const char *key, bool current,
             if (r.name == name)
                 row = &r;
         if (!row) {
-            if (current)
-                continue;  // only compare what the baseline has
+            // A current-only workload still gets a row: it reports
+            // as ADDED rather than vanishing from the diff.
             rows.push_back(Row{name, 0, 0, 0, 0});
             row = &rows.back();
         }
@@ -137,7 +142,8 @@ appendSeries(const char *path, const std::string &commit,
     JsonValue entry = JsonValue::object();
     entry.set("commit", JsonValue::string(commit));
     JsonValue workloads = JsonValue::array();
-    for (const char *key : {"workloads", "updateWorkloads"}) {
+    for (const char *key :
+         {"workloads", "updateWorkloads", "classifierWorkloads"}) {
         if (!cur.has(key))
             continue;
         const JsonValue &arr = cur.at(key);
@@ -214,7 +220,8 @@ main(int argc, char **argv)
         appendSeries(series_path, commit, cur);
 
     std::vector<Row> rows;
-    for (const char *key : {"workloads", "updateWorkloads"}) {
+    for (const char *key :
+         {"workloads", "updateWorkloads", "classifierWorkloads"}) {
         collect(base, key, false, rows);
         collect(cur, key, true, rows);
     }
@@ -226,11 +233,23 @@ main(int argc, char **argv)
     TextTable t({"workload", "base ticks/s", "cur ticks/s", "ratio",
                  "base x", "cur x", "verdict"});
     int regressions = 0;
+    int added = 0, removed = 0;
     for (const Row &r : rows) {
         if (r.curTps == 0.0) {
+            // Workload removed from the current run: lost coverage
+            // counts as a regression.
             t.addRow({r.name, fmtF(r.baseTps, 0), "-", "-",
-                      fmtF(r.baseSpeedup, 2), "-", "MISSING"});
+                      fmtF(r.baseSpeedup, 2), "-", "REMOVED"});
             ++regressions;
+            ++removed;
+            continue;
+        }
+        if (r.baseTps == 0.0 && r.baseSpeedup == 0.0) {
+            // Workload added since the baseline: nothing to regress
+            // against, report it so the set change is visible.
+            t.addRow({r.name, "-", fmtF(r.curTps, 0), "-", "-",
+                      fmtF(r.curSpeedup, 2), "ADDED"});
+            ++added;
             continue;
         }
         // Speedup (fast path over scalar, same host and process) is
@@ -249,6 +268,10 @@ main(int argc, char **argv)
                   bad ? "REGRESSION" : "ok"});
     }
     std::cout << t.str();
+    if (added || removed)
+        std::cout << "workload set changed: " << added
+                  << " added, " << removed
+                  << " removed vs baseline\n";
     if (regressions) {
         std::cout << regressions << " workload(s) regressed beyond "
                   << fmtF(tolerance * 100, 0) << "% tolerance\n";

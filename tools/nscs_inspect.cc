@@ -7,10 +7,15 @@
  *
  * Usage:
  *   nscs_inspect MODEL.json [--cores] [--chips] [--board WxH]
+ *                [--instances B]
  *
  * With --cores, prints a per-core utilisation table.  With --chips,
  * prints per-chip and per-link tables for the model's board target
  * (or the shape given by --board, which overrides the model's).
+ * With --instances, deploys the model as a B-instance batched chip
+ * and reports the lane count and how the memory footprint splits
+ * into shared (crossbars, weights, config) and per-instance lane
+ * state — the marginal cost of one more replica.
  * Link traffic is computed statically by walking every inter-chip
  * destination's X-then-Y route, the same route the runtime takes —
  * the per-spike load each link carries if every neuron fired once.
@@ -20,7 +25,10 @@
 #include <iostream>
 #include <vector>
 
+#include <cstdlib>
+
 #include "board/board.hh"
+#include "chip/chip.hh"
 #include "neuron/neuron.hh"
 #include "prog/compiled.hh"
 #include "util/logging.hh"
@@ -33,11 +41,12 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::cerr << "usage: nscs_inspect MODEL.json [--cores] "
-                     "[--chips] [--board WxH]\n";
+                     "[--chips] [--board WxH] [--instances B]\n";
         return 2;
     }
     bool per_core = false, per_chip = false;
     uint32_t board_w = 0, board_h = 0;
+    uint32_t instances = 0;  // 0 = no instance report
     for (int i = 2; i < argc; ++i) {
         if (std::strcmp(argv[i], "--cores") == 0) {
             per_core = true;
@@ -50,6 +59,14 @@ main(int argc, char **argv)
                 return 2;
             }
             per_chip = true;
+        } else if (std::strcmp(argv[i], "--instances") == 0 &&
+                   i + 1 < argc) {
+            unsigned long v = std::strtoul(argv[++i], nullptr, 10);
+            if (v == 0 || v > 65536) {
+                std::cerr << "bad --instances '" << argv[i] << "'\n";
+                return 2;
+            }
+            instances = static_cast<uint32_t>(v);
         } else {
             std::cerr << "unknown option '" << argv[i] << "'\n";
             return 2;
@@ -219,6 +236,39 @@ main(int argc, char **argv)
         std::cout << lt.str();
     } else if (per_chip) {
         std::cout << "\n(single-chip model: no chip/link tables)\n";
+    }
+
+    if (instances != 0) {
+        // Deploy the model twice (B and B+1 lanes) so the marginal
+        // footprint of one more replica — and with it the shared vs
+        // per-lane split — is measured, not modeled.
+        auto deploy = [&model](uint32_t lanes) {
+            ChipParams cp;
+            cp.width = model.gridWidth;
+            cp.height = model.gridHeight;
+            cp.coreGeom = model.geom;
+            cp.instances = lanes;
+            std::vector<CoreConfig> cores = model.cores;
+            return Chip(cp, std::move(cores)).footprintBytes();
+        };
+        size_t fb = deploy(instances);
+        size_t per_lane = deploy(instances + 1) - fb;
+        size_t shared = fb - static_cast<size_t>(instances) * per_lane;
+        double share = fb > 0
+            ? 100.0 * static_cast<double>(per_lane) /
+                static_cast<double>(fb)
+            : 0.0;
+        std::cout << "\n";
+        TextTable it({"instance batching", "value"});
+        it.addRow({"instance lanes", fmtInt(instances)});
+        it.addRow({"device footprint", fmtInt(fb) + " bytes"});
+        it.addRow({"shared (crossbar/config)",
+                   fmtInt(shared) + " bytes"});
+        it.addRow({"per-instance lane",
+                   fmtInt(per_lane) + " bytes (" +
+                       std::to_string(share).substr(0, 4) +
+                       "% of total)"});
+        std::cout << it.str();
     }
 
     if (per_core) {

@@ -14,6 +14,11 @@
  *                             board targets parallelise across
  *                             chips, chip targets across cores;
  *                             output is bit-identical either way)
+ *   --instances B             run B replica instances of the model
+ *                             through the shared crossbars (default
+ *                             1; requires the functional transport).
+ *                             The input schedule drives lane 0; the
+ *                             trace's third column names the lane
  *   --board WxH               deploy onto a WxH board of chips
  *                             (default: the model's compiled board
  *                             target; 1x1 = one chip).  Grids that
@@ -58,6 +63,7 @@ usage()
     std::cerr <<
         "usage: nscs_run MODEL.json TICKS [--engine clock|event]\n"
         "                [--noc functional|cycle] [--threads N]\n"
+        "                [--instances B]\n"
         "                [--board WxH] [--link-budget N]\n"
         "                [--link-delay N] [--link-queue N]\n"
         "                [--inputs FILE] [--trace FILE] [--stats]\n"
@@ -124,6 +130,7 @@ main(int argc, char **argv)
     EngineKind engine = EngineKind::Event;
     NocModel noc = NocModel::Functional;
     uint32_t threads = 0;
+    uint32_t instances = 1;
     uint32_t board_w = 0, board_h = 0;  // 0 = model default
     LinkParams link;
     std::string inputs_path, trace_path;
@@ -156,6 +163,10 @@ main(int argc, char **argv)
                 usage();
         } else if (arg == "--threads") {
             threads = parseCount(next(), 1024);
+        } else if (arg == "--instances") {
+            instances = parseCount(next(), 1u << 16);
+            if (instances == 0)
+                usage();
         } else if (arg == "--board") {
             if (!parseGridSpec(next(), board_w, board_h))
                 usage();
@@ -241,6 +252,7 @@ main(int argc, char **argv)
         bp.chip.height = model.gridHeight / board_h;
         bp.chip.coreGeom = model.geom;
         bp.chip.engine = engine;
+        bp.chip.instances = instances;
         bp.link = link;
         bp.threads = threads;
         bp.faultPlan = plan;
@@ -252,6 +264,7 @@ main(int argc, char **argv)
         cp.coreGeom = model.geom;
         cp.engine = engine;
         cp.noc = noc;
+        cp.instances = instances;
         cp.threads = threads;
         cp.faultPlan = plan;
         sim = std::make_unique<Simulator>(cp, model.cores);

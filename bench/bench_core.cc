@@ -3,20 +3,24 @@
  * Microbenchmark I3 — the core integrate and update phases.
  *
  * Part 1 drives a single 256x256 core through the dense tick
- * pipeline under three activity profiles and compares the scalar
- * event-by-event integrate path against the word-parallel batched
- * one:
+ * pipeline under four activity profiles and compares the scalar
+ * event-by-event integrate path against the batched fast paths
+ * (axon-word for lightly populated slots, word-parallel above the
+ * calibrated crossover):
  *
- *  - dense:      every axon active every tick (the hardware's worst
- *                case and the fast path's best: long crossbar rows
- *                fold 64 columns per word op);
- *  - sparse:     5% of axons active per tick — below the adaptive
- *                engagement threshold, so the core stays on the
- *                scalar path and the row records the (absence of)
- *                dispatch overhead;
- *  - stochastic: dense activity with stochastic synapses on a
- *                quarter of the neurons, measuring the cost of the
- *                scalar fallback replay.
+ *  - dense:        every axon active every tick (the hardware's
+ *                  worst case and the word-parallel path's best:
+ *                  long crossbar rows fold 64 columns per word op);
+ *  - sparse:       5% of axons active per tick (~13 rows) — around
+ *                  the axon-word/word-parallel crossover, measuring
+ *                  the calibrated three-way gate;
+ *  - sparse-event: 2% of axons active per tick (~5 rows) — squarely
+ *                  in event-driven territory, measuring the
+ *                  axon-word path against per-event scalar walks;
+ *  - stochastic:   dense activity with stochastic synapses on a
+ *                  quarter of the neurons, measuring the pre-drawn
+ *                  outcome batching (LFSR draws stay in
+ *                  architectural order).
  *
  * Part 2 isolates the end-of-tick update phase (leak, threshold,
  * fire, reset — the architectural steady-state cost: every neuron,
@@ -43,6 +47,7 @@
 #include "core/core.hh"
 #include "util/json.hh"
 #include "util/rng.hh"
+#include "util/simd.hh"
 #include "util/table.hh"
 
 using namespace nscs;
@@ -193,11 +198,13 @@ main(int argc, char **argv)
     std::cout <<
         "== I3: integrate-phase microbenchmark ==\n"
         "(single 256x256 core, 50% crossbar, dense tick pipeline;\n"
-        " scalar event-by-event vs word-parallel batched integrate)\n\n";
+        " scalar event-by-event vs batched integrate, SIMD level: "
+        << simd::levelName(simd::activeLevel()) << ")\n\n";
 
     const WorkloadSpec specs[] = {
         {"dense", 1.0, 0.0},
         {"sparse", 0.05, 0.0},
+        {"sparse-event", 0.02, 0.0},
         {"stochastic", 1.0, 0.25},
     };
 
@@ -306,6 +313,8 @@ main(int argc, char **argv)
     JsonValue doc = JsonValue::object();
     doc.set("bench", JsonValue::string("bench_core"));
     doc.set("geometry", JsonValue::string("256x256x16"));
+    doc.set("simdLevel",
+            JsonValue::string(simd::levelName(simd::activeLevel())));
     doc.set("workloads", std::move(workloads));
     doc.set("updateWorkloads", std::move(update_workloads));
     const std::string path = "BENCH_core.json";
@@ -316,10 +325,10 @@ main(int argc, char **argv)
 
     std::cout <<
         "\nshape target: >= 1.5x integrate throughput on the dense\n"
-        "workload with a ~100% hit rate; the sparse workload stays\n"
-        "near 1.0x (adaptive gate holds the scalar path); the\n"
-        "stochastic workload bounds the fallback replay overhead.\n"
-        "update phase: >= 1.5x ticks/s on update-homog with 100%\n"
-        "batched share; update-mixed bounds the cohort-split cost.\n";
+        "workload with a ~100% hit rate; sparse and sparse-event\n"
+        ">= 1.5x via the axon-word path; stochastic >= 1.5x via\n"
+        "pre-drawn outcome batching.  update phase: >= 1.5x ticks/s\n"
+        "on update-homog with 100% batched share; update-mixed\n"
+        "bounds the cohort-split cost.\n";
     return 0;
 }

@@ -5,6 +5,8 @@
 #include <chrono>
 
 #include "util/logging.hh"
+#include "util/saturate.hh"
+#include "util/simd.hh"
 
 namespace nscs {
 
@@ -82,6 +84,7 @@ Core::buildLanes()
         lane.axons = BitVec(num_axons);
         lane.stoch = BitVec(num_neurons);
         lane.weight.assign(num_neurons, 0);
+        lane.colUsed.assign(words, 0);
         lane.present = false;
         for (uint32_t j = 0; j < num_neurons; ++j) {
             lane.weight[j] = cfg_.neurons[j].synWeight[g];
@@ -93,6 +96,9 @@ Core::buildLanes()
         TypeLane &lane = lanes_[cfg_.axonType[a]];
         lane.axons.set(a);
         lane.present = true;
+        const uint64_t *row = xbar_.row(a).words().data();
+        for (size_t w = 0; w < words; ++w)
+            lane.colUsed[w] |= row[w];
     }
 
     folds_.resize(instances());
@@ -110,73 +116,97 @@ Core::buildLanes()
     foldUnion_ = BitVec(num_axons);
     fallback_ = BitVec(num_neurons);
 
-    wpMinActive_ = calibrateWordParallelThreshold();
+    for (unsigned g = 0; g < kNumAxonTypes; ++g) {
+        StochFold &sf = stochFold_[g];
+        sf.rowOr.assign(words, 0);
+        sf.planes.assign(static_cast<size_t>(planeCount_) * words, 0);
+        sf.activeAxons = 0;
+        awRows_[g].clear();
+        awRows_[g].reserve(num_axons);
+    }
+    stochSucc_.assign(static_cast<size_t>(num_axons) * words, 0);
+
+    calibrateIntegrateThresholds();
 }
 
 /**
- * Derive the scalar vs word-parallel engagement threshold.
+ * Derive the scalar / axon-word / word-parallel engagement
+ * thresholds.
  *
- * Small cores keep the analytic density model: scalar cost ~ events =
- * rows x density x neurons, word-parallel cost adds ~ one extraction
- * per touched neuron, so break-even sits at roughly 10 / density
- * active rows.  Cores large enough for the path choice to matter are
+ * Small cores keep the analytic density models: scalar cost ~ events
+ * = rows x density x neurons; word-parallel adds ~ one extraction per
+ * touched neuron, so its break-even sits at roughly 10 / density
+ * active rows; the axon-word path's overhead is only one row-word
+ * load per active row per word plus the same extraction confined to
+ * set bits, so it overtakes scalar after roughly 2 / density rows.
+ * Cores large enough for the path choice to matter are
  * micro-calibrated instead: synthetic active slots of doubling
- * activity are timed through the *real* scalar and word-parallel
- * integrate paths and the measured crossover wins.  Everything the
- * probes mutate (lane-0 potentials, counters, PRNG, plane scratch) is
+ * activity are timed through the *real* integrate paths and the
+ * measured crossovers win — axon-word against scalar, word-parallel
+ * against the best of the other two.  Everything the probes mutate
+ * (lane-0 potentials, counters, PRNG, plane scratch) is
  * re-initialised by reset() immediately after construction, and the
- * threshold only selects between two bit-identical paths, so
- * calibration cannot perturb architectural results.
+ * thresholds only select between bit-identical paths, so calibration
+ * cannot perturb architectural results.
  */
-uint32_t
-Core::calibrateWordParallelThreshold()
+void
+Core::calibrateIntegrateThresholds()
 {
     const uint32_t num_axons = cfg_.geom.numAxons;
     const uint32_t num_neurons = cfg_.geom.numNeurons;
     const uint64_t synapses = xbar_.synapseCount();
-    // An empty crossbar never integrates; the threshold is moot.
-    if (synapses == 0)
-        return num_axons + 1;
+    // An empty crossbar never integrates; the thresholds are moot.
+    if (synapses == 0) {
+        wpMinActive_ = num_axons + 1;
+        awMinActive_ = num_axons + 1;
+        return;
+    }
     const double density = static_cast<double>(synapses) /
         (static_cast<double>(num_axons) * num_neurons);
     const uint32_t model = std::max<uint32_t>(
         1, static_cast<uint32_t>(10.0 / density));
+    const uint32_t aw_model = std::max<uint32_t>(
+        2, static_cast<uint32_t>(2.0 / density));
 
     // Below this size one integrate costs well under the timer
     // granularity and the path choice is in the noise; per-core
     // probing would dominate construction instead of helping.
-    if (static_cast<uint64_t>(num_axons) * num_neurons < (1u << 14))
-        return std::min(model, num_axons + 1);
-
     std::vector<uint32_t> rows;
-    for (uint32_t a = 0; a < num_axons; ++a)
-        if (xbar_.axonDegree(a) > 0)
-            rows.push_back(a);
-    if (rows.size() < 2)
-        return std::min(model, num_axons + 1);
+    if (static_cast<uint64_t>(num_axons) * num_neurons >= (1u << 14))
+        for (uint32_t a = 0; a < num_axons; ++a)
+            if (xbar_.axonDegree(a) > 0)
+                rows.push_back(a);
+    if (rows.size() < 2) {
+        wpMinActive_ = std::min(model, num_axons + 1);
+        awMinActive_ = std::min(aw_model, wpMinActive_);
+        return;
+    }
 
     InstanceLane &L0 = inst_[0];
     BitVec active(num_axons);
-    auto probe = [&](bool word_parallel) {
+    enum Path { kProbeScalar, kProbeAxonWord, kProbeWordParallel };
+    auto probe = [&](int path) {
         double best = 1e300;
         for (int rep = 0; rep < 3; ++rep) {
             // Re-zero the potentials so every rep measures the
             // steady-state path: drifting values would saturate at
-            // the rails and push later word-parallel reps onto the
+            // the rails and push later batched reps onto the
             // fallback replay, biasing the crossover.
             std::fill(L0.v.begin(), L0.v.end(), 0);
-            // Construction-time perf calibration: picks between two
+            // Construction-time perf calibration: picks between
             // bit-identical integrate paths, so host timing cannot
             // change architectural output (see the method comment).
             // nscs-lint: allow(wall-clock): calibration, output-neutral
             auto t0 = std::chrono::steady_clock::now();
-            if (word_parallel) {
+            if (path == kProbeWordParallel) {
                 integrateWordParallel(L0, 0, active, 0, false);
                 // Charge the fold-scratch teardown to the
                 // word-parallel probe: a per-tick run pays it once
                 // per distinct pattern, and letting reps 2..3 reuse
                 // the cached planes would measure apply-only cost.
                 clearIntegratePlanes();
+            } else if (path == kProbeAxonWord) {
+                integrateAxonWord(L0, active, 0, false);
             } else {
                 integrateScalar(L0, active, 0, false);
             }
@@ -189,41 +219,56 @@ Core::calibrateWordParallelThreshold()
     };
 
     // Doubling sweep over active-row counts, capped so a sweep that
-    // never finds the crossover stays a bounded fraction of
-    // construction cost.  The first k where the word-parallel probe
-    // clearly wins (scalar time measurable, 10% margin — a 0-vs-0
-    // timer-granularity tie must not hand word-parallel the verdict)
-    // brackets the crossover in (k/2, k].
+    // never finds the crossovers stays a bounded fraction of
+    // construction cost.  The first k where a batched probe clearly
+    // wins (reference time measurable, 10% margin — a 0-vs-0
+    // timer-granularity tie must not hand it the verdict) brackets
+    // that crossover in (k/2, k]; the density model wins inside its
+    // bracket, else the conservative upper end (at the crossover
+    // both paths cost the same, so erring toward the lighter path
+    // never loses).
     const uint32_t k_max = std::min<uint32_t>(
         static_cast<uint32_t>(rows.size()), 64);
     uint32_t set_rows = 0;
     uint32_t prev = 0;
+    uint32_t aw_pick = 0, wp_pick = 0;
+    bool aw_found = false, wp_found = false;
     for (uint32_t k = 1; set_rows < k_max; k *= 2) {
         k = std::min<uint32_t>(k, k_max);
         while (set_rows < k)
             active.set(rows[set_rows++]);
-        double wp = probe(true);
-        double sc = probe(false);
-        if (sc > 0.0 && wp * 10 <= sc * 9) {
-            // Crossover is in (prev, k].  Pick the density model when
-            // it lands inside the bracket, else the conservative
-            // upper end: at the crossover both paths cost the same,
-            // so erring toward scalar never loses and keeps
-            // break-even slots off the extraction overhead.
-            uint32_t pick = (model > prev && model <= k) ? model : k;
-            return std::max<uint32_t>(1, pick);
+        const double sc = probe(kProbeScalar);
+        const double aw = probe(kProbeAxonWord);
+        const double wp = probe(kProbeWordParallel);
+        if (!aw_found && sc > 0.0 && aw * 10 <= sc * 9) {
+            aw_found = true;
+            aw_pick =
+                (aw_model > prev && aw_model <= k) ? aw_model : k;
         }
+        // The middle band belongs to axon-word, so word-parallel
+        // must beat whichever of the two lighter paths is faster.
+        const double ref = std::min(sc, aw);
+        if (!wp_found && ref > 0.0 && wp * 10 <= ref * 9) {
+            wp_found = true;
+            wp_pick = (model > prev && model <= k) ? model : k;
+        }
+        if (aw_found && wp_found)
+            break;
         prev = k;
         if (k == k_max)
             break;
     }
-    // Word-parallel never won inside the probe budget: scalar is
-    // sticky at least through prev rows, so keep the analytic model
-    // where it is more conservative and stay past the probed range
-    // otherwise.
-    return static_cast<uint32_t>(std::min<uint64_t>(
-        std::max<uint64_t>(model, 2ull * prev),
-        static_cast<uint64_t>(num_axons) + 1));
+    // A path that never won inside the probe budget is sticky-off at
+    // least through prev rows: keep the analytic model where it is
+    // more conservative and stay past the probed range otherwise.
+    wpMinActive_ = wp_found
+        ? std::max<uint32_t>(1, wp_pick)
+        : static_cast<uint32_t>(std::min<uint64_t>(
+              std::max<uint64_t>(model, 2ull * prev),
+              static_cast<uint64_t>(num_axons) + 1));
+    awMinActive_ = aw_found ? std::max<uint32_t>(1, aw_pick)
+                            : wpMinActive_;
+    awMinActive_ = std::min(awMinActive_, wpMinActive_);
 }
 
 void
@@ -261,6 +306,7 @@ Core::reset()
     sched_.reset();
     evalMask_.reset();
     clearIntegratePlanes();
+    clearStochFold();
     counters_ = CoreCounters{};
     mode_ = Mode::Unset;
 }
@@ -305,8 +351,14 @@ Core::integrateActiveAxons(InstanceLane &L, uint32_t inst, uint64_t t,
     if (sched_.slotEmpty(t, inst))
         return;
     const BitVec &active = sched_.slot(t, inst);
-    if (wordParallel_ && sched_.slotCount(t, inst) >= wpMinActive_)
+    const uint32_t count = sched_.slotCount(t, inst);
+    ++counters_.laneSlotsActive;
+    counters_.laneActiveAxons += count;
+    if (wordParallel_ && count >= wpMinActive_)
         integrateWordParallel(L, inst, active, t, sparse);
+    else if (wordParallel_ && count >= awMinActive_ &&
+             count <= kAxonWordMaxRows)
+        integrateAxonWord(L, active, t, sparse);
     else
         integrateScalar(L, active, t, sparse);
     // The slot is NOT cleared here: later instance lanes still read
@@ -354,6 +406,7 @@ void
 Core::buildIntegratePlanes(FoldScratch &f, const BitVec &active)
 {
     const size_t words = f.touched.words().size();
+    const simd::Ops &so = simd::ops();
     f.touched.reset();
     for (unsigned g = 0; g < kNumAxonTypes; ++g) {
         const TypeLane &lane = lanes_[g];
@@ -361,23 +414,15 @@ Core::buildIntegratePlanes(FoldScratch &f, const BitVec &active)
         tf.activeAxons = 0;
         if (!lane.present || !active.intersects(lane.axons))
             continue;
-        active.forEachSetMasked(lane.axons, [this, &tf,
+        active.forEachSetMasked(lane.axons, [this, &tf, &so,
                                              words](size_t a) {
             const BitVec &row = xbar_.row(static_cast<uint32_t>(a));
             ++tf.activeAxons;
-            row.forEachSetWord([&tf, words](size_t w, uint64_t bits) {
-                tf.rowOr.orWordAt(w, bits);
-                // Carry-save add: plane p holds bit p of every
-                // column's running count.
-                uint64_t carry = bits;
-                size_t idx = w;
-                while (carry) {
-                    uint64_t old = tf.planes[idx];
-                    tf.planes[idx] = old ^ carry;
-                    carry &= old;
-                    idx += words;
-                }
-            });
+            tf.rowOr.orAccumulate(row);
+            // Carry-save add: plane p holds bit p of every column's
+            // running count (vectorized per dispatch level).
+            so.foldRow(tf.planes.data(), words, planeCount_,
+                       row.words().data(), words);
         });
         f.touched.orAccumulate(tf.rowOr);
     }
@@ -391,12 +436,14 @@ Core::buildIntegratePlanes(FoldScratch &f, const BitVec &active)
  * row once and carry-saving it into the fold of every lane whose
  * slot carries that axon.  Produces, per lane, exactly the planes
  * buildIntegratePlanes would (carry-save addition and the touched
- * OR are order-independent), while the row traversal — the
- * shared-read part of the integrate — is paid once per tick instead
- * of once per lane.  Lanes below the word-parallel threshold are
- * left un-folded; integrateActiveAxons routes them to the scalar
- * path by the same test.  Lane chunks of 64 keep the per-axon lane
- * set in one word without capping the instance count.
+ * OR are order-independent), while each crossbar row — the
+ * shared-read part of the integrate — streams through every
+ * receiving lane back to back while it is cache-hot, once per tick
+ * instead of once per lane scattered across the tick.  Lanes below
+ * the word-parallel threshold are left un-folded; by the same test,
+ * integrateActiveAxons routes them to the axon-word or scalar path.
+ * Lane chunks of 64 keep the per-axon lane set in one word without
+ * capping the instance count.
  */
 void
 Core::foldTickPlanes(uint64_t t)
@@ -449,30 +496,18 @@ Core::foldTickPlanes(uint64_t t)
             }
             const unsigned g = cfg_.axonType[a];
             const BitVec &row = xbar_.row(static_cast<uint32_t>(a));
-            row.forEachSetWord([&](size_t w, uint64_t bits) {
-                for (uint64_t m = present; m;) {
-                    const auto k =
-                        static_cast<unsigned>(__builtin_ctzll(m));
-                    m &= m - 1;
-                    FoldScratch &f = folds_[base + k];
-                    TypeFold &tf = f.type[g];
-                    tf.rowOr.orWordAt(w, bits);
-                    f.touched.orWordAt(w, bits);
-                    uint64_t carry = bits;
-                    size_t idx = w;
-                    while (carry) {
-                        uint64_t old = tf.planes[idx];
-                        tf.planes[idx] = old ^ carry;
-                        carry &= old;
-                        idx += words;
-                    }
-                }
-            });
+            const simd::Ops &so = simd::ops();
             for (uint64_t m = present; m;) {
                 const auto k =
                     static_cast<unsigned>(__builtin_ctzll(m));
                 m &= m - 1;
-                ++folds_[base + k].type[g].activeAxons;
+                FoldScratch &f = folds_[base + k];
+                TypeFold &tf = f.type[g];
+                tf.rowOr.orAccumulate(row);
+                f.touched.orAccumulate(row);
+                so.foldRow(tf.planes.data(), words, planeCount_,
+                           row.words().data(), words);
+                ++tf.activeAxons;
             }
         });
     }
@@ -514,27 +549,137 @@ Core::clearIntegratePlanes()
 }
 
 /**
+ * Pre-draw every stochastic synaptic event of this lane's active
+ * slot, in the exact architectural draw order (axons ascending,
+ * neurons ascending within a row, drawing only at stochastic
+ * (neuron, type) positions).  Each outcome depends only on its
+ * stream position and the static weight — never on the membrane
+ * potential — so consuming the draws up front leaves the LFSR at
+ * the same position, with the same outcomes, as the scalar
+ * interleaving.  Successes land in per-axon masks (stochSucc_, for
+ * the outcome-replay fallback) and fold into per-type carry-save
+ * count planes (stochFold_, for the batched apply).
+ *
+ * @return true when any draw was consumed; false means the slot has
+ * no stochastic events in play and the fold scratch is untouched.
+ */
+bool
+Core::predrawStochOutcomes(InstanceLane &L, const BitVec &active)
+{
+    const size_t words = fallback_.words().size();
+    const simd::Ops &so = simd::ops();
+    bool any = false;
+    active.forEachSet([this, &L, &so, words, &any](size_t a) {
+        const unsigned g = cfg_.axonType[a];
+        const TypeLane &lane = lanes_[g];
+        const BitVec &row = xbar_.row(static_cast<uint32_t>(a));
+        if (!row.intersects(lane.stoch))
+            return;
+        any = true;
+        uint64_t *succ = stochSucc_.data() + a * words;
+        std::fill_n(succ, words, uint64_t{0});
+        row.forEachSetMasked(lane.stoch, [&L, &lane, succ](size_t j) {
+            const int32_t s = lane.weight[j];
+            const uint8_t rho = L.rng.nextByte();
+            if (rho < (s < 0 ? -s : s))
+                succ[j >> 6] |= 1ull << (j & 63);
+        });
+        StochFold &sf = stochFold_[g];
+        so.foldRow(sf.planes.data(), words, planeCount_, succ, words);
+        so.orAccumulate(sf.rowOr.data(), succ, words);
+        ++sf.activeAxons;
+    });
+    return any;
+}
+
+/** Drop the stochastic fold scratch, word-wise over the words its
+ *  success masks touched.  Runs per lane: the next lane pre-draws
+ *  its own outcomes. */
+void
+Core::clearStochFold()
+{
+    const size_t words = fallback_.words().size();
+    for (StochFold &sf : stochFold_) {
+        if (!sf.activeAxons)
+            continue;
+        const auto used = static_cast<unsigned>(
+            std::bit_width(sf.activeAxons));
+        for (size_t w = 0; w < words; ++w) {
+            if (!sf.rowOr[w])
+                continue;
+            size_t idx = w;
+            for (unsigned p = 0; p < used; ++p, idx += words)
+                sf.planes[idx] = 0;
+            sf.rowOr[w] = 0;
+        }
+        sf.activeAxons = 0;
+    }
+}
+
+/**
+ * Event-by-event replay of the fallback neurons in the architectural
+ * (axon-major) order.  With @p outcomes_recorded, this lane's
+ * stochastic draws were all consumed by predrawStochOutcomes, so
+ * stochastic events apply their recorded success without touching
+ * the stream; otherwise they draw here, at the same stream positions
+ * the scalar path would use (deterministic events never draw, so
+ * batching them cannot shift the stochastic positions).
+ */
+void
+Core::replayFallback(InstanceLane &L, const BitVec &active,
+                     bool outcomes_recorded)
+{
+    const size_t words = fallback_.words().size();
+    active.forEachSet([this, &L, words, outcomes_recorded](size_t a) {
+        const unsigned g = cfg_.axonType[a];
+        const BitVec &stoch = lanes_[g].stoch;
+        const uint64_t *succ = stochSucc_.data() + a * words;
+        xbar_.row(static_cast<uint32_t>(a)).forEachSetMasked(
+            fallback_, [&](size_t j) {
+                auto n = static_cast<uint32_t>(j);
+                if (outcomes_recorded &&
+                    ((stoch.words()[j >> 6] >> (j & 63)) & 1)) {
+                    if ((succ[j >> 6] >> (j & 63)) & 1) {
+                        const int32_t s = lanes_[g].weight[n];
+                        L.v[n] = satAdd(L.v[n], (s > 0) - (s < 0),
+                                        cfg_.neurons[n].potentialBits);
+                    }
+                } else {
+                    L.v[n] = integrateSynapse(L.v[n], cfg_.neurons[n],
+                                              g, &L.rng);
+                }
+                ++counters_.sops;
+            });
+    });
+    fallback_.reset();
+}
+
+/**
  * Word-parallel synaptic integration.
  *
  * Phase 1 (buildIntegratePlanes above) folds the active-axon slot
  * into (touched mask, count planes) — or reuses the lane's fold when
  * the batched per-tick pass (foldTickPlanes) already built it.
+ * When the slot has stochastic synapses in play, their outcomes are
+ * pre-drawn into success-count planes (predrawStochOutcomes).
  *
- * Phase 2 applies deterministic synapses as one batched
- * v += count * weight add per type.  Equivalence argument: the
- * scalar path is a chain of saturating adds in (axon, neuron)
- * order.  Addition is commutative, so the chain equals the batched
- * sum whenever no partial sum can leave the register rails; the
- * guard checks the worst-case excursion (all positive contributions
- * first / all negative first brackets every interleaving).  Neurons
- * that fail the guard — mixed signs near the rails — or that have a
- * stochastic synapse in play fall back to the scalar path.
+ * Phase 2 applies synapses as one batched add per (neuron, type):
+ * count x weight for deterministic types, successes x sgn(weight)
+ * for stochastic ones.  Equivalence argument: the scalar path is a
+ * chain of saturating adds in (axon, neuron) order whose stochastic
+ * links contribute sgn(weight) exactly on pre-drawn success.
+ * Addition is commutative, so the chain equals the batched sum
+ * whenever no partial sum can leave the register rails; the guard
+ * checks the worst-case excursion (all positive contributions first
+ * / all negative first brackets every interleaving, and each
+ * per-type aggregate is single-signed, so the type buckets bound the
+ * per-event sums).  Neurons that fail the guard — mixed signs near
+ * the rails — fall back to the scalar replay, as do stochastic
+ * targets when outcome batching is toggled off.
  *
- * Phase 3 replays the fallback neurons event by event in the
- * architectural order.  Deterministic events never draw from the
- * PRNG, so batching them cannot shift the draw positions of the
- * stochastic events replayed here: the draw order stays axon-major,
- * which is the cross-engine equivalence contract.
+ * Phase 3 (replayFallback above) replays the fallback neurons event
+ * by event in the architectural order, re-applying recorded
+ * stochastic outcomes without re-drawing.
  */
 void
 Core::integrateWordParallel(InstanceLane &L, uint32_t inst,
@@ -551,85 +696,252 @@ Core::integrateWordParallel(InstanceLane &L, uint32_t inst,
     if (sparse)
         evalMask_.orAccumulate(f.touched);
 
+    const bool predrawn =
+        stochIntegrateBatch_ && predrawStochOutcomes(L, active);
+
     // Plane p of type g can be nonzero only once 2^p rows were
     // folded; bound extraction accordingly.
     unsigned planes_used[kNumAxonTypes];
-    for (unsigned g = 0; g < kNumAxonTypes; ++g)
+    unsigned succ_used[kNumAxonTypes];
+    for (unsigned g = 0; g < kNumAxonTypes; ++g) {
         planes_used[g] = static_cast<unsigned>(
             std::bit_width(f.type[g].activeAxons));
+        succ_used[g] = static_cast<unsigned>(
+            std::bit_width(stochFold_[g].activeAxons));
+    }
 
-    // Phase 2: batch-apply deterministic events per touched neuron;
-    // divert saturation-risk and stochastic targets to the fallback
-    // set.
+    // Phase 2: batch-apply events per touched word with the
+    // dispatch-layer applyWord kernel; it reports the committed
+    // lanes, and saturation-risk targets (plus, when outcome
+    // batching is off, stochastic targets via forcedDivert) land in
+    // the fallback set.  Event counters come from popcounts of the
+    // count planes masked with the committed lanes — plane p holds
+    // bit p of each lane's event count, so its masked population
+    // contributes 2^p events.
+    const simd::Ops &sops = simd::ops();
     bool any_fallback = false;
     f.touched.forEachSetWord([&](size_t w, uint64_t word) {
-        uint64_t bits = word;
-        while (bits) {
-            unsigned b = static_cast<unsigned>(__builtin_ctzll(bits));
-            bits &= bits - 1;
-            auto n = static_cast<uint32_t>(w * 64 + b);
-            if (sparse && cls_[n] != UpdateClass::Dense)
-                catchUp(L, n, t);
-            int64_t delta = 0, pos = 0, neg = 0;
-            uint64_t events = 0;
-            bool stochastic = false;
-            for (unsigned g = 0; g < kNumAxonTypes; ++g) {
-                const TypeFold &tf = f.type[g];
-                if (!tf.activeAxons ||
-                    !((tf.rowOr.words()[w] >> b) & 1))
-                    continue;
-                if ((lanes_[g].stoch.words()[w] >> b) & 1) {
-                    stochastic = true;
-                    break;
-                }
-                uint64_t cnt = 0;
-                size_t idx = w;
-                for (unsigned p = 0; p < planes_used[g];
-                     ++p, idx += words)
-                    cnt |= ((tf.planes[idx] >> b) & 1) << p;
-                events += cnt;
-                int64_t d = static_cast<int64_t>(cnt) *
-                    lanes_[g].weight[n];
-                delta += d;
-                if (d > 0)
-                    pos += d;
-                else
-                    neg += d;
-            }
-            if (stochastic) {
-                fallback_.set(n);
-                any_fallback = true;
-                continue;
-            }
-            int64_t v0 = L.v[n];
-            if (v0 + pos <= vHi_[n] && v0 + neg >= vLo_[n]) {
-                L.v[n] = static_cast<int32_t>(v0 + delta);
-                counters_.sops += events;
-                counters_.sopsBatched += events;
-            } else {
-                fallback_.set(n);
-                any_fallback = true;
+        if (sparse) {
+            uint64_t bits = word;
+            while (bits) {
+                const auto b =
+                    static_cast<unsigned>(__builtin_ctzll(bits));
+                bits &= bits - 1;
+                const auto n = static_cast<uint32_t>(w * 64 + b);
+                if (cls_[n] != UpdateClass::Dense)
+                    catchUp(L, n, t);
             }
         }
+        simd::ApplyWord a;
+        a.detStride = words;
+        a.succStride = words;
+        a.forcedDivert = 0;
+        for (unsigned g = 0; g < kNumAxonTypes; ++g) {
+            const TypeFold &tf = f.type[g];
+            const uint64_t row_or =
+                tf.activeAxons ? tf.rowOr.words()[w] : 0;
+            a.detUsed[g] = row_or ? planes_used[g] : 0;
+            if (!a.detUsed[g]) {
+                a.detPlanes[g] = nullptr;
+                a.succPlanes[g] = nullptr;
+                a.succUsed[g] = 0;
+                a.weight[g] = nullptr;
+                a.stochMask[g] = 0;
+                continue;
+            }
+            a.detPlanes[g] = tf.planes.data() + w;
+            a.succUsed[g] = succ_used[g];
+            a.succPlanes[g] = succ_used[g]
+                ? stochFold_[g].planes.data() + w
+                : nullptr;
+            a.weight[g] = lanes_[g].weight.data() + w * 64;
+            a.stochMask[g] = lanes_[g].stoch.words()[w];
+            if (!predrawn)
+                a.forcedDivert |= row_or & a.stochMask[g];
+        }
+        a.v = L.v.data() + w * 64;
+        a.vLo = vLo_.data() + w * 64;
+        a.vHi = vHi_.data() + w * 64;
+        const auto lanes_n = static_cast<uint32_t>(
+            std::min<size_t>(64, vLo_.size() - w * 64));
+        const uint64_t applied = sops.applyWord(a, lanes_n);
+        const uint64_t fb = word & ~applied;
+        if (fb) {
+            fallback_.orWordAt(w, fb);
+            any_fallback = true;
+        }
+        uint64_t events = 0, sevents = 0;
+        for (unsigned g = 0; g < kNumAxonTypes; ++g) {
+            for (unsigned p = 0; p < a.detUsed[g]; ++p) {
+                const uint64_t hit =
+                    a.detPlanes[g][p * words] & applied;
+                events += static_cast<uint64_t>(
+                              __builtin_popcountll(hit))
+                    << p;
+                sevents +=
+                    static_cast<uint64_t>(__builtin_popcountll(
+                        hit & a.stochMask[g]))
+                    << p;
+            }
+        }
+        counters_.sops += events;
+        counters_.sopsBatched += events;
+        counters_.sopsStochBatched += sevents;
     });
 
-    // Phase 3: event-by-event replay of the fallback neurons in the
-    // architectural (axon-major) order; the only PRNG consumer.
-    if (any_fallback) {
-        active.forEachSet([this, &L](size_t a) {
-            unsigned g = cfg_.axonType[a];
-            xbar_.row(static_cast<uint32_t>(a)).forEachSetMasked(
-                fallback_, [this, &L, g](size_t j) {
-                    auto n = static_cast<uint32_t>(j);
-                    L.v[n] = integrateSynapse(L.v[n], cfg_.neurons[n],
-                                              g, &L.rng);
-                    ++counters_.sops;
-                });
-        });
-        fallback_.reset();
-    }
+    if (any_fallback)
+        replayFallback(L, active, predrawn);
+    if (predrawn)
+        clearStochFold();
     // The lane's fold stays live until finishTickIntegrate() drops
     // every lane's scratch at end of tick.
+}
+
+/**
+ * Event-driven axon-word integration: the middle path for sparsely
+ * active slots, engaged for active-axon counts in
+ * [awMinActive_, wpMinActive_).
+ *
+ * Instead of folding whole crossbar rows into the per-lane fold
+ * scratch and extracting per touched neuron (whose per-word teardown
+ * and deep planes only amortize over enough rows), the active rows
+ * are walked once per 64-neuron word: each row contributes one word
+ * to a stack-resident carry-save accumulator per type (bit_width(k)
+ * planes for k rows — registers, not memory), and the word's touched
+ * bits are applied immediately while the planes are hot.  Words no
+ * active row touches cost k loads and one branch.
+ *
+ * Apply semantics, the guard, stochastic pre-draw and the fallback
+ * replay are exactly the word-parallel path's (see
+ * integrateWordParallel); only the fold's lifetime and locality
+ * differ, so the equivalence argument carries over unchanged.
+ */
+void
+Core::integrateAxonWord(InstanceLane &L, const BitVec &active,
+                        uint64_t t, bool sparse)
+{
+    const size_t words = fallback_.words().size();
+    const bool predrawn =
+        stochIntegrateBatch_ && predrawStochOutcomes(L, active);
+
+    for (auto &rows : awRows_)
+        rows.clear();
+    active.forEachSet([this](size_t a) {
+        awRows_[cfg_.axonType[a]].push_back(
+            xbar_.row(static_cast<uint32_t>(a)).words().data());
+    });
+
+    unsigned aw_used[kNumAxonTypes];
+    unsigned succ_used[kNumAxonTypes];
+    for (unsigned g = 0; g < kNumAxonTypes; ++g) {
+        aw_used[g] = static_cast<unsigned>(
+            std::bit_width(awRows_[g].size()));
+        succ_used[g] = static_cast<unsigned>(
+            std::bit_width(stochFold_[g].activeAxons));
+        NSCS_ASSERT(aw_used[g] <= kAxonWordMaxPlanes,
+                    "axon-word path engaged beyond its plane budget "
+                    "(%zu rows of type %u)", awRows_[g].size(), g);
+    }
+
+    bool any_fallback = false;
+    for (size_t w = 0; w < words; ++w) {
+        uint64_t row_or[kNumAxonTypes];
+        uint64_t planes[kNumAxonTypes][kAxonWordMaxPlanes];
+        uint64_t or_all = 0;
+        for (unsigned g = 0; g < kNumAxonTypes; ++g) {
+            row_or[g] = 0;
+            if (awRows_[g].empty() || !lanes_[g].colUsed[w])
+                continue;
+            for (unsigned p = 0; p < aw_used[g]; ++p)
+                planes[g][p] = 0;
+            for (const uint64_t *r : awRows_[g]) {
+                // Carry-save add of one row word; the running count
+                // fits in aw_used[g] planes, so the ripple stops
+                // inside the stack array.
+                uint64_t carry = r[w];
+                row_or[g] |= carry;
+                for (unsigned p = 0; carry; ++p) {
+                    const uint64_t old = planes[g][p];
+                    planes[g][p] = old ^ carry;
+                    carry &= old;
+                }
+            }
+            or_all |= row_or[g];
+        }
+        if (!or_all)
+            continue;
+        if (sparse) {
+            evalMask_.orWordAt(w, or_all);
+            uint64_t bits = or_all;
+            while (bits) {
+                const auto b =
+                    static_cast<unsigned>(__builtin_ctzll(bits));
+                bits &= bits - 1;
+                const auto n = static_cast<uint32_t>(w * 64 + b);
+                if (cls_[n] != UpdateClass::Dense)
+                    catchUp(L, n, t);
+            }
+        }
+        // Apply through the dispatch-layer kernel while the stack
+        // planes are hot (counter derivation as in
+        // integrateWordParallel).
+        simd::ApplyWord a;
+        a.detStride = 1;
+        a.succStride = words;
+        a.forcedDivert = 0;
+        for (unsigned g = 0; g < kNumAxonTypes; ++g) {
+            a.detUsed[g] = row_or[g] ? aw_used[g] : 0;
+            if (!a.detUsed[g]) {
+                a.detPlanes[g] = nullptr;
+                a.succPlanes[g] = nullptr;
+                a.succUsed[g] = 0;
+                a.weight[g] = nullptr;
+                a.stochMask[g] = 0;
+                continue;
+            }
+            a.detPlanes[g] = planes[g];
+            a.succUsed[g] = succ_used[g];
+            a.succPlanes[g] = succ_used[g]
+                ? stochFold_[g].planes.data() + w
+                : nullptr;
+            a.weight[g] = lanes_[g].weight.data() + w * 64;
+            a.stochMask[g] = lanes_[g].stoch.words()[w];
+            if (!predrawn)
+                a.forcedDivert |= row_or[g] & a.stochMask[g];
+        }
+        a.v = L.v.data() + w * 64;
+        a.vLo = vLo_.data() + w * 64;
+        a.vHi = vHi_.data() + w * 64;
+        const auto lanes_n = static_cast<uint32_t>(
+            std::min<size_t>(64, vLo_.size() - w * 64));
+        const uint64_t applied = simd::ops().applyWord(a, lanes_n);
+        const uint64_t fb = or_all & ~applied;
+        if (fb) {
+            fallback_.orWordAt(w, fb);
+            any_fallback = true;
+        }
+        uint64_t events = 0, sevents = 0;
+        for (unsigned g = 0; g < kNumAxonTypes; ++g) {
+            for (unsigned p = 0; p < a.detUsed[g]; ++p) {
+                const uint64_t hit = planes[g][p] & applied;
+                events += static_cast<uint64_t>(
+                              __builtin_popcountll(hit))
+                    << p;
+                sevents +=
+                    static_cast<uint64_t>(__builtin_popcountll(
+                        hit & a.stochMask[g]))
+                    << p;
+            }
+        }
+        counters_.sops += events;
+        counters_.sopsBatched += events;
+        counters_.sopsAxonWord += events;
+        counters_.sopsStochBatched += sevents;
+    }
+    if (any_fallback)
+        replayFallback(L, active, predrawn);
+    if (predrawn)
+        clearStochFold();
 }
 
 /** End-of-tick teardown after every instance lane has evaluated:
@@ -1016,6 +1328,7 @@ Core::footprintBytes() const
         bytes += lane.axons.footprintBytes();
         bytes += lane.stoch.footprintBytes();
         bytes += lane.weight.capacity() * sizeof(int32_t);
+        bytes += lane.colUsed.capacity() * sizeof(uint64_t);
     }
     for (const FoldScratch &f : folds_) {
         for (const TypeFold &tf : f.type) {
@@ -1027,6 +1340,13 @@ Core::footprintBytes() const
     }
     bytes += folds_.capacity() * sizeof(FoldScratch);
     bytes += foldUnion_.footprintBytes();
+    for (const StochFold &sf : stochFold_) {
+        bytes += sf.rowOr.capacity() * sizeof(uint64_t);
+        bytes += sf.planes.capacity() * sizeof(uint64_t);
+    }
+    bytes += stochSucc_.capacity() * sizeof(uint64_t);
+    for (const auto &rows : awRows_)
+        bytes += rows.capacity() * sizeof(const uint64_t *);
     bytes += vLo_.capacity() * sizeof(int32_t);
     bytes += vHi_.capacity() * sizeof(int32_t);
     bytes += fallback_.footprintBytes();
@@ -1051,6 +1371,7 @@ Core::applyStuckWord(uint32_t axon, uint32_t word, uint64_t bits)
         if (ov.axon == axon && ov.word == word) {
             ov.bits = bits;
             xbar_.setRowWord(axon, word, bits);
+            lanes_[cfg_.axonType[axon]].colUsed[word] |= bits;
             return;
         }
     }
@@ -1061,6 +1382,8 @@ Core::applyStuckWord(uint32_t axon, uint32_t word, uint64_t bits)
     ov.original = xbar_.row(axon).words()[word];
     xbarOverrides_.push_back(ov);
     xbar_.setRowWord(axon, word, bits);
+    // Keep the column-occupancy mask a superset of the live rows.
+    lanes_[cfg_.axonType[axon]].colUsed[word] |= bits;
 }
 
 void
@@ -1078,8 +1401,11 @@ Core::flipPotentialBit(uint32_t n, uint32_t bit, uint32_t inst)
 void
 Core::revertXbarOverrides()
 {
-    for (const XbarOverride &ov : xbarOverrides_)
+    for (const XbarOverride &ov : xbarOverrides_) {
         xbar_.setRowWord(ov.axon, ov.word, ov.original);
+        lanes_[cfg_.axonType[ov.axon]].colUsed[ov.word] |=
+            ov.original;
+    }
     xbarOverrides_.clear();
 }
 
@@ -1154,6 +1480,10 @@ Core::saveState(JsonValue &out) const
     putCounter("evals", c.evals);
     putCounter("ticksRun", c.ticksRun);
     putCounter("sopsBatched", c.sopsBatched);
+    putCounter("sopsAxonWord", c.sopsAxonWord);
+    putCounter("sopsStochBatched", c.sopsStochBatched);
+    putCounter("laneSlotsActive", c.laneSlotsActive);
+    putCounter("laneActiveAxons", c.laneActiveAxons);
     putCounter("evalsBatched", c.evalsBatched);
     putCounter("evalsStochBatched", c.evalsStochBatched);
     putCounter("selfEventCompactions", c.selfEventCompactions);
@@ -1246,6 +1576,14 @@ Core::restoreState(const JsonValue &in)
         static_cast<uint64_t>(counters.getInt("ticksRun", 0));
     counters_.sopsBatched =
         static_cast<uint64_t>(counters.getInt("sopsBatched", 0));
+    counters_.sopsAxonWord =
+        static_cast<uint64_t>(counters.getInt("sopsAxonWord", 0));
+    counters_.sopsStochBatched =
+        static_cast<uint64_t>(counters.getInt("sopsStochBatched", 0));
+    counters_.laneSlotsActive =
+        static_cast<uint64_t>(counters.getInt("laneSlotsActive", 0));
+    counters_.laneActiveAxons =
+        static_cast<uint64_t>(counters.getInt("laneActiveAxons", 0));
     counters_.evalsBatched =
         static_cast<uint64_t>(counters.getInt("evalsBatched", 0));
     counters_.evalsStochBatched =
@@ -1263,6 +1601,7 @@ Core::restoreState(const JsonValue &in)
     evalMask_.reset();
     detEvalScratch_.reset();
     clearIntegratePlanes();
+    clearStochFold();
     fallback_.reset();
     return true;
 }

@@ -47,20 +47,32 @@
  * A core must not mix strategies within one run; reset() clears the
  * commitment.
  *
- * Synaptic integration itself has two implementations with
+ * Synaptic integration itself has three implementations with
  * bit-identical results (see integrateWordParallel in core.cc for
  * the equivalence argument):
  *
  *  - scalar:        one integrateSynapse call per (axon, neuron)
  *                   event, in architectural order;
+ *  - axon-word:     for sparsely active ticks, the active rows are
+ *                   carry-saved per 64-neuron word into small
+ *                   stack-resident count planes and applied word by
+ *                   word — the event-driven middle path between
+ *                   scalar and the full fold;
  *  - word-parallel: the active-axon slot is folded against per-type
  *                   crossbar partitions with 64-bit word operations,
  *                   yielding a touched-neuron mask and per-neuron
  *                   event counts per type; deterministic synapses
  *                   are then applied as one count x weight add per
- *                   type.  Neurons whose events could saturate
- *                   mid-sequence, or that have a stochastic synapse
- *                   in play, drop to the scalar path for that tick.
+ *                   type.
+ *
+ * Stochastic synapses batch too: their LFSR outcomes depend only on
+ * the draw position and the static weight, so both batched paths
+ * pre-draw every stochastic event in architectural order into
+ * per-axon success masks, fold successes into count planes, and
+ * apply successes x sgn(weight) alongside the deterministic adds.
+ * Neurons whose events could saturate mid-sequence drop to a scalar
+ * replay that re-applies the recorded outcomes without re-drawing,
+ * so the stream position is preserved exactly.
  *
  * Reset semantics: the negative-threshold rule is applied once to
  * every neuron's initial potential at reset (this makes skipping
@@ -104,6 +116,31 @@ struct CoreCounters
      * bit-identical whichever path applied the event.
      */
     uint64_t sopsBatched = 0;
+
+    /**
+     * Of sopsBatched, events applied by the axon-word sparse path
+     * (stack-resident per-word count planes instead of the full
+     * per-lane fold).  Simulation-effort statistic only.
+     */
+    uint64_t sopsAxonWord = 0;
+
+    /**
+     * Of sops, stochastic synaptic events whose LFSR outcomes were
+     * pre-drawn and applied as batched success counts instead of one
+     * draw-and-add per event.  Simulation-effort statistic only.
+     */
+    uint64_t sopsStochBatched = 0;
+
+    /**
+     * (lane, tick) evaluations whose scheduler slot carried at least
+     * one active axon, and the total active axons across them.
+     * Occupancy diagnostics for instance-batched runs: the mean slot
+     * population is laneActiveAxons / laneSlotsActive, and the
+     * fraction of lane-ticks with any input is laneSlotsActive /
+     * (ticksRun x instances).
+     */
+    uint64_t laneSlotsActive = 0;
+    uint64_t laneActiveAxons = 0;
 
     /**
      * Of evals, end-of-tick updates applied by the batched SoA
@@ -268,6 +305,21 @@ class Core
     uint32_t wordParallelMinActive() const { return wpMinActive_; }
 
     /**
+     * Minimum active-axon count for the axon-word sparse path: slots
+     * with at least this many but fewer than wordParallelMinActive()
+     * active axons integrate through per-word stack-resident count
+     * planes instead of the scalar event loop.  The default is
+     * derived at construction alongside the word-parallel threshold;
+     * 0 makes the axon-word path cover everything below the
+     * word-parallel threshold.  Results are bit-identical at any
+     * setting.
+     */
+    void setAxonWordMinActive(uint32_t n) { awMinActive_ = n; }
+
+    /** Current axon-word engagement threshold. */
+    uint32_t axonWordMinActive() const { return awMinActive_; }
+
+    /**
      * Toggle the batched end-of-tick update path (default on).
      * Results are bit-identical either way; the toggle exists for
      * differential testing and benchmarking.  May be flipped at any
@@ -290,6 +342,27 @@ class Core
     /** True when the stochastic cohort updates via precomputed
      *  draws. */
     bool stochasticUpdateBatch() const { return stochUpdateBatch_; }
+
+    /**
+     * Toggle the precomputed-outcome batching of stochastic
+     * *synaptic* events on the word-parallel and axon-word integrate
+     * paths (default on).  Off, a neuron with a stochastic synapse in
+     * play diverts to the scalar replay, which draws per event at the
+     * same stream positions.  Results are bit-identical either way —
+     * draw outcomes are position-only — so the toggle exists for
+     * differential testing and benchmarking.
+     */
+    void setStochasticIntegrateBatch(bool on)
+    {
+        stochIntegrateBatch_ = on;
+    }
+
+    /** True when stochastic synaptic events batch via pre-drawn
+     *  outcomes. */
+    bool stochasticIntegrateBatch() const
+    {
+        return stochIntegrateBatch_;
+    }
 
     /**
      * Entries currently held by the self-event heaps across all
@@ -352,6 +425,15 @@ class Core
         BitVec axons;                 //!< axons of this type
         BitVec stoch;                 //!< neurons with stochastic syn
         std::vector<int32_t> weight;  //!< per-neuron weight lane
+        /**
+         * Per-word union of this type's crossbar rows — a
+         * conservative column-occupancy mask (crossbar mutations OR
+         * their bits in, so a cleared synapse may leave a stale 1).
+         * The axon-word path skips the ripple for words with no
+         * columns in use; on thin crossbars (a deployed classifier
+         * uses ~10 of 256 columns) that is most of its overhead.
+         */
+        std::vector<uint64_t> colUsed;
         bool present = false;         //!< any axon carries this type
     };
 
@@ -384,7 +466,7 @@ class Core
 
     void buildLanes();
     void buildUpdateCohorts();
-    uint32_t calibrateWordParallelThreshold();
+    void calibrateIntegrateThresholds();
     void integrateActiveAxons(InstanceLane &L, uint32_t inst,
                               uint64_t t, bool sparse);
     void integrateScalar(InstanceLane &L, const BitVec &active,
@@ -392,6 +474,12 @@ class Core
     void integrateWordParallel(InstanceLane &L, uint32_t inst,
                                const BitVec &active, uint64_t t,
                                bool sparse);
+    void integrateAxonWord(InstanceLane &L, const BitVec &active,
+                           uint64_t t, bool sparse);
+    bool predrawStochOutcomes(InstanceLane &L, const BitVec &active);
+    void clearStochFold();
+    void replayFallback(InstanceLane &L, const BitVec &active,
+                        bool outcomes_recorded);
     void buildIntegratePlanes(FoldScratch &f, const BitVec &active);
     void foldTickPlanes(uint64_t t);
     void clearFold(FoldScratch &f);
@@ -432,10 +520,46 @@ class Core
     std::vector<int32_t> vHi_;           //!< per-neuron upper rail
     BitVec fallback_;                    //!< scratch: scalar replays
     uint32_t planeCount_ = 0;            //!< carry-save plane budget
-    uint32_t wpMinActive_ = 0;           //!< engagement threshold
+    uint32_t wpMinActive_ = 0;           //!< word-parallel threshold
+    uint32_t awMinActive_ = 0;           //!< axon-word threshold
     bool wordParallel_ = true;
     bool wordParallelUpdate_ = true;
     bool stochUpdateBatch_ = true;
+    bool stochIntegrateBatch_ = true;
+
+    /**
+     * Upper slot-population bound for the axon-word path: its count
+     * planes live on the stack, sized for bit_width(rows) of them.
+     * Slots beyond the bound but below the word-parallel threshold
+     * run scalar (only reachable with a hand-set threshold split).
+     */
+    static constexpr uint32_t kAxonWordMaxRows = 128;
+    static constexpr unsigned kAxonWordMaxPlanes = 8;
+
+    /**
+     * Per-tick scratch of the stochastic integrate batching: one
+     * axon type's fold of pre-drawn success masks into carry-save
+     * count planes, mirroring TypeFold for deterministic events.
+     * rowOr (raw words, internal only) bounds the word-wise
+     * teardown.  Consumed and cleared within one lane's integrate,
+     * so a single set is shared by all instance lanes.
+     */
+    struct StochFold
+    {
+        std::vector<uint64_t> rowOr;  //!< OR of success masks
+        std::vector<uint64_t> planes; //!< success-count bit-planes
+        uint32_t activeAxons = 0;     //!< folded rows this tick
+    };
+
+    std::array<StochFold, kNumAxonTypes> stochFold_;
+    /** Per-axon success masks of the current lane's pre-drawn
+     *  stochastic outcomes (numAxons x neuron-words, row-major).  A
+     *  row is (re)filled whenever its axon is active with stochastic
+     *  targets, so stale rows are never read. */
+    std::vector<uint64_t> stochSucc_;
+    /** Scratch: active crossbar rows per type for the axon-word
+     *  path, ascending. */
+    std::array<std::vector<const uint64_t *>, kNumAxonTypes> awRows_;
 
     /**
      * One fold scratch per instance lane.  Batched ticks fill every

@@ -4,6 +4,7 @@
 
 #include "neuron/neuron.hh"
 #include "util/saturate.hh"
+#include "util/simd.hh"
 
 namespace nscs {
 
@@ -232,23 +233,73 @@ batchUpdateUniformRangeT(const UpdateLanes &lanes, int32_t *v,
     }
 }
 
+/**
+ * Narrow-cohort range kernel through the runtime-dispatched SIMD
+ * strip (util/simd.hh): per word-aligned strip, hand the lane
+ * pointers to the active level's updateStrip and OR the returned
+ * fired flags into the strip's word.  Every dispatch level computes
+ * batchUpdateOneV<int32_t> value for value, so the choice of level
+ * never changes an output bit.
+ */
+void
+batchUpdateRangeSimd(const UpdateLanes &lanes, int32_t *v,
+                     uint32_t begin, uint32_t end, BitVec &fired_bits)
+{
+    const simd::Ops &ops = simd::ops();
+    uint32_t j = begin;
+    while (j < end) {
+        const size_t word = j / 64;
+        const uint32_t stop = std::min<uint32_t>(
+            end, static_cast<uint32_t>((word + 1) * 64));
+        simd::UpdateStrip s = {
+            v + j,
+            lanes.leak.data() + j,
+            lanes.revSel.data() + j,
+            lanes.thr.data() + j,
+            lanes.negLim.data() + j,
+            lanes.posMul.data() + j,
+            lanes.posAdd.data() + j,
+            lanes.negMul.data() + j,
+            lanes.negAdd.data() + j,
+            lanes.lo.data() + j,
+            lanes.hi.data() + j,
+        };
+        uint64_t bits = ops.updateStrip(s, stop - j);
+        if (bits)
+            fired_bits.orWordAt(word, bits << (j % 64));
+        j = stop;
+    }
+}
+
+/** Runs shorter than this skip the dispatched strip kernel. */
+constexpr uint32_t kSimdMinLanes = 16;
+
 } // anonymous namespace
 
 void
 batchUpdateRange(const UpdateLanes &lanes, int32_t *v,
                  uint32_t begin, uint32_t end, BitVec &fired_bits)
 {
-    if (lanes.uniform) {
-        if (lanes.narrow)
-            batchUpdateUniformRangeT<int32_t>(lanes, v, begin, end,
-                                              fired_bits);
+    // The narrow proof (every intermediate fits int32) is exactly
+    // the SIMD strip kernel's precondition; wide cores keep the
+    // scalar int64 kernels.  Short runs — the deterministic gaps
+    // between scattered stochastic neurons — stay on the inlined
+    // int32 template: the dispatch call plus the vector kernels'
+    // masked loads of eleven lane arrays cost more than they save
+    // under ~a quarter strip, and batchUpdateOneT<int32_t> is the
+    // same arithmetic value for value, so the cutoff never changes
+    // an output bit.
+    if (lanes.narrow) {
+        if (end - begin >= kSimdMinLanes)
+            batchUpdateRangeSimd(lanes, v, begin, end, fired_bits);
         else
-            batchUpdateUniformRangeT<int64_t>(lanes, v, begin, end,
-                                              fired_bits);
+            batchUpdateRangeT<int32_t>(lanes, v, begin, end,
+                                       fired_bits);
         return;
     }
-    if (lanes.narrow)
-        batchUpdateRangeT<int32_t>(lanes, v, begin, end, fired_bits);
+    if (lanes.uniform)
+        batchUpdateUniformRangeT<int64_t>(lanes, v, begin, end,
+                                          fired_bits);
     else
         batchUpdateRangeT<int64_t>(lanes, v, begin, end, fired_bits);
 }

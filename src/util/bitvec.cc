@@ -1,6 +1,7 @@
 #include "util/bitvec.hh"
 
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace nscs {
 
@@ -59,8 +60,8 @@ BitVec::operator|=(const BitVec &other)
 {
     NSCS_ASSERT(nbits_ == other.nbits_, "BitVec size mismatch %zu vs %zu",
                 nbits_, other.nbits_);
-    for (size_t i = 0; i < words_.size(); ++i)
-        words_[i] |= other.words_[i];
+    simd::ops().orAccumulate(words_.data(), other.words_.data(),
+                             words_.size());
     return *this;
 }
 
@@ -69,8 +70,8 @@ BitVec::operator&=(const BitVec &other)
 {
     NSCS_ASSERT(nbits_ == other.nbits_, "BitVec size mismatch %zu vs %zu",
                 nbits_, other.nbits_);
-    for (size_t i = 0; i < words_.size(); ++i)
-        words_[i] &= other.words_[i];
+    simd::ops().andWords(words_.data(), other.words_.data(),
+                         words_.size());
     return *this;
 }
 
@@ -154,24 +155,17 @@ bool
 BitVec::orAccumulate(const BitVec &other)
 {
     assertSameSize(other);
-    uint64_t changed = 0;
-    for (size_t i = 0; i < words_.size(); ++i) {
-        uint64_t fresh = other.words_[i] & ~words_[i];
-        words_[i] |= fresh;
-        changed |= fresh;
-    }
-    return changed != 0;
+    return simd::ops().orAccumulate(words_.data(),
+                                    other.words_.data(),
+                                    words_.size());
 }
 
 size_t
 BitVec::andPopcount(const BitVec &other) const
 {
     assertSameSize(other);
-    size_t n = 0;
-    for (size_t i = 0; i < words_.size(); ++i)
-        n += static_cast<size_t>(
-            __builtin_popcountll(words_[i] & other.words_[i]));
-    return n;
+    return static_cast<size_t>(simd::ops().andPopcount(
+        words_.data(), other.words_.data(), words_.size()));
 }
 
 bool

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Explicit SIMD kernels behind a runtime-dispatched table (I9).
+ *
+ * Everything hot in the simulator that used to lean on
+ * auto-vectorization — the bit-plane carry-save fold, the BitVec
+ * bulk word ops, the narrow (int32) batched neuron-update strip and
+ * the batched synaptic apply of the fast integrate paths — is
+ * expressed here once per instruction-set level: a portable
+ * scalar reference, AVX2 and AVX-512 variants on x86-64 (compiled
+ * with per-function target attributes, so the translation unit
+ * builds with the project's baseline flags) and NEON on aarch64.
+ *
+ * Dispatch is a function-pointer table selected at first use from a
+ * cpuid probe, overridable two ways:
+ *
+ *  - the `NSCS_SIMD` environment variable (`scalar`, `avx2`,
+ *    `avx512`, `neon`, `native`) pins the process-wide level at
+ *    startup — `native` re-selects the probe result; an unavailable
+ *    or unknown value falls back to the probe;
+ *  - setActiveLevel() re-pins it mid-process (tests sweep every
+ *    available level in one binary).  The active level lives in an
+ *    atomic, so concurrent tick engines observe a coherent table.
+ *
+ * Determinism contract: every kernel is pure integer arithmetic with
+ * the same operation set at every level, so all levels produce
+ * bit-identical results — the differential suites
+ * (tests/test_integrate_fast.cc, tests/test_update_fast.cc) prove it
+ * per level.  Intrinsics are confined to src/util/simd.cc by the
+ * linter's `simd-guard` rule.
+ */
+
+#ifndef NSCS_UTIL_SIMD_HH
+#define NSCS_UTIL_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nscs {
+namespace simd {
+
+/** Instruction-set levels, ordered by capability on their ISA. */
+enum class Level : uint8_t
+{
+    Scalar = 0,  //!< portable reference (always available)
+    Avx2 = 1,    //!< x86-64 with AVX2
+    Avx512 = 2,  //!< x86-64 with AVX-512F (VPOPCNTDQ probed extra)
+    Neon = 3,    //!< aarch64 (baseline)
+};
+
+/**
+ * One <= 64-lane strip of the narrow batched neuron-update kernel's
+ * inputs: the potential slice being updated in place plus the ten
+ * projected SoA lanes (see neuron/batch.hh), all offset so index 0
+ * is the strip's first neuron.  Plain pointers keep util/ free of a
+ * neuron/ dependency.
+ */
+struct UpdateStrip
+{
+    int32_t *v;             //!< membrane potentials (updated in place)
+    const int32_t *leak;    //!< signed leak per tick
+    const int32_t *rev;     //!< 1 if leakReversal else 0
+    const int32_t *thr;     //!< positive threshold
+    const int32_t *negLim;  //!< -negThreshold
+    const int32_t *posMul;  //!< positive-reset select: mul
+    const int32_t *posAdd;  //!< positive-reset select: add
+    const int32_t *negMul;  //!< negative-rule select: mul
+    const int32_t *negAdd;  //!< negative-rule select: add
+    const int32_t *lo;      //!< lower saturation rail
+    const int32_t *hi;      //!< upper saturation rail
+};
+
+/** Axon-type groups the batched integrate apply distinguishes. */
+inline constexpr unsigned kApplyWordTypes = 4;
+
+/**
+ * One 64-neuron word of the batched synaptic apply's inputs (the
+ * phase-2 sweep of the word-parallel and axon-word integrate paths).
+ *
+ * Per axon type g the caller hands the carry-save count bit-planes
+ * of the deterministic events (detPlanes[g][p * detStride], p <
+ * detUsed[g]; detUsed[g] == 0 skips the type), the pre-drawn
+ * stochastic success-count planes laid out the same way, the type's
+ * 64 per-neuron weights at this word, and the word of the type's
+ * stochastic-target mask.  Lanes the planes never touch see zero
+ * counts everywhere and reduce to a harmless `v += 0`, so the caller
+ * does not pre-mask — it intersects the returned applied mask with
+ * its touched word instead.
+ */
+struct ApplyWord
+{
+    const uint64_t *detPlanes[kApplyWordTypes];  //!< plane 0 per type
+    const uint64_t *succPlanes[kApplyWordTypes]; //!< plane 0 per type
+    const int32_t *weight[kApplyWordTypes];      //!< 64 weights/type
+    uint64_t stochMask[kApplyWordTypes];  //!< stochastic-target lanes
+    size_t detStride;               //!< words between det planes
+    size_t succStride;              //!< words between succ planes
+    uint32_t detUsed[kApplyWordTypes];   //!< det planes live per type
+    uint32_t succUsed[kApplyWordTypes];  //!< succ planes live per type
+    uint64_t forcedDivert;  //!< lanes the caller sends to fallback
+    int32_t *v;             //!< potentials at this word (in place)
+    const int32_t *vLo;     //!< per-neuron lower rails at this word
+    const int32_t *vHi;     //!< per-neuron upper rails at this word
+};
+
+/** The per-level kernel table. */
+struct Ops
+{
+    /**
+     * Carry-save fold of one crossbar row into plane-major bit
+     * planes: for each word w, ripple row[w] through
+     * planes[p * stride + w], p ascending — exactly a column-wise
+     * add-with-carry.  The caller guarantees @p plane_count planes
+     * are enough to hold the running count (any residual carry would
+     * be dropped).
+     */
+    void (*foldRow)(uint64_t *planes, size_t stride,
+                    uint32_t plane_count, const uint64_t *row,
+                    size_t words);
+
+    /** dst |= src over @p words words; true iff any dst word changed. */
+    bool (*orAccumulate)(uint64_t *dst, const uint64_t *src,
+                         size_t words);
+
+    /** dst &= src over @p words words. */
+    void (*andWords)(uint64_t *dst, const uint64_t *src, size_t words);
+
+    /** popcount(a & b) over @p words words. */
+    uint64_t (*andPopcount)(const uint64_t *a, const uint64_t *b,
+                            size_t words);
+
+    /**
+     * Narrow (int32) batched update of @p n <= 64 neurons — the
+     * arithmetic of neuron/batch.hh's batchUpdateOneV<int32_t>,
+     * value for value.  @return fired flags, bit k = strip lane k.
+     */
+    uint64_t (*updateStrip)(const UpdateStrip &s, uint32_t n);
+
+    /**
+     * Batched synaptic apply over @p n <= 64 lanes: per lane, gather
+     * each type's event count from its bit-planes, form the type
+     * delta (count x weight deterministic, successes x sgn(weight)
+     * stochastic), and commit `v += sum(delta)` iff the worst-case
+     * excursion guard holds — v plus the positive deltas stays at or
+     * under vHi and v plus the negative deltas at or over vLo — and
+     * the lane is not in forcedDivert.  @return the committed lanes
+     * (guard-passing bits; the caller diverts `touched & ~applied`
+     * to the scalar fallback replay and derives the event counters
+     * from popcounts of the planes masked with the result).
+     */
+    uint64_t (*applyWord)(const ApplyWord &a, uint32_t n);
+};
+
+/** The probe result for this host (cached; ignores overrides). */
+Level detectedLevel();
+
+/**
+ * The level the dispatch table currently serves: the NSCS_SIMD
+ * override if valid, else the probe result, else the most recent
+ * setActiveLevel().
+ */
+Level activeLevel();
+
+/** True when @p l can execute on this host. */
+bool levelAvailable(Level l);
+
+/**
+ * Re-pin the active level (test sweeps).  @return false — and leave
+ * the level unchanged — when @p l is not available on this host.
+ */
+bool setActiveLevel(Level l);
+
+/** All levels available on this host, Scalar first. */
+std::vector<Level> availableLevels();
+
+/** Stable lowercase name (matches the NSCS_SIMD spellings). */
+const char *levelName(Level l);
+
+/** Parse an NSCS_SIMD spelling; `native` maps to detectedLevel(). */
+bool parseLevel(const char *name, Level &out);
+
+/** The kernel table for the active level. */
+const Ops &ops();
+
+/** The kernel table for a specific level (differential tests). */
+const Ops &opsFor(Level l);
+
+} // namespace simd
+} // namespace nscs
+
+#endif // NSCS_UTIL_SIMD_HH

@@ -1,15 +1,19 @@
 /**
  * @file
- * Differential fuzz suite for the word-parallel integrate fast path.
+ * Differential fuzz suite for the batched integrate fast paths.
  *
- * Every test drives two (or four) cores built from the same
- * configuration with the word-parallel path enabled on one side and
- * disabled on the other, feeds them identical spike streams, and
+ * Every test drives two (or more) cores built from the same
+ * configuration with a fast path enabled on one side and the scalar
+ * reference on the other, feeds them identical spike streams, and
  * asserts bit-identical observable state: fired sets per tick,
  * membrane potentials per tick, and the architectural counters
  * (sops, spikes, evals, PRNG draw count).
  *
- * The fuzz configurations deliberately stress the fallback
+ * Coverage spans all three integrate paths (scalar, axon-word,
+ * word-parallel), the stochastic outcome-batching toggle, every SIMD
+ * dispatch level available on the host (swept in-process through
+ * simd::setActiveLevel), instance-batched cores and a two-chip
+ * board.  The fuzz configurations deliberately stress the fallback
  * conditions: mixed-sign weights near the saturation rails (small
  * potentialBits, large weights), stochastic synapses (PRNG draw
  * order), and all three update classes through both the dense and
@@ -20,9 +24,11 @@
 
 #include <map>
 
+#include "board/board.hh"
 #include "core/core.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/simd.hh"
 
 namespace nscs {
 namespace {
@@ -223,6 +229,56 @@ TEST_P(IntegrateFastFuzz, DenseFastMatchesSparseFast)
     setQuiet(false);
 }
 
+TEST_P(IntegrateFastFuzz, AxonWordStrategyMatchesScalar)
+{
+    setQuiet(true);
+    uint64_t seed = static_cast<uint64_t>(GetParam()) * 49979687 + 13;
+    CoreConfig cfg = fuzzConfig(seed);
+    Core fast(cfg);
+    Core scalar(cfg);
+    // Route every populated slot through the axon-word path: the
+    // word-parallel gate is pushed out of reach and the axon-word
+    // gate down to zero (96 axons <= the 128-row path limit).
+    fast.setWordParallelMinActive(cfg.geom.numAxons + 1);
+    fast.setAxonWordMinActive(0);
+    scalar.setWordParallel(false);
+    runDifferential(fast, scalar, Drive::Dense, seed, 200, 0.08);
+    EXPECT_GT(fast.counters().sopsAxonWord, 0u);
+    EXPECT_EQ(fast.counters().sopsAxonWord, fast.counters().sopsBatched);
+    setQuiet(false);
+}
+
+TEST_P(IntegrateFastFuzz, AxonWordSparseStrategyMatchesScalar)
+{
+    setQuiet(true);
+    uint64_t seed = static_cast<uint64_t>(GetParam()) * 32452843 + 29;
+    CoreConfig cfg = fuzzConfig(seed);
+    Core fast(cfg);
+    Core scalar(cfg);
+    fast.setWordParallelMinActive(cfg.geom.numAxons + 1);
+    fast.setAxonWordMinActive(0);
+    scalar.setWordParallel(false);
+    runDifferential(fast, scalar, Drive::Sparse, seed, 200, 0.05);
+    EXPECT_GT(fast.counters().sopsAxonWord, 0u);
+    setQuiet(false);
+}
+
+TEST_P(IntegrateFastFuzz, ReplayFallbackMatchesScalar)
+{
+    // With outcome batching off, stochastic events divert through
+    // the record-and-replay fallback; it must stay bit-identical.
+    setQuiet(true);
+    uint64_t seed = static_cast<uint64_t>(GetParam()) * 86028121 + 57;
+    CoreConfig cfg = fuzzConfig(seed, 0.35);
+    Core fast(cfg);
+    Core scalar(cfg);
+    fast.setWordParallelMinActive(0);
+    fast.setStochasticIntegrateBatch(false);
+    scalar.setWordParallel(false);
+    runDifferential(fast, scalar, Drive::Dense, seed, 200, 0.08);
+    setQuiet(false);
+}
+
 INSTANTIATE_TEST_SUITE_P(Sweep, IntegrateFastFuzz,
                          ::testing::Range(0, 25));
 
@@ -328,9 +384,11 @@ TEST(IntegrateFast, DeterministicEventsAwayFromRailsBatch)
 TEST(IntegrateFast, StochasticSynapsePreservesDrawOrder)
 {
     // Two stochastic-synapse neurons fed by interleaved axons: the
-    // LFSR draw order must stay axon-major across neurons, so the
-    // fast path has to replay these events in architectural order
-    // even though it discovers them through per-type partitions.
+    // LFSR draw order must stay axon-major across neurons.  The
+    // pre-draw pass walks active axons (and their row bits) in
+    // exactly that order, so batching the outcomes must reproduce
+    // the scalar draw stream bit for bit.  A third core with outcome
+    // batching disabled exercises the record-and-replay divert.
     CoreConfig cfg = tinyConfig();
     cfg.axonType = {0, 1, 0, 1};
     for (uint32_t n = 0; n < 2; ++n) {
@@ -345,33 +403,50 @@ TEST(IntegrateFast, StochasticSynapsePreservesDrawOrder)
             cfg.connect(a, n);
 
     Core fast(cfg);
+    Core replay(cfg);
     Core scalar(cfg);
     fast.setWordParallelMinActive(0);
+    replay.setWordParallelMinActive(0);
+    replay.setStochasticIntegrateBatch(false);
     scalar.setWordParallel(false);
-    std::vector<uint32_t> fired_f, fired_s;
+    std::vector<uint32_t> fired_f, fired_r, fired_s;
     for (uint64_t t = 0; t < 64; ++t) {
         for (uint32_t a = 0; a < 4; ++a) {
             fast.deposit(t, a);
+            replay.deposit(t, a);
             scalar.deposit(t, a);
         }
         fired_f.clear();
+        fired_r.clear();
         fired_s.clear();
         fast.tickDense(t, fired_f);
+        replay.tickDense(t, fired_r);
         scalar.tickDense(t, fired_s);
         ASSERT_EQ(fired_f, fired_s) << "tick " << t;
+        ASSERT_EQ(fired_r, fired_s) << "tick " << t;
         ASSERT_EQ(fast.potential(0), scalar.potential(0)) << "tick " << t;
         ASSERT_EQ(fast.potential(1), scalar.potential(1)) << "tick " << t;
+        ASSERT_EQ(replay.potential(0), scalar.potential(0)) << "tick " << t;
+        ASSERT_EQ(replay.potential(1), scalar.potential(1)) << "tick " << t;
     }
     EXPECT_EQ(fast.counters().rngDraws, scalar.counters().rngDraws);
+    EXPECT_EQ(replay.counters().rngDraws, scalar.counters().rngDraws);
     EXPECT_GT(fast.counters().rngDraws, 0u);
-    // All events hit stochastic neurons: nothing may batch.
-    EXPECT_EQ(fast.counters().sopsBatched, 0u);
+    // With pre-drawn outcomes every stochastic event batches.
+    EXPECT_EQ(fast.counters().sopsBatched, fast.counters().sops);
+    EXPECT_EQ(fast.counters().sopsStochBatched, fast.counters().sops);
+    // With batching off, all-stochastic events divert to the
+    // scalar replay path: nothing may batch.
+    EXPECT_EQ(replay.counters().sopsBatched, 0u);
+    EXPECT_EQ(replay.counters().sopsStochBatched, 0u);
 }
 
 TEST(IntegrateFast, MixedBatchAndFallbackNeuronsCoexist)
 {
-    // Neuron 0 is deterministic (batches), neuron 1 has a stochastic
-    // synapse (falls back); both are driven by the same axons.
+    // Neuron 0 is deterministic, neuron 1 has a stochastic synapse.
+    // With outcome batching (the default) both batch; with batching
+    // disabled neuron 1 falls back to the scalar replay path while
+    // neuron 0 still batches.
     CoreConfig cfg = tinyConfig();
     cfg.axonType = {0, 0, 1, 1};
     cfg.neurons[0].synWeight = {2, -1, 0, 0};
@@ -386,32 +461,48 @@ TEST(IntegrateFast, MixedBatchAndFallbackNeuronsCoexist)
     }
 
     Core fast(cfg);
+    Core replay(cfg);
     Core scalar(cfg);
     fast.setWordParallelMinActive(0);
+    replay.setWordParallelMinActive(0);
+    replay.setStochasticIntegrateBatch(false);
     scalar.setWordParallel(false);
     std::vector<uint32_t> fired;
     for (uint64_t t = 0; t < 32; ++t) {
         for (uint32_t a = 0; a < 4; ++a) {
             fast.deposit(t, a);
+            replay.deposit(t, a);
             scalar.deposit(t, a);
         }
         fired.clear();
         fast.tickDense(t, fired);
         fired.clear();
+        replay.tickDense(t, fired);
+        fired.clear();
         scalar.tickDense(t, fired);
         ASSERT_EQ(fast.potential(0), scalar.potential(0)) << "tick " << t;
         ASSERT_EQ(fast.potential(1), scalar.potential(1)) << "tick " << t;
+        ASSERT_EQ(replay.potential(0), scalar.potential(0)) << "tick " << t;
+        ASSERT_EQ(replay.potential(1), scalar.potential(1)) << "tick " << t;
     }
     EXPECT_EQ(fast.counters().rngDraws, scalar.counters().rngDraws);
-    // Neuron 0's 4 events per tick batched; neuron 1's 4 did not.
-    EXPECT_EQ(fast.counters().sopsBatched, 32u * 4u);
+    EXPECT_EQ(replay.counters().rngDraws, scalar.counters().rngDraws);
+    // With pre-drawn outcomes all 8 events per tick batch.
+    EXPECT_EQ(fast.counters().sopsBatched, 32u * 8u);
     EXPECT_EQ(fast.counters().sops, 32u * 8u);
+    // Batching off: neuron 0's 4 events per tick batched, neuron 1's
+    // 4 diverted to the replay path.
+    EXPECT_EQ(replay.counters().sopsBatched, 32u * 4u);
+    EXPECT_EQ(replay.counters().sops, 32u * 8u);
 }
 
 TEST(IntegrateFast, AdaptiveGateEngagesByActivity)
 {
-    // Default threshold scales inversely with crossbar density: a
-    // fully connected 64x64 core breaks even around 10 active rows.
+    // Default thresholds scale inversely with crossbar density: a
+    // fully connected 64x64 core breaks even around 10 active rows
+    // for the word-parallel path and 2 for the axon-word path, so
+    // the three-way gate routes 1 row to scalar, 2-9 rows to
+    // axon-word, and 10+ rows to word-parallel.
     CoreGeometry g;
     g.numAxons = 64;
     g.numNeurons = 64;
@@ -425,22 +516,36 @@ TEST(IntegrateFast, AdaptiveGateEngagesByActivity)
 
     Core core(cfg);
     EXPECT_EQ(core.wordParallelMinActive(), 10u);
+    EXPECT_EQ(core.axonWordMinActive(), 2u);
 
     std::vector<uint32_t> fired;
-    // Two active axons sit below the threshold: scalar path.
+    // One active axon sits below both thresholds: scalar path.
     core.deposit(0, 0);
-    core.deposit(0, 1);
     core.tickDense(0, fired);
-    EXPECT_EQ(core.counters().sops, 2u * 64u);
+    EXPECT_EQ(core.counters().sops, 1u * 64u);
     EXPECT_EQ(core.counters().sopsBatched, 0u);
+
+    // Two active axons engage the axon-word path.
+    core.deposit(1, 0);
+    core.deposit(1, 1);
+    fired.clear();
+    core.tickDense(1, fired);
+    EXPECT_EQ(core.counters().sops, 3u * 64u);
+    EXPECT_EQ(core.counters().sopsBatched, 2u * 64u);
+    EXPECT_EQ(core.counters().sopsAxonWord, 2u * 64u);
 
     // A full slot engages the word-parallel path.
     for (uint32_t a = 0; a < g.numAxons; ++a)
-        core.deposit(1, a);
+        core.deposit(2, a);
     fired.clear();
-    core.tickDense(1, fired);
-    EXPECT_EQ(core.counters().sops, 66u * 64u);
-    EXPECT_EQ(core.counters().sopsBatched, 64u * 64u);
+    core.tickDense(2, fired);
+    EXPECT_EQ(core.counters().sops, 67u * 64u);
+    EXPECT_EQ(core.counters().sopsBatched, 66u * 64u);
+    // The word-parallel tick did not route through the axon-word path.
+    EXPECT_EQ(core.counters().sopsAxonWord, 2u * 64u);
+    // Occupancy counters saw three populated slots totalling 67 rows.
+    EXPECT_EQ(core.counters().laneSlotsActive, 3u);
+    EXPECT_EQ(core.counters().laneActiveAxons, 67u);
 }
 
 /**
@@ -571,6 +676,222 @@ TEST(IntegrateFast, ToggleMidRunStaysConsistent)
         ASSERT_EQ(fired_m, fired_s) << "tick " << t;
     }
     EXPECT_EQ(mixed.counters().sops, scalar.counters().sops);
+}
+
+// --- SIMD dispatch-level differentials ---------------------------------------
+
+/** Restore the process-wide SIMD level on scope exit, so a failing
+ *  assertion cannot leak a forced level into later tests. */
+struct LevelGuard
+{
+    simd::Level saved = simd::activeLevel();
+    ~LevelGuard() { simd::setActiveLevel(saved); }
+};
+
+/**
+ * Every available dispatch level, crossed with every integrate path,
+ * must reproduce one canonical spike stream: the scalar-dispatch,
+ * scalar-path run.  This is the in-process equivalent of running the
+ * suite under NSCS_SIMD=<level> for each level.
+ */
+TEST(IntegrateFast, DispatchLevelSweepBitIdentical)
+{
+    setQuiet(true);
+    LevelGuard guard;
+    const uint64_t seed = 424242;
+    const uint64_t ticks = 150;
+    CoreConfig cfg = fuzzConfig(seed, 0.3);
+    auto inputs = fuzzInputs(seed, cfg.geom, ticks, 0.10);
+
+    enum PathMode { kScalarPath, kAxonWordPath, kWordParallelPath };
+    std::vector<std::vector<std::vector<uint32_t>>> streams;
+    auto run = [&](simd::Level lvl, PathMode mode, uint64_t &draws,
+                   uint64_t &sops) {
+        ASSERT_TRUE(simd::setActiveLevel(lvl));
+        Core core(cfg);
+        switch (mode) {
+        case kScalarPath:
+            core.setWordParallel(false);
+            break;
+        case kAxonWordPath:
+            core.setWordParallelMinActive(cfg.geom.numAxons + 1);
+            core.setAxonWordMinActive(0);
+            break;
+        case kWordParallelPath:
+            core.setWordParallelMinActive(0);
+            break;
+        }
+        std::vector<uint32_t> fired;
+        std::vector<std::vector<uint32_t>> stream;
+        for (uint64_t t = 0; t < ticks; ++t) {
+            auto it = inputs.find(t);
+            if (it != inputs.end())
+                for (auto [delivery, a] : it->second)
+                    core.deposit(delivery, a);
+            fired.clear();
+            core.tickDense(t, fired);
+            stream.push_back(fired);
+        }
+        draws = core.counters().rngDraws;
+        sops = core.counters().sops;
+        streams.push_back(std::move(stream));
+    };
+
+    uint64_t ref_draws = 0, ref_sops = 0;
+    run(simd::Level::Scalar, kScalarPath, ref_draws, ref_sops);
+    const std::vector<std::vector<uint32_t>> ref = streams.front();
+    ASSERT_GT(ref_draws, 0u);
+
+    for (simd::Level lvl : simd::availableLevels()) {
+        for (PathMode mode :
+             {kScalarPath, kAxonWordPath, kWordParallelPath}) {
+            uint64_t draws = 0, sops = 0;
+            run(lvl, mode, draws, sops);
+            EXPECT_EQ(streams.back(), ref)
+                << simd::levelName(lvl) << " path " << mode;
+            EXPECT_EQ(draws, ref_draws)
+                << simd::levelName(lvl) << " path " << mode;
+            EXPECT_EQ(sops, ref_sops)
+                << simd::levelName(lvl) << " path " << mode;
+        }
+    }
+    setQuiet(false);
+}
+
+/**
+ * Instance-batched lanes (PR 8) must keep per-lane identity at every
+ * dispatch level: an 8-lane core's InstanceFire stream, LFSR draw
+ * count and per-lane potentials match a scalar-dispatch reference.
+ */
+TEST(IntegrateFast, InstanceBatchedLevelsBitIdentical)
+{
+    setQuiet(true);
+    LevelGuard guard;
+    const uint64_t seed = 77;
+    const uint64_t ticks = 100;
+    const uint32_t B = 8;
+    CoreConfig cfg = fuzzConfig(seed, 0.25);
+    Xoshiro256 in_rng(seed ^ 0xB00ull);
+    // Per-instance input schedule: (tick, instance, axon).
+    std::vector<std::tuple<uint64_t, uint32_t, uint32_t>> inputs;
+    for (uint64_t t = 0; t < ticks; ++t)
+        for (uint32_t i = 0; i < B; ++i)
+            for (uint32_t a = 0; a < cfg.geom.numAxons; ++a)
+                if (in_rng.chance(0.04))
+                    inputs.emplace_back(t, i, a);
+
+    auto run = [&](simd::Level lvl, std::vector<InstanceFire> &stream,
+                   uint64_t &draws, std::vector<int32_t> &pots) {
+        ASSERT_TRUE(simd::setActiveLevel(lvl));
+        Core core(cfg, B);
+        core.setWordParallelMinActive(0);
+        size_t next = 0;
+        std::vector<InstanceFire> fired;
+        for (uint64_t t = 0; t < ticks; ++t) {
+            while (next < inputs.size() &&
+                   std::get<0>(inputs[next]) == t) {
+                core.deposit(t, std::get<2>(inputs[next]),
+                             std::get<1>(inputs[next]));
+                ++next;
+            }
+            fired.clear();
+            core.tickDense(t, fired);
+            stream.insert(stream.end(), fired.begin(), fired.end());
+        }
+        draws = core.counters().rngDraws;
+        for (uint32_t i = 0; i < B; ++i)
+            for (uint32_t n = 0; n < cfg.geom.numNeurons; ++n)
+                pots.push_back(core.potential(n, i));
+    };
+
+    std::vector<InstanceFire> ref_stream;
+    uint64_t ref_draws = 0;
+    std::vector<int32_t> ref_pots;
+    run(simd::Level::Scalar, ref_stream, ref_draws, ref_pots);
+    EXPECT_FALSE(ref_stream.empty());
+
+    for (simd::Level lvl : simd::availableLevels()) {
+        if (lvl == simd::Level::Scalar)
+            continue;
+        std::vector<InstanceFire> stream;
+        uint64_t draws = 0;
+        std::vector<int32_t> pots;
+        run(lvl, stream, draws, pots);
+        EXPECT_EQ(stream, ref_stream) << simd::levelName(lvl);
+        EXPECT_EQ(draws, ref_draws) << simd::levelName(lvl);
+        EXPECT_EQ(pots, ref_pots) << simd::levelName(lvl);
+    }
+    setQuiet(false);
+}
+
+/**
+ * Whole-board configuration swept across dispatch levels: a two-chip
+ * pacemaker/relay board with stochastic relay synapses must emit a
+ * bit-identical OutputSpike stream at every level.
+ */
+TEST(IntegrateFast, BoardOutputsBitIdenticalAcrossLevels)
+{
+    setQuiet(true);
+    LevelGuard guard;
+    const uint64_t ticks = 200;
+
+    // Core 0: 16 staggered pacemakers (period 3) targeting core 1's
+    // axons with delay 1; core 1: relay neurons with a stochastic
+    // excitatory synapse (rho < 200 fires) routed to output lines.
+    CoreGeometry g;
+    g.numAxons = 16;
+    g.numNeurons = 16;
+    g.delaySlots = 16;
+    CoreConfig src = CoreConfig::make(g);
+    CoreConfig dst = CoreConfig::make(g);
+    dst.rngSeed = 0x5EED;
+    for (uint32_t n = 0; n < g.numNeurons; ++n) {
+        NeuronParams p;
+        p.leak = 1;
+        p.threshold = 3;
+        p.resetMode = ResetMode::Store;
+        p.initialPotential = static_cast<int32_t>(n) % 3;
+        src.neurons[n] = p;
+        NeuronDest &d = src.dests[n];
+        d.kind = NeuronDest::Kind::Core;
+        d.dx = 1;
+        d.dy = 0;
+        d.axon = static_cast<uint16_t>(n);
+        d.delay = 1;
+
+        dst.connect(n, n);
+        NeuronParams q;
+        q.synWeight = {200, 0, 0, 0};
+        q.synStochastic = {true, false, false, false};
+        q.threshold = 1;
+        dst.neurons[n] = q;
+        NeuronDest &o = dst.dests[n];
+        o.kind = NeuronDest::Kind::Output;
+        o.line = n;
+    }
+
+    BoardParams bp;
+    bp.width = 2;
+    bp.height = 1;
+    bp.chip.width = 1;
+    bp.chip.height = 1;
+    bp.chip.coreGeom = g;
+
+    auto run = [&](simd::Level lvl) {
+        EXPECT_TRUE(simd::setActiveLevel(lvl));
+        Board board(bp, {src, dst});
+        board.run(ticks);
+        return board.outputs();
+    };
+
+    const std::vector<OutputSpike> ref = run(simd::Level::Scalar);
+    EXPECT_FALSE(ref.empty());
+    for (simd::Level lvl : simd::availableLevels()) {
+        if (lvl == simd::Level::Scalar)
+            continue;
+        EXPECT_EQ(run(lvl), ref) << simd::levelName(lvl);
+    }
+    setQuiet(false);
 }
 
 } // anonymous namespace

@@ -326,15 +326,66 @@ TEST(LintRawSerialize, AllowCommentWaives)
         "raw-serialize"));
 }
 
+TEST(LintSimdGuard, FlagsIntrinsicsOutsideDispatchLayer)
+{
+    EXPECT_TRUE(hits("__m256i acc = _mm256_setzero_si256();",
+                     "simd-guard"));
+    EXPECT_TRUE(hits("auto v = _mm512_loadu_si512(p);", "simd-guard"));
+    EXPECT_TRUE(hits("__m128i x;", "simd-guard"));
+    EXPECT_TRUE(hits("__mmask8 m = 0;", "simd-guard"));
+    EXPECT_TRUE(hits("uint8x16_t v = vld1q_u8(p);", "simd-guard"));
+    EXPECT_TRUE(hits("auto s = vaddq_u64(a, b);", "simd-guard"));
+    // Intrinsic headers are findable even though stripToCode blanks
+    // preprocessor directives (the rule scans raw lines).
+    EXPECT_TRUE(hits("#include <immintrin.h>\n", "simd-guard"));
+    EXPECT_TRUE(hits("#include <arm_neon.h>\n", "simd-guard"));
+}
+
+TEST(LintSimdGuard, IgnoresLookalikesAndDispatchCalls)
+{
+    // The blessed route: nscs::simd::ops() dispatch calls.
+    EXPECT_FALSE(hits("const simd::Ops &so = simd::ops();\n"
+                      "so.foldRow(planes, stride, pc, row, words);",
+                      "simd-guard"));
+    EXPECT_FALSE(hits("simd::setActiveLevel(simd::Level::Avx2);",
+                      "simd-guard"));
+    // Identifier lookalikes must not trip the token heuristics.
+    EXPECT_FALSE(hits("int velocity_sq_ = vel * vel;", "simd-guard"));
+    EXPECT_FALSE(hits("uint64_t mask_t2 = 0;", "simd-guard"));
+    EXPECT_FALSE(hits("#include <cstdint>\n", "simd-guard"));
+    // Intrinsic names in comments or strings never count.
+    EXPECT_FALSE(hits("// uses _mm256_add_epi64 under the hood\n",
+                      "simd-guard"));
+    EXPECT_FALSE(hits("log(\"_mm512_setzero_si512\");", "simd-guard"));
+}
+
+TEST(LintSimdGuard, DispatchLayerAndWaiversAreExempt)
+{
+    // The dispatch layer itself hosts the intrinsics.
+    EXPECT_TRUE(lintSource("src/util/simd.cc",
+                           "void f() { __m256i a = "
+                           "_mm256_setzero_si256(); }")
+                    .empty());
+    EXPECT_TRUE(lintSource("src/util/simd.hh",
+                           "#include <immintrin.h>\n")
+                    .empty());
+    // Elsewhere an allow comment with a reason waives it.
+    EXPECT_FALSE(hits("// nscs-lint: allow(simd-guard): one-off "
+                      "prefetch hint\n"
+                      "_mm_prefetch(p, _MM_HINT_T0);",
+                      "simd-guard"));
+}
+
 TEST(LintRules, CatalogueIsStable)
 {
     const auto &ids = nscs::lint::ruleIds();
-    ASSERT_EQ(7u, ids.size());
+    ASSERT_EQ(8u, ids.size());
     EXPECT_EQ("wall-clock", ids[0]);
     EXPECT_EQ("raw-random", ids[1]);
     EXPECT_EQ("raw-io", ids[2]);
     EXPECT_EQ("priority-queue", ids[3]);
     EXPECT_EQ("raw-serialize", ids[4]);
     EXPECT_EQ("file-scope-state", ids[5]);
-    EXPECT_EQ("bad-allow", ids[6]);
+    EXPECT_EQ("simd-guard", ids[6]);
+    EXPECT_EQ("bad-allow", ids[7]);
 }

@@ -27,6 +27,7 @@
 #include "neuron/batch.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/simd.hh"
 
 namespace nscs {
 namespace {
@@ -602,6 +603,71 @@ TEST(UpdateFast, EnginesAgreeAcrossUpdatePaths)
                     << "engine=" << static_cast<int>(ek)
                     << " threads=" << threads
                     << " batched=" << batched;
+    setQuiet(false);
+}
+
+// --- SIMD dispatch-level differential ---------------------------------------
+
+/** Restore the process-wide SIMD level on scope exit. */
+struct LevelGuard
+{
+    simd::Level saved = simd::activeLevel();
+    ~LevelGuard() { simd::setActiveLevel(saved); }
+};
+
+/**
+ * The batched update kernel routes its deterministic strips through
+ * simd::updateStrip; every dispatch level available on the host must
+ * reproduce the scalar-dispatch run bit for bit — fired streams,
+ * settled potentials and LFSR draw counts.
+ */
+TEST(UpdateFast, DispatchLevelSweepBitIdentical)
+{
+    setQuiet(true);
+    LevelGuard guard;
+    const uint64_t seed = 90210;
+    const uint64_t ticks = 150;
+    CoreConfig cfg = updateFuzzConfig(seed);
+    auto inputs = fuzzInputs(seed, cfg.geom, ticks, 0.08);
+
+    auto run = [&](simd::Level lvl, std::vector<std::vector<uint32_t>> &out,
+                   uint64_t &draws, std::vector<int32_t> &pots) {
+        ASSERT_TRUE(simd::setActiveLevel(lvl));
+        Core core(cfg);
+        core.setWordParallelMinActive(0);
+        std::vector<uint32_t> fired;
+        for (uint64_t t = 0; t < ticks; ++t) {
+            auto it = inputs.find(t);
+            if (it != inputs.end())
+                for (auto [delivery, a] : it->second)
+                    core.deposit(delivery, a);
+            fired.clear();
+            core.tickDense(t, fired);
+            out.push_back(fired);
+        }
+        EXPECT_GT(core.counters().evalsBatched, 0u);
+        draws = core.counters().rngDraws;
+        for (uint32_t n = 0; n < cfg.geom.numNeurons; ++n)
+            pots.push_back(core.potential(n));
+    };
+
+    std::vector<std::vector<uint32_t>> ref_stream;
+    uint64_t ref_draws = 0;
+    std::vector<int32_t> ref_pots;
+    run(simd::Level::Scalar, ref_stream, ref_draws, ref_pots);
+    EXPECT_GT(ref_draws, 0u);
+
+    for (simd::Level lvl : simd::availableLevels()) {
+        if (lvl == simd::Level::Scalar)
+            continue;
+        std::vector<std::vector<uint32_t>> stream;
+        uint64_t draws = 0;
+        std::vector<int32_t> pots;
+        run(lvl, stream, draws, pots);
+        EXPECT_EQ(stream, ref_stream) << simd::levelName(lvl);
+        EXPECT_EQ(draws, ref_draws) << simd::levelName(lvl);
+        EXPECT_EQ(pots, ref_pots) << simd::levelName(lvl);
+    }
     setQuiet(false);
 }
 

@@ -386,6 +386,109 @@ runNameRules(const std::string &path,
     }
 }
 
+/** True for the SIMD dispatch layer itself, where intrinsics live. */
+bool
+simdLayerFile(const std::string &path)
+{
+    return path.ends_with("util/simd.hh") ||
+        path.ends_with("util/simd.cc");
+}
+
+/**
+ * True when @p tok looks like a vendor SIMD intrinsic or vector
+ * type: x86 `_mm*`/`__m*` reserved identifiers, NEON `v<op>q_<ty>`
+ * intrinsics, or NEON `<elem>x<lanes>_t` vector types.
+ */
+bool
+intrinsicToken(const std::string &tok)
+{
+    if (tok.rfind("_mm", 0) == 0 || tok.rfind("__m", 0) == 0)
+        return true;
+    size_t q = tok.find("q_");
+    if (tok.size() > 4 && tok[0] == 'v' && q != std::string::npos &&
+        q >= 2) {
+        bool clean = true;  // vaddq_u8 yes, velocity_sq_ no
+        for (size_t i = 1; i < q && clean; ++i)
+            clean = std::isalnum(static_cast<unsigned char>(tok[i]));
+        if (clean)
+            return true;
+    }
+    if (tok.size() > 6 && tok.ends_with("_t")) {
+        size_t x = tok.find('x', 1);
+        if (x != std::string::npos && x + 1 < tok.size() &&
+            std::isdigit(static_cast<unsigned char>(tok[x - 1])) &&
+            std::isdigit(static_cast<unsigned char>(tok[x + 1])))
+            return true;
+    }
+    return false;
+}
+
+const char *const kIntrinsicHeaders[] = {
+    "immintrin.h", "x86intrin.h", "emmintrin.h", "xmmintrin.h",
+    "pmmintrin.h", "smmintrin.h", "tmmintrin.h", "nmmintrin.h",
+    "wmmintrin.h", "ammintrin.h", "arm_neon.h",  "arm_sve.h",
+    "arm_acle.h",
+};
+
+/**
+ * simd-guard: vendor intrinsics and intrinsic headers are confined
+ * to the dispatch layer (src/util/simd.*), where the cpuid probe and
+ * the NSCS_SIMD override keep every level reachable and testable.
+ * Scans raw lines for intrinsic-header includes (stripToCode blanks
+ * preprocessor directives) and code lines for intrinsic tokens.
+ */
+void
+runSimdGuardRule(const std::string &path,
+                 const std::vector<std::string> &raw_lines,
+                 const std::vector<std::string> &code_lines,
+                 std::vector<Finding> &findings)
+{
+    if (simdLayerFile(path))
+        return;
+    const char *msg =
+        "raw SIMD intrinsics belong in the dispatch layer "
+        "(src/util/simd.*) behind nscs::simd::ops(), so the runtime "
+        "probe and the NSCS_SIMD override keep every level reachable";
+    for (size_t i = 0; i < raw_lines.size(); ++i) {
+        const std::string &line = raw_lines[i];
+        size_t b = line.find_first_not_of(" \t");
+        if (b == std::string::npos || line[b] != '#' ||
+            line.find("include", b) == std::string::npos)
+            continue;
+        for (const char *hdr : kIntrinsicHeaders) {
+            if (line.find(hdr) != std::string::npos) {
+                findings.push_back({path,
+                                    static_cast<uint32_t>(i + 1),
+                                    "simd-guard",
+                                    "#include <" + std::string(hdr) +
+                                        ">: " + msg});
+                break;
+            }
+        }
+    }
+    for (size_t i = 0; i < code_lines.size(); ++i) {
+        const std::string &line = code_lines[i];
+        size_t p = 0;
+        while (p < line.size()) {
+            if (!identChar(line[p])) {
+                ++p;
+                continue;
+            }
+            size_t b = p;
+            while (p < line.size() && identChar(line[p]))
+                ++p;
+            std::string tok = line.substr(b, p - b);
+            if (intrinsicToken(tok)) {
+                findings.push_back({path,
+                                    static_cast<uint32_t>(i + 1),
+                                    "simd-guard",
+                                    tok + ": " + msg});
+                break;  // one finding per line
+            }
+        }
+    }
+}
+
 /**
  * Flag mutable namespace-scope variable definitions.  Walks the
  * stripped code tracking brace kinds: namespace braces are
@@ -570,7 +673,7 @@ ruleIds()
     static const std::vector<std::string> kIds = {
         "wall-clock",     "raw-random",       "raw-io",
         "priority-queue", "raw-serialize",    "file-scope-state",
-        "bad-allow",
+        "simd-guard",     "bad-allow",
     };
     return kIds;
 }
@@ -599,6 +702,7 @@ lintSource(const std::string &path, const std::string &content)
 
     runNameRules(path, code_lines, findings);
     runFileScopeRule(path, code, findings);
+    runSimdGuardRule(path, raw_lines, code_lines, findings);
 
     // An allow on the finding's line or the line above waives it;
     // bad-allow findings are never waivable.

@@ -36,6 +36,15 @@
  *                      under the parallel tick engine.  const /
  *                      constexpr / std::atomic / thread_local are
  *                      all fine.
+ *  - simd-guard:       no vendor SIMD intrinsics (the _mm and __m
+ *                      prefixes, NEON vopq_ty intrinsics and
+ *                      element-x-lane vector types) or intrinsic
+ *                      headers (immintrin.h, arm_neon.h, ...)
+ *                      outside the dispatch layer src/util/simd.hh
+ *                      and simd.cc — kernels live behind
+ *                      nscs::simd::ops() so the cpuid probe and the
+ *                      NSCS_SIMD override keep every level reachable
+ *                      and differential tests can sweep them.
  *  - bad-allow:        an allow comment that names an unknown rule
  *                      or omits the reason text.
  *

@@ -7,7 +7,7 @@
  *
  * Usage:
  *   nscs_inspect MODEL.json [--cores] [--chips] [--board WxH]
- *                [--instances B]
+ *                [--instances B] [--drive T]
  *
  * With --cores, prints a per-core utilisation table.  With --chips,
  * prints per-chip and per-link tables for the model's board target
@@ -16,6 +16,12 @@
  * and reports the lane count and how the memory footprint splits
  * into shared (crossbars, weights, config) and per-instance lane
  * state — the marginal cost of one more replica.
+ * With --drive, additionally runs the deployed chip for T ticks with
+ * the model's input lines pulsed at a fixed rate from a fixed-seed
+ * generator, then reports the dynamic occupancy counters: how full
+ * the scheduler slots actually were and which integrate path served
+ * the synaptic events.  The drive is deterministic — same model,
+ * same T, same report.
  * Link traffic is computed statically by walking every inter-chip
  * destination's X-then-Y route, the same route the runtime takes —
  * the per-spike load each link carries if every neuron fired once.
@@ -29,9 +35,12 @@
 
 #include "board/board.hh"
 #include "chip/chip.hh"
+#include "core/core.hh"
 #include "neuron/neuron.hh"
 #include "prog/compiled.hh"
+#include "runtime/source.hh"
 #include "util/logging.hh"
+#include "util/rng.hh"
 #include "util/table.hh"
 
 using namespace nscs;
@@ -41,12 +50,14 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::cerr << "usage: nscs_inspect MODEL.json [--cores] "
-                     "[--chips] [--board WxH] [--instances B]\n";
+                     "[--chips] [--board WxH] [--instances B] "
+                     "[--drive T]\n";
         return 2;
     }
     bool per_core = false, per_chip = false;
     uint32_t board_w = 0, board_h = 0;
     uint32_t instances = 0;  // 0 = no instance report
+    uint64_t drive_ticks = 0;  // 0 = no driven occupancy report
     for (int i = 2; i < argc; ++i) {
         if (std::strcmp(argv[i], "--cores") == 0) {
             per_core = true;
@@ -67,6 +78,14 @@ main(int argc, char **argv)
                 return 2;
             }
             instances = static_cast<uint32_t>(v);
+        } else if (std::strcmp(argv[i], "--drive") == 0 &&
+                   i + 1 < argc) {
+            unsigned long v = std::strtoul(argv[++i], nullptr, 10);
+            if (v == 0 || v > 100000000) {
+                std::cerr << "bad --drive '" << argv[i] << "'\n";
+                return 2;
+            }
+            drive_ticks = v;
         } else {
             std::cerr << "unknown option '" << argv[i] << "'\n";
             return 2;
@@ -269,6 +288,92 @@ main(int argc, char **argv)
                        std::to_string(share).substr(0, 4) +
                        "% of total)"});
         std::cout << it.str();
+    }
+
+    if (drive_ticks != 0) {
+        if (model.inputs.empty()) {
+            std::cout << "\n(--drive skipped: model has no input "
+                         "lines to pulse)\n";
+        } else {
+            // Deploy and drive the chip for real: each named input
+            // line fires independently per lane per tick with
+            // probability 1/4 from a fixed-seed generator, so the
+            // occupancy report reflects the engine's actual
+            // scheduling and integrate-path choices, not a static
+            // model.  The counters it prints are simulation-effort
+            // statistics (see CoreCounters); architectural results
+            // never depend on them.
+            const uint32_t lanes = instances ? instances : 1;
+            ChipParams cp;
+            cp.width = model.gridWidth;
+            cp.height = model.gridHeight;
+            cp.coreGeom = model.geom;
+            cp.instances = lanes;
+            std::vector<CoreConfig> cores = model.cores;
+            Chip chip(cp, std::move(cores));
+            Xoshiro256 rng(0xD21BE5EEDull);
+            for (uint64_t t = 0; t < drive_ticks; ++t) {
+                for (const auto &[name, spikes] : model.inputs) {
+                    (void)name;
+                    for (uint32_t b = 0; b < lanes; ++b) {
+                        if (!rng.chance(0.25))
+                            continue;
+                        for (const InputSpike &s : spikes)
+                            chip.injectInput(s.core, s.axon,
+                                             chip.now() + 1, b);
+                    }
+                }
+                chip.tick();
+            }
+            CoreCounters sum;
+            uint64_t lane_ticks = 0;
+            for (uint32_t c = 0; c < chip.numCores(); ++c) {
+                const CoreCounters &cc = chip.core(c).counters();
+                sum.sops += cc.sops;
+                sum.spikes += cc.spikes;
+                sum.sopsBatched += cc.sopsBatched;
+                sum.sopsAxonWord += cc.sopsAxonWord;
+                sum.sopsStochBatched += cc.sopsStochBatched;
+                sum.laneSlotsActive += cc.laneSlotsActive;
+                sum.laneActiveAxons += cc.laneActiveAxons;
+                sum.planeReuses += cc.planeReuses;
+                lane_ticks += cc.ticksRun * lanes;
+            }
+            auto pct = [](uint64_t num, uint64_t den) {
+                double p = den ? 100.0 * static_cast<double>(num) /
+                        static_cast<double>(den)
+                               : 0.0;
+                return std::to_string(p).substr(0, 4) + "%";
+            };
+            std::cout << "\n";
+            TextTable dt({"driven occupancy", "value"});
+            dt.addRow({"ticks driven", fmtInt(drive_ticks)});
+            dt.addRow({"instance lanes", fmtInt(lanes)});
+            dt.addRow({"input lines", fmtInt(model.inputs.size())});
+            dt.addRow({"spikes fired", fmtInt(sum.spikes)});
+            dt.addRow({"synaptic events", fmtInt(sum.sops)});
+            dt.addRow({"active lane-slots",
+                       pct(sum.laneSlotsActive, lane_ticks) +
+                           " of lane-ticks"});
+            dt.addRow({"mean axons/active slot",
+                       sum.laneSlotsActive
+                           ? std::to_string(
+                                 static_cast<double>(
+                                     sum.laneActiveAxons) /
+                                 static_cast<double>(
+                                     sum.laneSlotsActive))
+                                 .substr(0, 5)
+                           : "0"});
+            dt.addRow({"cross-lane fold reuses",
+                       fmtInt(sum.planeReuses)});
+            dt.addRow({"events via batched paths",
+                       pct(sum.sopsBatched, sum.sops)});
+            dt.addRow({"  of which axon-word",
+                       pct(sum.sopsAxonWord, sum.sops)});
+            dt.addRow({"stochastic pre-drawn",
+                       pct(sum.sopsStochBatched, sum.sops)});
+            std::cout << dt.str();
+        }
     }
 
     if (per_core) {

@@ -140,6 +140,10 @@ Board::Board(const BoardParams &params, std::vector<CoreConfig> configs)
     // global coordinate in both framings.
     ChipParams cp = params_.chip;
     cp.allowEgress = true;
+    // Chips record their intra-chip core-to-core routes; the board
+    // records egress routes.  trafficProfile() merges the two into
+    // one full-fidelity cell matrix.
+    cp.traceTraffic = params_.traceTraffic;
     chips_.reserve(static_cast<size_t>(bw) * bh);
     for (uint32_t cy = 0; cy < bh; ++cy) {
         for (uint32_t cx = 0; cx < bw; ++cx) {
@@ -170,6 +174,26 @@ Board::Board(const BoardParams &params, std::vector<CoreConfig> configs)
                           std::vector<uint32_t>(
                               params_.link.dedupWindow, 0xffffffffu));
         dedupPos_.assign(numChips(), 0);
+    }
+
+    if (params_.trafficProfile) {
+        const TrafficProfile &tp = *params_.trafficProfile;
+        if (tp.boardW != bw || tp.boardH != bh)
+            fatal("traffic profile covers a %ux%u chip grid, board "
+                  "is %ux%u", tp.boardW, tp.boardH, bw, bh);
+        // Empty table (oversized board or an unloaded profile)
+        // falls back to XY.
+        routes_ = buildRouteTable(tp);
+    }
+    if (params_.traceTraffic) {
+        // Dense pair matrix + one map per global cell; bounded so a
+        // trace run cannot silently eat gigabytes.
+        if (numChips() > 1024)
+            fatal("traffic tracing supports at most 1024 chips "
+                  "(board has %u)", numChips());
+        pairTraffic_.assign(
+            static_cast<size_t>(numChips()) * numChips(), 0);
+        cellTraffic_.assign(numCores(), {});
     }
 
     if (params_.threads >= 2) {
@@ -205,6 +229,11 @@ Board::reset()
         std::fill(ring.begin(), ring.end(), 0xffffffffu);
     std::fill(dedupPos_.begin(), dedupPos_.end(), 0u);
     cloneScratch_.clear();
+    std::fill(pairTraffic_.begin(), pairTraffic_.end(), 0u);
+    for (auto &row : cellTraffic_)
+        row.clear();
+    batch_.clear();
+    openPacket_.clear();
 }
 
 void
@@ -265,6 +294,14 @@ Board::packetChecksum(const BoardPacket &p) const
     mix(p.axon);
     mix(p.instance);
     mix(p.seq);
+    // A coalesced packet checksums its whole payload: corruption of
+    // any riding spike rejects the packet as a unit.
+    mix(p.payload.size());
+    for (const RoutedSpike &s : p.payload) {
+        mix(s.core);
+        mix(s.axon);
+        mix(s.instance);
+    }
     return static_cast<uint32_t>(h ^ (h >> 32));
 }
 
@@ -290,8 +327,22 @@ Board::deliverPacket(const BoardPacket &p)
                 static_cast<uint32_t>(ring.size());
         }
     }
-    chips_[p.dstChip]->depositRouted(p.dstCore, p.axon,
-                                     p.deliveryTick, p.instance);
+    // Checksum and dedup cleared the packet as a whole; deliver the
+    // header spike, then the coalesced payload (all sharing the
+    // header's delivery tick) through the bulk path.
+    Chip &chip = *chips_[p.dstChip];
+    chip.depositRouted(p.dstCore, p.axon, p.deliveryTick, p.instance);
+    if (!p.payload.empty())
+        chip.depositRoutedMany(p.payload.data(), p.payload.size(),
+                               p.deliveryTick);
+}
+
+std::pair<uint32_t, uint32_t>
+Board::routeStep(uint32_t at, uint32_t dst) const
+{
+    if (routes_.empty())
+        return xyRouteStep(at, dst, params_.width);
+    return routes_.step(at, dst);
 }
 
 void
@@ -301,7 +352,7 @@ Board::walkPacket(BoardPacket p, uint64_t t)
     const uint32_t bh = params_.height;
     const LinkParams &lp = params_.link;
     while (p.atChip != p.dstChip) {
-        auto [dir, next] = xyRouteStep(p.atChip, p.dstChip, bw);
+        auto [dir, next] = routeStep(p.atChip, p.dstChip);
         uint32_t link = p.atChip * 4 + dir;
 
         if (!linkDead_.empty() && linkDead_[link]) {
@@ -484,13 +535,23 @@ Board::mergePhase(uint64_t t)
     }
 
     // Fresh egress, chips ascending, each buffer in routing order.
+    // Per chip the drain runs in two stages: resolve destinations
+    // and group same-(dst chip, delivery tick) spikes into coalesced
+    // packets (LinkParams::coalesce), then seal and walk the packets
+    // in creation order.  Staging is what lets a later spike join an
+    // earlier packet; it cannot change behavior with coalescing off,
+    // because packet creation reads only the egress buffer while the
+    // walk mutates only link state.
     const uint32_t bw = params_.width;
+    const uint32_t cap = lp.coalesce;
     for (uint32_t ci = 0; ci < numChips(); ++ci) {
         Chip &chip = *chips_[ci];
         if (chip.egress().empty())
             continue;
         uint32_t ox = (ci % bw) * chipW_;       // chip origin, cores
         uint32_t oy = (ci / bw) * chipH_;
+        batch_.clear();
+        openPacket_.clear();
         for (const EgressSpike &e : chip.egress()) {
             uint32_t sx = ox + e.srcCore % chipW_;
             uint32_t sy = oy + e.srcCore / chipW_;
@@ -505,23 +566,55 @@ Board::mergePhase(uint64_t t)
             counters_.hops +=
                 static_cast<uint64_t>(std::abs(e.dx)) +
                 static_cast<uint64_t>(std::abs(e.dy));
+            const uint32_t dstChip = (gy / chipH_) * bw + gx / chipW_;
+            const uint32_t dstCore =
+                (gy % chipH_) * chipW_ + gx % chipW_;
+            if (!pairTraffic_.empty()) {
+                pairTraffic_[static_cast<size_t>(ci) * numChips() +
+                             dstChip] += 1;
+                cellTraffic_[sy * gw_ + sx][gy * gw_ + gx] += 1;
+            }
+            if (cap > 1) {
+                const auto key =
+                    std::make_pair(dstChip, e.deliveryTick);
+                auto it = openPacket_.find(key);
+                if (it != openPacket_.end()) {
+                    BoardPacket &open = batch_[it->second];
+                    open.payload.push_back(
+                        {dstCore, e.axon,
+                         static_cast<uint16_t>(e.instance)});
+                    ++counters_.packetsCoalesced;
+                    if (1 + open.payload.size() >= cap)
+                        openPacket_.erase(it);
+                    continue;
+                }
+            }
             BoardPacket p;
             p.atChip = ci;
-            p.dstChip = (gy / chipH_) * bw + gx / chipW_;
-            p.dstCore = (gy % chipH_) * chipW_ + gx % chipW_;
+            p.dstChip = dstChip;
+            p.dstCore = dstCore;
             p.axon = e.axon;
             p.instance = static_cast<uint16_t>(e.instance);
             p.deliveryTick = e.deliveryTick;
+            batch_.push_back(std::move(p));
+            if (cap > 1)
+                openPacket_[std::make_pair(dstChip, e.deliveryTick)] =
+                    batch_.size() - 1;
+        }
+        chip.clearEgress();
+        counters_.fabricPackets += batch_.size();
+        for (BoardPacket &p : batch_) {
             if (lp.reliable) {
                 // Sequence numbers issue in merge order (serial and
                 // deterministic), so retransmits and dedup replay
-                // bit-identically at any thread count.
+                // bit-identically at any thread count.  The checksum
+                // seals here, once the payload is final.
                 p.seq = nextSeq_++;
                 p.checksum = packetChecksum(p);
             }
-            walkWithClones(p, t);
+            walkWithClones(std::move(p), t);
         }
-        chip.clearEgress();
+        batch_.clear();
     }
 
     // Drain chip outputs in ascending chip order.
@@ -617,6 +710,8 @@ Board::saveState(JsonValue &out) const
     putCounter("linkStalls", counters_.linkStalls);
     putCounter("linkDrops", counters_.linkDrops);
     putCounter("hops", counters_.hops);
+    putCounter("fabricPackets", counters_.fabricPackets);
+    putCounter("packetsCoalesced", counters_.packetsCoalesced);
     out.set("counters", std::move(counters));
 
     JsonValue outputs = JsonValue::array();
@@ -666,6 +761,28 @@ Board::saveState(JsonValue &out) const
             flat.append(JsonValue::integer(p.dupClone));
         }
         bucket.set("packets", std::move(flat));
+        // Coalesced payloads ride in a parallel per-packet array of
+        // (core, axon, instance) triples; omitted when every packet
+        // is bare, which keeps pre-coalescing snapshots byte-stable.
+        bool anyPayload = false;
+        for (const BoardPacket &p : packets)
+            if (!p.payload.empty()) {
+                anyPayload = true;
+                break;
+            }
+        if (anyPayload) {
+            JsonValue payloads = JsonValue::array();
+            for (const BoardPacket &p : packets) {
+                JsonValue pl = JsonValue::array();
+                for (const RoutedSpike &s : p.payload) {
+                    pl.append(JsonValue::integer(s.core));
+                    pl.append(JsonValue::integer(s.axon));
+                    pl.append(JsonValue::integer(s.instance));
+                }
+                payloads.append(std::move(pl));
+            }
+            bucket.set("payloads", std::move(payloads));
+        }
         pending.append(std::move(bucket));
     }
     out.set("pending", std::move(pending));
@@ -748,6 +865,8 @@ Board::restoreState(const JsonValue &in)
     counters_.linkStalls = getCounter("linkStalls");
     counters_.linkDrops = getCounter("linkDrops");
     counters_.hops = getCounter("hops");
+    counters_.fabricPackets = getCounter("fabricPackets");
+    counters_.packetsCoalesced = getCounter("packetsCoalesced");
 
     const JsonValue &outputs = in.at("outputs");
     if (outputs.type() != JsonValue::Type::Array ||
@@ -819,6 +938,25 @@ Board::restoreState(const JsonValue &in)
             if (p.atChip >= numChips() || p.dstChip >= numChips())
                 return false;
             dst.push_back(p);
+        }
+        if (bucket.has("payloads")) {
+            const JsonValue &payloads = bucket.at("payloads");
+            if (payloads.type() != JsonValue::Type::Array ||
+                payloads.size() != dst.size())
+                return false;
+            for (size_t k = 0; k < payloads.size(); ++k) {
+                const JsonValue &pl = payloads.at(k);
+                if (pl.type() != JsonValue::Type::Array ||
+                    pl.size() % 3 != 0)
+                    return false;
+                std::vector<RoutedSpike> &payload = dst[k].payload;
+                for (size_t i = 0; i < pl.size(); i += 3)
+                    payload.push_back(
+                        {static_cast<uint32_t>(pl.at(i).asInt()),
+                         static_cast<uint16_t>(pl.at(i + 1).asInt()),
+                         static_cast<uint16_t>(
+                             pl.at(i + 2).asInt())});
+            }
         }
     }
 
@@ -905,6 +1043,51 @@ Board::energy() const
     return computeEnergy(energyEvents(), params_.chip.energy);
 }
 
+TrafficProfile
+Board::trafficProfile() const
+{
+    TrafficProfile tp;
+    tp.boardW = params_.width;
+    tp.boardH = params_.height;
+    tp.chipW = chipW_;
+    tp.chipH = chipH_;
+    tp.ticks = counters_.ticks;
+    tp.egressSpikes = counters_.egressSpikes;
+    tp.links.resize(linkStats_.size());
+    for (size_t l = 0; l < linkStats_.size(); ++l) {
+        tp.links[l].packets = linkStats_[l].packets;
+        tp.links[l].stalls = linkStats_[l].stalls;
+        tp.links[l].drops = linkStats_[l].drops;
+    }
+    // Pair and cell matrices exist only under traceTraffic.  The
+    // board's own matrix holds the inter-chip routes; each chip
+    // contributes its intra-chip routes, translated from local core
+    // ids to global cells.
+    tp.pairSpikes = pairTraffic_;
+    tp.cells = cellTraffic_;
+    if (!tp.cells.empty()) {
+        for (uint32_t ci = 0; ci < numChips(); ++ci) {
+            const uint32_t cx = ci % params_.width;
+            const uint32_t cy = ci / params_.width;
+            const auto &local = chips_[ci]->cellTraffic();
+            for (uint32_t lc = 0;
+                 lc < static_cast<uint32_t>(local.size()); ++lc) {
+                if (local[lc].empty())
+                    continue;
+                const uint32_t sx = cx * chipW_ + lc % chipW_;
+                const uint32_t sy = cy * chipH_ + lc / chipW_;
+                auto &row = tp.cells[sy * gw_ + sx];
+                for (const auto &[dst, n] : local[lc]) {
+                    const uint32_t gx = cx * chipW_ + dst % chipW_;
+                    const uint32_t gy = cy * chipH_ + dst / chipW_;
+                    row[gy * gw_ + gx] += n;
+                }
+            }
+        }
+    }
+    return tp;
+}
+
 std::string
 Board::linkName(uint32_t link) const
 {
@@ -943,6 +1126,17 @@ Board::dumpStats(const char *prefix, StatGroup &group) const
     group.add(pre + ".linkDrops",
               static_cast<double>(counters_.linkDrops),
               "packets dropped at full link queues");
+    group.add(pre + ".fabricPackets",
+              static_cast<double>(counters_.fabricPackets),
+              "packets entering the inter-chip fabric");
+    group.add(pre + ".packetsCoalesced",
+              static_cast<double>(counters_.packetsCoalesced),
+              "spikes that rode an open coalesced packet");
+    if (counters_.fabricPackets != 0)
+        group.add(pre + ".payloadOccupancy",
+                  static_cast<double>(counters_.egressSpikes) /
+                      static_cast<double>(counters_.fabricPackets),
+                  "spikes per fabric packet");
     group.add(pre + ".hops", static_cast<double>(e.hops),
               "router traversals (on-chip + board)");
     uint64_t routed = 0, late = 0, out = 0;
@@ -1032,8 +1226,19 @@ Board::footprintBytes() const
     bytes += linkBudget_.capacity() * sizeof(uint32_t);
     bytes += linkQueued_.capacity() * sizeof(uint32_t);
     bytes += outputs_.capacity() * sizeof(OutputSpike);
-    for (const auto &kv : pending_)
+    for (const auto &kv : pending_) {
         bytes += kv.second.capacity() * sizeof(BoardPacket);
+        for (const BoardPacket &p : kv.second)
+            bytes += p.payload.capacity() * sizeof(RoutedSpike);
+    }
+    bytes += batch_.capacity() * sizeof(BoardPacket);
+    bytes += routes_.nextDir.capacity();
+    bytes += pairTraffic_.capacity() * sizeof(uint64_t);
+    // Red-black tree nodes: payload plus ~3 pointers + color.
+    constexpr size_t kMapNode =
+        sizeof(std::pair<uint32_t, uint64_t>) + 4 * sizeof(void *);
+    for (const auto &row : cellTraffic_)
+        bytes += sizeof(row) + row.size() * kMapNode;
     bytes += linkFaultWindows_.capacity() * sizeof(FaultEvent);
     bytes += deadLinkEvents_.capacity() * sizeof(FaultEvent);
     bytes += linkFaultSuppressed_.capacity() +

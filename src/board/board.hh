@@ -54,6 +54,7 @@
 #include <utility>
 #include <vector>
 
+#include "board/traffic.hh"
 #include "chip/chip.hh"
 
 namespace nscs {
@@ -106,6 +107,18 @@ struct LinkParams
 
     /** Sequence numbers each chip remembers for duplicate discard. */
     uint32_t dedupWindow = 64;
+
+    /**
+     * Packet coalescing: spikes leaving one chip for the same
+     * destination chip with the same delivery tick share one packet,
+     * up to this many spikes per packet (0 or 1 = one spike per
+     * packet, the PR 4 behavior).  A coalesced packet is the unit of
+     * every link mechanism — it consumes one budget slot, stalls,
+     * drops, retries and dedups as a whole — so link-budget-limited
+     * workloads gain throughput without changing which spikes are
+     * delivered where or when.
+     */
+    uint32_t coalesce = 0;
 };
 
 /** Board construction parameters. */
@@ -135,6 +148,23 @@ struct BoardParams
      * the start of their scheduled tick.
      */
     std::shared_ptr<const FaultPlan> faultPlan;
+
+    /**
+     * Record chip-pair and core-cell traffic during the run so
+     * Board::trafficProfile() returns a full profile (the per-link
+     * loads are always counted).  Off by default: the full-resolution
+     * matrices cost memory and a map update per egress spike.
+     */
+    bool traceTraffic = false;
+
+    /**
+     * Traffic profile from a previous trace run.  When set (and the
+     * board dimensions match), inter-chip routes follow static
+     * congestion-aware shortest paths over the measured link loads
+     * (buildRouteTable) instead of fixed XY.  Determinism is
+     * unaffected: the table is built once at construction.
+     */
+    std::shared_ptr<const TrafficProfile> trafficProfile;
 };
 
 /** Per-link event counters. */
@@ -155,6 +185,8 @@ struct BoardCounters
     uint64_t linkStalls = 0;   //!< stall events (all links)
     uint64_t linkDrops = 0;    //!< dropped packets (all links)
     uint64_t hops = 0;         //!< core-grid manhattan of egress spikes
+    uint64_t fabricPackets = 0;    //!< packets entering the fabric
+    uint64_t packetsCoalesced = 0; //!< spikes that rode an open packet
 };
 
 /** The simulated board. */
@@ -262,6 +294,17 @@ class Board
     /** Human-readable name of a link, e.g. "chip(1,0).east". */
     std::string linkName(uint32_t link) const;
 
+    /**
+     * Export the traffic measured since reset as a profile.  Link
+     * loads are always populated; the chip-pair and core-cell
+     * matrices are present only when BoardParams::traceTraffic was
+     * set.  Deterministic for a fixed seed and input schedule.
+     */
+    TrafficProfile trafficProfile() const;
+
+    /** The active route table; empty means XY routing. */
+    const RouteTable &routeTable() const { return routes_; }
+
     // --- fault injection -------------------------------------------------
 
     /**
@@ -312,11 +355,18 @@ class Board
         uint8_t retries = 0;        //!< retransmissions so far
         uint8_t detours = 0;        //!< dead-link reroute steps taken
         uint8_t dupClone = 0;       //!< spawned by a duplicate fault
+
+        /** Coalesced spikes riding along (LinkParams::coalesce); the
+         *  header fields above carry the first spike.  All share
+         *  deliveryTick and dstChip. */
+        std::vector<RoutedSpike> payload;
     };
 
     void walkPacket(BoardPacket p, uint64_t t);
     void walkWithClones(BoardPacket p, uint64_t t);
     void mergePhase(uint64_t t);
+    std::pair<uint32_t, uint32_t> routeStep(uint32_t at,
+                                            uint32_t dst) const;
     void applyDueFaults(uint64_t t);
     void deliverPacket(const BoardPacket &p);
     uint32_t packetChecksum(const BoardPacket &p) const;
@@ -356,6 +406,18 @@ class Board
     std::vector<std::vector<uint32_t>> dedupRing_;  //!< per chip
     std::vector<uint32_t> dedupPos_;
     std::vector<BoardPacket> cloneScratch_;  //!< duplicate-fault spawn
+
+    // Congestion-aware routing (BoardParams::trafficProfile); empty
+    // table = XY.
+    RouteTable routes_;
+
+    // Traffic tracing (BoardParams::traceTraffic).
+    std::vector<uint64_t> pairTraffic_;  //!< src * numChips + dst
+    std::vector<std::map<uint32_t, uint64_t>> cellTraffic_;
+
+    // Per-chip egress coalescing scratch (mergePhase).
+    std::vector<BoardPacket> batch_;
+    std::map<std::pair<uint32_t, uint64_t>, size_t> openPacket_;
 };
 
 } // namespace nscs

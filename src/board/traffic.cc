@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Traffic profile serialization and the congestion-aware route
+ * table.  See traffic.hh for the contracts.
+ */
+
+#include "board/traffic.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace nscs {
+
+namespace {
+
+/** Route tables above this chip count fall back to XY routing. */
+constexpr uint32_t kMaxRoutedChips = 1024;
+
+constexpr const char *kFormat = "nscs-traffic";
+constexpr int64_t kVersion = 1;
+
+/**
+ * Counters are emitted as plain JSON integers: they count spikes and
+ * packets of finite runs, far below the 2^53 exact-integer ceiling.
+ */
+JsonValue
+count(uint64_t v)
+{
+    return JsonValue::integer(static_cast<int64_t>(v));
+}
+
+/** Neighbor of @p chip one hop in @p dir, or numChips when off-board. */
+uint32_t
+linkNeighbor(uint32_t chip, uint32_t dir, uint32_t bw, uint32_t bh)
+{
+    const uint32_t x = chip % bw;
+    const uint32_t y = chip / bw;
+    switch (dir) {
+    case 0:  // East
+        return x + 1 < bw ? chip + 1 : bw * bh;
+    case 1:  // West
+        return x > 0 ? chip - 1 : bw * bh;
+    case 2:  // North
+        return y + 1 < bh ? chip + bw : bw * bh;
+    default:  // South
+        return y > 0 ? chip - bw : bw * bh;
+    }
+}
+
+} // namespace
+
+std::pair<uint32_t, uint32_t>
+RouteTable::step(uint32_t at, uint32_t dst) const
+{
+    const uint32_t n = boardW * boardH;
+    NSCS_ASSERT(at < n && dst < n && at != dst,
+                "RouteTable::step: bad chip pair");
+    const uint32_t dir = nextDir[at * n + dst];
+    NSCS_ASSERT(dir < 4, "RouteTable::step: unreachable destination");
+    const uint32_t next = linkNeighbor(at, dir, boardW, boardH);
+    NSCS_ASSERT(next < n, "RouteTable::step: hop leaves the board");
+    return {dir, next};
+}
+
+JsonValue
+trafficProfileToJson(const TrafficProfile &profile)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("format", JsonValue::string(kFormat));
+    doc.set("version", JsonValue::integer(kVersion));
+    doc.set("boardWidth", count(profile.boardW));
+    doc.set("boardHeight", count(profile.boardH));
+    doc.set("chipWidth", count(profile.chipW));
+    doc.set("chipHeight", count(profile.chipH));
+    doc.set("ticks", count(profile.ticks));
+    doc.set("egressSpikes", count(profile.egressSpikes));
+
+    // Sparse flat triples (src chip, dst chip, spikes).
+    JsonValue pairs = JsonValue::array();
+    const uint32_t n = profile.numChips();
+    if (!profile.pairSpikes.empty()) {
+        NSCS_ASSERT(profile.pairSpikes.size() ==
+                        static_cast<size_t>(n) * n,
+                    "traffic profile: pair matrix size mismatch");
+        for (uint32_t s = 0; s < n; ++s)
+            for (uint32_t d = 0; d < n; ++d) {
+                const uint64_t v = profile.pairSpikes[s * n + d];
+                if (v == 0)
+                    continue;
+                pairs.append(count(s));
+                pairs.append(count(d));
+                pairs.append(count(v));
+            }
+    }
+    doc.set("pairs", std::move(pairs));
+
+    // Sparse flat quads (link, packets, stalls, drops).
+    JsonValue links = JsonValue::array();
+    if (!profile.links.empty()) {
+        NSCS_ASSERT(profile.links.size() == static_cast<size_t>(n) * 4,
+                    "traffic profile: link table size mismatch");
+        for (uint32_t l = 0; l < n * 4; ++l) {
+            const TrafficLinkLoad &ll = profile.links[l];
+            if (ll.packets == 0 && ll.stalls == 0 && ll.drops == 0)
+                continue;
+            links.append(count(l));
+            links.append(count(ll.packets));
+            links.append(count(ll.stalls));
+            links.append(count(ll.drops));
+        }
+    }
+    doc.set("links", std::move(links));
+
+    // Sparse flat triples (src cell, dst cell, spikes).
+    JsonValue cells = JsonValue::array();
+    for (uint32_t s = 0; s < profile.cells.size(); ++s)
+        for (const auto &[d, v] : profile.cells[s]) {
+            cells.append(count(s));
+            cells.append(count(d));
+            cells.append(count(v));
+        }
+    doc.set("cells", std::move(cells));
+    return doc;
+}
+
+bool
+trafficProfileFromJson(const JsonValue &doc, TrafficProfile &profile,
+                       std::string *err)
+{
+    auto fail = [&](const std::string &msg) {
+        if (err)
+            *err = msg;
+        return false;
+    };
+    if (doc.type() != JsonValue::Type::Object)
+        return fail("traffic profile: document is not an object");
+    if (doc.getString("format", "") != kFormat)
+        return fail("traffic profile: missing format tag '" +
+                    std::string(kFormat) + "'");
+    if (doc.getInt("version", 0) != kVersion)
+        return fail("traffic profile: unsupported version");
+
+    profile = TrafficProfile{};
+    profile.boardW =
+        static_cast<uint32_t>(doc.getInt("boardWidth", 0));
+    profile.boardH =
+        static_cast<uint32_t>(doc.getInt("boardHeight", 0));
+    profile.chipW = static_cast<uint32_t>(doc.getInt("chipWidth", 0));
+    profile.chipH =
+        static_cast<uint32_t>(doc.getInt("chipHeight", 0));
+    profile.ticks = static_cast<uint64_t>(doc.getInt("ticks", 0));
+    profile.egressSpikes =
+        static_cast<uint64_t>(doc.getInt("egressSpikes", 0));
+    if (profile.boardW == 0 || profile.boardH == 0 ||
+        profile.chipW == 0 || profile.chipH == 0)
+        return fail("traffic profile: zero board or chip dimension");
+
+    const uint32_t n = profile.numChips();
+    const auto triples = [&](const char *key, auto &&sink,
+                             uint64_t limit_a, uint64_t limit_b) {
+        if (!doc.has(key))
+            return true;
+        const JsonValue &arr = doc.at(key);
+        if (arr.type() != JsonValue::Type::Array ||
+            arr.size() % 3 != 0)
+            return false;
+        for (size_t i = 0; i < arr.size(); i += 3) {
+            const int64_t a = arr.at(i).asInt();
+            const int64_t b = arr.at(i + 1).asInt();
+            const int64_t v = arr.at(i + 2).asInt();
+            if (a < 0 || b < 0 || v < 0 ||
+                static_cast<uint64_t>(a) >= limit_a ||
+                static_cast<uint64_t>(b) >= limit_b)
+                return false;
+            sink(static_cast<uint32_t>(a), static_cast<uint32_t>(b),
+                 static_cast<uint64_t>(v));
+        }
+        return true;
+    };
+
+    profile.pairSpikes.assign(static_cast<size_t>(n) * n, 0);
+    if (!triples(
+            "pairs",
+            [&](uint32_t s, uint32_t d, uint64_t v) {
+                profile.pairSpikes[static_cast<size_t>(s) * n + d] = v;
+            },
+            n, n))
+        return fail("traffic profile: malformed 'pairs' array");
+
+    profile.links.assign(static_cast<size_t>(n) * 4, {});
+    if (doc.has("links")) {
+        const JsonValue &arr = doc.at("links");
+        if (arr.type() != JsonValue::Type::Array ||
+            arr.size() % 4 != 0)
+            return fail("traffic profile: malformed 'links' array");
+        for (size_t i = 0; i < arr.size(); i += 4) {
+            const int64_t l = arr.at(i).asInt();
+            if (l < 0 || static_cast<uint64_t>(l) >=
+                             static_cast<uint64_t>(n) * 4)
+                return fail("traffic profile: link index out of "
+                            "range");
+            TrafficLinkLoad &ll = profile.links[static_cast<size_t>(l)];
+            ll.packets = static_cast<uint64_t>(arr.at(i + 1).asInt());
+            ll.stalls = static_cast<uint64_t>(arr.at(i + 2).asInt());
+            ll.drops = static_cast<uint64_t>(arr.at(i + 3).asInt());
+        }
+    }
+
+    const uint32_t cells = profile.numCells();
+    profile.cells.assign(cells, {});
+    if (!triples(
+            "cells",
+            [&](uint32_t s, uint32_t d, uint64_t v) {
+                profile.cells[s][d] = v;
+            },
+            cells, cells))
+        return fail("traffic profile: malformed 'cells' array");
+    return true;
+}
+
+bool
+saveTrafficProfile(const std::string &path,
+                   const TrafficProfile &profile)
+{
+    return writeFile(path, trafficProfileToJson(profile).dump(2) +
+                               "\n");
+}
+
+bool
+loadTrafficProfile(const std::string &path, TrafficProfile &profile,
+                   std::string *err)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        if (err)
+            *err = "cannot read '" + path + "'";
+        return false;
+    }
+    JsonParseResult parsed = parseJson(text);
+    if (!parsed.ok) {
+        if (err)
+            *err = parsed.error;
+        return false;
+    }
+    return trafficProfileFromJson(parsed.value, profile, err);
+}
+
+std::vector<uint64_t>
+congestionLinkWeights(const TrafficProfile &profile)
+{
+    const uint32_t n = profile.numChips();
+    std::vector<uint64_t> weights(static_cast<size_t>(n) * 4, 16);
+    if (profile.links.size() != weights.size())
+        return weights;
+
+    // Mean load over on-board links that saw any traffic; unloaded
+    // links keep the base weight so cold paths stay attractive.
+    uint64_t total = 0;
+    uint64_t loaded = 0;
+    std::vector<uint64_t> load(weights.size(), 0);
+    for (uint32_t l = 0; l < weights.size(); ++l) {
+        const TrafficLinkLoad &ll = profile.links[l];
+        load[l] = ll.packets + 4 * ll.stalls;
+        if (load[l] > 0) {
+            total += load[l];
+            ++loaded;
+        }
+    }
+    if (loaded == 0)
+        return weights;
+    const uint64_t mean = std::max<uint64_t>(1, total / loaded);
+    for (uint32_t l = 0; l < weights.size(); ++l)
+        weights[l] = 16 + std::min<uint64_t>(240, load[l] * 16 / mean);
+    return weights;
+}
+
+RouteTable
+buildRouteTable(const TrafficProfile &profile)
+{
+    RouteTable table;
+    const uint32_t bw = profile.boardW;
+    const uint32_t bh = profile.boardH;
+    const uint32_t n = bw * bh;
+    if (n == 0 || n > kMaxRoutedChips)
+        return table;
+
+    // No recorded link load means nothing to steer around: leave the
+    // table empty so the caller keeps the plain XY walk.
+    bool any_load = false;
+    if (profile.links.size() == static_cast<size_t>(n) * 4) {
+        for (const TrafficLinkLoad &ll : profile.links) {
+            if (ll.packets + ll.stalls > 0) {
+                any_load = true;
+                break;
+            }
+        }
+    }
+    if (!any_load)
+        return table;
+
+    const std::vector<uint64_t> weights =
+        congestionLinkWeights(profile);
+    table.boardW = bw;
+    table.boardH = bh;
+    table.nextDir.assign(static_cast<size_t>(n) * n, 0xff);
+
+    constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
+    std::vector<uint64_t> dist(n);
+    std::vector<uint8_t> done(n);
+
+    // Per-destination shortest path to dst over the chip grid.  A
+    // hop v -> u costs the weight of v's outgoing link, so running
+    // plain Dijkstra from dst over *incoming* links gives dist[v] =
+    // cheapest v -> dst cost.  O(n^2) scans keep it free of heap
+    // containers and fully deterministic (lowest index settles
+    // first); route tables are built once per Board.
+    for (uint32_t dst = 0; dst < n; ++dst) {
+        std::fill(dist.begin(), dist.end(), kInf);
+        std::fill(done.begin(), done.end(), uint8_t{0});
+        dist[dst] = 0;
+        for (uint32_t round = 0; round < n; ++round) {
+            uint32_t u = n;
+            uint64_t best = kInf;
+            for (uint32_t v = 0; v < n; ++v)
+                if (!done[v] && dist[v] < best) {
+                    best = dist[v];
+                    u = v;
+                }
+            if (u == n)
+                break;
+            done[u] = 1;
+            // Relax every neighbor v with an edge v -> u.
+            for (uint32_t dir = 0; dir < 4; ++dir) {
+                // v -> u along dir means u -> v along dir ^ 1 (the
+                // direction encoding pairs E/W and N/S).
+                const uint32_t v = linkNeighbor(u, dir ^ 1, bw, bh);
+                if (v >= n)
+                    continue;
+                const uint64_t w =
+                    weights[static_cast<size_t>(v) * 4 + dir];
+                if (dist[u] != kInf && dist[u] + w < dist[v])
+                    dist[v] = dist[u] + w;
+            }
+        }
+        // First direction in E, W, N, S order that lies on a
+        // shortest path wins; under uniform weights this reproduces
+        // the X-then-Y order of xyRouteStep.
+        for (uint32_t v = 0; v < n; ++v) {
+            if (v == dst || dist[v] == kInf)
+                continue;
+            for (uint32_t dir = 0; dir < 4; ++dir) {
+                const uint32_t next = linkNeighbor(v, dir, bw, bh);
+                if (next >= n || dist[next] == kInf)
+                    continue;
+                const uint64_t w =
+                    weights[static_cast<size_t>(v) * 4 + dir];
+                if (dist[next] + w == dist[v]) {
+                    table.nextDir[static_cast<size_t>(v) * n + dst] =
+                        static_cast<uint8_t>(dir);
+                    break;
+                }
+            }
+        }
+    }
+    return table;
+}
+
+} // namespace nscs

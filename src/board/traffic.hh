@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Board traffic profiles and profile-derived routing.
+ *
+ * A TrafficProfile is the record of one trace run: how many spikes
+ * crossed each (src chip, dst chip) pair, how loaded each inter-chip
+ * link was (packets forwarded, stalls, drops), and — at full
+ * resolution — how many spikes each global core cell sent to each
+ * other cell.  It is harvested from a Board that ran with
+ * BoardParams::traceTraffic set, serialized to JSON by nscs_run
+ * --trace-traffic, and consumed in two places:
+ *
+ *  - CompileOptions::trafficProfile feeds the per-cell matrix into
+ *    the placer so chip-crossing terms are weighted by *measured*
+ *    volume instead of the one-packet-per-dest estimate, and
+ *
+ *  - BoardParams::trafficProfile feeds the per-link loads into
+ *    buildRouteTable(), a static congestion-aware route selector the
+ *    Board consults instead of fixed XY.
+ *
+ * Both uses are deterministic: the profile is a pure function of a
+ * seeded run, and everything derived from it (weights, shortest
+ * paths, tie-breaks) is integer arithmetic with a stable order.
+ */
+
+#ifndef NSCS_BOARD_TRAFFIC_HH
+#define NSCS_BOARD_TRAFFIC_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nscs {
+
+class JsonValue;
+
+/** Load observed on one directed inter-chip link during a trace. */
+struct TrafficLinkLoad
+{
+    uint64_t packets = 0;  //!< packets forwarded over the link
+    uint64_t stalls = 0;   //!< budget stalls charged to the link
+    uint64_t drops = 0;    //!< queue-capacity drops at the link
+};
+
+/**
+ * One trace run's measured communication, at chip-pair, link and
+ * core-cell granularity.  Link index is chip * 4 + direction with
+ * the Board's direction encoding (0 E, 1 W, 2 N, 3 S).
+ */
+struct TrafficProfile
+{
+    uint32_t boardW = 0;  //!< chips per row
+    uint32_t boardH = 0;  //!< chip rows
+    uint32_t chipW = 0;   //!< core columns per chip
+    uint32_t chipH = 0;   //!< core rows per chip
+    uint64_t ticks = 0;   //!< ticks the trace covered
+    uint64_t egressSpikes = 0;
+
+    /** Dense src-major numChips()^2 spike counts per chip pair. */
+    std::vector<uint64_t> pairSpikes;
+
+    /** Dense numChips() * 4 per-link loads. */
+    std::vector<TrafficLinkLoad> links;
+
+    /**
+     * Sparse per-source-cell spike counts: cells[src][dst] = spikes,
+     * with src/dst global core cells (y * boardW * chipW + x).
+     * Full-fidelity: chips record their intra-chip routes and the
+     * board its inter-chip ones, so the profile-guided placer sees
+     * every exercised edge's true volume — including pairs the
+     * traced placement happened to co-locate.
+     */
+    std::vector<std::map<uint32_t, uint64_t>> cells;
+
+    uint32_t numChips() const { return boardW * boardH; }
+    uint32_t numCells() const
+    {
+        return boardW * chipW * boardH * chipH;
+    }
+};
+
+/** Serialize to the "nscs-traffic" v1 JSON document. */
+JsonValue trafficProfileToJson(const TrafficProfile &profile);
+
+/**
+ * Parse a profile back; @return false (with *err set when non-null)
+ * on format violations.
+ */
+bool trafficProfileFromJson(const JsonValue &doc,
+                            TrafficProfile &profile,
+                            std::string *err);
+
+/** File convenience wrappers over the JSON forms. */
+bool saveTrafficProfile(const std::string &path,
+                        const TrafficProfile &profile);
+bool loadTrafficProfile(const std::string &path,
+                        TrafficProfile &profile, std::string *err);
+
+/**
+ * Static next-hop table: for every (at, dst) chip pair, which
+ * outgoing direction a packet at @p at takes toward @p dst.  Shared
+ * by the Board's runtime walk and nscs_inspect's static analysis so
+ * the two cannot diverge (the same rule as xyRouteStep).
+ */
+struct RouteTable
+{
+    uint32_t boardW = 0;
+    uint32_t boardH = 0;
+
+    /** nextDir[at * numChips + dst]; 0xff when at == dst. */
+    std::vector<uint8_t> nextDir;
+
+    bool empty() const { return nextDir.empty(); }
+
+    /** (direction, next chip) one hop from @p at toward @p dst. */
+    std::pair<uint32_t, uint32_t> step(uint32_t at,
+                                       uint32_t dst) const;
+};
+
+/**
+ * Integer congestion weight per directed link, derived from the
+ * profile's link loads: 16 + min(240, 16 * load / mean loaded-link
+ * load), where load = packets + 4 * stalls (a stall wastes a full
+ * tick of link budget, so it is weighted far above one forwarded
+ * packet).  An unloaded fabric yields uniform weights, under which
+ * the route table below reproduces XY routing exactly.
+ */
+std::vector<uint64_t>
+congestionLinkWeights(const TrafficProfile &profile);
+
+/**
+ * Build the congestion-aware route table: per-destination shortest
+ * paths over congestionLinkWeights() with deterministic tie-breaking
+ * (lowest-index chip settles first; among equal-cost next hops the
+ * first direction in E, W, N, S order wins — which makes the table
+ * identical to xyRouteStep under uniform weights).  Returns an empty
+ * table (caller falls back to XY) when the profile records no link
+ * load or the board exceeds the supported size.
+ */
+RouteTable buildRouteTable(const TrafficProfile &profile);
+
+} // namespace nscs
+
+#endif // NSCS_BOARD_TRAFFIC_HH

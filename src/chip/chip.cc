@@ -120,6 +120,9 @@ Chip::Chip(const ChipParams &params, std::vector<CoreConfig> configs)
         }
     }
 
+    if (params_.traceTraffic)
+        cellTraffic_.assign(numCores(), {});
+
     if (params_.threads >= 2) {
         pool_ = std::make_unique<ThreadPool>(params_.threads);
         chunks_.resize(pool_->lanes());
@@ -139,6 +142,8 @@ Chip::reset()
         mesh_->reset();
     outputs_.clear();
     egress_.clear();
+    for (auto &row : cellTraffic_)
+        row.clear();
     counters_ = ChipCounters{};
     now_ = 0;
     agenda_.clear();
@@ -272,6 +277,39 @@ Chip::depositRouted(uint32_t core, uint32_t axon,
 }
 
 void
+Chip::depositRoutedMany(const RoutedSpike *spikes, size_t n,
+                        uint64_t delivery_tick)
+{
+    if (n == 0)
+        return;
+    // Unlike injectInputs, a past delivery tick is legal here: link
+    // contention delays packets past their slot, and the whole
+    // payload shares the header's tick, so the wrap is computed
+    // once.
+    const uint64_t effective = effectiveDeliveryTick(delivery_tick,
+                                                     now_);
+    if (effective != delivery_tick)
+        counters_.lateDeliveries += static_cast<uint64_t>(n);
+    Core *core = nullptr;
+    uint32_t core_idx = ~0u;
+    for (size_t i = 0; i < n; ++i) {
+        const RoutedSpike &s = spikes[i];
+        NSCS_ASSERT(s.core < numCores(),
+                    "depositRoutedMany core %u of %u", s.core,
+                    numCores());
+        NSCS_ASSERT(s.instance < params_.instances,
+                    "depositRoutedMany instance %u of %u", s.instance,
+                    params_.instances);
+        if (s.core != core_idx) {
+            core_idx = s.core;
+            core = cores_[s.core].get();
+            scheduleWake(s.core, effective);
+        }
+        core->deposit(delivery_tick, s.axon, s.instance);
+    }
+}
+
+void
 Chip::routeSpike(uint32_t src_core, const InstanceFire &fire,
                  const NeuronDest &dest, uint64_t t)
 {
@@ -301,6 +339,8 @@ Chip::routeSpike(uint32_t src_core, const InstanceFire &fire,
         return;
     }
     ++counters_.spikesRouted;
+    if (!cellTraffic_.empty())
+        ++cellTraffic_[src_core][ty * w + tx];
 
     if (params_.noc == NocModel::Functional) {
         counters_.hops += static_cast<uint64_t>(std::abs(dest.dx)) +
@@ -869,6 +909,10 @@ Chip::footprintBytes() const
     for (const auto &core : cores_)
         bytes += core->footprintBytes();
     bytes += egress_.capacity() * sizeof(EgressSpike);
+    constexpr size_t kMapNode =
+        sizeof(std::pair<uint32_t, uint64_t>) + 4 * sizeof(void *);
+    for (const auto &row : cellTraffic_)
+        bytes += sizeof(row) + row.size() * kMapNode;
     bytes += agenda_.capacity() * sizeof(std::pair<uint64_t, uint32_t>);
     bytes += lastWake_.capacity() * sizeof(uint64_t);
     bytes += faultEvents_.capacity() * sizeof(FaultEvent);

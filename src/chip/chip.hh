@@ -36,6 +36,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -110,6 +111,16 @@ struct ChipParams
     bool allowEgress = false;
 
     /**
+     * Record per-(source core, destination core) routed-spike counts
+     * for traffic profiling.  Covers intra-chip routes only (egress
+     * spikes are counted by the containing Board, which alone knows
+     * the global geometry); Board::trafficProfile() merges both into
+     * one full-fidelity core-to-core matrix.  Off by default: the
+     * per-spike map update is measurement overhead.
+     */
+    bool traceTraffic = false;
+
+    /**
      * Optional fault plan.  A standalone chip accepts only the
      * core-targeted kinds (dead core, stuck word, potential flip)
      * with chip-local core indices; a Board slices its own plan into
@@ -148,6 +159,20 @@ struct EgressSpike
     uint32_t instance = 0;     //!< emitting/target instance lane
 
     bool operator==(const EgressSpike &other) const = default;
+};
+
+/**
+ * One spike of a coalesced board packet's payload: a fully resolved
+ * destination on the receiving chip.  The packet header carries the
+ * shared delivery tick (see Board; LinkParams::coalesce).
+ */
+struct RoutedSpike
+{
+    uint32_t core = 0;      //!< local core (row-major index)
+    uint16_t axon = 0;      //!< target axon index
+    uint16_t instance = 0;  //!< destination instance lane
+
+    bool operator==(const RoutedSpike &other) const = default;
 };
 
 /** Chip-level aggregate counters (beyond per-core counters). */
@@ -236,6 +261,14 @@ class Chip
     /** Egress spikes accumulated since the last drain (allowEgress). */
     const std::vector<EgressSpike> &egress() const { return egress_; }
 
+    /** Per-source-core intra-chip routed-spike counts (local core ->
+     *  local core -> spikes); empty unless ChipParams::traceTraffic. */
+    const std::vector<std::map<uint32_t, uint64_t>> &
+    cellTraffic() const
+    {
+        return cellTraffic_;
+    }
+
     /** Drop drained egress spikes. */
     void clearEgress() { egress_.clear(); }
 
@@ -249,6 +282,17 @@ class Chip
      */
     void depositRouted(uint32_t core, uint32_t axon,
                        uint64_t delivery_tick, uint32_t inst = 0);
+
+    /**
+     * Deposit a coalesced packet payload: @p n routed spikes all
+     * delivering at @p delivery_tick.  Equivalent to calling
+     * depositRouted per spike (including the late-delivery wrap
+     * rule); the bulk path hoists the effective-tick computation and
+     * shares the core pointer and wake-up across same-core runs,
+     * mirroring injectInputs.
+     */
+    void depositRoutedMany(const RoutedSpike *spikes, size_t n,
+                           uint64_t delivery_tick);
 
     /** Number of cores. */
     uint32_t numCores() const { return static_cast<uint32_t>(cores_.size()); }
@@ -340,6 +384,11 @@ class Chip
     std::unique_ptr<Mesh> mesh_;          //!< Cycle model only
     std::vector<OutputSpike> outputs_;
     std::vector<EgressSpike> egress_;     //!< allowEgress only
+    // Intra-chip traffic matrix (ChipParams::traceTraffic); rows are
+    // source cores, sparse columns destination cores.  routeSpike()
+    // updates it at the serial routing point, so the parallel tick
+    // engine needs no synchronisation around it.
+    std::vector<std::map<uint32_t, uint64_t>> cellTraffic_;
     ChipCounters counters_;
     uint64_t now_ = 0;
 

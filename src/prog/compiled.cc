@@ -42,6 +42,33 @@ compiledModelToJson(const CompiledModel &model)
     }
     o.set("inputs", std::move(inputs));
     o.set("numOutputs", JsonValue::integer(model.numOutputs));
+
+    // Compile statistics travel with the model so tools can report
+    // how it was placed (notably whether a traffic profile guided
+    // the placement).  Optional: older model files omit the block.
+    JsonValue stats = JsonValue::object();
+    stats.set("logicalCores",
+              JsonValue::integer(model.stats.logicalCores));
+    stats.set("splitterCores",
+              JsonValue::integer(model.stats.splitterCores));
+    stats.set("relayNeurons",
+              JsonValue::integer(model.stats.relayNeurons));
+    stats.set("axonsUsed",
+              JsonValue::integer(
+                  static_cast<int64_t>(model.stats.axonsUsed)));
+    stats.set("synapses",
+              JsonValue::integer(
+                  static_cast<int64_t>(model.stats.synapses)));
+    stats.set("meanDestHops",
+              JsonValue::number(model.stats.meanDestHops));
+    stats.set("interChipDests",
+              JsonValue::integer(
+                  static_cast<int64_t>(model.stats.interChipDests)));
+    stats.set("placementCost",
+              JsonValue::number(model.stats.placementCost));
+    stats.set("profileGuided",
+              JsonValue::boolean(model.stats.profileGuided));
+    o.set("stats", std::move(stats));
     return o;
 }
 
@@ -83,6 +110,24 @@ compiledModelFromJson(const JsonValue &v)
         }
     }
     m.numOutputs = static_cast<uint32_t>(v.getInt("numOutputs", 0));
+    if (v.has("stats")) {
+        const JsonValue &s = v.at("stats");
+        m.stats.logicalCores =
+            static_cast<uint32_t>(s.getInt("logicalCores", 0));
+        m.stats.splitterCores =
+            static_cast<uint32_t>(s.getInt("splitterCores", 0));
+        m.stats.relayNeurons =
+            static_cast<uint32_t>(s.getInt("relayNeurons", 0));
+        m.stats.axonsUsed =
+            static_cast<uint64_t>(s.getInt("axonsUsed", 0));
+        m.stats.synapses =
+            static_cast<uint64_t>(s.getInt("synapses", 0));
+        m.stats.meanDestHops = s.getDouble("meanDestHops", 0.0);
+        m.stats.interChipDests =
+            static_cast<uint64_t>(s.getInt("interChipDests", 0));
+        m.stats.placementCost = s.getDouble("placementCost", 0.0);
+        m.stats.profileGuided = s.getBool("profileGuided", false);
+    }
     return m;
 }
 

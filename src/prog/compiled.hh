@@ -29,6 +29,8 @@ struct CompileStats
     uint64_t synapses = 0;        //!< crossbar bits set
     double meanDestHops = 0.0;    //!< mean |dx|+|dy| over neuron dests
     uint64_t interChipDests = 0;  //!< dests crossing a chip boundary
+    double placementCost = 0.0;   //!< placer objective of the result
+    bool profileGuided = false;   //!< placed with a traffic profile
 };
 
 /** A chip-ready (or board-ready) model. */

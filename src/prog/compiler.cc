@@ -5,6 +5,7 @@
 #include <map>
 #include <tuple>
 
+#include "board/traffic.hh"
 #include "util/logging.hh"
 
 namespace nscs {
@@ -398,6 +399,25 @@ Compilation::run()
         cost_model.chipH = grid_h / board_h;
         cost_model.linkWeight = opt_.linkCostWeight;
     }
+    if (opt_.trafficProfile) {
+        const TrafficProfile &tp = *opt_.trafficProfile;
+        if (cost_model.chipW == 0)
+            fatal("CompileOptions::trafficProfile requires a board "
+                  "target (boardWidth x boardHeight > 1)");
+        if (tp.boardW != board_w || tp.boardH != board_h ||
+            tp.chipW != cost_model.chipW ||
+            tp.chipH != cost_model.chipH)
+            fatal("traffic profile geometry (%ux%u chips of %ux%u "
+                  "cores) does not match the compile target (%ux%u "
+                  "chips of %ux%u cores)",
+                  tp.boardW, tp.boardH, tp.chipW, tp.chipH,
+                  board_w, board_h, cost_model.chipW,
+                  cost_model.chipH);
+        if (tp.cells.empty())
+            fatal("traffic profile has no per-cell matrix; trace "
+                  "with --trace-traffic on a board run");
+        cost_model.traffic = opt_.trafficProfile;
+    }
 
     Placement pl = placeCores(traffic, opt_.placement,
                               grid_w, grid_h,
@@ -486,6 +506,8 @@ Compilation::run()
     model.stats.meanDestHops =
         hops_n ? hops_sum / static_cast<double>(hops_n) : 0.0;
     model.stats.interChipDests = inter_chip;
+    model.stats.placementCost = pl.cost;
+    model.stats.profileGuided = pl.profileGuided;
     return model;
 }
 

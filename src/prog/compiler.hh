@@ -57,6 +57,14 @@ struct CompileOptions
     uint32_t boardWidth = 1;
     uint32_t boardHeight = 1;
     double linkCostWeight = 4.0;       //!< placement cost per crossing
+
+    /**
+     * Measured traffic profile from a trace run (nscs_run
+     * --trace-traffic), enabling the placer's profile-guided second
+     * pass (PlacerCostModel::traffic).  Requires a board target
+     * whose geometry matches the profile; fatal on mismatch.
+     */
+    std::shared_ptr<const TrafficProfile> trafficProfile;
 };
 
 /** Relay neuron parameters used by splitter trees. */

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "board/traffic.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -159,7 +160,26 @@ placeCores(const TrafficMatrix &traffic, PlacementPolicy policy,
     pl.x.resize(n);
     pl.y.resize(n);
 
+    // With a board target, consecutive ordinals fill one chip tile
+    // before spilling into the next (snake over chips, snake within
+    // a chip), so the contiguous runs the greedy traversal produces
+    // land on one chip instead of zigzagging across tile boundaries.
+    // Without chip geometry (or when tiles do not divide the grid)
+    // this degenerates to the plain boustrophedon.
+    const bool tiled = model.chipW != 0 && model.chipH != 0 &&
+        grid_w % model.chipW == 0 && grid_h % model.chipH == 0;
     auto assignByOrder = [&](const std::vector<uint32_t> &order) {
+        if (tiled) {
+            const uint32_t per_chip = model.chipW * model.chipH;
+            const uint32_t chips_w = grid_w / model.chipW;
+            for (uint32_t k = 0; k < n; ++k) {
+                auto [ccx, ccy] = snakeCoord(k / per_chip, chips_w);
+                auto [lx, ly] = snakeCoord(k % per_chip, model.chipW);
+                pl.x[order[k]] = ccx * model.chipW + lx;
+                pl.y[order[k]] = ccy * model.chipH + ly;
+            }
+            return;
+        }
         for (uint32_t k = 0; k < n; ++k) {
             auto [cx, cy] = snakeCoord(k, grid_w);
             pl.x[order[k]] = cx;
@@ -167,67 +187,122 @@ placeCores(const TrafficMatrix &traffic, PlacementPolicy policy,
         }
     };
 
-    switch (policy) {
-      case PlacementPolicy::RowMajor: {
-        std::vector<uint32_t> order(n);
-        for (uint32_t i = 0; i < n; ++i)
-            order[i] = i;
-        // Plain row-major, not snaked: the naive baseline.
-        for (uint32_t k = 0; k < n; ++k) {
-            pl.x[k] = k % grid_w;
-            pl.y[k] = k / grid_w;
-        }
-        break;
-      }
-      case PlacementPolicy::GreedyBfs: {
-        assignByOrder(greedyOrder(symmetrise(traffic)));
-        break;
-      }
-      case PlacementPolicy::Anneal: {
-        TrafficMatrix sym = symmetrise(traffic);
-        assignByOrder(greedyOrder(sym));
+    auto runPolicy = [&](const TrafficMatrix &weights) {
+        switch (policy) {
+          case PlacementPolicy::RowMajor: {
+            // Plain row-major, not snaked: the naive baseline.
+            for (uint32_t k = 0; k < n; ++k) {
+                pl.x[k] = k % grid_w;
+                pl.y[k] = k / grid_w;
+            }
+            break;
+          }
+          case PlacementPolicy::GreedyBfs: {
+            assignByOrder(greedyOrder(symmetrise(weights)));
+            break;
+          }
+          case PlacementPolicy::Anneal: {
+            TrafficMatrix sym = symmetrise(weights);
+            assignByOrder(greedyOrder(sym));
 
-        // Pairwise-swap annealing over the symmetric cost.  Delta
-        // evaluation only touches the two swapped cores' edges.
-        Xoshiro256 rng(seed);
-        auto nodeCost = [&](uint32_t i) {
-            double c = 0.0;
-            for (const auto &kv : sym[i]) {
-                uint32_t j = kv.first;
-                if (j == i)
+            // Pairwise-swap annealing over the symmetric cost.
+            // Delta evaluation only touches the two swapped cores'
+            // edges.
+            Xoshiro256 rng(seed);
+            auto nodeCost = [&](uint32_t i) {
+                double c = 0.0;
+                for (const auto &kv : sym[i]) {
+                    uint32_t j = kv.first;
+                    if (j == i)
+                        continue;
+                    c += static_cast<double>(kv.second) *
+                        pairCost(pl.x[i], pl.y[i], pl.x[j], pl.y[j],
+                                 model);
+                }
+                return c;
+            };
+
+            uint64_t iters = static_cast<uint64_t>(n) * 200;
+            double temp = 8.0;
+            double cooling = std::pow(
+                0.01 / temp, 1.0 / static_cast<double>(iters));
+            for (uint64_t it = 0; it < iters; ++it, temp *= cooling) {
+                uint32_t a = static_cast<uint32_t>(rng.below(n));
+                uint32_t b = static_cast<uint32_t>(rng.below(n));
+                if (a == b)
                     continue;
-                c += static_cast<double>(kv.second) *
-                    pairCost(pl.x[i], pl.y[i], pl.x[j], pl.y[j],
-                             model);
-            }
-            return c;
-        };
-
-        uint64_t iters = static_cast<uint64_t>(n) * 200;
-        double temp = 8.0;
-        double cooling = std::pow(0.01 / temp,
-                                  1.0 / static_cast<double>(iters));
-        for (uint64_t it = 0; it < iters; ++it, temp *= cooling) {
-            uint32_t a = static_cast<uint32_t>(rng.below(n));
-            uint32_t b = static_cast<uint32_t>(rng.below(n));
-            if (a == b)
-                continue;
-            double before = nodeCost(a) + nodeCost(b);
-            std::swap(pl.x[a], pl.x[b]);
-            std::swap(pl.y[a], pl.y[b]);
-            double after = nodeCost(a) + nodeCost(b);
-            double delta = after - before;
-            if (delta > 0.0 &&
-                rng.uniform() >= std::exp(-delta / std::max(temp, 1e-9))) {
-                std::swap(pl.x[a], pl.x[b]);  // reject
+                double before = nodeCost(a) + nodeCost(b);
+                std::swap(pl.x[a], pl.x[b]);
                 std::swap(pl.y[a], pl.y[b]);
+                double after = nodeCost(a) + nodeCost(b);
+                double delta = after - before;
+                if (delta > 0.0 &&
+                    rng.uniform() >=
+                        std::exp(-delta / std::max(temp, 1e-9))) {
+                    std::swap(pl.x[a], pl.x[b]);  // reject
+                    std::swap(pl.y[a], pl.y[b]);
+                }
             }
+            break;
+          }
         }
-        break;
-      }
+    };
+
+    runPolicy(traffic);
+
+    // Profile-guided second pass: the first pass reproduced the
+    // traced run's placement (compilation is deterministic), so
+    // pl.x/pl.y now map each logical core to the global cell it
+    // occupied during the trace.  Reweight the estimate's edges with
+    // the measured per-cell volumes and re-place.  RowMajor is
+    // traffic-blind, so only the traffic-driven policies re-run.
+    const TrafficMatrix *cost_matrix = &traffic;
+    TrafficMatrix measured;
+    if (model.traffic && policy != PlacementPolicy::RowMajor) {
+        const TrafficProfile &tp = *model.traffic;
+        const bool matches = tp.chipW == model.chipW &&
+            tp.chipH == model.chipH &&
+            tp.boardW * tp.chipW == grid_w &&
+            tp.boardH * tp.chipH == grid_h && !tp.cells.empty();
+        if (matches) {
+            // The cell matrix is full-fidelity (chips record their
+            // intra-chip routes, the board the inter-chip ones), so
+            // every structural edge with firing sources is measured.
+            // Silent edges keep weight 1: real but unexercised
+            // structure should not anchor the re-place.
+            measured.resize(n);
+            for (uint32_t i = 0; i < n; ++i) {
+                const uint32_t cell_i = pl.y[i] * grid_w + pl.x[i];
+                const auto &row = tp.cells[cell_i];
+                for (const auto &kv : traffic[i]) {
+                    const uint32_t j = kv.first;
+                    const uint32_t cell_j =
+                        pl.y[j] * grid_w + pl.x[j];
+                    auto it = row.find(cell_j);
+                    measured[i][j] = it != row.end() && it->second > 0
+                        ? it->second
+                        : 1;
+                }
+            }
+            std::vector<uint32_t> pass1_x = pl.x;
+            std::vector<uint32_t> pass1_y = pl.y;
+            const double pass1_cost =
+                placementCost(measured, pl.x, pl.y, model);
+            runPolicy(measured);
+            // Keep whichever placement the measured weights score
+            // better, so profile guidance never regresses its own
+            // objective.
+            if (placementCost(measured, pl.x, pl.y, model) >
+                pass1_cost) {
+                pl.x = std::move(pass1_x);
+                pl.y = std::move(pass1_y);
+            }
+            cost_matrix = &measured;
+            pl.profileGuided = true;
+        }
     }
 
-    pl.cost = placementCost(traffic, pl.x, pl.y, model);
+    pl.cost = placementCost(*cost_matrix, pl.x, pl.y, model);
     return pl;
 }
 

@@ -27,9 +27,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 namespace nscs {
+
+struct TrafficProfile;
 
 /** Placement policy selector. */
 enum class PlacementPolicy : uint8_t {
@@ -55,6 +58,19 @@ struct PlacerCostModel
     uint32_t chipW = 0;       //!< cores per chip in x (0 = no board)
     uint32_t chipH = 0;       //!< cores per chip in y
     double linkWeight = 4.0;  //!< cost of one chip-boundary crossing
+
+    /**
+     * Measured traffic from a trace run (board/traffic.hh).  When
+     * set and its geometry matches the target, placeCores runs
+     * twice: the first pass reproduces the traced placement (the
+     * compile pipeline is deterministic), which maps each logical
+     * core to the global cell it occupied during the trace; the
+     * second pass reweights the estimate's edges with the measured
+     * per-cell volumes (silent edges weigh 1) and re-places.  The
+     * result is kept only if it costs no more than the first pass
+     * under the measured weights.
+     */
+    std::shared_ptr<const TrafficProfile> traffic;
 };
 
 /** A computed placement. */
@@ -65,6 +81,10 @@ struct Placement
     uint32_t width = 0;       //!< grid width
     uint32_t height = 0;      //!< grid height
     double cost = 0.0;        //!< sum(traffic * manhattan)
+
+    /** True when a matching PlacerCostModel::traffic profile
+     *  reweighted the placement (cost is then measured-weighted). */
+    bool profileGuided = false;
 };
 
 /** Weighted manhattan cost of a placement. */

@@ -739,6 +739,77 @@ updateStripNeon(const UpdateStrip &s, uint32_t n)
     return fired_bits | updateStripScalarRange(s, j, n);
 }
 
+/** Expand 4 plane bits (lanes sh..sh+3 of a word) into 32-bit lane
+ *  masks: all-ones where the bit is set — the 4-lane sibling of
+ *  laneMask256 (NEON predication also goes through compare + bsl). */
+inline uint32x4_t
+laneMask4(uint64_t word, unsigned sh)
+{
+    const uint32x4_t sel = {1u, 2u, 4u, 8u};
+    const uint32x4_t bits =
+        vdupq_n_u32(static_cast<uint32_t>((word >> sh) & 0xf));
+    return vceqq_u32(vandq_u32(bits, sel), sel);
+}
+
+uint64_t
+applyWordNeon(const ApplyWord &a, uint32_t n)
+{
+    const int32x4_t zero = vdupq_n_s32(0);
+    const uint32x4_t bitsel = {1u, 2u, 4u, 8u};
+    uint64_t applied = 0;
+    uint32_t c = 0;
+    for (; c + 4 <= n; c += 4) {
+        int32x4_t delta = zero, pos = zero, neg = zero;
+        for (unsigned g = 0; g < kApplyWordTypes; ++g) {
+            if (!a.detUsed[g])
+                continue;
+            int32x4_t cnt = zero;
+            for (uint32_t p = 0; p < a.detUsed[g]; ++p)
+                cnt = vaddq_s32(
+                    cnt,
+                    vreinterpretq_s32_u32(vandq_u32(
+                        laneMask4(a.detPlanes[g][p * a.detStride],
+                                  c),
+                        vdupq_n_u32(1u << p))));
+            const int32x4_t wt = vld1q_s32(a.weight[g] + c);
+            int32x4_t d = vmulq_s32(cnt, wt);
+            const uint64_t sm = a.stochMask[g];
+            if ((sm >> c) & 0xf) {
+                int32x4_t scnt = zero;
+                for (uint32_t p = 0; p < a.succUsed[g]; ++p)
+                    scnt = vaddq_s32(
+                        scnt,
+                        vreinterpretq_s32_u32(vandq_u32(
+                            laneMask4(
+                                a.succPlanes[g][p * a.succStride],
+                                c),
+                            vdupq_n_u32(1u << p))));
+                // Stochastic lanes apply sign(weight) per success.
+                const int32x4_t sg = vminq_s32(
+                    vmaxq_s32(wt, vdupq_n_s32(-1)), vdupq_n_s32(1));
+                d = vbslq_s32(laneMask4(sm, c), vmulq_s32(scnt, sg),
+                              d);
+            }
+            delta = vaddq_s32(delta, d);
+            pos = vaddq_s32(pos, vmaxq_s32(d, zero));
+            neg = vaddq_s32(neg, vminq_s32(d, zero));
+        }
+        const int32x4_t v0 = vld1q_s32(a.v + c);
+        // ok = (v0 + pos <= vHi) && (v0 + neg >= vLo) && !divert.
+        const uint32x4_t ok = vandq_u32(
+            vandq_u32(vcleq_s32(vaddq_s32(v0, pos),
+                                vld1q_s32(a.vHi + c)),
+                      vcgeq_s32(vaddq_s32(v0, neg),
+                                vld1q_s32(a.vLo + c))),
+            vmvnq_u32(laneMask4(a.forcedDivert, c)));
+        vst1q_s32(a.v + c, vbslq_s32(ok, vaddq_s32(v0, delta), v0));
+        applied |= static_cast<uint64_t>(
+                       vaddvq_u32(vandq_u32(ok, bitsel)))
+            << c;
+    }
+    return applied | applyWordScalarRange(a, c, n);
+}
+
 #endif // NSCS_SIMD_NEON
 
 const Ops kScalarOps = {foldRowScalar, orAccumulateScalar,
@@ -754,12 +825,9 @@ const Ops kAvx512Ops = {foldRowAvx512, orAccumulateAvx512,
                         updateStripAvx512, applyWordAvx512};
 #endif
 #ifdef NSCS_SIMD_NEON
-// applyWord stays on the scalar reference under NEON: its 4-lane
-// vectors don't amortize the per-plane mask expansion the apply
-// needs, and the reference is bit-identical by construction.
 const Ops kNeonOps = {foldRowNeon, orAccumulateNeon, andWordsNeon,
                       andPopcountNeon, updateStripNeon,
-                      applyWordScalar};
+                      applyWordNeon};
 #endif
 
 Level

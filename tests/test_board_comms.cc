@@ -1,0 +1,527 @@
+/**
+ * @file
+ * Board comms fast-path tests: packet coalescing, traffic tracing,
+ * profile-guided placement and congestion-aware routing.
+ *
+ * The load-bearing property is that none of the fast-path machinery
+ * changes which spikes are delivered where or when: under an
+ * unconstrained link, every combination of {coalescing on/off} x
+ * {XY/profile-derived routes} x {serial/parallel board} emits a
+ * bit-identical spike stream, and all of them match the same network
+ * on one monolithic chip.  The remaining tests pin the mechanism
+ * details: coalesced packets as the unit of budget/stall/drop/retry,
+ * trace determinism and profile round-trip, the route table's
+ * XY-equivalence under uniform load and its divert-around-hot-link
+ * behavior, the placer's keep-better guarantee under measured
+ * weights, and snapshot round-trips with coalesced packets parked
+ * mid-flight.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "bench/workload.hh"
+#include "board/board.hh"
+#include "board/traffic.hh"
+#include "prog/placer.hh"
+#include "runtime/fault.hh"
+#include "runtime/simulator.hh"
+#include "util/json.hh"
+
+namespace nscs {
+namespace {
+
+/** Canonical per-tick ordering: sort by (tick, line). */
+std::vector<OutputSpike>
+canonical(std::vector<OutputSpike> v)
+{
+    std::sort(v.begin(), v.end(),
+              [](const OutputSpike &a, const OutputSpike &b) {
+                  return a.tick != b.tick ? a.tick < b.tick
+                                          : a.line < b.line;
+              });
+    return v;
+}
+
+/** Cortical workload with every third neuron tapped to an output
+ *  line (as in test_board.cc) so runs emit comparable streams. */
+bench::CorticalWorkload
+tappedWorkload(uint32_t grid_w, uint32_t grid_h, uint64_t seed)
+{
+    bench::CorticalParams wp;
+    wp.gridW = grid_w;
+    wp.gridH = grid_h;
+    wp.density = 32;
+    wp.ratePerTick = 0.05;
+    wp.seed = seed;
+    bench::CorticalWorkload w = bench::makeCortical(wp);
+    const uint32_t neurons = CoreGeometry{}.numNeurons;
+    for (uint32_t c = 0; c < w.cores.size(); ++c) {
+        for (uint32_t n = 0; n < neurons; n += 3) {
+            NeuronDest &d = w.cores[c].dests[n];
+            d = NeuronDest{};
+            d.kind = NeuronDest::Kind::Output;
+            d.line = c * neurons + n;
+        }
+    }
+    return w;
+}
+
+/** Board simulator with the fast-path knobs the bench factory does
+ *  not expose: coalescing, route profile, traffic tracing. */
+std::unique_ptr<Simulator>
+commsBoardSim(const bench::CorticalWorkload &w,
+              uint32_t board_w, uint32_t board_h, uint32_t coalesce,
+              std::shared_ptr<const TrafficProfile> routes,
+              uint32_t board_threads, bool trace)
+{
+    BoardParams bp;
+    bp.width = board_w;
+    bp.height = board_h;
+    bp.chip.width = w.params.gridW / board_w;
+    bp.chip.height = w.params.gridH / board_h;
+    bp.chip.coreGeom = CoreGeometry{};
+    bp.chip.engine = EngineKind::Event;
+    bp.link.coalesce = coalesce;
+    bp.trafficProfile = std::move(routes);
+    bp.traceTraffic = trace;
+    bp.threads = board_threads;
+    auto sim = std::make_unique<Simulator>(bp, w.cores);
+    sim->addSource(std::make_unique<PoissonSource>(
+        w.drivenAxons, w.params.ratePerTick,
+        w.params.seed ^ 0xD1CEull));
+    return sim;
+}
+
+/**
+ * The acceptance differential: {coalesce off/on} x {XY/profile
+ * routes} x {serial/parallel} on an unconstrained 2x2 board are all
+ * raw bit-identical to each other and canonically identical to the
+ * monolithic chip.
+ */
+TEST(BoardCommsEquivalence, AllFastPathCombosPreserveSpikes)
+{
+    const uint64_t ticks = 30;
+    bench::CorticalWorkload w = tappedWorkload(4, 4, 11);
+
+    auto mono = bench::makeCorticalSim(w, EngineKind::Event);
+    mono->run(ticks);
+    auto ref = canonical(mono->recorder().spikes());
+    ASSERT_FALSE(ref.empty());
+
+    // Trace run: harvest the measured profile the routed combos use.
+    auto tracer = commsBoardSim(w, 2, 2, 0, nullptr, 0, true);
+    tracer->run(ticks);
+    auto profile = std::make_shared<TrafficProfile>(
+        tracer->board().trafficProfile());
+    ASSERT_GT(profile->egressSpikes, 0u);
+
+    std::vector<OutputSpike> raw_ref;
+    uint64_t egress_ref = 0;
+    for (uint32_t coalesce : {0u, 8u}) {
+        for (bool routed : {false, true}) {
+            for (uint32_t threads : {0u, 3u}) {
+                auto sim = commsBoardSim(
+                    w, 2, 2, coalesce,
+                    routed ? profile : nullptr, threads, false);
+                sim->run(ticks);
+                const auto &got = sim->recorder().spikes();
+                if (raw_ref.empty()) {
+                    raw_ref = got;
+                    egress_ref =
+                        sim->board().counters().egressSpikes;
+                }
+                EXPECT_EQ(got, raw_ref)
+                    << "coalesce " << coalesce << " routed "
+                    << routed << " threads " << threads;
+                EXPECT_EQ(canonical(got), ref);
+                const BoardCounters &bc = sim->board().counters();
+                EXPECT_EQ(bc.egressSpikes, egress_ref);
+                if (coalesce > 1) {
+                    // Same spikes, fewer packets.
+                    EXPECT_GT(bc.packetsCoalesced, 0u);
+                    EXPECT_LT(bc.fabricPackets, bc.egressSpikes);
+                    EXPECT_EQ(bc.fabricPackets + bc.packetsCoalesced,
+                              bc.egressSpikes);
+                } else {
+                    EXPECT_EQ(bc.packetsCoalesced, 0u);
+                    EXPECT_EQ(bc.fabricPackets, bc.egressSpikes);
+                }
+            }
+        }
+    }
+}
+
+// --- hand-built two-chip scenarios -----------------------------------------
+
+/** 2x1 board, one core per chip: @p pacemakers synchronized
+ *  period-@p period neurons on chip 0, each relayed by chip 1 to an
+ *  output line. */
+std::vector<CoreConfig>
+relayConfigs(uint32_t pacemakers, int32_t period = 4)
+{
+    CoreGeometry g;
+    g.numAxons = 16;
+    g.numNeurons = 16;
+    g.delaySlots = 16;
+    CoreConfig src = CoreConfig::make(g);
+    CoreConfig dst = CoreConfig::make(g);
+    for (uint32_t n = 0; n < pacemakers; ++n) {
+        NeuronParams p;
+        p.leak = 1;
+        p.threshold = period;
+        p.resetMode = ResetMode::Store;
+        src.neurons[n] = p;
+        NeuronDest &d = src.dests[n];
+        d.kind = NeuronDest::Kind::Core;
+        d.dx = 1;
+        d.dy = 0;
+        d.axon = static_cast<uint16_t>(n);
+        d.delay = 1;
+
+        dst.connect(n, n);
+        NeuronParams q;
+        q.synWeight = {1, 1, 1, 1};
+        q.threshold = 1;
+        dst.neurons[n] = q;
+        NeuronDest &o = dst.dests[n];
+        o.kind = NeuronDest::Kind::Output;
+        o.line = n;
+    }
+    return {src, dst};
+}
+
+BoardParams
+relayBoardParams(LinkParams link,
+                 std::shared_ptr<const FaultPlan> plan = nullptr)
+{
+    BoardParams bp;
+    bp.width = 2;
+    bp.height = 1;
+    bp.chip.width = 1;
+    bp.chip.height = 1;
+    CoreGeometry g;
+    g.numAxons = 16;
+    g.numNeurons = 16;
+    g.delaySlots = 16;
+    bp.chip.coreGeom = g;
+    bp.link = link;
+    bp.faultPlan = std::move(plan);
+    return bp;
+}
+
+TEST(BoardCommsCoalesce, PacketIsTheBudgetUnit)
+{
+    // Eight synchronized pacemakers, one packet of budget per tick.
+    // Uncoalesced, each 8-spike wave is 8 packets: seven stall.
+    // Coalesced, the wave is one packet and rides the budget freely.
+    LinkParams tight;
+    tight.packetsPerTick = 1;
+
+    Board plain(relayBoardParams(tight), relayConfigs(8));
+    plain.run(30);
+    EXPECT_GT(plain.counters().linkStalls, 0u);
+    EXPECT_GT(plain.chip(1).counters().lateDeliveries, 0u);
+
+    LinkParams batched = tight;
+    batched.coalesce = 16;
+    Board fast(relayBoardParams(batched), relayConfigs(8));
+    fast.run(30);
+    EXPECT_EQ(fast.counters().linkStalls, 0u);
+    EXPECT_EQ(fast.counters().linkDrops, 0u);
+    EXPECT_EQ(fast.chip(1).counters().lateDeliveries, 0u);
+    const BoardCounters &bc = fast.counters();
+    // Every wave is one 8-spike packet.
+    EXPECT_EQ(bc.fabricPackets * 8, bc.egressSpikes);
+    EXPECT_EQ(bc.packetsCoalesced + bc.fabricPackets,
+              bc.egressSpikes);
+
+    // The coalesced constrained run delivers exactly what an
+    // unconstrained uncoalesced run delivers.
+    Board free(relayBoardParams(LinkParams{}), relayConfigs(8));
+    free.run(30);
+    EXPECT_EQ(fast.outputs(), free.outputs());
+}
+
+TEST(BoardCommsCoalesce, CapSplitsOversizedWaves)
+{
+    // Cap 3 splits each 8-spike wave into ceil(8/3) = 3 packets.
+    LinkParams link;
+    link.coalesce = 3;
+    Board board(relayBoardParams(link), relayConfigs(8));
+    board.run(12);
+    const BoardCounters &bc = board.counters();
+    ASSERT_GT(bc.egressSpikes, 0u);
+    EXPECT_EQ(bc.egressSpikes % 8, 0u);
+    EXPECT_EQ(bc.fabricPackets, bc.egressSpikes / 8 * 3);
+}
+
+TEST(BoardCommsCoalesce, ReliableLinkRetriesWholePacket)
+{
+    // A one-tick LinkDrop window swallows the first wave's single
+    // coalesced packet.  With the reliable protocol the whole packet
+    // retransmits and every spike still arrives (late-wrapped by the
+    // 16-slot scheduler); without it the whole 8-spike wave is lost
+    // at once.  Period 5 keeps the wrapped delivery tick (5 + 16)
+    // off the regular delivery grid so the recovered wave cannot be
+    // absorbed by a later wave on the same axons.
+    auto plan = std::make_shared<FaultPlan>();
+    FaultEvent ev;
+    ev.kind = FaultKind::LinkDrop;
+    ev.tick = 4;  // first wave crosses at t = 4
+    ev.untilTick = 5;
+    ev.chip = 0;
+    ev.dir = Board::East;
+    plan->events.push_back(ev);
+
+    LinkParams link;
+    link.coalesce = 16;
+
+    Board clean(relayBoardParams(link), relayConfigs(8, 5));
+    clean.run(40);
+    ASSERT_FALSE(clean.outputs().empty());
+
+    LinkParams reliable = link;
+    reliable.reliable = true;
+    Board recovered(relayBoardParams(reliable, plan),
+                    relayConfigs(8, 5));
+    recovered.run(40);
+    EXPECT_EQ(recovered.outputs().size(), clean.outputs().size());
+    EXPECT_GT(recovered.faultStats().retries, 0u);
+
+    Board lossy(relayBoardParams(link, plan), relayConfigs(8, 5));
+    lossy.run(40);
+    EXPECT_EQ(lossy.outputs().size() + 8, clean.outputs().size());
+}
+
+// --- trace + profile -------------------------------------------------------
+
+TEST(BoardCommsTrace, ProfileIsDeterministicAndRoundTrips)
+{
+    const uint64_t ticks = 25;
+    bench::CorticalWorkload w = tappedWorkload(4, 4, 3);
+
+    auto a = commsBoardSim(w, 2, 2, 0, nullptr, 0, true);
+    auto b = commsBoardSim(w, 2, 2, 4, nullptr, 3, true);
+    a->run(ticks);
+    b->run(ticks);
+    TrafficProfile pa = a->board().trafficProfile();
+    TrafficProfile pb = b->board().trafficProfile();
+
+    // Trace determinism: two runs — even at different thread counts
+    // and coalescing settings — serialize to the identical document,
+    // except for the link-load block, which legitimately sees fewer
+    // (multi-spike) packets when coalescing is on.
+    pb.links = pa.links;
+    EXPECT_EQ(trafficProfileToJson(pa).dump(),
+              trafficProfileToJson(pb).dump());
+
+    // Full fidelity: the trace covers intra-chip routes too.
+    const uint32_t gw = pa.boardW * pa.chipW;
+    bool intra = false;
+    for (uint32_t src = 0; src < pa.cells.size() && !intra; ++src) {
+        for (const auto &[dst, n] : pa.cells[src]) {
+            const uint32_t sc = (src % gw) / pa.chipW +
+                (src / gw) / pa.chipH * pa.boardW;
+            const uint32_t dc = (dst % gw) / pa.chipW +
+                (dst / gw) / pa.chipH * pa.boardW;
+            if (sc == dc && n > 0) {
+                intra = true;
+                break;
+            }
+        }
+    }
+    EXPECT_TRUE(intra);
+
+    // JSON round-trip preserves the document bit for bit.
+    TrafficProfile back;
+    std::string err;
+    ASSERT_TRUE(trafficProfileFromJson(trafficProfileToJson(pa),
+                                       back, &err))
+        << err;
+    EXPECT_EQ(trafficProfileToJson(back).dump(),
+              trafficProfileToJson(pa).dump());
+}
+
+// --- route table -----------------------------------------------------------
+
+/** Hop count of the table walk from @p at to @p dst, asserting each
+ *  step is a grid neighbor; fails the test if it exceeds @p cap. */
+uint32_t
+walkHops(const RouteTable &rt, uint32_t at, uint32_t dst,
+         uint32_t cap)
+{
+    uint32_t hops = 0;
+    while (at != dst) {
+        auto [dir, next] = rt.step(at, dst);
+        EXPECT_LT(dir, 4u);
+        EXPECT_NE(next, at);
+        at = next;
+        if (++hops > cap) {
+            ADD_FAILURE() << "route exceeds " << cap << " hops";
+            break;
+        }
+    }
+    return hops;
+}
+
+TEST(BoardCommsRouting, UniformLoadReproducesXy)
+{
+    TrafficProfile tp;
+    tp.boardW = 3;
+    tp.boardH = 3;
+    tp.links.assign(9 * 4, TrafficLinkLoad{});
+    for (auto &l : tp.links)
+        l.packets = 7;
+    RouteTable rt = buildRouteTable(tp);
+    ASSERT_FALSE(rt.empty());
+    for (uint32_t at = 0; at < 9; ++at) {
+        for (uint32_t dst = 0; dst < 9; ++dst) {
+            if (at == dst)
+                continue;
+            uint32_t cursor = at;
+            while (cursor != dst) {
+                auto xy = xyRouteStep(cursor, dst, 3);
+                auto tbl = rt.step(cursor, dst);
+                EXPECT_EQ(tbl, xy)
+                    << "at " << cursor << " dst " << dst;
+                cursor = xy.second;
+            }
+        }
+    }
+
+    // A profile with no link load yields no table: XY fallback.
+    TrafficProfile unloaded;
+    unloaded.boardW = 3;
+    unloaded.boardH = 3;
+    unloaded.links.assign(9 * 4, TrafficLinkLoad{});
+    EXPECT_TRUE(buildRouteTable(unloaded).empty());
+}
+
+TEST(BoardCommsRouting, HotLinkDiverts)
+{
+    // 2x2 board; chip 0's east link is an order of magnitude hotter
+    // than the rest, so 0 -> 1 pays less going S, E, N around it.
+    TrafficProfile tp;
+    tp.boardW = 2;
+    tp.boardH = 2;
+    tp.links.assign(4 * 4, TrafficLinkLoad{});
+    tp.links[0 * 4 + Board::East].packets = 1000;
+    tp.links[0 * 4 + Board::South].packets = 10;
+    tp.links[2 * 4 + Board::East].packets = 10;
+    tp.links[3 * 4 + Board::North].packets = 10;
+    RouteTable rt = buildRouteTable(tp);
+    ASSERT_FALSE(rt.empty());
+    EXPECT_NE(rt.step(0, 1).first,
+              static_cast<uint32_t>(Board::East));
+    EXPECT_EQ(walkHops(rt, 0, 1, 4), 3u);
+    // Other pairs keep sane bounded routes.
+    for (uint32_t at = 0; at < 4; ++at)
+        for (uint32_t dst = 0; dst < 4; ++dst)
+            if (at != dst)
+                walkHops(rt, at, dst, 4);
+}
+
+// --- profile-guided placement ----------------------------------------------
+
+TEST(BoardCommsPlacement, ProfileGuidanceNeverRegressesMeasuredCost)
+{
+    // A 16-pop ring, alternating slow (vol 10) and fast (vol 1000)
+    // edges, on a 2x2 board of 2x2-core chips — the bench's shape in
+    // miniature.  The estimate weighs all edges equally.
+    const uint32_t n = 16;
+    TrafficMatrix est(n);
+    std::vector<uint64_t> vol(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        est[i][(i + 1) % n] = 256;
+        vol[i] = i % 2 == 0 ? 10 : 1000;
+    }
+    PlacerCostModel model;
+    model.chipW = 2;
+    model.chipH = 2;
+
+    Placement pass1 = placeCores(est, PlacementPolicy::Anneal,
+                                 4, 4, 1, model);
+    ASSERT_FALSE(pass1.profileGuided);
+
+    // Trace as the traced run would have recorded it: measured
+    // volumes keyed by the pass-1 placement's global cells.
+    auto tp = std::make_shared<TrafficProfile>();
+    tp->boardW = 2;
+    tp->boardH = 2;
+    tp->chipW = 2;
+    tp->chipH = 2;
+    tp->cells.resize(16);
+    auto cellOf = [&](const Placement &pl, uint32_t i) {
+        return pl.y[i] * 4 + pl.x[i];
+    };
+    for (uint32_t i = 0; i < n; ++i)
+        tp->cells[cellOf(pass1, i)][cellOf(pass1, (i + 1) % n)] =
+            vol[i];
+
+    PlacerCostModel guided = model;
+    guided.traffic = tp;
+    Placement pass2 = placeCores(est, PlacementPolicy::Anneal,
+                                 4, 4, 1, guided);
+    EXPECT_TRUE(pass2.profileGuided);
+
+    // Keep-better guarantee: under the measured weights the guided
+    // placement costs no more than the estimate placement.
+    TrafficMatrix measured(n);
+    for (uint32_t i = 0; i < n; ++i)
+        measured[i][(i + 1) % n] = vol[i];
+    EXPECT_LE(placementCost(measured, pass2.x, pass2.y, model),
+              placementCost(measured, pass1.x, pass1.y, model));
+
+    // Determinism: same inputs, same placement.
+    Placement again = placeCores(est, PlacementPolicy::Anneal,
+                                 4, 4, 1, guided);
+    EXPECT_EQ(again.x, pass2.x);
+    EXPECT_EQ(again.y, pass2.y);
+    EXPECT_TRUE(again.profileGuided);
+}
+
+// --- snapshot --------------------------------------------------------------
+
+TEST(BoardCommsSnapshot, RoundTripsInFlightCoalescedPackets)
+{
+    // extraDelay parks each wave's coalesced packet mid-flight for
+    // two ticks; snapshot at t = 5 catches the t = 3 wave in transit.
+    LinkParams link;
+    link.coalesce = 16;
+    link.extraDelay = 2;
+
+    Board ref(relayBoardParams(link), relayConfigs(8));
+    ref.run(20);
+    ASSERT_FALSE(ref.outputs().empty());
+
+    Board donor(relayBoardParams(link), relayConfigs(8));
+    donor.run(5);
+    JsonValue snap;
+    donor.saveState(snap);
+
+    Board restored(relayBoardParams(link), relayConfigs(8));
+    ASSERT_TRUE(restored.restoreState(snap));
+    donor.run(15);
+    restored.run(15);
+    EXPECT_EQ(restored.outputs(), donor.outputs());
+    EXPECT_EQ(restored.counters().fabricPackets,
+              donor.counters().fabricPackets);
+    EXPECT_EQ(restored.counters().packetsCoalesced,
+              donor.counters().packetsCoalesced);
+    // And the spliced run matches an uninterrupted one tick-for-tick
+    // from the snapshot point on.
+    auto tail = [](const std::vector<OutputSpike> &v) {
+        std::vector<OutputSpike> t;
+        for (const OutputSpike &s : v)
+            if (s.tick >= 5)
+                t.push_back(s);
+        return t;
+    };
+    EXPECT_EQ(tail(restored.outputs()), tail(ref.outputs()));
+}
+
+} // namespace
+} // namespace nscs

@@ -7,7 +7,13 @@
  *
  * Usage:
  *   nscs_inspect MODEL.json [--cores] [--chips] [--board WxH]
- *                [--instances B] [--drive T]
+ *                [--instances B] [--drive T] [--traffic FILE]
+ *
+ * With --traffic, loads a measured traffic profile (nscs_run
+ * --trace-traffic) for the same board shape and joins it onto the
+ * --chips link table: measured packets, stalls and drops per link
+ * next to the static all-fire estimate, plus the congestion weight
+ * the profile-guided route table would assign each link.
  *
  * With --cores, prints a per-core utilisation table.  With --chips,
  * prints per-chip and per-link tables for the model's board target
@@ -34,6 +40,7 @@
 #include <cstdlib>
 
 #include "board/board.hh"
+#include "board/traffic.hh"
 #include "chip/chip.hh"
 #include "core/core.hh"
 #include "neuron/neuron.hh"
@@ -51,10 +58,11 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::cerr << "usage: nscs_inspect MODEL.json [--cores] "
                      "[--chips] [--board WxH] [--instances B] "
-                     "[--drive T]\n";
+                     "[--drive T] [--traffic FILE]\n";
         return 2;
     }
     bool per_core = false, per_chip = false;
+    std::string traffic_path;
     uint32_t board_w = 0, board_h = 0;
     uint32_t instances = 0;  // 0 = no instance report
     uint64_t drive_ticks = 0;  // 0 = no driven occupancy report
@@ -78,6 +86,10 @@ main(int argc, char **argv)
                 return 2;
             }
             instances = static_cast<uint32_t>(v);
+        } else if (std::strcmp(argv[i], "--traffic") == 0 &&
+                   i + 1 < argc) {
+            traffic_path = argv[++i];
+            per_chip = true;
         } else if (std::strcmp(argv[i], "--drive") == 0 &&
                    i + 1 < argc) {
             unsigned long v = std::strtoul(argv[++i], nullptr, 10);
@@ -107,6 +119,24 @@ main(int argc, char **argv)
         board_h * board_h;
     const uint32_t chip_w = pad_w / board_w;
     const uint32_t chip_h = pad_h / board_h;
+
+    TrafficProfile traffic;
+    bool have_traffic = false;
+    if (!traffic_path.empty()) {
+        std::string err;
+        if (!loadTrafficProfile(traffic_path, traffic, &err))
+            fatal("cannot load traffic profile '%s': %s",
+                  traffic_path.c_str(), err.c_str());
+        if (traffic.boardW != board_w || traffic.boardH != board_h ||
+            traffic.chipW != chip_w || traffic.chipH != chip_h)
+            fatal("traffic profile '%s' covers a %ux%u board of "
+                  "%ux%u-core chips; this model deploys as %ux%u "
+                  "chips of %ux%u cores",
+                  traffic_path.c_str(), traffic.boardW,
+                  traffic.boardH, traffic.chipW, traffic.chipH,
+                  board_w, board_h, chip_w, chip_h);
+        have_traffic = true;
+    }
 
     uint64_t synapses = 0, used_cores = 0, neurons_used = 0;
     uint64_t axons_used = 0, core_dests = 0, output_dests = 0;
@@ -241,16 +271,44 @@ main(int argc, char **argv)
         std::cout << ct.str();
 
         std::cout << "\n";
-        TextTable lt({"link", "static load (spikes/all-fire)"});
+        std::vector<std::string> lt_cols = {
+            "link", "static load (spikes/all-fire)"};
+        std::vector<uint64_t> weights;
+        if (have_traffic) {
+            lt_cols.insert(lt_cols.end(),
+                           {"measured packets", "stalls", "drops",
+                            "route weight"});
+            weights = congestionLinkWeights(traffic);
+        }
+        TextTable lt(lt_cols);
         for (uint32_t l = 0;
              l < static_cast<uint32_t>(link_load.size()); ++l) {
-            if (link_load[l] == 0)
+            // A profile can load links the static all-fire estimate
+            // never touches (profile-guided routes detour); show a
+            // row when either side is non-zero.
+            const bool measured = have_traffic &&
+                l < traffic.links.size() &&
+                (traffic.links[l].packets || traffic.links[l].stalls ||
+                 traffic.links[l].drops);
+            if (link_load[l] == 0 && !measured)
                 continue;
             uint32_t chip = l / 4;
-            lt.addRow({"chip(" + std::to_string(chip % board_w) +
-                           "," + std::to_string(chip / board_w) +
-                           ")." + linkDirName(l % 4),
-                       fmtInt(link_load[l])});
+            std::vector<std::string> row = {
+                "chip(" + std::to_string(chip % board_w) + "," +
+                    std::to_string(chip / board_w) + ")." +
+                    linkDirName(l % 4),
+                fmtInt(link_load[l])};
+            if (have_traffic) {
+                const TrafficLinkLoad tl = l < traffic.links.size()
+                    ? traffic.links[l]
+                    : TrafficLinkLoad{};
+                row.push_back(fmtInt(tl.packets));
+                row.push_back(fmtInt(tl.stalls));
+                row.push_back(fmtInt(tl.drops));
+                row.push_back(
+                    fmtInt(l < weights.size() ? weights[l] : 0));
+            }
+            lt.addRow(row);
         }
         std::cout << lt.str();
     } else if (per_chip) {

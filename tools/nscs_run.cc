@@ -27,6 +27,14 @@
  *   --link-budget N           link packets per tick (0 = unlimited)
  *   --link-delay N            extra transit ticks per link hop
  *   --link-queue N            stalled packets per link (0 = unlim.)
+ *   --link-coalesce N         batch up to N same-destination spikes
+ *                             into one fabric packet (0/1 = off)
+ *   --trace-traffic FILE      write the measured traffic profile
+ *                             (per-chip-pair and per-link loads)
+ *                             after a board run
+ *   --traffic-profile FILE    route packets with a congestion-aware
+ *                             table built from a measured profile
+ *                             instead of deterministic XY
  *   --inputs FILE             input schedule: lines "tick inputName"
  *   --trace FILE              write the output trace here
  *   --stats                   dump device statistics to stderr
@@ -47,6 +55,7 @@
 #include <map>
 #include <sstream>
 
+#include "board/traffic.hh"
 #include "prog/compiled.hh"
 #include "runtime/fault.hh"
 #include "runtime/simulator.hh"
@@ -66,6 +75,8 @@ usage()
         "                [--instances B]\n"
         "                [--board WxH] [--link-budget N]\n"
         "                [--link-delay N] [--link-queue N]\n"
+        "                [--link-coalesce N] [--trace-traffic FILE]\n"
+        "                [--traffic-profile FILE]\n"
         "                [--inputs FILE] [--trace FILE] [--stats]\n"
         "                [--fault-plan FILE] [--checkpoint-every N]\n"
         "                [--save-state FILE] [--restore FILE]\n";
@@ -134,6 +145,7 @@ main(int argc, char **argv)
     uint32_t board_w = 0, board_h = 0;  // 0 = model default
     LinkParams link;
     std::string inputs_path, trace_path;
+    std::string trace_traffic_path, profile_path;
     std::string plan_path, save_path, restore_path;
     uint64_t checkpoint_every = 0;
     bool stats = false;
@@ -176,6 +188,12 @@ main(int argc, char **argv)
             link.extraDelay = parseCount(next(), 1u << 20);
         } else if (arg == "--link-queue") {
             link.queueCapacity = parseCount(next(), 1u << 30);
+        } else if (arg == "--link-coalesce") {
+            link.coalesce = parseCount(next(), 1u << 16);
+        } else if (arg == "--trace-traffic") {
+            trace_traffic_path = next();
+        } else if (arg == "--traffic-profile") {
+            profile_path = next();
         } else if (arg == "--inputs") {
             inputs_path = next();
         } else if (arg == "--trace") {
@@ -207,6 +225,19 @@ main(int argc, char **argv)
         if (noc == NocModel::Cycle)
             fatal("board targets require the functional transport");
         padModelToBoard(model, board_w, board_h);
+    } else if (!trace_traffic_path.empty() || !profile_path.empty()) {
+        fatal("--trace-traffic/--traffic-profile need a board target "
+              "(use --board WxH or a board-compiled model)");
+    }
+
+    std::shared_ptr<const TrafficProfile> profile;
+    if (!profile_path.empty()) {
+        TrafficProfile tp;
+        std::string err;
+        if (!loadTrafficProfile(profile_path, tp, &err))
+            fatal("cannot load traffic profile '%s': %s",
+                  profile_path.c_str(), err.c_str());
+        profile = std::make_shared<const TrafficProfile>(std::move(tp));
     }
 
     // Parse the input schedule: "tick inputName" per line.
@@ -256,6 +287,8 @@ main(int argc, char **argv)
         bp.link = link;
         bp.threads = threads;
         bp.faultPlan = plan;
+        bp.traceTraffic = !trace_traffic_path.empty();
+        bp.trafficProfile = profile;
         sim = std::make_unique<Simulator>(bp, model.cores);
     } else {
         ChipParams cp;
@@ -293,6 +326,12 @@ main(int argc, char **argv)
             fatal("cannot save state to '%s': %s", save_path.c_str(),
                   err.c_str());
     }
+
+    if (!trace_traffic_path.empty() &&
+        !saveTrafficProfile(trace_traffic_path,
+                            sim->board().trafficProfile()))
+        fatal("cannot write traffic profile '%s'",
+              trace_traffic_path.c_str());
 
     const auto &spikes = sim->recorder().spikes();
     if (trace_path.empty()) {
